@@ -1,0 +1,259 @@
+//! The one-directional CPMM swap function and its calculus.
+//!
+//! For a pool holding `x` of the input token and `y` of the output token
+//! with fee multiplier `γ = 1 − λ`, swapping `Δx` in yields
+//!
+//! ```text
+//! F(Δx) = y − x·y / (x + γ·Δx) = γ·y·Δx / (x + γ·Δx)
+//! ```
+//!
+//! `F` is strictly increasing and strictly concave on `Δx ≥ 0`, bounded by
+//! `y`. Its derivative `F'(Δx) = γ·x·y/(x + γΔx)²` starts at the marginal
+//! exchange rate `γ·y/x` (the paper's relative price `p_ij`) and decreases
+//! toward zero — this is price slippage.
+
+use crate::error::AmmError;
+use crate::fee::FeeRate;
+use crate::mobius::Mobius;
+
+/// One direction of a constant-product pool: reserves `(x, y)` and `γ`.
+///
+/// This is a value type produced by [`crate::pool::Pool::curve`]; it does not
+/// mutate the pool. All the strategy mathematics in the workspace ultimately
+/// reduces to calls on `SwapCurve`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapCurve {
+    reserve_in: f64,
+    reserve_out: f64,
+    gamma: f64,
+}
+
+impl SwapCurve {
+    /// Creates a curve from input/output reserves and a fee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::NonPositiveReserve`] unless both reserves are
+    /// positive and finite.
+    pub fn new(reserve_in: f64, reserve_out: f64, fee: FeeRate) -> Result<Self, AmmError> {
+        let valid = |r: f64| r.is_finite() && r > 0.0;
+        if !valid(reserve_in) || !valid(reserve_out) {
+            return Err(AmmError::NonPositiveReserve);
+        }
+        Ok(SwapCurve {
+            reserve_in,
+            reserve_out,
+            gamma: fee.gamma(),
+        })
+    }
+
+    /// The input-side reserve `x`.
+    pub fn reserve_in(&self) -> f64 {
+        self.reserve_in
+    }
+
+    /// The output-side reserve `y`.
+    pub fn reserve_out(&self) -> f64 {
+        self.reserve_out
+    }
+
+    /// The post-fee multiplier `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Output amount `F(Δx)` for input `amount_in`.
+    ///
+    /// For `amount_in ≥ 0` the result is always in `[0, y)`. The function
+    /// is also defined on the negative domain `Δx > −x/γ` (where it is
+    /// negative), which interior-point line searches probe; outside that
+    /// domain it returns NaN so feasibility checks reject the point.
+    pub fn amount_out(&self, amount_in: f64) -> f64 {
+        let g = self.gamma * amount_in;
+        let denom = self.reserve_in + g;
+        if denom <= 0.0 {
+            return f64::NAN;
+        }
+        self.reserve_out * g / denom
+    }
+
+    /// Derivative `F'(Δx) = γ·x·y / (x + γΔx)²`.
+    pub fn derivative(&self, amount_in: f64) -> f64 {
+        let denom = self.reserve_in + self.gamma * amount_in;
+        self.gamma * self.reserve_in * self.reserve_out / (denom * denom)
+    }
+
+    /// Second derivative `F''(Δx) = −2γ²·x·y / (x + γΔx)³` (always negative).
+    pub fn second_derivative(&self, amount_in: f64) -> f64 {
+        let denom = self.reserve_in + self.gamma * amount_in;
+        -2.0 * self.gamma * self.gamma * self.reserve_in * self.reserve_out
+            / (denom * denom * denom)
+    }
+
+    /// Input amount required to receive exactly `amount_out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::InsufficientLiquidity`] when
+    /// `amount_out >= reserve_out` — the pool can never emit its full
+    /// reserve.
+    pub fn amount_in_for(&self, amount_out: f64) -> Result<f64, AmmError> {
+        if amount_out < 0.0 || !amount_out.is_finite() {
+            return Err(AmmError::InvalidAmount);
+        }
+        if amount_out >= self.reserve_out {
+            return Err(AmmError::InsufficientLiquidity);
+        }
+        Ok(self.reserve_in * amount_out / (self.gamma * (self.reserve_out - amount_out)))
+    }
+
+    /// The marginal exchange rate at zero input, `γ·y/x`.
+    ///
+    /// This is the paper's relative price `p_ij = (1−λ)·r_j/r_i`.
+    pub fn spot_rate(&self) -> f64 {
+        self.gamma * self.reserve_out / self.reserve_in
+    }
+
+    /// The fee-free mid price `y/x`.
+    pub fn mid_rate(&self) -> f64 {
+        self.reserve_out / self.reserve_in
+    }
+
+    /// The curve as a Möbius transform `f(Δ) = aΔ/(bΔ + d)`.
+    pub fn to_mobius(&self) -> Mobius {
+        Mobius::new(self.gamma * self.reserve_out, self.gamma, self.reserve_in)
+    }
+
+    /// Reserves after executing a swap of `amount_in`, as `(x', y')`.
+    ///
+    /// Note: the full input (fee included) is added to the input reserve,
+    /// matching Uniswap V2 where LP fees accrue inside the pool.
+    pub fn reserves_after(&self, amount_in: f64) -> (f64, f64) {
+        let out = self.amount_out(amount_in);
+        (self.reserve_in + amount_in, self.reserve_out - out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn curve(x: f64, y: f64) -> SwapCurve {
+        SwapCurve::new(x, y, FeeRate::UNISWAP_V2).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_reserves() {
+        for (x, y) in [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0), (f64::NAN, 1.0)] {
+            assert_eq!(
+                SwapCurve::new(x, y, FeeRate::UNISWAP_V2),
+                Err(AmmError::NonPositiveReserve)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_in_zero_out() {
+        let c = curve(100.0, 200.0);
+        assert_eq!(c.amount_out(0.0), 0.0);
+    }
+
+    #[test]
+    fn output_matches_closed_form() {
+        // F(Δx) = y − x·y/(x + γΔx) with x=100, y=200, γ=0.997, Δx=10.
+        let c = curve(100.0, 200.0);
+        let expected = 200.0 - 100.0 * 200.0 / (100.0 + 0.997 * 10.0);
+        assert!((c.amount_out(10.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spot_rate_matches_paper_definition() {
+        let c = curve(100.0, 200.0);
+        assert!((c.spot_rate() - 0.997 * 2.0).abs() < 1e-15);
+        assert!((c.mid_rate() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_rejects_full_reserve() {
+        let c = curve(100.0, 200.0);
+        assert_eq!(c.amount_in_for(200.0), Err(AmmError::InsufficientLiquidity));
+        assert_eq!(c.amount_in_for(-1.0), Err(AmmError::InvalidAmount));
+    }
+
+    #[test]
+    fn mobius_agrees_with_direct_eval() {
+        let c = curve(100.0, 200.0);
+        let m = c.to_mobius();
+        for dx in [0.0, 0.5, 1.0, 10.0, 1e6] {
+            assert!((m.eval(dx) - c.amount_out(dx)).abs() <= 1e-9 * (1.0 + c.amount_out(dx)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn output_bounded_by_reserve(
+            x in 1e-3..1e12f64, y in 1e-3..1e12f64, dx in 0.0..1e12f64
+        ) {
+            let c = curve(x, y);
+            let out = c.amount_out(dx);
+            prop_assert!(out >= 0.0);
+            prop_assert!(out < y);
+        }
+
+        #[test]
+        fn output_monotone(
+            x in 1e-3..1e9f64, y in 1e-3..1e9f64,
+            dx in 0.0..1e9f64, bump in 1e-6..1e3f64
+        ) {
+            let c = curve(x, y);
+            prop_assert!(c.amount_out(dx + bump) > c.amount_out(dx));
+        }
+
+        #[test]
+        fn derivative_matches_finite_difference(
+            x in 1.0..1e6f64, y in 1.0..1e6f64, dx in 0.0..1e6f64
+        ) {
+            let c = curve(x, y);
+            let h = (1e-6 * (1.0 + dx)).max(1e-9);
+            let fd = (c.amount_out(dx + h) - c.amount_out((dx - h).max(0.0)))
+                / (h + (dx - h).max(0.0) + h - dx).max(h * 2.0 - (dx - (dx - h).max(0.0) - h).abs());
+            // Use a simple centered difference when possible.
+            let fd = if dx >= h {
+                (c.amount_out(dx + h) - c.amount_out(dx - h)) / (2.0 * h)
+            } else {
+                fd
+            };
+            let an = c.derivative(dx);
+            prop_assert!((fd - an).abs() <= 1e-3 * (1.0 + an.abs()),
+                "fd={fd} analytic={an}");
+        }
+
+        #[test]
+        fn inverse_roundtrips(
+            x in 1.0..1e9f64, y in 1.0..1e9f64, dx in 1e-6..1e9f64
+        ) {
+            let c = curve(x, y);
+            let out = c.amount_out(dx);
+            let back = c.amount_in_for(out).unwrap();
+            prop_assert!((back - dx).abs() <= 1e-6 * (1.0 + dx), "back={back} dx={dx}");
+        }
+
+        #[test]
+        fn concavity(
+            x in 1.0..1e9f64, y in 1.0..1e9f64, dx in 0.0..1e9f64
+        ) {
+            let c = curve(x, y);
+            prop_assert!(c.second_derivative(dx) < 0.0);
+        }
+
+        #[test]
+        fn k_never_decreases_after_swap(
+            x in 1.0..1e9f64, y in 1.0..1e9f64, dx in 0.0..1e9f64
+        ) {
+            let c = curve(x, y);
+            let (x2, y2) = c.reserves_after(dx);
+            prop_assert!(x2 * y2 >= x * y * (1.0 - 1e-12));
+        }
+    }
+}

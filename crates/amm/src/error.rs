@@ -1,0 +1,71 @@
+//! Error type shared by all AMM operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by pool construction, quoting, and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AmmError {
+    /// A reserve was zero, negative, NaN, or infinite.
+    NonPositiveReserve,
+    /// A swap input amount was negative, NaN, or infinite.
+    InvalidAmount,
+    /// The requested output meets or exceeds the pool's reserve.
+    InsufficientLiquidity,
+    /// A pool was constructed with the same token on both sides.
+    SameToken,
+    /// The referenced token is not one of the pool's pair.
+    TokenNotInPool,
+    /// Integer arithmetic overflowed in the exact (u128) path.
+    Overflow,
+    /// A fee rate of 100% or more was supplied.
+    FeeTooHigh,
+}
+
+impl fmt::Display for AmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            AmmError::NonPositiveReserve => "pool reserve must be positive and finite",
+            AmmError::InvalidAmount => "swap amount must be non-negative and finite",
+            AmmError::InsufficientLiquidity => "requested output exceeds pool liquidity",
+            AmmError::SameToken => "pool tokens must be distinct",
+            AmmError::TokenNotInPool => "token is not part of this pool",
+            AmmError::Overflow => "integer overflow in exact swap arithmetic",
+            AmmError::FeeTooHigh => "fee rate must be below 100%",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for AmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            AmmError::NonPositiveReserve,
+            AmmError::InvalidAmount,
+            AmmError::InsufficientLiquidity,
+            AmmError::SameToken,
+            AmmError::TokenNotInPool,
+            AmmError::Overflow,
+            AmmError::FeeTooHigh,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AmmError>();
+    }
+}

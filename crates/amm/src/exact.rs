@@ -1,0 +1,300 @@
+//! Bit-exact Uniswap V2 integer swap semantics.
+//!
+//! The chain simulator executes swaps with the same integer arithmetic as
+//! the Uniswap V2 `Router`/`Pair` contracts:
+//!
+//! ```text
+//! amountOut = amountIn·(PPM−fee)·reserveOut
+//!           / (reserveIn·PPM + amountIn·(PPM−fee))        (floor)
+//! amountIn  = reserveIn·amountOut·PPM
+//!           / ((reserveOut−amountOut)·(PPM−fee)) + 1      (ceil via +1)
+//! ```
+//!
+//! (The contracts use 997/1000; we generalize to parts-per-million so any
+//! [`FeeRate`] is representable. For 3000 ppm the results are identical to
+//! 997/1000 arithmetic.)
+//!
+//! All arithmetic is `u128` with overflow checking; amounts on Ethereum fit
+//! in `u112` reserves so `u128` intermediates can overflow only for absurd
+//! inputs, which we surface as [`AmmError::Overflow`] rather than panicking.
+
+use crate::error::AmmError;
+use crate::fee::{FeeRate, PPM};
+
+/// Computes the swap output with Uniswap V2 rounding (floor).
+///
+/// # Errors
+///
+/// * [`AmmError::NonPositiveReserve`] if either reserve is zero.
+/// * [`AmmError::Overflow`] if `u128` intermediates overflow.
+///
+/// ```
+/// use arb_amm::{exact::get_amount_out, fee::FeeRate};
+/// // 1 ETH into a 100 ETH / 200_000 USDC pool (scaled integers):
+/// let out = get_amount_out(1_000, 100_000, 200_000_000, FeeRate::UNISWAP_V2)?;
+/// assert!(out < 2_000_000); // slippage + fee keep it under spot
+/// # Ok::<(), arb_amm::AmmError>(())
+/// ```
+pub fn get_amount_out(
+    amount_in: u128,
+    reserve_in: u128,
+    reserve_out: u128,
+    fee: FeeRate,
+) -> Result<u128, AmmError> {
+    if reserve_in == 0 || reserve_out == 0 {
+        return Err(AmmError::NonPositiveReserve);
+    }
+    if amount_in == 0 {
+        return Ok(0);
+    }
+    let gamma = fee.gamma_ppm() as u128;
+    let amount_in_with_fee = amount_in.checked_mul(gamma).ok_or(AmmError::Overflow)?;
+    let numerator = amount_in_with_fee
+        .checked_mul(reserve_out)
+        .ok_or(AmmError::Overflow)?;
+    let denominator = reserve_in
+        .checked_mul(PPM as u128)
+        .ok_or(AmmError::Overflow)?
+        .checked_add(amount_in_with_fee)
+        .ok_or(AmmError::Overflow)?;
+    Ok(numerator / denominator)
+}
+
+/// Computes the input required for an exact output (rounds up).
+///
+/// # Errors
+///
+/// * [`AmmError::NonPositiveReserve`] if either reserve is zero.
+/// * [`AmmError::InsufficientLiquidity`] if `amount_out >= reserve_out`.
+/// * [`AmmError::Overflow`] if `u128` intermediates overflow.
+pub fn get_amount_in(
+    amount_out: u128,
+    reserve_in: u128,
+    reserve_out: u128,
+    fee: FeeRate,
+) -> Result<u128, AmmError> {
+    if reserve_in == 0 || reserve_out == 0 {
+        return Err(AmmError::NonPositiveReserve);
+    }
+    if amount_out == 0 {
+        return Ok(0);
+    }
+    if amount_out >= reserve_out {
+        return Err(AmmError::InsufficientLiquidity);
+    }
+    let gamma = fee.gamma_ppm() as u128;
+    let numerator = reserve_in
+        .checked_mul(amount_out)
+        .ok_or(AmmError::Overflow)?
+        .checked_mul(PPM as u128)
+        .ok_or(AmmError::Overflow)?;
+    let denominator = (reserve_out - amount_out)
+        .checked_mul(gamma)
+        .ok_or(AmmError::Overflow)?;
+    Ok(numerator / denominator + 1)
+}
+
+/// An integer-reserve pool mirroring an on-chain Uniswap V2 pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawPool {
+    reserve_a: u128,
+    reserve_b: u128,
+    fee: FeeRate,
+}
+
+impl RawPool {
+    /// Creates a raw pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::NonPositiveReserve`] if either reserve is zero.
+    pub fn new(reserve_a: u128, reserve_b: u128, fee: FeeRate) -> Result<Self, AmmError> {
+        if reserve_a == 0 || reserve_b == 0 {
+            return Err(AmmError::NonPositiveReserve);
+        }
+        Ok(RawPool {
+            reserve_a,
+            reserve_b,
+            fee,
+        })
+    }
+
+    /// Reserve of side A.
+    pub fn reserve_a(&self) -> u128 {
+        self.reserve_a
+    }
+
+    /// Reserve of side B.
+    pub fn reserve_b(&self) -> u128 {
+        self.reserve_b
+    }
+
+    /// The pool fee.
+    pub fn fee(&self) -> FeeRate {
+        self.fee
+    }
+
+    /// Quote of swapping `amount_in` of side A for side B (`a_to_b = true`)
+    /// or the reverse.
+    ///
+    /// # Errors
+    ///
+    /// See [`get_amount_out`].
+    pub fn quote(&self, a_to_b: bool, amount_in: u128) -> Result<u128, AmmError> {
+        let (rin, rout) = if a_to_b {
+            (self.reserve_a, self.reserve_b)
+        } else {
+            (self.reserve_b, self.reserve_a)
+        };
+        get_amount_out(amount_in, rin, rout, self.fee)
+    }
+
+    /// Executes a swap, mutating reserves; returns the output amount.
+    ///
+    /// # Errors
+    ///
+    /// See [`get_amount_out`].
+    pub fn execute(&mut self, a_to_b: bool, amount_in: u128) -> Result<u128, AmmError> {
+        let out = self.quote(a_to_b, amount_in)?;
+        if a_to_b {
+            self.reserve_a = self
+                .reserve_a
+                .checked_add(amount_in)
+                .ok_or(AmmError::Overflow)?;
+            self.reserve_b -= out;
+        } else {
+            self.reserve_b = self
+                .reserve_b
+                .checked_add(amount_in)
+                .ok_or(AmmError::Overflow)?;
+            self.reserve_a -= out;
+        }
+        Ok(out)
+    }
+
+    /// The product invariant `k = r_a · r_b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::Overflow`] if the product exceeds `u128`.
+    pub fn k(&self) -> Result<u128, AmmError> {
+        self.reserve_a
+            .checked_mul(self.reserve_b)
+            .ok_or(AmmError::Overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::SwapCurve;
+    use proptest::prelude::*;
+
+    const FEE: FeeRate = FeeRate::UNISWAP_V2;
+
+    #[test]
+    fn matches_uniswap_997_1000_reference() {
+        // Reference computed with the contract formula:
+        // in=1_000, rin=100_000, rout=200_000:
+        //   inWithFee = 997_000; out = 997_000*200_000 / (100_000*1000*1000 + 997_000... )
+        // With ppm arithmetic: 1000*997000*200000/(100000*1000000 + 1000*997000)
+        let out = get_amount_out(1_000, 100_000, 200_000, FEE).unwrap();
+        let expect = (1_000u128 * 997 * 200_000) / (100_000 * 1_000 + 1_000 * 997);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zero_in_zero_out() {
+        assert_eq!(get_amount_out(0, 10, 10, FEE).unwrap(), 0);
+        assert_eq!(get_amount_in(0, 10, 10, FEE).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_reserve_rejected() {
+        assert_eq!(
+            get_amount_out(1, 0, 10, FEE),
+            Err(AmmError::NonPositiveReserve)
+        );
+        assert_eq!(
+            get_amount_in(1, 10, 0, FEE),
+            Err(AmmError::NonPositiveReserve)
+        );
+    }
+
+    #[test]
+    fn full_reserve_out_rejected() {
+        assert_eq!(
+            get_amount_in(10, 10, 10, FEE),
+            Err(AmmError::InsufficientLiquidity)
+        );
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        assert_eq!(
+            get_amount_out(u128::MAX, u128::MAX / 2, u128::MAX / 2, FEE),
+            Err(AmmError::Overflow)
+        );
+    }
+
+    #[test]
+    fn raw_pool_execute_roundtrip() {
+        let mut p = RawPool::new(1_000_000, 2_000_000, FEE).unwrap();
+        let k0 = p.k().unwrap();
+        let out = p.execute(true, 10_000).unwrap();
+        assert!(out > 0);
+        assert!(p.k().unwrap() >= k0);
+    }
+
+    proptest! {
+        #[test]
+        fn integer_out_never_exceeds_float_out(
+            rin in 1_000u128..1_000_000_000_000,
+            rout in 1_000u128..1_000_000_000_000,
+            ain in 1u128..1_000_000_000,
+        ) {
+            let exact = get_amount_out(ain, rin, rout, FEE).unwrap();
+            let float = SwapCurve::new(rin as f64, rout as f64, FEE)
+                .unwrap()
+                .amount_out(ain as f64);
+            // Floor rounding means the integer result is at most the float
+            // result (up to float representation error).
+            prop_assert!((exact as f64) <= float * (1.0 + 1e-9) + 1.0);
+        }
+
+        #[test]
+        fn get_amount_in_covers_requested_out(
+            rin in 1_000u128..1_000_000_000,
+            rout in 1_000u128..1_000_000_000,
+            aout_frac in 1u128..500,
+        ) {
+            let aout = rout * aout_frac / 1_000; // < rout/2
+            prop_assume!(aout > 0);
+            let ain = get_amount_in(aout, rin, rout, FEE).unwrap();
+            let achieved = get_amount_out(ain, rin, rout, FEE).unwrap();
+            prop_assert!(achieved >= aout, "achieved={achieved} wanted={aout}");
+        }
+
+        #[test]
+        fn k_never_decreases(
+            rin in 1_000u128..1_000_000_000,
+            rout in 1_000u128..1_000_000_000,
+            ain in 1u128..1_000_000,
+        ) {
+            let mut p = RawPool::new(rin, rout, FEE).unwrap();
+            let k0 = p.k().unwrap();
+            p.execute(true, ain).unwrap();
+            prop_assert!(p.k().unwrap() >= k0);
+        }
+
+        #[test]
+        fn output_strictly_less_than_reserve(
+            rin in 1u128..1_000_000_000,
+            rout in 1u128..1_000_000_000,
+            ain in 1u128..u64::MAX as u128,
+        ) {
+            let out = get_amount_out(ain, rin, rout, FEE).unwrap();
+            prop_assert!(out < rout);
+        }
+    }
+}

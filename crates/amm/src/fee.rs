@@ -1,0 +1,127 @@
+//! Pool fee rates.
+//!
+//! Uniswap V2 charges a flat `λ = 0.3%` fee on the input amount of every
+//! swap. The paper writes the post-fee multiplier as `γ = 1 − λ`. Fees are
+//! stored as integer parts-per-million so the exact integer swap path and
+//! the float analysis path agree on the same rate.
+
+use crate::AmmError;
+
+/// Denominator for parts-per-million fee arithmetic.
+pub const PPM: u32 = 1_000_000;
+
+/// A pool fee rate `λ`, stored in parts-per-million.
+///
+/// ```
+/// use arb_amm::fee::FeeRate;
+/// let fee = FeeRate::UNISWAP_V2;
+/// assert_eq!(fee.ppm(), 3_000);
+/// assert!((fee.lambda() - 0.003).abs() < 1e-12);
+/// assert!((fee.gamma() - 0.997).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FeeRate(u32);
+
+impl FeeRate {
+    /// The canonical Uniswap V2 fee: 0.3% (3000 ppm).
+    pub const UNISWAP_V2: FeeRate = FeeRate(3_000);
+
+    /// A zero-fee pool, useful in tests and theoretical examples.
+    pub const ZERO: FeeRate = FeeRate(0);
+
+    /// Creates a fee rate from parts-per-million.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::FeeTooHigh`] if `ppm >= 1_000_000` (a 100% fee
+    /// would make every swap output zero).
+    pub fn from_ppm(ppm: u32) -> Result<Self, AmmError> {
+        if ppm >= PPM {
+            return Err(AmmError::FeeTooHigh);
+        }
+        Ok(FeeRate(ppm))
+    }
+
+    /// Creates a fee rate from a fraction in `[0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::FeeTooHigh`] if `lambda` is not in `[0, 1)` or is
+    /// not finite.
+    pub fn from_fraction(lambda: f64) -> Result<Self, AmmError> {
+        if !lambda.is_finite() || !(0.0..1.0).contains(&lambda) {
+            return Err(AmmError::FeeTooHigh);
+        }
+        Ok(FeeRate((lambda * PPM as f64).round() as u32))
+    }
+
+    /// The fee in parts-per-million.
+    pub fn ppm(self) -> u32 {
+        self.0
+    }
+
+    /// The fee fraction `λ`.
+    pub fn lambda(self) -> f64 {
+        self.0 as f64 / PPM as f64
+    }
+
+    /// The post-fee multiplier `γ = 1 − λ` applied to swap inputs.
+    pub fn gamma(self) -> f64 {
+        1.0 - self.lambda()
+    }
+
+    /// The integer numerator `1_000_000 − ppm` used by exact swap math.
+    pub fn gamma_ppm(self) -> u32 {
+        PPM - self.0
+    }
+}
+
+impl Default for FeeRate {
+    /// Defaults to the Uniswap V2 fee of 0.3%.
+    fn default() -> Self {
+        FeeRate::UNISWAP_V2
+    }
+}
+
+impl std::fmt::Display for FeeRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}ppm", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniswap_v2_constants() {
+        assert_eq!(FeeRate::UNISWAP_V2.gamma_ppm(), 997_000);
+        assert!((FeeRate::UNISWAP_V2.gamma() - 0.997).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_fraction_roundtrips() {
+        let f = FeeRate::from_fraction(0.003).unwrap();
+        assert_eq!(f, FeeRate::UNISWAP_V2);
+        assert_eq!(FeeRate::from_fraction(0.0).unwrap(), FeeRate::ZERO);
+    }
+
+    #[test]
+    fn rejects_full_fee() {
+        assert_eq!(FeeRate::from_ppm(PPM), Err(AmmError::FeeTooHigh));
+        assert_eq!(FeeRate::from_fraction(1.0), Err(AmmError::FeeTooHigh));
+        assert_eq!(FeeRate::from_fraction(-0.1), Err(AmmError::FeeTooHigh));
+        assert_eq!(FeeRate::from_fraction(f64::NAN), Err(AmmError::FeeTooHigh));
+    }
+
+    #[test]
+    fn display_shows_ppm() {
+        assert_eq!(FeeRate::UNISWAP_V2.to_string(), "3000ppm");
+    }
+
+    #[test]
+    fn zero_fee_gamma_is_one() {
+        assert_eq!(FeeRate::ZERO.gamma(), 1.0);
+        assert_eq!(FeeRate::ZERO.gamma_ppm(), PPM);
+    }
+}

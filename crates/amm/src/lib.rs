@@ -1,0 +1,46 @@
+//! Constant-product AMM (Uniswap V2) pool mathematics.
+//!
+//! This crate is the single source of truth for how a Uniswap-V2-style
+//! constant product market maker (CPMM) prices and executes swaps. It is the
+//! foundation every other crate in the workspace builds on:
+//!
+//! * [`token`] — token identifiers and the token registry.
+//! * [`fee`] — the pool fee rate `λ` and its complement `γ = 1 − λ`.
+//! * [`pool`] — an analysis-level pool with `f64` reserves.
+//! * [`curve`] — the one-directional swap function
+//!   `F(Δx) = γ·y·Δx / (x + γ·Δx)` with derivative and inverse.
+//! * [`mobius`] — chain composition of swap curves as Möbius transforms,
+//!   which yields the *closed form* optimal arbitrage input
+//!   `Δ* = (√(A·D) − D)/B` for an entire loop.
+//! * [`exact`] — bit-exact `u128` integer semantics of Uniswap V2's
+//!   `getAmountOut`/`getAmountIn` used by the chain simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arb_amm::{fee::FeeRate, pool::Pool, token::TokenId};
+//!
+//! # fn main() -> Result<(), arb_amm::AmmError> {
+//! let x = TokenId::new(0);
+//! let y = TokenId::new(1);
+//! let pool = Pool::new(x, y, 100.0, 200.0, FeeRate::UNISWAP_V2)?;
+//! let quote = pool.quote(x, 10.0)?;
+//! assert!(quote > 0.0 && quote < 200.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod curve;
+pub mod error;
+pub mod exact;
+pub mod fee;
+pub mod mobius;
+pub mod pool;
+pub mod token;
+
+pub use curve::SwapCurve;
+pub use error::AmmError;
+pub use fee::FeeRate;
+pub use mobius::Mobius;
+pub use pool::{Pool, PoolId};
+pub use token::{Token, TokenId, TokenRegistry};

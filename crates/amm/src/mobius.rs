@@ -1,0 +1,269 @@
+//! Möbius-transform composition of swap chains.
+//!
+//! Every CPMM swap function is the Möbius (linear-fractional) transform
+//! `F(Δ) = aΔ/(bΔ + d)` with `a = γ·y`, `b = γ`, `d = x`. The composition of
+//! two such transforms is again of the same form, so an entire multi-hop
+//! swap chain collapses to a single triple `(A, B, D)`:
+//!
+//! ```text
+//! Δout = A·Δin / (B·Δin + D)
+//! ```
+//!
+//! This gives the whole crate closed-form answers that iterative optimizers
+//! are tested against:
+//!
+//! * round-trip marginal rate at zero input: `A/D` — the loop is an
+//!   arbitrage loop iff `A/D > 1` (equivalently `Σ log p > 0`);
+//! * optimal input maximizing `Δout − Δin`: `Δ* = (√(A·D) − D)/B`;
+//! * maximal profit: `F(Δ*) − Δ*` with `F(Δ*) = A·Δ*/(B·Δ* + D)`.
+
+/// A normalized Möbius transform `f(Δ) = aΔ/(bΔ + d)` with `a, d > 0`,
+/// `b ≥ 0`.
+///
+/// For chains of CPMM hops `b > 0` always holds (each hop contributes
+/// slippage), so the maximizer below is finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mobius {
+    a: f64,
+    b: f64,
+    d: f64,
+}
+
+impl Mobius {
+    /// The identity transform `f(Δ) = Δ`.
+    pub const IDENTITY: Mobius = Mobius {
+        a: 1.0,
+        b: 0.0,
+        d: 1.0,
+    };
+
+    /// Creates a transform from raw coefficients, renormalizing so `d = 1`
+    /// scale is bounded (numerical hygiene for long chains).
+    pub fn new(a: f64, b: f64, d: f64) -> Self {
+        debug_assert!(a > 0.0 && d > 0.0 && b >= 0.0, "a={a} b={b} d={d}");
+        let m = Mobius { a, b, d };
+        m.normalized()
+    }
+
+    /// Coefficient `a` (numerator slope).
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Coefficient `b` (slippage).
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Coefficient `d` (effective input reserve).
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Rescales `(a, b, d)` jointly (the transform is scale-invariant) so
+    /// that `d = 1`. Avoids overflow when composing many hops.
+    fn normalized(self) -> Self {
+        let s = self.d;
+        Mobius {
+            a: self.a / s,
+            b: self.b / s,
+            d: 1.0,
+        }
+    }
+
+    /// Evaluates the transform at `x ≥ 0`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x / (self.b * x + self.d)
+    }
+
+    /// Derivative `f'(x) = a·d/(bx + d)²`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        let denom = self.b * x + self.d;
+        self.a * self.d / (denom * denom)
+    }
+
+    /// Marginal rate at zero input, `a/d`.
+    ///
+    /// For a loop chain this is the round-trip rate; the loop admits
+    /// arbitrage iff this exceeds 1.
+    pub fn rate_at_zero(&self) -> f64 {
+        self.a / self.d
+    }
+
+    /// Composes `self` *after* `first`: the returned transform is
+    /// `x ↦ self(first(x))`.
+    ///
+    /// ```
+    /// use arb_amm::Mobius;
+    /// let f = Mobius::new(2.0, 0.5, 1.0);
+    /// let g = Mobius::new(3.0, 0.2, 4.0);
+    /// let h = g.after(&f);
+    /// let x = 1.7;
+    /// assert!((h.eval(x) - g.eval(f.eval(x))).abs() < 1e-12);
+    /// ```
+    pub fn after(&self, first: &Mobius) -> Mobius {
+        // g(f(x)) where f = a1x/(b1x+d1), g = a2x/(b2x+d2):
+        //   a = a1·a2, b = a1·b2 + b1·d2, d = d1·d2.
+        Mobius::new(
+            first.a * self.a,
+            first.a * self.b + first.b * self.d,
+            first.d * self.d,
+        )
+    }
+
+    /// Composes a sequence of hops in order: `chain([f, g, h]) = h∘g∘f`.
+    ///
+    /// Returns [`Mobius::IDENTITY`] for an empty sequence.
+    pub fn chain<'a, I: IntoIterator<Item = &'a Mobius>>(hops: I) -> Mobius {
+        hops.into_iter()
+            .fold(Mobius::IDENTITY, |acc, hop| hop.after(&acc))
+    }
+
+    /// The input maximizing profit `f(Δ) − Δ`, i.e. the unique `Δ* ≥ 0`
+    /// with `f'(Δ*) = 1` — the paper's optimality condition
+    /// `dΔout/dΔin = 1`.
+    ///
+    /// Returns 0 when the loop is not profitable (`a/d ≤ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `b > 0`; a slippage-free profitable chain has no finite
+    /// maximizer.
+    pub fn optimal_input(&self) -> f64 {
+        if self.rate_at_zero() <= 1.0 {
+            return 0.0;
+        }
+        debug_assert!(
+            self.b > 0.0,
+            "profitable chain without slippage is unbounded"
+        );
+        ((self.a * self.d).sqrt() - self.d) / self.b
+    }
+
+    /// Profit `f(Δ) − Δ` at a given input.
+    pub fn profit_at(&self, x: f64) -> f64 {
+        self.eval(x) - x
+    }
+
+    /// The maximal profit `f(Δ*) − Δ*` (0 for unprofitable loops).
+    pub fn max_profit(&self) -> f64 {
+        self.profit_at(self.optimal_input())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::SwapCurve;
+    use crate::fee::FeeRate;
+    use proptest::prelude::*;
+
+    /// The paper's §V example chain X → Y → Z → X.
+    fn paper_chain() -> Mobius {
+        let fee = FeeRate::UNISWAP_V2;
+        let hops = [
+            SwapCurve::new(100.0, 200.0, fee).unwrap().to_mobius(),
+            SwapCurve::new(300.0, 200.0, fee).unwrap().to_mobius(),
+            SwapCurve::new(200.0, 400.0, fee).unwrap().to_mobius(),
+        ];
+        Mobius::chain(&hops)
+    }
+
+    #[test]
+    fn identity_maps_x_to_x() {
+        assert_eq!(Mobius::IDENTITY.eval(5.0), 5.0);
+        assert_eq!(Mobius::chain(&[]).eval(3.0), 3.0);
+    }
+
+    #[test]
+    fn paper_example_round_trip_rate() {
+        // γ³ · 2 · (2/3) · 2 = 0.997³ · 8/3 ≈ 2.6427
+        let m = paper_chain();
+        let expected = 0.997f64.powi(3) * 8.0 / 3.0;
+        assert!((m.rate_at_zero() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_optimal_input_and_profit() {
+        // Paper §V: input ≈ 27.0 token X, profit ≈ 16.8 token X.
+        let m = paper_chain();
+        let dx = m.optimal_input();
+        assert!((dx - 27.0).abs() < 0.1, "dx={dx}");
+        let profit = m.max_profit();
+        assert!((profit - 16.8).abs() < 0.1, "profit={profit}");
+        // First-order condition holds.
+        assert!((m.derivative(dx) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unprofitable_chain_yields_zero() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Balanced loop: product of mid rates is 1, fees make it lossy.
+        let hops = [
+            SwapCurve::new(100.0, 200.0, fee).unwrap().to_mobius(),
+            SwapCurve::new(200.0, 100.0, fee).unwrap().to_mobius(),
+        ];
+        let m = Mobius::chain(&hops);
+        assert!(m.rate_at_zero() < 1.0);
+        assert_eq!(m.optimal_input(), 0.0);
+        assert_eq!(m.max_profit(), 0.0);
+    }
+
+    #[test]
+    fn chain_matches_nested_eval() {
+        let fee = FeeRate::UNISWAP_V2;
+        let c1 = SwapCurve::new(100.0, 200.0, fee).unwrap();
+        let c2 = SwapCurve::new(300.0, 200.0, fee).unwrap();
+        let c3 = SwapCurve::new(200.0, 400.0, fee).unwrap();
+        let m = Mobius::chain(&[c1.to_mobius(), c2.to_mobius(), c3.to_mobius()]);
+        for dx in [0.1, 1.0, 27.0, 500.0] {
+            let nested = c3.amount_out(c2.amount_out(c1.amount_out(dx)));
+            assert!((m.eval(dx) - nested).abs() < 1e-9 * (1.0 + nested));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn optimal_input_is_a_maximum(
+            x1 in 10.0..1e6f64, y1 in 10.0..1e6f64,
+            x2 in 10.0..1e6f64, y2 in 10.0..1e6f64,
+        ) {
+            let fee = FeeRate::UNISWAP_V2;
+            let m = Mobius::chain(&[
+                SwapCurve::new(x1, y1, fee).unwrap().to_mobius(),
+                SwapCurve::new(x2, y2, fee).unwrap().to_mobius(),
+            ]);
+            let star = m.optimal_input();
+            let best = m.profit_at(star);
+            for frac in [0.5, 0.9, 1.1, 2.0] {
+                let other = m.profit_at(star * frac + 1e-9);
+                prop_assert!(best >= other - 1e-9 * (1.0 + best.abs()));
+            }
+        }
+
+        #[test]
+        fn composition_associative(
+            r in proptest::collection::vec(10.0..1e6f64, 6),
+        ) {
+            let fee = FeeRate::UNISWAP_V2;
+            let h: Vec<Mobius> = (0..3)
+                .map(|i| SwapCurve::new(r[2 * i], r[2 * i + 1], fee).unwrap().to_mobius())
+                .collect();
+            let left = h[2].after(&h[1]).after(&h[0]);
+            let right = h[2].after(&h[1].after(&h[0]));
+            for x in [0.5, 3.0, 100.0] {
+                prop_assert!((left.eval(x) - right.eval(x)).abs()
+                    <= 1e-9 * (1.0 + left.eval(x).abs()));
+            }
+        }
+
+        #[test]
+        fn normalization_preserves_value(
+            a in 0.1..1e9f64, b in 1e-9..1e3f64, d in 0.1..1e9f64, x in 0.0..1e6f64
+        ) {
+            let m = Mobius::new(a, b, d);
+            let raw = a * x / (b * x + d);
+            prop_assert!((m.eval(x) - raw).abs() <= 1e-9 * (1.0 + raw.abs()));
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Analysis-level liquidity pools with `f64` reserves.
+
+use crate::curve::SwapCurve;
+use crate::error::AmmError;
+use crate::fee::FeeRate;
+use crate::token::TokenId;
+
+/// A compact pool identifier (index into a pool set / snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(u32);
+
+impl PoolId {
+    /// Creates a pool id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        PoolId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PoolId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A two-token constant-product pool.
+///
+/// Reserves are `f64` display units; this is the representation the
+/// strategy layer optimizes over. The chain simulator uses
+/// [`crate::exact::RawPool`] for integer-exact execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pool {
+    token_a: TokenId,
+    token_b: TokenId,
+    reserve_a: f64,
+    reserve_b: f64,
+    fee: FeeRate,
+}
+
+impl Pool {
+    /// Creates a pool.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmmError::SameToken`] if both sides are the same token.
+    /// * [`AmmError::NonPositiveReserve`] if a reserve is not positive
+    ///   and finite.
+    pub fn new(
+        token_a: TokenId,
+        token_b: TokenId,
+        reserve_a: f64,
+        reserve_b: f64,
+        fee: FeeRate,
+    ) -> Result<Self, AmmError> {
+        if token_a == token_b {
+            return Err(AmmError::SameToken);
+        }
+        let valid = |r: f64| r.is_finite() && r > 0.0;
+        if !valid(reserve_a) || !valid(reserve_b) {
+            return Err(AmmError::NonPositiveReserve);
+        }
+        Ok(Pool {
+            token_a,
+            token_b,
+            reserve_a,
+            reserve_b,
+            fee,
+        })
+    }
+
+    /// First token of the pair.
+    pub fn token_a(&self) -> TokenId {
+        self.token_a
+    }
+
+    /// Second token of the pair.
+    pub fn token_b(&self) -> TokenId {
+        self.token_b
+    }
+
+    /// Reserve of [`Pool::token_a`].
+    pub fn reserve_a(&self) -> f64 {
+        self.reserve_a
+    }
+
+    /// Reserve of [`Pool::token_b`].
+    pub fn reserve_b(&self) -> f64 {
+        self.reserve_b
+    }
+
+    /// The pool fee.
+    pub fn fee(&self) -> FeeRate {
+        self.fee
+    }
+
+    /// Whether `token` is one of the pair.
+    pub fn contains(&self, token: TokenId) -> bool {
+        token == self.token_a || token == self.token_b
+    }
+
+    /// The counterparty token of `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::TokenNotInPool`] if `token` is not in the pair.
+    pub fn other(&self, token: TokenId) -> Result<TokenId, AmmError> {
+        if token == self.token_a {
+            Ok(self.token_b)
+        } else if token == self.token_b {
+            Ok(self.token_a)
+        } else {
+            Err(AmmError::TokenNotInPool)
+        }
+    }
+
+    /// Reserve of a specific token of the pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::TokenNotInPool`] if `token` is not in the pair.
+    pub fn reserve_of(&self, token: TokenId) -> Result<f64, AmmError> {
+        if token == self.token_a {
+            Ok(self.reserve_a)
+        } else if token == self.token_b {
+            Ok(self.reserve_b)
+        } else {
+            Err(AmmError::TokenNotInPool)
+        }
+    }
+
+    /// The one-directional swap curve for swapping `token_in` into the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::TokenNotInPool`] if `token_in` is not in the pair.
+    pub fn curve(&self, token_in: TokenId) -> Result<SwapCurve, AmmError> {
+        let (rin, rout) = if token_in == self.token_a {
+            (self.reserve_a, self.reserve_b)
+        } else if token_in == self.token_b {
+            (self.reserve_b, self.reserve_a)
+        } else {
+            return Err(AmmError::TokenNotInPool);
+        };
+        SwapCurve::new(rin, rout, self.fee)
+    }
+
+    /// Quotes the output of swapping `amount_in` of `token_in` without
+    /// mutating reserves.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmmError::TokenNotInPool`] if the token is not in the pair.
+    /// * [`AmmError::InvalidAmount`] for negative or non-finite input.
+    pub fn quote(&self, token_in: TokenId, amount_in: f64) -> Result<f64, AmmError> {
+        if !amount_in.is_finite() || amount_in < 0.0 {
+            return Err(AmmError::InvalidAmount);
+        }
+        Ok(self.curve(token_in)?.amount_out(amount_in))
+    }
+
+    /// Executes a swap, mutating reserves, and returns the output amount.
+    ///
+    /// The full input (fee included) joins the input-side reserve, matching
+    /// Uniswap V2 fee accrual.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pool::quote`].
+    pub fn execute(&mut self, token_in: TokenId, amount_in: f64) -> Result<f64, AmmError> {
+        let out = self.quote(token_in, amount_in)?;
+        if token_in == self.token_a {
+            self.reserve_a += amount_in;
+            self.reserve_b -= out;
+        } else {
+            self.reserve_b += amount_in;
+            self.reserve_a -= out;
+        }
+        Ok(out)
+    }
+
+    /// The paper's relative price `p_ij = (1−λ)·r_j/r_i` of `token_in` in
+    /// units of the other token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::TokenNotInPool`] if `token_in` is not in the pair.
+    pub fn relative_price(&self, token_in: TokenId) -> Result<f64, AmmError> {
+        Ok(self.curve(token_in)?.spot_rate())
+    }
+
+    /// Total value locked given USD prices for both tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::InvalidAmount`] for negative or non-finite prices.
+    pub fn tvl(&self, price_a: f64, price_b: f64) -> Result<f64, AmmError> {
+        if !(price_a.is_finite() && price_a >= 0.0 && price_b.is_finite() && price_b >= 0.0) {
+            return Err(AmmError::InvalidAmount);
+        }
+        Ok(self.reserve_a * price_a + self.reserve_b * price_b)
+    }
+
+    /// The constant-product invariant `k = r_a · r_b`.
+    pub fn k(&self) -> f64 {
+        self.reserve_a * self.reserve_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn xy() -> (TokenId, TokenId) {
+        (TokenId::new(0), TokenId::new(1))
+    }
+
+    fn pool() -> Pool {
+        let (x, y) = xy();
+        Pool::new(x, y, 100.0, 200.0, FeeRate::UNISWAP_V2).unwrap()
+    }
+
+    #[test]
+    fn rejects_same_token() {
+        let x = TokenId::new(0);
+        assert_eq!(
+            Pool::new(x, x, 1.0, 1.0, FeeRate::UNISWAP_V2),
+            Err(AmmError::SameToken)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_reserves() {
+        let (x, y) = xy();
+        assert_eq!(
+            Pool::new(x, y, 0.0, 1.0, FeeRate::UNISWAP_V2),
+            Err(AmmError::NonPositiveReserve)
+        );
+    }
+
+    #[test]
+    fn other_token_lookup() {
+        let (x, y) = xy();
+        let p = pool();
+        assert_eq!(p.other(x), Ok(y));
+        assert_eq!(p.other(y), Ok(x));
+        assert_eq!(p.other(TokenId::new(9)), Err(AmmError::TokenNotInPool));
+    }
+
+    #[test]
+    fn quote_is_symmetric_with_curve() {
+        let (x, _) = xy();
+        let p = pool();
+        let direct = p.curve(x).unwrap().amount_out(10.0);
+        assert_eq!(p.quote(x, 10.0).unwrap(), direct);
+    }
+
+    #[test]
+    fn execute_updates_both_reserves() {
+        let (x, _) = xy();
+        let mut p = pool();
+        let out = p.execute(x, 10.0).unwrap();
+        assert!((p.reserve_a() - 110.0).abs() < 1e-12);
+        assert!((p.reserve_b() - (200.0 - out)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_price_matches_paper() {
+        let (x, y) = xy();
+        let p = pool();
+        assert!((p.relative_price(x).unwrap() - 0.997 * 2.0).abs() < 1e-12);
+        assert!((p.relative_price(y).unwrap() - 0.997 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvl_and_k() {
+        let p = pool();
+        assert!((p.tvl(2.0, 10.2).unwrap() - (100.0 * 2.0 + 200.0 * 10.2)).abs() < 1e-9);
+        assert!((p.k() - 20_000.0).abs() < 1e-9);
+        assert_eq!(p.tvl(f64::NAN, 1.0), Err(AmmError::InvalidAmount));
+    }
+
+    proptest! {
+        #[test]
+        fn execute_never_decreases_k(
+            ra in 1.0..1e9f64, rb in 1.0..1e9f64, dx in 0.0..1e9f64, side in 0..2u8
+        ) {
+            let (x, y) = xy();
+            let mut p = Pool::new(x, y, ra, rb, FeeRate::UNISWAP_V2).unwrap();
+            let k0 = p.k();
+            let token = if side == 0 { x } else { y };
+            p.execute(token, dx).unwrap();
+            prop_assert!(p.k() >= k0 * (1.0 - 1e-12));
+        }
+
+        #[test]
+        fn round_trip_with_fee_loses_value(
+            ra in 1.0..1e9f64, rb in 1.0..1e9f64, dx in 1e-3..1e6f64
+        ) {
+            let (x, y) = xy();
+            let mut p = Pool::new(x, y, ra, rb, FeeRate::UNISWAP_V2).unwrap();
+            let got_y = p.execute(x, dx).unwrap();
+            let got_x = p.execute(y, got_y).unwrap();
+            prop_assert!(got_x < dx);
+        }
+    }
+}

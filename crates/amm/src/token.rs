@@ -1,0 +1,182 @@
+//! Token identifiers and the token registry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact, copyable token identifier.
+///
+/// Tokens are interned in a [`TokenRegistry`]; all other crates pass
+/// `TokenId` values around instead of strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(u32);
+
+impl TokenId {
+    /// Creates a token id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        TokenId(index)
+    }
+
+    /// The raw index, usable as a dense array key.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Metadata describing a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    id: TokenId,
+    symbol: String,
+    decimals: u8,
+}
+
+impl Token {
+    /// The interned identifier.
+    pub fn id(&self) -> TokenId {
+        self.id
+    }
+
+    /// The ticker symbol, e.g. `"WETH"`.
+    pub fn symbol(&self) -> &str {
+        &self.symbol
+    }
+
+    /// ERC-20 style decimal places (18 for most tokens, 6 for USDC-likes).
+    pub fn decimals(&self) -> u8 {
+        self.decimals
+    }
+
+    /// The multiplier converting display units to raw integer units.
+    pub fn unit_scale(&self) -> u128 {
+        10u128.pow(self.decimals as u32)
+    }
+}
+
+/// An interning registry assigning dense [`TokenId`]s to symbols.
+///
+/// ```
+/// use arb_amm::token::TokenRegistry;
+/// let mut reg = TokenRegistry::new();
+/// let weth = reg.intern("WETH", 18);
+/// let usdc = reg.intern("USDC", 6);
+/// assert_ne!(weth, usdc);
+/// assert_eq!(reg.intern("WETH", 18), weth); // idempotent
+/// assert_eq!(reg.get(weth).unwrap().symbol(), "WETH");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TokenRegistry {
+    tokens: Vec<Token>,
+    by_symbol: HashMap<String, TokenId>,
+}
+
+impl TokenRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a symbol, returning the existing id if already present.
+    ///
+    /// If the symbol exists, its stored decimals are kept (the `decimals`
+    /// argument is ignored), mirroring the immutability of on-chain token
+    /// metadata.
+    pub fn intern(&mut self, symbol: &str, decimals: u8) -> TokenId {
+        if let Some(&id) = self.by_symbol.get(symbol) {
+            return id;
+        }
+        let id = TokenId::new(self.tokens.len() as u32);
+        self.tokens.push(Token {
+            id,
+            symbol: symbol.to_owned(),
+            decimals,
+        });
+        self.by_symbol.insert(symbol.to_owned(), id);
+        id
+    }
+
+    /// Looks up token metadata by id.
+    pub fn get(&self, id: TokenId) -> Option<&Token> {
+        self.tokens.get(id.index())
+    }
+
+    /// Looks up a token id by symbol.
+    pub fn lookup(&self, symbol: &str) -> Option<TokenId> {
+        self.by_symbol.get(symbol).copied()
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterates over all tokens in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut reg = TokenRegistry::new();
+        let a = reg.intern("A", 18);
+        let b = reg.intern("B", 18);
+        let c = reg.intern("C", 6);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(c.index(), 2);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_keeps_decimals() {
+        let mut reg = TokenRegistry::new();
+        let a = reg.intern("A", 18);
+        let a2 = reg.intern("A", 6);
+        assert_eq!(a, a2);
+        assert_eq!(reg.get(a).unwrap().decimals(), 18);
+    }
+
+    #[test]
+    fn lookup_by_symbol() {
+        let mut reg = TokenRegistry::new();
+        let a = reg.intern("WETH", 18);
+        assert_eq!(reg.lookup("WETH"), Some(a));
+        assert_eq!(reg.lookup("DAI"), None);
+    }
+
+    #[test]
+    fn unit_scale_matches_decimals() {
+        let mut reg = TokenRegistry::new();
+        let usdc = reg.intern("USDC", 6);
+        assert_eq!(reg.get(usdc).unwrap().unit_scale(), 1_000_000);
+    }
+
+    #[test]
+    fn display_of_token_id() {
+        assert_eq!(TokenId::new(7).to_string(), "T7");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut reg = TokenRegistry::new();
+        reg.intern("A", 18);
+        reg.intern("B", 18);
+        let syms: Vec<_> = reg.iter().map(|t| t.symbol().to_owned()).collect();
+        assert_eq!(syms, ["A", "B"]);
+    }
+}

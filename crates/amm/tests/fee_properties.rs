@@ -1,0 +1,111 @@
+//! Fee-dependence properties of the AMM math.
+
+use arb_amm::curve::SwapCurve;
+use arb_amm::exact;
+use arb_amm::fee::FeeRate;
+use arb_amm::mobius::Mobius;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Higher fees strictly reduce swap output.
+    #[test]
+    fn output_monotone_decreasing_in_fee(
+        x in 100.0..1e6f64,
+        y in 100.0..1e6f64,
+        dx in 1.0..1e5f64,
+        fee_lo in 0u32..5_000,
+        fee_gap in 1u32..5_000,
+    ) {
+        let lo = FeeRate::from_ppm(fee_lo).unwrap();
+        let hi = FeeRate::from_ppm(fee_lo + fee_gap).unwrap();
+        let out_lo = SwapCurve::new(x, y, lo).unwrap().amount_out(dx);
+        let out_hi = SwapCurve::new(x, y, hi).unwrap().amount_out(dx);
+        prop_assert!(out_hi < out_lo);
+    }
+
+    /// Higher fees strictly reduce loop profit (when any remains).
+    #[test]
+    fn loop_profit_decreasing_in_fee(
+        r in proptest::collection::vec(100.0..50_000.0f64, 6),
+        fee_lo in 0u32..3_000,
+        fee_gap in 500u32..3_000,
+    ) {
+        let chain_at = |ppm: u32| {
+            let fee = FeeRate::from_ppm(ppm).unwrap();
+            let hops: Vec<Mobius> = r
+                .chunks_exact(2)
+                .map(|c| SwapCurve::new(c[0], c[1], fee).unwrap().to_mobius())
+                .collect();
+            Mobius::chain(&hops).max_profit()
+        };
+        let profit_lo = chain_at(fee_lo);
+        let profit_hi = chain_at(fee_lo + fee_gap);
+        if profit_lo > 0.0 {
+            prop_assert!(profit_hi < profit_lo,
+                "profit should fall with fees: {profit_hi} vs {profit_lo}");
+        } else {
+            prop_assert_eq!(profit_hi, 0.0, "dead loops stay dead at higher fees");
+        }
+    }
+
+    /// Zero-fee round trips through the same pool recover the input
+    /// exactly in the float model (and nearly so in integer math).
+    #[test]
+    fn zero_fee_round_trip_is_lossless(
+        x in 100.0..1e6f64,
+        y in 100.0..1e6f64,
+        dx in 1.0..1e4f64,
+    ) {
+        let fee = FeeRate::ZERO;
+        let fwd = SwapCurve::new(x, y, fee).unwrap();
+        let out = fwd.amount_out(dx);
+        let back = SwapCurve::new(y - out, x + dx, fee).unwrap().amount_out(out);
+        prop_assert!((back - dx).abs() < 1e-6 * (1.0 + dx), "{back} vs {dx}");
+    }
+
+    /// The exact integer path agrees with the float path to one unit of
+    /// rounding across fee levels.
+    #[test]
+    fn integer_and_float_paths_agree(
+        rin in 10_000u128..1_000_000_000,
+        rout in 10_000u128..1_000_000_000,
+        ain in 100u128..1_000_000,
+        fee_ppm in 0u32..10_000,
+    ) {
+        let fee = FeeRate::from_ppm(fee_ppm).unwrap();
+        let exact_out = exact::get_amount_out(ain, rin, rout, fee).unwrap();
+        let float_out = SwapCurve::new(rin as f64, rout as f64, fee)
+            .unwrap()
+            .amount_out(ain as f64);
+        let diff = (exact_out as f64 - float_out).abs();
+        prop_assert!(diff <= 1.0 + float_out * 1e-9,
+            "exact {exact_out} vs float {float_out}");
+    }
+
+    /// The loop closed form commutes with uniform reserve scaling:
+    /// scaling all reserves by `s` scales the optimal input by `s`.
+    #[test]
+    fn optimum_scales_with_reserves(
+        r in proptest::collection::vec(100.0..10_000.0f64, 6),
+        s in 1.5..50.0f64,
+    ) {
+        let fee = FeeRate::UNISWAP_V2;
+        let chain = |scale: f64| {
+            let hops: Vec<Mobius> = r
+                .chunks_exact(2)
+                .map(|c| {
+                    SwapCurve::new(c[0] * scale, c[1] * scale, fee)
+                        .unwrap()
+                        .to_mobius()
+                })
+                .collect();
+            Mobius::chain(&hops).optimal_input()
+        };
+        let base = chain(1.0);
+        let scaled = chain(s);
+        prop_assert!((scaled - base * s).abs() < 1e-6 * (1.0 + base * s),
+            "optimum should scale linearly: {scaled} vs {}", base * s);
+    }
+}

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the CPMM math layer: quotes, exact integer swaps,
+//! and Möbius chain composition (the closed-form machinery every strategy
+//! rests on).
+
+use arb_amm::curve::SwapCurve;
+use arb_amm::exact;
+use arb_amm::fee::FeeRate;
+use arb_amm::mobius::Mobius;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_quotes(c: &mut Criterion) {
+    let curve = SwapCurve::new(1_000_000.0, 2_000_000.0, FeeRate::UNISWAP_V2).unwrap();
+    c.bench_function("amm/float_quote", |b| {
+        b.iter(|| black_box(curve.amount_out(black_box(1234.5))))
+    });
+    c.bench_function("amm/exact_quote", |b| {
+        b.iter(|| {
+            exact::get_amount_out(
+                black_box(1_234_500_000),
+                1_000_000_000_000,
+                2_000_000_000_000,
+                FeeRate::UNISWAP_V2,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("amm/derivative", |b| {
+        b.iter(|| black_box(curve.derivative(black_box(1234.5))))
+    });
+}
+
+fn bench_mobius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amm/mobius_chain");
+    for n in [3usize, 6, 10, 16] {
+        let hops: Vec<Mobius> = (0..n)
+            .map(|i| {
+                SwapCurve::new(1_000.0 + i as f64, 2_000.0 - i as f64, FeeRate::UNISWAP_V2)
+                    .unwrap()
+                    .to_mobius()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("compose", n), &hops, |b, hops| {
+            b.iter(|| black_box(Mobius::chain(black_box(hops))))
+        });
+        let chain = Mobius::chain(&hops);
+        group.bench_with_input(BenchmarkId::new("optimal_input", n), &chain, |b, chain| {
+            b.iter(|| black_box(chain.optimal_input()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotes_entry, bench_mobius);
+criterion_main!(benches);
+
+fn bench_quotes_entry(c: &mut Criterion) {
+    bench_quotes(c);
+}

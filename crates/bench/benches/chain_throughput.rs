@@ -1,0 +1,139 @@
+//! Chain-simulator throughput: swap execution, flash bundles, block
+//! mining, and the event-log codec.
+
+use arb_amm::fee::FeeRate;
+use arb_amm::token::TokenId;
+use arb_dexsim::chain::Chain;
+use arb_dexsim::events::{Event, EventLog};
+use arb_dexsim::tx::{BundleStep, Transaction};
+use arb_dexsim::units::to_raw;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn t(i: u32) -> TokenId {
+    TokenId::new(i)
+}
+
+fn bench_swaps(c: &mut Criterion) {
+    c.bench_function("chain/mine_block_100_swaps", |b| {
+        b.iter_with_setup(
+            || {
+                let mut chain = Chain::new();
+                let pool = chain
+                    .add_pool(
+                        t(0),
+                        t(1),
+                        to_raw(1_000_000.0),
+                        to_raw(1_000_000.0),
+                        FeeRate::UNISWAP_V2,
+                    )
+                    .unwrap();
+                let alice = chain.create_account();
+                chain.mint(alice, t(0), to_raw(1_000_000.0));
+                for _ in 0..100 {
+                    chain.submit(Transaction::Swap {
+                        account: alice,
+                        pool,
+                        token_in: t(0),
+                        amount_in: to_raw(10.0),
+                        min_out: 0,
+                    });
+                }
+                chain
+            },
+            |mut chain| {
+                black_box(chain.mine_block().gas_used);
+            },
+        )
+    });
+}
+
+fn bench_flash_bundle(c: &mut Criterion) {
+    c.bench_function("chain/flash_bundle_3hop", |b| {
+        b.iter_with_setup(
+            || {
+                let mut chain = Chain::new();
+                let fee = FeeRate::UNISWAP_V2;
+                let p0 = chain
+                    .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+                    .unwrap();
+                let p1 = chain
+                    .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+                    .unwrap();
+                let p2 = chain
+                    .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+                    .unwrap();
+                let bot = chain.create_account();
+                let in0 = to_raw(27.0);
+                let out0 = chain
+                    .state()
+                    .pool(p0)
+                    .unwrap()
+                    .raw()
+                    .quote(true, in0)
+                    .unwrap();
+                let out1 = chain
+                    .state()
+                    .pool(p1)
+                    .unwrap()
+                    .raw()
+                    .quote(true, out0)
+                    .unwrap();
+                chain.submit(Transaction::FlashBundle {
+                    account: bot,
+                    steps: vec![
+                        BundleStep {
+                            pool: p0,
+                            token_in: t(0),
+                            amount_in: in0,
+                        },
+                        BundleStep {
+                            pool: p1,
+                            token_in: t(1),
+                            amount_in: out0,
+                        },
+                        BundleStep {
+                            pool: p2,
+                            token_in: t(2),
+                            amount_in: out1,
+                        },
+                    ],
+                });
+                chain
+            },
+            |mut chain| {
+                let block = chain.mine_block();
+                assert!(block.receipts[0].success);
+                black_box(block.gas_used);
+            },
+        )
+    });
+}
+
+fn bench_event_codec(c: &mut Criterion) {
+    let events: Vec<Event> = (0..1_000)
+        .map(|i| Event::Sync {
+            pool: arb_amm::pool::PoolId::new(i % 50),
+            reserve_a: 1_000_000 + i as u128,
+            reserve_b: 2_000_000 - i as u128,
+        })
+        .collect();
+    c.bench_function("chain/event_log_encode_1000", |b| {
+        b.iter(|| {
+            let mut log = EventLog::new();
+            for e in &events {
+                log.push(*e);
+            }
+            black_box(log.encoded_size())
+        })
+    });
+    let mut log = EventLog::new();
+    for e in &events {
+        log.push(*e);
+    }
+    c.bench_function("chain/event_log_decode_1000", |b| {
+        b.iter(|| black_box(log.decode_all().len()))
+    });
+}
+
+criterion_group!(benches, bench_swaps, bench_flash_bundle, bench_event_codec);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Cycle-discovery benchmarks on the paper-calibrated token graph
+//! (51 tokens / 208 pools): the paper's fixed-length enumeration against
+//! the related work's detectors (Bellman–Ford–Moore, Johnson).
+
+use arb_graph::{bellman_ford, johnson, tarjan, TokenGraph};
+use arb_snapshot::{Generator, SnapshotConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn paper_graph() -> TokenGraph {
+    let config = SnapshotConfig::default();
+    let snapshot = Generator::new(config)
+        .generate()
+        .expect("snapshot")
+        .filtered(&config);
+    TokenGraph::new(snapshot.pools().to_vec()).expect("graph")
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let graph = paper_graph();
+    let mut group = c.benchmark_group("graph/paper_census");
+    group.sample_size(20);
+    group.bench_function("enumerate_len3", |b| {
+        b.iter(|| black_box(graph.cycles(3).unwrap().len()))
+    });
+    group.bench_function("enumerate_len4", |b| {
+        b.iter(|| black_box(graph.cycles(4).unwrap().len()))
+    });
+    group.bench_function("arbitrage_loops_len3", |b| {
+        b.iter(|| black_box(graph.arbitrage_loops(3).unwrap().len()))
+    });
+    group.bench_function("bellman_ford_negative_cycle", |b| {
+        b.iter(|| black_box(bellman_ford::find_negative_cycle(&graph).unwrap()))
+    });
+    group.bench_function("johnson_capped_5000", |b| {
+        b.iter(|| black_box(johnson::elementary_token_cycles(&graph, 5_000).len()))
+    });
+    group.bench_function("tarjan_scc", |b| {
+        b.iter(|| black_box(tarjan::strongly_connected_components(&graph).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! The §VII timing comparison as a rigorous Criterion benchmark:
+//! MaxMax (closed form and the paper's bisection) vs ConvexOptimization
+//! (reduced and full formulations) across loop lengths.
+//!
+//! The paper's claim to reproduce in *shape*: MaxMax stays trivially fast
+//! as loops grow; the convex solve costs a large and growing multiple
+//! (their cvxpy-class solver took seconds at length 10 against a 10 s
+//! block time).
+
+use arb_bench::paper::{paper_loop, paper_prices, synthetic_loop};
+use arb_convex::{Formulation, SolverOptions};
+use arb_core::traditional::Method;
+use arb_core::{convexopt, maxmax, maxprice};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_paper_example(c: &mut Criterion) {
+    let loop_ = paper_loop();
+    let prices = paper_prices();
+    c.bench_function("strategies/paper/maxmax", |b| {
+        b.iter(|| maxmax::evaluate(black_box(&loop_), black_box(&prices)).unwrap())
+    });
+    c.bench_function("strategies/paper/maxprice", |b| {
+        b.iter(|| maxprice::evaluate(black_box(&loop_), black_box(&prices)).unwrap())
+    });
+    c.bench_function("strategies/paper/convex", |b| {
+        b.iter(|| convexopt::evaluate(black_box(&loop_), black_box(&prices)).unwrap())
+    });
+}
+
+fn bench_by_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies/by_length");
+    group.sample_size(30);
+    for length in [3usize, 4, 6, 8, 10, 12] {
+        let loop_ = synthetic_loop(length, 10_000.0, 1.15);
+        let prices: Vec<f64> = (0..length).map(|i| 1.0 + i as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("maxmax_closed", length),
+            &length,
+            |b, _| {
+                b.iter(|| {
+                    maxmax::evaluate_with(black_box(&loop_), &prices, Method::ClosedForm).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("maxmax_bisection", length),
+            &length,
+            |b, _| {
+                b.iter(|| {
+                    maxmax::evaluate_with(black_box(&loop_), &prices, Method::Bisection).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("convex_reduced", length),
+            &length,
+            |b, _| b.iter(|| convexopt::evaluate(black_box(&loop_), &prices).unwrap()),
+        );
+        if length <= 6 {
+            let full = SolverOptions {
+                formulation: Formulation::Full,
+                ..SolverOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new("convex_full", length), &length, |b, _| {
+                b.iter(|| convexopt::evaluate_with(black_box(&loop_), &prices, &full).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_example, bench_by_length);
+criterion_main!(benches);

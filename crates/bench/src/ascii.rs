@@ -1,0 +1,221 @@
+//! Terminal-friendly scatter/line rendering for the figure binaries.
+
+/// A named point series with a marker character.
+#[derive(Debug, Clone)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Marker drawn at each point.
+    pub marker: char,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Configuration for an ASCII chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Plot width in characters.
+    pub width: usize,
+    /// Plot height in characters.
+    pub height: usize,
+    /// Title printed above.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Draw the 45° identity line (for dominance scatter plots).
+    pub diagonal: bool,
+}
+
+impl Default for Chart {
+    fn default() -> Self {
+        Chart {
+            width: 72,
+            height: 24,
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            diagonal: false,
+        }
+    }
+}
+
+impl Chart {
+    /// Renders the series into a multi-line string.
+    ///
+    /// Returns a placeholder message when every series is empty.
+    pub fn render(&self, series: &[Series<'_>]) -> String {
+        let all: Vec<(f64, f64)> = series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n  (no data)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = bounds(all.iter().map(|p| p.0));
+        let (mut y_min, mut y_max) = bounds(all.iter().map(|p| p.1));
+        if self.diagonal {
+            // The identity line needs a shared square-ish domain.
+            x_min = x_min.min(y_min);
+            y_min = x_min;
+            x_max = x_max.max(y_max);
+            y_max = x_max;
+        }
+        pad(&mut x_min, &mut x_max);
+        pad(&mut y_min, &mut y_max);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        if self.diagonal {
+            let cols: Vec<Option<usize>> = (0..self.width)
+                .map(|col| {
+                    let x = x_min + (x_max - x_min) * col as f64 / (self.width - 1) as f64;
+                    self.to_row(x, y_min, y_max)
+                })
+                .collect();
+            for (col, row) in cols.into_iter().enumerate() {
+                if let Some(row) = row {
+                    grid[row][col] = '·';
+                }
+            }
+        }
+        for s in series {
+            for &(x, y) in &s.points {
+                if !(x.is_finite() && y.is_finite()) {
+                    continue;
+                }
+                let col = self.to_col(x, x_min, x_max);
+                let row = self.to_row(y, y_min, y_max);
+                if let (Some(col), Some(row)) = (col, row) {
+                    grid[row][col] = s.marker;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("  {}\n", self.title));
+        }
+        out.push_str(&format!("  {:>10.3} ┤", y_max));
+        out.push_str(&grid[0].iter().collect::<String>());
+        out.push('\n');
+        for row in grid.iter().take(self.height - 1).skip(1) {
+            out.push_str("             │");
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!("  {:>10.3} ┤", y_min));
+        out.push_str(&grid[self.height - 1].iter().collect::<String>());
+        out.push('\n');
+        out.push_str(&format!("             └{}\n", "─".repeat(self.width)));
+        out.push_str(&format!(
+            "              {:<12.4}{:>width$.4}\n",
+            x_min,
+            x_max,
+            width = self.width.saturating_sub(12)
+        ));
+        out.push_str(&format!(
+            "              x: {} | y: {}\n",
+            self.x_label, self.y_label
+        ));
+        for s in series {
+            out.push_str(&format!("              {} {}\n", s.marker, s.label));
+        }
+        out
+    }
+
+    fn to_col(&self, x: f64, min: f64, max: f64) -> Option<usize> {
+        let frac = (x - min) / (max - min);
+        if !(0.0..=1.0).contains(&frac) {
+            return None;
+        }
+        Some(((frac * (self.width - 1) as f64).round() as usize).min(self.width - 1))
+    }
+
+    fn to_row(&self, y: f64, min: f64, max: f64) -> Option<usize> {
+        let frac = (y - min) / (max - min);
+        if !(0.0..=1.0).contains(&frac) {
+            return None;
+        }
+        let inv = 1.0 - frac;
+        Some(((inv * (self.height - 1) as f64).round() as usize).min(self.height - 1))
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+fn pad(min: &mut f64, max: &mut f64) {
+    if *min == *max {
+        *min -= 0.5;
+        *max += 0.5;
+    } else {
+        let span = *max - *min;
+        *min -= span * 0.03;
+        *max += span * 0.03;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let chart = Chart {
+            title: "test".into(),
+            ..Chart::default()
+        };
+        let s = Series {
+            label: "data",
+            marker: 'o',
+            points: vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)],
+        };
+        let rendered = chart.render(&[s]);
+        assert!(rendered.contains("test"));
+        assert!(rendered.contains('o'));
+        assert!(rendered.contains("data"));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let chart = Chart::default();
+        let rendered = chart.render(&[]);
+        assert!(rendered.contains("no data"));
+    }
+
+    #[test]
+    fn diagonal_draws_identity() {
+        let chart = Chart {
+            diagonal: true,
+            ..Chart::default()
+        };
+        let s = Series {
+            label: "pts",
+            marker: '*',
+            points: vec![(1.0, 1.0), (5.0, 2.0)],
+        };
+        let rendered = chart.render(&[s]);
+        assert!(rendered.contains('·'), "identity line missing");
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let chart = Chart::default();
+        let s = Series {
+            label: "one",
+            marker: 'x',
+            points: vec![(3.0, 3.0)],
+        };
+        let rendered = chart.render(&[s]);
+        assert!(rendered.contains('x'));
+    }
+}

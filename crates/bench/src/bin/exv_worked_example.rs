@@ -1,0 +1,6 @@
+//! Regenerates the paper's exv artifact. See `arb_bench::figures`.
+
+fn main() -> std::io::Result<()> {
+    println!("{}", arb_bench::figures::exv()?);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig8 artifact on the synthetic empirical
+//! census. See `arb_bench::figures`.
+
+fn main() -> std::io::Result<()> {
+    let study = arb_bench::figures::default_study();
+    print!("{}", arb_bench::figures::census_summary(&study));
+    println!("{}", arb_bench::figures::fig8(&study)?);
+    Ok(())
+}

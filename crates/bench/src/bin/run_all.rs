@@ -1,0 +1,24 @@
+//! Regenerates every figure and table of the paper into `results/`.
+
+fn main() -> std::io::Result<()> {
+    use arb_bench::figures;
+    println!("{}", figures::fig1()?);
+    println!("{}", figures::exv()?);
+    println!("{}", figures::fig2()?);
+    println!("{}", figures::fig3()?);
+    println!("{}", figures::fig4()?);
+    let study = figures::default_study();
+    print!("{}", figures::census_summary(&study));
+    println!("{}", figures::fig5(&study)?);
+    println!("{}", figures::fig6(&study)?);
+    println!("{}", figures::fig7(&study)?);
+    println!("{}", figures::fig8(&study)?);
+    println!("{}", figures::fig9(&study)?);
+    println!("{}", figures::fig10(&study)?);
+    println!("{}", figures::ttime()?);
+    println!(
+        "all artifacts written to {}",
+        arb_bench::results_dir().display()
+    );
+    Ok(())
+}

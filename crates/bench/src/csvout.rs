@@ -1,0 +1,49 @@
+//! CSV output for figure data.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes a CSV file with the given header and float rows.
+///
+/// # Errors
+///
+/// Forwards filesystem errors.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(file, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes plain text (ASCII chart, summary) next to the CSVs.
+///
+/// # Errors
+///
+/// Forwards filesystem errors.
+pub fn write_text(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_formats() {
+        let dir = std::env::temp_dir().join(format!("arb_csv_test_{}", std::process::id()));
+        let path = dir.join("out.csv");
+        write_csv(&path, &["a", "b"], &[vec![1.0, 2.5], vec![3.0, 4.0]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2.5\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

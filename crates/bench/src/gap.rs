@@ -1,0 +1,180 @@
+//! The MaxMax ↔ ConvexOptimization gap — the paper's open question.
+//!
+//! §VII: *"we didn't give the discrepancy between these two kinds of
+//! strategies in theory, which can be a research direction in the
+//! future."* This module studies that discrepancy empirically with
+//! controlled sweeps.
+//!
+//! Structural observation implemented in [`gap_is_zero_iff_single_rotation`]:
+//! MaxMax is exactly the best *single-rotation* (chained-flow) solution of
+//! eq. 8, so the gap is positive only when the convex optimum keeps a
+//! positive net position in more than one token. Sweeping price dispersion
+//! modulates *how often* that happens — and in the direction one might not
+//! guess: extreme dispersion makes the cheap tokens' profit worthless, so
+//! the optimum concentrates everything into the expensive token (a single
+//! rotation ⇒ zero gap), while comparable prices reward splitting profit
+//! across tokens (multi-token optima, where the strictly positive gaps
+//! live). The `ablation_gap` binary tabulates this.
+
+use arb_core::loop_def::ArbLoop;
+use arb_core::{convexopt, maxmax};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use arb_amm::curve::SwapCurve;
+use arb_amm::fee::FeeRate;
+use arb_amm::token::TokenId;
+
+/// One sweep observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapSample {
+    /// Loop mispricing edge (the round-trip rate is ≈ `edge` before fees).
+    pub edge: f64,
+    /// Price dispersion parameter (ratio between extreme prices).
+    pub dispersion: f64,
+    /// MaxMax monetized profit.
+    pub maxmax: f64,
+    /// ConvexOpt monetized profit.
+    pub convex: f64,
+    /// Number of tokens with positive net profit in the convex plan.
+    pub convex_profit_tokens: usize,
+}
+
+impl GapSample {
+    /// Relative gap `(convex − maxmax)/maxmax` (0 for dead loops).
+    pub fn relative_gap(&self) -> f64 {
+        if self.maxmax <= 0.0 {
+            0.0
+        } else {
+            (self.convex - self.maxmax) / self.maxmax
+        }
+    }
+}
+
+/// Builds a random 3-loop with round-trip edge ≈ `edge` and price vector
+/// with max/min ratio `dispersion`.
+fn random_case(rng: &mut StdRng, edge: f64, dispersion: f64) -> (ArbLoop, Vec<f64>) {
+    let fee = FeeRate::UNISWAP_V2;
+    let depth = rng.gen_range(500.0..5_000.0);
+    // Spread the edge across hops with random tilts that cancel.
+    let tilt = rng.gen_range(0.7..1.4);
+    let hops = vec![
+        SwapCurve::new(depth, depth * tilt * edge, fee).expect("valid"),
+        SwapCurve::new(depth * tilt, depth * rng.gen_range(0.8..1.2), fee).expect("valid"),
+        SwapCurve::new(depth * rng.gen_range(0.8..1.2), depth / 1.0, fee).expect("valid"),
+    ];
+    let tokens = vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)];
+    let base = rng.gen_range(1.0..10.0);
+    let prices = vec![
+        base,
+        base * dispersion.powf(rng.gen_range(0.0..1.0)),
+        base * dispersion,
+    ];
+    (ArbLoop::new(hops, tokens).expect("valid loop"), prices)
+}
+
+/// Sweeps mispricing edge × price dispersion, sampling `per_cell` random
+/// loops per grid cell.
+pub fn sweep(edges: &[f64], dispersions: &[f64], per_cell: usize, seed: u64) -> Vec<GapSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for &edge in edges {
+        for &dispersion in dispersions {
+            for _ in 0..per_cell {
+                let (loop_, prices) = random_case(&mut rng, edge, dispersion);
+                if loop_.round_trip_rate() <= 1.0 {
+                    continue;
+                }
+                let Ok(mm) = maxmax::evaluate(&loop_, &prices) else {
+                    continue;
+                };
+                let Ok(cv) = convexopt::evaluate(&loop_, &prices) else {
+                    continue;
+                };
+                let profit_tokens = cv
+                    .plan
+                    .token_profits()
+                    .iter()
+                    .filter(|p| **p > 1e-9)
+                    .count();
+                out.push(GapSample {
+                    edge,
+                    dispersion,
+                    maxmax: mm.best.monetized.value(),
+                    convex: cv.monetized.value(),
+                    convex_profit_tokens: profit_tokens,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The structural claim: the gap is ~zero exactly when the convex optimum
+/// banks profit in a single token (then it coincides with the best
+/// rotation, which MaxMax finds too). Returns the fraction of samples
+/// consistent with the claim.
+pub fn gap_is_zero_iff_single_rotation(samples: &[GapSample], tol: f64) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let consistent = samples
+        .iter()
+        .filter(|s| {
+            let gap_positive = s.relative_gap() > tol;
+            let multi_token = s.convex_profit_tokens > 1;
+            // gap > 0 ⇒ multi-token profit (contrapositive: single-token
+            // optimum ⇒ gap ≈ 0).
+            !gap_positive || multi_token
+        })
+        .count();
+    consistent as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_samples_and_dominance() {
+        let samples = sweep(&[1.05, 1.2], &[1.0, 10.0], 10, 7);
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(
+                s.convex >= s.maxmax - 1e-4 * (1.0 + s.maxmax),
+                "dominance violated: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_claim_holds() {
+        let samples = sweep(&[1.1, 1.3], &[1.0, 5.0, 20.0], 20, 11);
+        let fraction = gap_is_zero_iff_single_rotation(&samples, 1e-4);
+        assert!(
+            fraction > 0.95,
+            "gap>0 without multi-token profit in {:.0}% of cases",
+            (1.0 - fraction) * 100.0
+        );
+    }
+
+    #[test]
+    fn dispersion_concentrates_convex_profit() {
+        // Measured finding (see module docs): with extreme price
+        // dispersion the cheap tokens' profit is worthless, so the convex
+        // optimum banks everything in the expensive token — the
+        // multi-token share drops and with it the chance of a positive
+        // gap. With comparable prices the optimum splits profit.
+        let low = sweep(&[1.2], &[1.0], 60, 13);
+        let high = sweep(&[1.2], &[50.0], 60, 13);
+        let multi_share = |s: &[GapSample]| {
+            s.iter().filter(|g| g.convex_profit_tokens > 1).count() as f64 / s.len().max(1) as f64
+        };
+        assert!(
+            multi_share(&low) > multi_share(&high),
+            "low-dispersion multi-token share {} ≤ high-dispersion {}",
+            multi_share(&low),
+            multi_share(&high)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's §V worked example as a shared fixture.
+
+use arb_amm::curve::SwapCurve;
+use arb_amm::fee::FeeRate;
+use arb_amm::token::TokenId;
+use arb_core::loop_def::ArbLoop;
+
+/// The §V pools: `(x,y) = (100,200)`, `(y,z) = (300,200)`,
+/// `(z,x) = (200,400)` with the Uniswap V2 fee.
+pub fn paper_hops() -> Vec<SwapCurve> {
+    let fee = FeeRate::UNISWAP_V2;
+    vec![
+        SwapCurve::new(100.0, 200.0, fee).expect("valid reserves"),
+        SwapCurve::new(300.0, 200.0, fee).expect("valid reserves"),
+        SwapCurve::new(200.0, 400.0, fee).expect("valid reserves"),
+    ]
+}
+
+/// The §V loop `X → Y → Z → X` with token ids 0, 1, 2.
+pub fn paper_loop() -> ArbLoop {
+    ArbLoop::new(
+        paper_hops(),
+        vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+    )
+    .expect("valid loop")
+}
+
+/// The §V CEX prices `(Px, Py, Pz) = ($2, $10.2, $20)`.
+pub fn paper_prices() -> [f64; 3] {
+    [2.0, 10.2, 20.0]
+}
+
+/// A synthetic profitable loop of arbitrary length for timing studies:
+/// balanced 1:1 pools with one mispriced hop so the round-trip rate
+/// modestly exceeds 1 regardless of length.
+pub fn synthetic_loop(length: usize, depth: f64, edge: f64) -> ArbLoop {
+    assert!(length >= 2);
+    let fee = FeeRate::UNISWAP_V2;
+    let mut hops = Vec::with_capacity(length);
+    for i in 0..length {
+        let out = if i == 0 { depth * edge } else { depth };
+        hops.push(SwapCurve::new(depth, out, fee).expect("valid reserves"));
+    }
+    let tokens = (0..length as u32).map(TokenId::new).collect();
+    ArbLoop::new(hops, tokens).expect("valid loop")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_loop_rate() {
+        let expected = 0.997f64.powi(3) * 8.0 / 3.0;
+        assert!((paper_loop().round_trip_rate() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_loop_profitable_at_all_lengths() {
+        for n in 2..=12 {
+            let l = synthetic_loop(n, 10_000.0, 1.1);
+            // rate = γ^n · 1.1 must stay above 1 for n ≤ 12 (γ^12 ≈ 0.965).
+            assert!(
+                l.round_trip_rate() > 1.0,
+                "length {n}: rate {}",
+                l.round_trip_rate()
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Wall-clock timing of the strategies vs loop length (§VII).
+//!
+//! The paper reports: MaxMax with bisection is milliseconds even at loop
+//! length 10, while its (interpreted, cvxpy-class) convex solver takes
+//! seconds. Our compiled solver is far faster in absolute terms; the
+//! *shape* to reproduce is the ordering and growth: ConvexOpt costs a
+//! large multiple of MaxMax and the multiple grows with loop length.
+
+use std::time::Instant;
+
+use arb_convex::{Formulation, SolverOptions};
+use arb_core::traditional::Method;
+use arb_core::{convexopt, maxmax};
+
+use crate::paper::synthetic_loop;
+
+/// One row of the timing table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingRow {
+    /// Loop length (hops).
+    pub length: usize,
+    /// MaxMax with the closed form, nanoseconds per evaluation.
+    pub maxmax_closed_ns: f64,
+    /// MaxMax with bisection (the paper's method), ns per evaluation.
+    pub maxmax_bisect_ns: f64,
+    /// ConvexOptimization (reduced formulation), ns per evaluation.
+    pub convex_reduced_ns: f64,
+    /// ConvexOptimization (full 2n formulation), ns per evaluation.
+    pub convex_full_ns: f64,
+}
+
+/// Measures all strategies at the given lengths, `iters` evaluations each.
+pub fn measure(lengths: &[usize], iters: usize) -> Vec<TimingRow> {
+    lengths
+        .iter()
+        .map(|&length| {
+            let loop_ = synthetic_loop(length, 10_000.0, 1.15);
+            let prices: Vec<f64> = (0..length).map(|i| 1.0 + i as f64).collect();
+            let time = |f: &dyn Fn()| {
+                // One warm-up evaluation, then the timed batch.
+                f();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            };
+            let full = SolverOptions {
+                formulation: Formulation::Full,
+                ..SolverOptions::default()
+            };
+            TimingRow {
+                length,
+                maxmax_closed_ns: time(&|| {
+                    maxmax::evaluate_with(&loop_, &prices, Method::ClosedForm).unwrap();
+                }),
+                maxmax_bisect_ns: time(&|| {
+                    maxmax::evaluate_with(&loop_, &prices, Method::Bisection).unwrap();
+                }),
+                convex_reduced_ns: time(&|| {
+                    convexopt::evaluate(&loop_, &prices).unwrap();
+                }),
+                convex_full_ns: time(&|| {
+                    convexopt::evaluate_with(&loop_, &prices, &full).unwrap();
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Renders the timing table as text.
+pub fn render_table(rows: &[TimingRow]) -> String {
+    let mut out = String::from(
+        "length | maxmax-closed | maxmax-bisect | convex-reduced | convex-full | convex/maxmax\n",
+    );
+    out.push_str(
+        "-------+---------------+---------------+----------------+-------------+--------------\n",
+    );
+    for row in rows {
+        let ratio = row.convex_reduced_ns / row.maxmax_bisect_ns.max(1.0);
+        out.push_str(&format!(
+            "{:>6} | {:>11.1}us | {:>11.1}us | {:>12.1}us | {:>9.1}us | {:>12.1}x\n",
+            row.length,
+            row.maxmax_closed_ns / 1e3,
+            row.maxmax_bisect_ns / 1e3,
+            row.convex_reduced_ns / 1e3,
+            row.convex_full_ns / 1e3,
+            ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convex_costs_more_than_maxmax() {
+        let rows = measure(&[3, 6], 3);
+        for row in &rows {
+            assert!(
+                row.convex_reduced_ns > row.maxmax_closed_ns,
+                "convex should be slower: {row:?}"
+            );
+        }
+        let table = render_table(&rows);
+        assert!(table.contains("length"));
+        assert!(table.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,256 @@
+//! The per-block scan → evaluate → execute policy.
+
+use arb_cex::feed::PriceFeed;
+use arb_core::monetize::Usd;
+use arb_core::{convexopt, maxmax};
+use arb_dexsim::chain::Chain;
+use arb_dexsim::state::AccountId;
+use arb_dexsim::tx::{BundleStep, Transaction};
+
+use crate::config::{BotConfig, StrategyChoice};
+use crate::error::BotError;
+use crate::execution;
+use crate::scanner::{self, Opportunity};
+
+/// What the bot decided to do this block.
+#[derive(Debug, Clone)]
+pub enum BotAction {
+    /// No opportunity above the profit floor.
+    Idle,
+    /// Submitted a flash bundle with this expected monetized profit.
+    Submitted {
+        /// Expected profit at evaluation time.
+        expected: Usd,
+        /// Number of hops in the executed loop.
+        hops: usize,
+    },
+}
+
+/// The arbitrage bot: owns an account and a configuration.
+#[derive(Debug, Clone)]
+pub struct ArbBot {
+    account: AccountId,
+    config: BotConfig,
+}
+
+impl ArbBot {
+    /// Registers a bot account on the chain.
+    pub fn new(chain: &mut Chain, config: BotConfig) -> Self {
+        ArbBot {
+            account: chain.create_account(),
+            config,
+        }
+    }
+
+    /// The bot's account.
+    pub fn account(&self) -> AccountId {
+        self.account
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BotConfig {
+        &self.config
+    }
+
+    /// One decision step: scan current state, evaluate the configured
+    /// strategy on each opportunity, and submit a flash bundle for the
+    /// best one above the profit floor.
+    ///
+    /// The transaction is only *submitted*; the caller mines the block.
+    ///
+    /// # Errors
+    ///
+    /// Fails on scan/evaluation errors, not on unprofitable markets
+    /// (those yield [`BotAction::Idle`]).
+    pub fn step<F: PriceFeed>(&self, chain: &mut Chain, feed: &F) -> Result<BotAction, BotError> {
+        let opportunities = scanner::scan(chain, self.config.max_loop_len)?;
+        let mut best: Option<(Usd, Vec<BundleStep>)> = None;
+        for opp in &opportunities {
+            let Some((expected, steps)) = self.evaluate(chain, feed, opp)? else {
+                continue;
+            };
+            if expected.value() < self.config.min_profit_usd {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(b, _)| expected > *b) {
+                best = Some((expected, steps));
+            }
+        }
+        match best {
+            None => Ok(BotAction::Idle),
+            Some((expected, steps)) => {
+                let hops = steps.len();
+                chain.submit(Transaction::FlashBundle {
+                    account: self.account,
+                    steps,
+                });
+                Ok(BotAction::Submitted { expected, hops })
+            }
+        }
+    }
+
+    /// Evaluates one opportunity with the configured strategy, returning
+    /// the expected profit and the execution bundle (None when the loop
+    /// has no priced tokens or the plan is empty).
+    fn evaluate<F: PriceFeed>(
+        &self,
+        chain: &Chain,
+        feed: &F,
+        opp: &Opportunity,
+    ) -> Result<Option<(Usd, Vec<BundleStep>)>, BotError> {
+        let Ok(prices) = opp.loop_.resolve_prices(|t| feed.usd_price(t)) else {
+            // A loop touching unpriced tokens cannot be monetized; skip it.
+            return Ok(None);
+        };
+        match self.config.strategy {
+            StrategyChoice::MaxMax => {
+                let outcome = maxmax::evaluate_with(&opp.loop_, &prices, self.config.method)?;
+                if outcome.best.token_profit <= 0.0 {
+                    return Ok(None);
+                }
+                let steps = execution::chained_bundle(
+                    chain,
+                    &opp.cycle,
+                    outcome.best.start,
+                    outcome.best.optimal_input,
+                )?;
+                Ok(Some((outcome.best.monetized, steps)))
+            }
+            StrategyChoice::Convex => {
+                let outcome =
+                    match convexopt::evaluate_with(&opp.loop_, &prices, &self.config.convex) {
+                        Ok(outcome) => outcome,
+                        // Near-breakeven loops can have an interior too thin to
+                        // start the solver in; they are not worth trading.
+                        Err(arb_core::StrategyError::Convex(
+                            arb_convex::ConvexError::FeasibilityConstruction,
+                        )) => return Ok(None),
+                        Err(e) => return Err(e.into()),
+                    };
+                if outcome.plan.is_zero() {
+                    return Ok(None);
+                }
+                let steps = execution::plan_bundle(&opp.cycle, &outcome.plan);
+                if steps.len() < opp.cycle.len() {
+                    // Rounding collapsed a hop; fall back to idle rather
+                    // than submit a broken loop.
+                    return Ok(None);
+                }
+                Ok(Some((outcome.monetized, steps)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use arb_cex::feed::PriceTable;
+    use arb_dexsim::units::to_raw;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn paper_chain() -> Chain {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        chain
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+            .unwrap();
+        chain
+    }
+
+    fn paper_feed() -> PriceTable {
+        let mut feed = PriceTable::new();
+        feed.set(t(0), 2.0);
+        feed.set(t(1), 10.2);
+        feed.set(t(2), 20.0);
+        feed
+    }
+
+    #[test]
+    fn maxmax_bot_extracts_paper_profit() {
+        let mut chain = paper_chain();
+        let bot = ArbBot::new(&mut chain, BotConfig::default());
+        let action = bot.step(&mut chain, &paper_feed()).unwrap();
+        let BotAction::Submitted { expected, hops } = action else {
+            panic!("expected a submission");
+        };
+        assert_eq!(hops, 3);
+        // MaxMax expects ≈ $205.6.
+        assert!((expected.value() - 205.6).abs() < 1.0, "{expected}");
+        let block = chain.mine_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+        // Profit banked in token Z (start of the winning rotation).
+        assert!(chain.state().balance(bot.account(), t(2)) > to_raw(10.0));
+    }
+
+    #[test]
+    fn convex_bot_extracts_more() {
+        let mut chain = paper_chain();
+        let bot = ArbBot::new(
+            &mut chain,
+            BotConfig {
+                strategy: StrategyChoice::Convex,
+                ..BotConfig::default()
+            },
+        );
+        let action = bot.step(&mut chain, &paper_feed()).unwrap();
+        let BotAction::Submitted { expected, .. } = action else {
+            panic!("expected a submission");
+        };
+        assert!((expected.value() - 206.1).abs() < 1.0, "{expected}");
+        let block = chain.mine_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+        let y = chain.state().balance(bot.account(), t(1));
+        let z = chain.state().balance(bot.account(), t(2));
+        assert!(y > 0 && z > 0, "convex profit spread across tokens");
+    }
+
+    #[test]
+    fn idle_when_market_is_balanced() {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            chain
+                .add_pool(t(a), t(b), to_raw(1_000.0), to_raw(1_000.0), fee)
+                .unwrap();
+        }
+        let bot = ArbBot::new(&mut chain, BotConfig::default());
+        let action = bot.step(&mut chain, &paper_feed()).unwrap();
+        assert!(matches!(action, BotAction::Idle));
+        assert_eq!(chain.pending(), 0);
+    }
+
+    #[test]
+    fn profit_floor_filters_small_opportunities() {
+        let mut chain = paper_chain();
+        let bot = ArbBot::new(
+            &mut chain,
+            BotConfig {
+                min_profit_usd: 1_000.0, // above the ~$206 available
+                ..BotConfig::default()
+            },
+        );
+        let action = bot.step(&mut chain, &paper_feed()).unwrap();
+        assert!(matches!(action, BotAction::Idle));
+    }
+
+    #[test]
+    fn unpriced_tokens_are_skipped() {
+        let mut chain = paper_chain();
+        let bot = ArbBot::new(&mut chain, BotConfig::default());
+        let empty = PriceTable::new();
+        let action = bot.step(&mut chain, &empty).unwrap();
+        assert!(matches!(action, BotAction::Idle));
+    }
+}

@@ -1,0 +1,87 @@
+//! Bot error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from bot scanning, evaluation, and execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BotError {
+    /// Graph construction or cycle enumeration failed.
+    Graph(arb_graph::GraphError),
+    /// Strategy evaluation failed.
+    Strategy(arb_core::StrategyError),
+    /// On-chain execution failed outside of an expected revert.
+    Chain(arb_dexsim::TxError),
+    /// A token required for evaluation has no price.
+    MissingPrice,
+    /// Snapshot generation failed (market-sim setup).
+    Snapshot(arb_snapshot::SnapshotError),
+}
+
+impl fmt::Display for BotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BotError::Graph(e) => write!(f, "graph error: {e}"),
+            BotError::Strategy(e) => write!(f, "strategy error: {e}"),
+            BotError::Chain(e) => write!(f, "chain error: {e}"),
+            BotError::MissingPrice => write!(f, "missing cex price for a loop token"),
+            BotError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl Error for BotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BotError::Graph(e) => Some(e),
+            BotError::Strategy(e) => Some(e),
+            BotError::Chain(e) => Some(e),
+            BotError::Snapshot(e) => Some(e),
+            BotError::MissingPrice => None,
+        }
+    }
+}
+
+impl From<arb_graph::GraphError> for BotError {
+    fn from(e: arb_graph::GraphError) -> Self {
+        BotError::Graph(e)
+    }
+}
+
+impl From<arb_core::StrategyError> for BotError {
+    fn from(e: arb_core::StrategyError) -> Self {
+        BotError::Strategy(e)
+    }
+}
+
+impl From<arb_dexsim::TxError> for BotError {
+    fn from(e: arb_dexsim::TxError) -> Self {
+        BotError::Chain(e)
+    }
+}
+
+impl From<arb_amm::AmmError> for BotError {
+    fn from(e: arb_amm::AmmError) -> Self {
+        BotError::Chain(arb_dexsim::TxError::Amm(e))
+    }
+}
+
+impl From<arb_snapshot::SnapshotError> for BotError {
+    fn from(e: arb_snapshot::SnapshotError) -> Self {
+        BotError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BotError::Graph(arb_graph::GraphError::EmptyGraph);
+        assert!(e.to_string().contains("graph"));
+        assert!(e.source().is_some());
+        assert!(BotError::MissingPrice.source().is_none());
+    }
+}

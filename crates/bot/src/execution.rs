@@ -1,0 +1,178 @@
+//! Strategy plan → integer-exact flash bundle.
+//!
+//! The strategies size trades in `f64` display units against the same pool
+//! state the chain holds; this module converts a plan into raw-integer
+//! [`BundleStep`]s. Two constructions:
+//!
+//! * [`chained_bundle`] — a MaxMax-style rotation: the start input is
+//!   converted to raw units and every later hop consumes *exactly* the
+//!   previous hop's integer output (guaranteed feasible);
+//! * [`plan_bundle`] — a convex plan with per-hop inputs; inputs are
+//!   floored into raw units, and the flash-loan settlement check enforces
+//!   per-token solvency at execution time.
+//!
+//! Either way the bundle is atomic: if integer rounding or interleaved
+//! transactions made it unprofitable, it reverts and costs nothing but gas.
+
+use arb_convex::LoopPlan;
+use arb_dexsim::chain::Chain;
+use arb_dexsim::tx::BundleStep;
+use arb_dexsim::units::to_raw;
+use arb_graph::Cycle;
+
+use crate::error::BotError;
+
+/// Builds a bundle that enters the cycle at `rotation` with
+/// `input_display` of that rotation's token and chains exact integer
+/// outputs through the remaining hops.
+///
+/// # Errors
+///
+/// Returns [`BotError::Chain`] if a quote fails (degenerate pool state).
+pub fn chained_bundle(
+    chain: &Chain,
+    cycle: &Cycle,
+    rotation: usize,
+    input_display: f64,
+) -> Result<Vec<BundleStep>, BotError> {
+    let n = cycle.len();
+    let mut steps = Vec::with_capacity(n);
+    let mut amount = to_raw(input_display);
+    for k in 0..n {
+        let j = (rotation + k) % n;
+        let pool_id = cycle.pools()[j];
+        let token_in = cycle.tokens()[j];
+        let pool = chain.state().pool(pool_id)?;
+        let a_to_b = token_in == pool.token_a();
+        let out = pool.raw().quote(a_to_b, amount)?;
+        steps.push(BundleStep {
+            pool: pool_id,
+            token_in,
+            amount_in: amount,
+        });
+        amount = out;
+    }
+    Ok(steps)
+}
+
+/// Builds a bundle from a convex plan's per-hop inputs (floored to raw
+/// units). Zero-input hops are skipped (the zero plan produces an empty
+/// bundle, which callers should not submit).
+pub fn plan_bundle(cycle: &Cycle, plan: &LoopPlan) -> Vec<BundleStep> {
+    cycle
+        .tokens()
+        .iter()
+        .zip(cycle.pools())
+        .zip(plan.flows())
+        .filter_map(|((token_in, pool), flow)| {
+            let amount_in = to_raw(flow.amount_in);
+            (amount_in > 0).then_some(BundleStep {
+                pool: *pool,
+                token_in: *token_in,
+                amount_in,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use arb_convex::{LoopProblem, SolverOptions};
+    use arb_dexsim::tx::Transaction;
+    use arb_dexsim::units::to_raw;
+    use arb_graph::TokenGraph;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn paper_setup() -> (Chain, Cycle) {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        chain
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+            .unwrap();
+        let graph = TokenGraph::new(
+            chain
+                .state()
+                .pools()
+                .iter()
+                .map(|p| p.to_analysis_pool().unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let cycle = graph.arbitrage_loops(3).unwrap().remove(0);
+        (chain, cycle)
+    }
+
+    #[test]
+    fn chained_bundle_executes_profitably() {
+        let (mut chain, cycle) = paper_setup();
+        let bot = chain.create_account();
+        let steps = chained_bundle(&chain, &cycle, 0, 27.0).unwrap();
+        assert_eq!(steps.len(), 3);
+        chain.submit(Transaction::FlashBundle {
+            account: bot,
+            steps,
+        });
+        let block = chain.mine_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+        let profit = chain.state().balance(bot, t(0));
+        assert!(profit > to_raw(16.0), "profit={profit}");
+    }
+
+    #[test]
+    fn rotation_changes_entry_token() {
+        let (chain, cycle) = paper_setup();
+        let steps = chained_bundle(&chain, &cycle, 1, 31.5).unwrap();
+        assert_eq!(steps[0].token_in, cycle.tokens()[1]);
+    }
+
+    #[test]
+    fn plan_bundle_executes_convex_flows() {
+        let (mut chain, cycle) = paper_setup();
+        let graph = TokenGraph::new(
+            chain
+                .state()
+                .pools()
+                .iter()
+                .map(|p| p.to_analysis_pool().unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let hops = graph.curves_for(&cycle).unwrap();
+        let problem = LoopProblem::new(hops, vec![2.0, 10.2, 20.0]).unwrap();
+        let plan = problem.solve(&SolverOptions::default()).unwrap();
+        let steps = plan_bundle(&cycle, &plan);
+        assert_eq!(steps.len(), 3);
+
+        let bot = chain.create_account();
+        chain.submit(Transaction::FlashBundle {
+            account: bot,
+            steps,
+        });
+        let block = chain.mine_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+        // Paper's convex plan: profit ≈ 5 Y + 7.7 Z, none negative.
+        let y = chain.state().balance(bot, t(1));
+        let z = chain.state().balance(bot, t(2));
+        assert!(y > to_raw(4.5) && y < to_raw(5.5), "y={y}");
+        assert!(z > to_raw(7.2) && z < to_raw(8.2), "z={z}");
+    }
+
+    #[test]
+    fn zero_plan_produces_empty_bundle() {
+        let (_, cycle) = paper_setup();
+        let plan = LoopPlan::zero(&[1.0, 1.0, 1.0]);
+        assert!(plan_bundle(&cycle, &plan).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! An end-to-end arbitrage bot over the simulated chain.
+//!
+//! This crate closes the loop the paper describes: every block, scan DEX
+//! state for arbitrage loops, evaluate the profit-maximization strategies,
+//! and execute the best plan atomically via a flash bundle. It glues every
+//! substrate together:
+//!
+//! ```text
+//! dexsim state ──▶ scanner (graph cycles) ──▶ strategies (core/convex)
+//!      ▲                                            │
+//!      └────────── flash bundle execution ◀─────────┘
+//!                        (pnl ledger)
+//! ```
+//!
+//! * [`scanner`] — chain state → token graph → profitable loops;
+//! * [`execution`] — strategy plan → integer-exact flash bundle;
+//! * [`bot`] — the per-block scan/evaluate/execute policy;
+//! * [`pnl`] — balance accounting and monetized PnL series;
+//! * [`sim`] — a deterministic market harness (noise traders + LPs + CEX
+//!   price drift + the bot) used by examples, tests, and benches.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arb_bot::sim::{MarketSim, MarketSimConfig};
+//!
+//! let mut sim = MarketSim::new(MarketSimConfig {
+//!     num_tokens: 5,
+//!     num_pools: 8,
+//!     seed: 7,
+//!     ..MarketSimConfig::default()
+//! }).unwrap();
+//! sim.run_blocks(20).unwrap();
+//! // Flash-bundle atomicity makes the bot risk-free: token balances
+//! // never decrease.
+//! assert!(sim.bot_pnl().value() >= 0.0);
+//! ```
+
+pub mod bot;
+pub mod config;
+pub mod error;
+pub mod execution;
+pub mod pnl;
+pub mod scanner;
+pub mod sim;
+
+pub use bot::ArbBot;
+pub use config::{BotConfig, StrategyChoice};
+pub use error::BotError;

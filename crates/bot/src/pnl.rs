@@ -1,0 +1,139 @@
+//! PnL accounting for the bot account.
+
+use std::collections::BTreeMap;
+
+use arb_amm::token::TokenId;
+use arb_cex::feed::PriceFeed;
+use arb_core::monetize::Usd;
+use arb_dexsim::chain::Chain;
+use arb_dexsim::state::AccountId;
+use arb_dexsim::units::to_display;
+
+/// One PnL observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PnlPoint {
+    /// Block height at observation time.
+    pub height: u64,
+    /// Monetized value of all holdings.
+    pub value: Usd,
+}
+
+/// Tracks an account's holdings over time and monetizes them.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    history: Vec<PnlPoint>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current holdings of `account` across the tokens `universe`,
+    /// in display units (only nonzero entries).
+    pub fn holdings(
+        chain: &Chain,
+        account: AccountId,
+        universe: impl IntoIterator<Item = TokenId>,
+    ) -> BTreeMap<TokenId, f64> {
+        universe
+            .into_iter()
+            .filter_map(|t| {
+                let raw = chain.state().balance(account, t);
+                (raw > 0).then(|| (t, to_display(raw)))
+            })
+            .collect()
+    }
+
+    /// Records a PnL observation for `account`, monetizing holdings at the
+    /// feed's current prices (unpriced tokens count zero — conservative).
+    pub fn observe<F: PriceFeed>(
+        &mut self,
+        chain: &Chain,
+        account: AccountId,
+        universe: impl IntoIterator<Item = TokenId>,
+        feed: &F,
+    ) -> PnlPoint {
+        let value: f64 = Self::holdings(chain, account, universe)
+            .iter()
+            .map(|(t, amount)| amount * feed.usd_price(*t).unwrap_or(0.0))
+            .sum();
+        let point = PnlPoint {
+            height: chain.height(),
+            value: Usd::new(value),
+        };
+        self.history.push(point);
+        point
+    }
+
+    /// The full observation series.
+    pub fn history(&self) -> &[PnlPoint] {
+        &self.history
+    }
+
+    /// The latest observation (None before the first).
+    pub fn latest(&self) -> Option<PnlPoint> {
+        self.history.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_cex::feed::PriceTable;
+    use arb_dexsim::units::to_raw;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn observes_monetized_holdings() {
+        let mut chain = Chain::new();
+        chain
+            .add_pool(t(0), t(1), to_raw(10.0), to_raw(10.0), FeeRate::UNISWAP_V2)
+            .unwrap();
+        let account = chain.create_account();
+        chain.mint(account, t(0), to_raw(3.0));
+        chain.mint(account, t(1), to_raw(1.0));
+
+        let mut feed = PriceTable::new();
+        feed.set(t(0), 10.0);
+        feed.set(t(1), 100.0);
+
+        let mut ledger = Ledger::new();
+        let point = ledger.observe(&chain, account, [t(0), t(1)], &feed);
+        assert!((point.value.value() - 130.0).abs() < 1e-6);
+        assert_eq!(ledger.history().len(), 1);
+        assert_eq!(ledger.latest(), Some(point));
+    }
+
+    #[test]
+    fn unpriced_tokens_count_zero() {
+        let mut chain = Chain::new();
+        chain
+            .add_pool(t(0), t(1), to_raw(10.0), to_raw(10.0), FeeRate::UNISWAP_V2)
+            .unwrap();
+        let account = chain.create_account();
+        chain.mint(account, t(0), to_raw(5.0));
+        let feed = PriceTable::new(); // empty
+        let mut ledger = Ledger::new();
+        let point = ledger.observe(&chain, account, [t(0)], &feed);
+        assert_eq!(point.value.value(), 0.0);
+    }
+
+    #[test]
+    fn holdings_skip_zero_balances() {
+        let mut chain = Chain::new();
+        chain
+            .add_pool(t(0), t(1), to_raw(10.0), to_raw(10.0), FeeRate::UNISWAP_V2)
+            .unwrap();
+        let account = chain.create_account();
+        chain.mint(account, t(1), to_raw(2.0));
+        let holdings = Ledger::holdings(&chain, account, [t(0), t(1)]);
+        assert_eq!(holdings.len(), 1);
+        assert!((holdings[&t(1)] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Chain-state scanning: current pools → token graph → profitable loops.
+
+use arb_core::loop_def::ArbLoop;
+use arb_dexsim::chain::Chain;
+use arb_graph::{Cycle, TokenGraph};
+
+use crate::error::BotError;
+
+/// A loop discovered on-chain, carrying both the analysis-level
+/// [`ArbLoop`] (for the strategies) and the originating [`Cycle`] with its
+/// pool ids (for execution).
+#[derive(Debug, Clone)]
+pub struct Opportunity {
+    /// The executable cycle (token + pool ids in trade order).
+    pub cycle: Cycle,
+    /// The analysis view of the same loop.
+    pub loop_: ArbLoop,
+}
+
+/// Builds the analysis token graph from current chain state.
+///
+/// Pools whose reserves have degenerated below representability are
+/// skipped rather than failing the scan.
+///
+/// # Errors
+///
+/// Returns [`BotError::Graph`] if no usable pool remains.
+pub fn graph_from_chain(chain: &Chain) -> Result<TokenGraph, BotError> {
+    let pools: Vec<_> = chain
+        .state()
+        .pools()
+        .iter()
+        .filter_map(|p| p.to_analysis_pool().ok())
+        .collect();
+    Ok(TokenGraph::new(pools)?)
+}
+
+/// Scans for arbitrage loops up to `max_len` hops, returning opportunities
+/// sorted by descending zero-input round-trip rate (the cheapest useful
+/// prioritization before full strategy evaluation).
+///
+/// # Errors
+///
+/// Returns [`BotError::Graph`] on graph construction failures.
+pub fn scan(chain: &Chain, max_len: usize) -> Result<Vec<Opportunity>, BotError> {
+    let graph = graph_from_chain(chain)?;
+    let mut out: Vec<(f64, Opportunity)> = Vec::new();
+    for len in 2..=max_len.max(2) {
+        for cycle in graph.arbitrage_loops(len)? {
+            let hops = graph.curves_for(&cycle)?;
+            let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec())?;
+            let rate = loop_.round_trip_rate();
+            out.push((rate, Opportunity { cycle, loop_ }));
+        }
+    }
+    out.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("rates are finite"));
+    Ok(out.into_iter().map(|(_, opp)| opp).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use arb_dexsim::units::to_raw;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn paper_chain() -> Chain {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        chain
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+            .unwrap();
+        chain
+    }
+
+    #[test]
+    fn finds_the_paper_triangle() {
+        let chain = paper_chain();
+        let opportunities = scan(&chain, 3).unwrap();
+        assert_eq!(opportunities.len(), 1);
+        let opp = &opportunities[0];
+        assert_eq!(opp.cycle.tokens(), &[t(0), t(1), t(2)]);
+        let expected = 0.997f64.powi(3) * 8.0 / 3.0;
+        assert!((opp.loop_.round_trip_rate() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn balanced_market_has_no_opportunities() {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        // Consistent pricing: 1:1 everywhere.
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            chain
+                .add_pool(t(a), t(b), to_raw(1_000.0), to_raw(1_000.0), fee)
+                .unwrap();
+        }
+        assert!(scan(&chain, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn opportunities_sorted_by_rate() {
+        let mut chain = paper_chain();
+        let fee = FeeRate::UNISWAP_V2;
+        // A second, milder triangle over tokens 3,4,5.
+        chain
+            .add_pool(t(3), t(4), to_raw(1_000.0), to_raw(1_050.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(4), t(5), to_raw(1_000.0), to_raw(1_000.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(5), t(3), to_raw(1_000.0), to_raw(1_000.0), fee)
+            .unwrap();
+        let opportunities = scan(&chain, 3).unwrap();
+        assert_eq!(opportunities.len(), 2);
+        assert!(
+            opportunities[0].loop_.round_trip_rate() >= opportunities[1].loop_.round_trip_rate()
+        );
+        assert_eq!(opportunities[0].cycle.tokens()[0], t(0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-exchange price aggregation — the CoinGecko stand-in.
+//!
+//! The paper's CEX prices come from CoinGecko, which aggregates venue
+//! prices. [`Aggregator`] averages the mid prices of every exchange listing
+//! a token, producing the [`PriceTable`] snapshot the strategy layer
+//! consumes.
+
+use arb_amm::token::TokenId;
+use arb_numerics::stats::mean;
+
+use crate::feed::{PriceFeed, PriceTable};
+use crate::venue::Exchange;
+
+/// Aggregates prices across exchanges by equal-weight averaging.
+#[derive(Debug, Default)]
+pub struct Aggregator {
+    exchanges: Vec<Exchange>,
+}
+
+impl Aggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an exchange to the panel.
+    pub fn add_exchange(&mut self, exchange: Exchange) {
+        self.exchanges.push(exchange);
+    }
+
+    /// The exchanges in the panel.
+    pub fn exchanges(&self) -> &[Exchange] {
+        &self.exchanges
+    }
+
+    /// Mutable access for ticking the panel forward.
+    pub fn exchanges_mut(&mut self) -> &mut [Exchange] {
+        &mut self.exchanges
+    }
+
+    /// Advances every exchange one tick with the shared RNG.
+    pub fn tick<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) {
+        for ex in &mut self.exchanges {
+            ex.tick(rng);
+        }
+    }
+
+    /// The aggregated price of one token (mean over listing venues).
+    pub fn price(&self, token: TokenId) -> Option<f64> {
+        let quotes: Vec<f64> = self
+            .exchanges
+            .iter()
+            .filter_map(|ex| ex.usd_price(token))
+            .collect();
+        if quotes.is_empty() {
+            None
+        } else {
+            Some(mean(&quotes))
+        }
+    }
+
+    /// Snapshot of aggregated prices for every token listed anywhere.
+    pub fn price_table(&self) -> PriceTable {
+        let mut tokens = std::collections::BTreeSet::new();
+        for ex in &self.exchanges {
+            for (t, _) in ex.price_table().iter() {
+                tokens.insert(t);
+            }
+        }
+        tokens
+            .into_iter()
+            .filter_map(|t| self.price(t).map(|p| (t, p)))
+            .collect()
+    }
+}
+
+impl PriceFeed for Aggregator {
+    fn usd_price(&self, token: TokenId) -> Option<f64> {
+        self.price(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::venue::MarketConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn aggregates_listing_venues_only() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut agg = Aggregator::new();
+        let mut a = Exchange::new("a");
+        a.add_market(t(0), MarketConfig::new(100.0));
+        a.add_market(t(1), MarketConfig::new(5.0));
+        let mut b = Exchange::new("b");
+        b.add_market(t(0), MarketConfig::new(102.0));
+        agg.add_exchange(a);
+        agg.add_exchange(b);
+        for _ in 0..30 {
+            agg.tick(&mut rng);
+        }
+        let table = agg.price_table();
+        assert_eq!(table.len(), 2);
+        // Token 0 averaged over both venues lies between their mids.
+        let pa = agg.exchanges()[0].usd_price(t(0)).unwrap();
+        let pb = agg.exchanges()[1].usd_price(t(0)).unwrap();
+        let agg_price = table.usd_price(t(0)).unwrap();
+        assert!(agg_price >= pa.min(pb) && agg_price <= pa.max(pb));
+        // Token 1 listed on one venue: equals that venue's mid.
+        assert_eq!(table.usd_price(t(1)), agg.exchanges()[0].usd_price(t(1)));
+        assert_eq!(agg.usd_price(t(7)), None);
+    }
+
+    #[test]
+    fn empty_aggregator_prices_nothing() {
+        let agg = Aggregator::new();
+        assert_eq!(agg.price(t(0)), None);
+        assert!(agg.price_table().is_empty());
+    }
+}

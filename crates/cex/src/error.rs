@@ -1,0 +1,41 @@
+//! Error type for exchange simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from CEX simulation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CexError {
+    /// The referenced market does not exist on this exchange.
+    UnknownMarket,
+    /// A price or quantity was zero, negative, or non-finite.
+    InvalidParameter,
+    /// The referenced order id is not resting in the book.
+    UnknownOrder,
+}
+
+impl fmt::Display for CexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            CexError::UnknownMarket => "market does not exist on this exchange",
+            CexError::InvalidParameter => "parameter must be positive and finite",
+            CexError::UnknownOrder => "order id is not resting in the book",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for CexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!CexError::UnknownMarket.to_string().is_empty());
+        assert!(!CexError::InvalidParameter.to_string().is_empty());
+        assert!(!CexError::UnknownOrder.to_string().is_empty());
+    }
+}

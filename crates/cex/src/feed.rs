@@ -1,0 +1,169 @@
+//! The USD price feed consumed by the strategy layer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use arb_amm::token::TokenId;
+use parking_lot::RwLock;
+
+/// A source of USD token prices.
+///
+/// The strategy crates depend only on this trait, so prices can come from a
+/// static table, a live [`crate::venue::Exchange`], or an aggregation of
+/// several.
+pub trait PriceFeed {
+    /// The USD price of `token`, if this feed knows it.
+    fn usd_price(&self, token: TokenId) -> Option<f64>;
+}
+
+/// An immutable-snapshot price table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PriceTable {
+    prices: HashMap<TokenId, f64>,
+}
+
+impl PriceTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a token's price (overwrites silently; NaN and negatives are
+    /// ignored rather than stored).
+    pub fn set(&mut self, token: TokenId, price: f64) {
+        if price.is_finite() && price >= 0.0 {
+            self.prices.insert(token, price);
+        }
+    }
+
+    /// Number of priced tokens.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the table has no prices.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Iterates over `(token, price)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, f64)> + '_ {
+        self.prices.iter().map(|(t, p)| (*t, *p))
+    }
+}
+
+impl PriceFeed for PriceTable {
+    fn usd_price(&self, token: TokenId) -> Option<f64> {
+        self.prices.get(&token).copied()
+    }
+}
+
+impl FromIterator<(TokenId, f64)> for PriceTable {
+    fn from_iter<I: IntoIterator<Item = (TokenId, f64)>>(iter: I) -> Self {
+        let mut table = PriceTable::new();
+        for (t, p) in iter {
+            table.set(t, p);
+        }
+        table
+    }
+}
+
+impl Extend<(TokenId, f64)> for PriceTable {
+    fn extend<I: IntoIterator<Item = (TokenId, f64)>>(&mut self, iter: I) {
+        for (t, p) in iter {
+            self.set(t, p);
+        }
+    }
+}
+
+/// A thread-safe, updatable price table — the "periodically re-downloaded
+/// API snapshot" shared between a feed-updater thread and strategy threads.
+#[derive(Debug, Clone, Default)]
+pub struct SharedPriceTable {
+    inner: Arc<RwLock<PriceTable>>,
+}
+
+impl SharedPriceTable {
+    /// Creates an empty shared table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the entire snapshot.
+    pub fn publish(&self, table: PriceTable) {
+        *self.inner.write() = table;
+    }
+
+    /// Reads a consistent snapshot clone.
+    pub fn snapshot(&self) -> PriceTable {
+        self.inner.read().clone()
+    }
+}
+
+impl PriceFeed for SharedPriceTable {
+    fn usd_price(&self, token: TokenId) -> Option<f64> {
+        self.inner.read().usd_price(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut table = PriceTable::new();
+        table.set(t(0), 2000.0);
+        assert_eq!(table.usd_price(t(0)), Some(2000.0));
+        assert_eq!(table.usd_price(t(1)), None);
+    }
+
+    #[test]
+    fn invalid_prices_ignored() {
+        let mut table = PriceTable::new();
+        table.set(t(0), f64::NAN);
+        table.set(t(1), -5.0);
+        table.set(t(2), f64::INFINITY);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let table: PriceTable = [(t(0), 1.0), (t(1), 2.0)].into_iter().collect();
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn shared_table_publish_and_read() {
+        let shared = SharedPriceTable::new();
+        assert_eq!(shared.usd_price(t(0)), None);
+        let mut table = PriceTable::new();
+        table.set(t(0), 42.0);
+        shared.publish(table);
+        assert_eq!(shared.usd_price(t(0)), Some(42.0));
+        assert_eq!(shared.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn shared_table_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedPriceTable>();
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let shared = SharedPriceTable::new();
+        let writer = shared.clone();
+        let handle = std::thread::spawn(move || {
+            let mut table = PriceTable::new();
+            table.set(TokenId::new(9), 7.0);
+            writer.publish(table);
+        });
+        handle.join().unwrap();
+        assert_eq!(shared.usd_price(t(9)), Some(7.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Simulated centralized exchanges (CEX) and the USD price feed.
+//!
+//! The paper monetizes arbitrage profit with token prices "downloaded from
+//! CoinGecko (Binance)". Offline, this crate stands in for that data source
+//! with an honest simulation pipeline rather than hard-coded numbers:
+//!
+//! * [`orderbook`] — a limit order book with price-time priority matching;
+//! * [`random_walk`] — geometric Brownian motion reference prices;
+//! * [`market_maker`] — agents quoting a spread around the reference;
+//! * [`venue`] — one token's USD market (book + reference + noise flow) and
+//!   an [`venue::Exchange`] holding many markets;
+//! * [`aggregator`] — cross-exchange mid-price averaging (the
+//!   CoinGecko-like API the strategies consume);
+//! * [`feed`] — the [`feed::PriceFeed`] trait and thread-safe
+//!   [`feed::SharedPriceTable`].
+//!
+//! Everything is deterministic given an RNG seed.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arb_amm::token::TokenId;
+//! use arb_cex::venue::{Exchange, MarketConfig};
+//! use arb_cex::feed::PriceFeed;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let eth = TokenId::new(0);
+//! let mut binance = Exchange::new("binance");
+//! binance.add_market(eth, MarketConfig::new(2000.0));
+//! for _ in 0..50 {
+//!     binance.tick(&mut rng);
+//! }
+//! let table = binance.price_table();
+//! assert!(table.usd_price(eth).unwrap() > 0.0);
+//! ```
+
+pub mod aggregator;
+pub mod error;
+pub mod feed;
+pub mod market_maker;
+pub mod orderbook;
+pub mod random_walk;
+pub mod venue;
+
+pub use error::CexError;
+pub use feed::{PriceFeed, PriceTable, SharedPriceTable};
+pub use orderbook::{OrderBook, OrderId, Side, Trade};
+pub use venue::{Exchange, MarketConfig};

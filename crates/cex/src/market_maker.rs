@@ -1,0 +1,112 @@
+//! Market-maker agents quoting a spread around a reference price.
+
+use crate::error::CexError;
+use crate::orderbook::{OrderBook, OrderId, Side};
+
+/// A simple symmetric market maker.
+///
+/// Each [`MarketMaker::requote`] cancels the maker's previous quotes and
+/// posts a fresh bid/ask pair around the reference price. Real market
+/// makers manage inventory; this one provides the *liquidity structure*
+/// (a standing two-sided book with a configurable spread) that makes venue
+/// mid prices meaningful.
+#[derive(Debug, Clone)]
+pub struct MarketMaker {
+    half_spread_bps: f64,
+    quote_lots: u64,
+    resting: Vec<OrderId>,
+}
+
+impl MarketMaker {
+    /// Creates a maker quoting `quote_lots` on each side at
+    /// `half_spread_bps` basis points from the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_spread_bps` is negative/non-finite or
+    /// `quote_lots == 0`.
+    pub fn new(half_spread_bps: f64, quote_lots: u64) -> Self {
+        assert!(
+            half_spread_bps.is_finite() && half_spread_bps >= 0.0,
+            "half spread must be non-negative"
+        );
+        assert!(quote_lots > 0, "quote size must be positive");
+        MarketMaker {
+            half_spread_bps,
+            quote_lots,
+            resting: Vec::new(),
+        }
+    }
+
+    /// Cancels stale quotes and posts a new bid/ask around
+    /// `reference_ticks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CexError::InvalidParameter`] if the computed bid rounds to
+    /// zero ticks (reference too small for the tick grid).
+    pub fn requote(&mut self, book: &mut OrderBook, reference_ticks: u64) -> Result<(), CexError> {
+        for id in self.resting.drain(..) {
+            // Quotes may have been fully taken since the last tick.
+            let _ = book.cancel(id);
+        }
+        let half = self.half_spread_bps / 10_000.0;
+        let bid = (reference_ticks as f64 * (1.0 - half)).floor() as u64;
+        let ask = (reference_ticks as f64 * (1.0 + half)).ceil() as u64;
+        if bid == 0 {
+            return Err(CexError::InvalidParameter);
+        }
+        let ask = ask.max(bid + 1); // never self-cross
+        let (bid_id, _) = book.submit_limit(Side::Bid, bid, self.quote_lots)?;
+        let (ask_id, _) = book.submit_limit(Side::Ask, ask, self.quote_lots)?;
+        self.resting.push(bid_id);
+        self.resting.push(ask_id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requote_posts_two_sided_book() {
+        let mut book = OrderBook::new();
+        let mut mm = MarketMaker::new(10.0, 100);
+        mm.requote(&mut book, 1_000_000).unwrap();
+        let bid = book.best_bid().unwrap();
+        let ask = book.best_ask().unwrap();
+        assert!(bid < 1_000_000 && ask > 1_000_000);
+        // 10 bps of 1e6 = 1000 ticks.
+        assert_eq!(bid, 999_000);
+        assert_eq!(ask, 1_001_000);
+    }
+
+    #[test]
+    fn requote_replaces_previous_quotes() {
+        let mut book = OrderBook::new();
+        let mut mm = MarketMaker::new(10.0, 100);
+        mm.requote(&mut book, 1_000_000).unwrap();
+        mm.requote(&mut book, 2_000_000).unwrap();
+        assert_eq!(book.order_count(), 2, "old quotes cancelled");
+        assert!(book.best_bid().unwrap() > 1_500_000);
+    }
+
+    #[test]
+    fn tiny_reference_never_self_crosses() {
+        let mut book = OrderBook::new();
+        let mut mm = MarketMaker::new(0.0, 10);
+        mm.requote(&mut book, 5).unwrap();
+        assert!(book.best_bid().unwrap() < book.best_ask().unwrap());
+    }
+
+    #[test]
+    fn zero_bid_rejected() {
+        let mut book = OrderBook::new();
+        let mut mm = MarketMaker::new(10_000.0, 10); // 100% half-spread
+        assert_eq!(
+            mm.requote(&mut book, 1).unwrap_err(),
+            CexError::InvalidParameter
+        );
+    }
+}

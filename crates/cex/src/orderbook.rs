@@ -1,0 +1,371 @@
+//! A limit order book with price-time priority matching.
+//!
+//! Prices are integer *ticks* (the venue layer fixes the tick size), and
+//! quantities are integer lots, so the book is exact — no float keys. The
+//! matching engine is embedded: submitting an order first crosses it
+//! against the opposite side (takers trade at resting prices, FIFO within
+//! a level), then rests any remainder.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::error::CexError;
+
+/// Identifier of a resting or historical order.
+pub type OrderId = u64;
+
+/// Which side of the book an order belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Buy interest (matches against asks).
+    Bid,
+    /// Sell interest (matches against bids).
+    Ask,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Bid => Side::Ask,
+            Side::Ask => Side::Bid,
+        }
+    }
+}
+
+/// A fill between a resting maker order and an incoming taker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trade {
+    /// The resting order that provided liquidity.
+    pub maker: OrderId,
+    /// The incoming order that took liquidity.
+    pub taker: OrderId,
+    /// Execution price in ticks (the maker's price).
+    pub price_ticks: u64,
+    /// Executed quantity in lots.
+    pub quantity: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RestingOrder {
+    id: OrderId,
+    quantity: u64,
+}
+
+/// The book itself.
+#[derive(Debug, Clone, Default)]
+pub struct OrderBook {
+    bids: BTreeMap<u64, VecDeque<RestingOrder>>,
+    asks: BTreeMap<u64, VecDeque<RestingOrder>>,
+    locate: HashMap<OrderId, (Side, u64)>,
+    next_id: OrderId,
+}
+
+impl OrderBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Best (highest) bid price in ticks.
+    pub fn best_bid(&self) -> Option<u64> {
+        self.bids.keys().next_back().copied()
+    }
+
+    /// Best (lowest) ask price in ticks.
+    pub fn best_ask(&self) -> Option<u64> {
+        self.asks.keys().next().copied()
+    }
+
+    /// Mid price in ticks, if both sides are quoted.
+    pub fn mid_ticks(&self) -> Option<f64> {
+        Some((self.best_bid()? as f64 + self.best_ask()? as f64) / 2.0)
+    }
+
+    /// Total resting quantity on a side.
+    pub fn depth(&self, side: Side) -> u64 {
+        let levels = match side {
+            Side::Bid => &self.bids,
+            Side::Ask => &self.asks,
+        };
+        levels
+            .values()
+            .flat_map(|q| q.iter().map(|o| o.quantity))
+            .sum()
+    }
+
+    /// Number of resting orders.
+    pub fn order_count(&self) -> usize {
+        self.locate.len()
+    }
+
+    /// Submits a limit order; crossing quantity executes immediately at
+    /// resting prices, the remainder rests at `price_ticks`.
+    ///
+    /// Returns the order id (also used as the taker id in returned trades)
+    /// and the fills generated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CexError::InvalidParameter`] for zero quantity or price.
+    pub fn submit_limit(
+        &mut self,
+        side: Side,
+        price_ticks: u64,
+        quantity: u64,
+    ) -> Result<(OrderId, Vec<Trade>), CexError> {
+        if quantity == 0 || price_ticks == 0 {
+            return Err(CexError::InvalidParameter);
+        }
+        let id = self.allocate_id();
+        let mut remaining = quantity;
+        let trades = self.cross(side, Some(price_ticks), &mut remaining, id);
+        if remaining > 0 {
+            let levels = match side {
+                Side::Bid => &mut self.bids,
+                Side::Ask => &mut self.asks,
+            };
+            levels
+                .entry(price_ticks)
+                .or_default()
+                .push_back(RestingOrder {
+                    id,
+                    quantity: remaining,
+                });
+            self.locate.insert(id, (side, price_ticks));
+        }
+        Ok((id, trades))
+    }
+
+    /// Submits a market order (immediate-or-cancel): executes against the
+    /// opposite side until filled or the book is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CexError::InvalidParameter`] for zero quantity.
+    pub fn submit_market(
+        &mut self,
+        side: Side,
+        quantity: u64,
+    ) -> Result<(OrderId, Vec<Trade>), CexError> {
+        if quantity == 0 {
+            return Err(CexError::InvalidParameter);
+        }
+        let id = self.allocate_id();
+        let mut remaining = quantity;
+        let trades = self.cross(side, None, &mut remaining, id);
+        Ok((id, trades))
+    }
+
+    /// Cancels a resting order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CexError::UnknownOrder`] if the id is not resting (already
+    /// filled, cancelled, or never rested).
+    pub fn cancel(&mut self, id: OrderId) -> Result<(), CexError> {
+        let (side, price) = self.locate.remove(&id).ok_or(CexError::UnknownOrder)?;
+        let levels = match side {
+            Side::Bid => &mut self.bids,
+            Side::Ask => &mut self.asks,
+        };
+        if let Some(queue) = levels.get_mut(&price) {
+            queue.retain(|o| o.id != id);
+            if queue.is_empty() {
+                levels.remove(&price);
+            }
+        }
+        Ok(())
+    }
+
+    fn allocate_id(&mut self) -> OrderId {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Core matching: consume opposite-side liquidity while the price
+    /// limit admits it (None = market order, any price).
+    fn cross(
+        &mut self,
+        side: Side,
+        limit: Option<u64>,
+        remaining: &mut u64,
+        taker: OrderId,
+    ) -> Vec<Trade> {
+        let mut trades = Vec::new();
+        loop {
+            if *remaining == 0 {
+                break;
+            }
+            let best = match side {
+                Side::Bid => self.asks.keys().next().copied(),
+                Side::Ask => self.bids.keys().next_back().copied(),
+            };
+            let Some(level_price) = best else { break };
+            let admissible = match (side, limit) {
+                (_, None) => true,
+                (Side::Bid, Some(l)) => level_price <= l,
+                (Side::Ask, Some(l)) => level_price >= l,
+            };
+            if !admissible {
+                break;
+            }
+            let levels = match side {
+                Side::Bid => &mut self.asks,
+                Side::Ask => &mut self.bids,
+            };
+            let queue = levels.get_mut(&level_price).expect("level exists");
+            while *remaining > 0 {
+                let Some(front) = queue.front_mut() else {
+                    break;
+                };
+                let take = (*remaining).min(front.quantity);
+                front.quantity -= take;
+                *remaining -= take;
+                trades.push(Trade {
+                    maker: front.id,
+                    taker,
+                    price_ticks: level_price,
+                    quantity: take,
+                });
+                if front.quantity == 0 {
+                    let done = queue.pop_front().expect("front exists");
+                    self.locate.remove(&done.id);
+                }
+            }
+            if queue.is_empty() {
+                levels.remove(&level_price);
+            }
+        }
+        trades
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn resting_and_best_prices() {
+        let mut book = OrderBook::new();
+        book.submit_limit(Side::Bid, 99, 10).unwrap();
+        book.submit_limit(Side::Bid, 98, 10).unwrap();
+        book.submit_limit(Side::Ask, 101, 5).unwrap();
+        assert_eq!(book.best_bid(), Some(99));
+        assert_eq!(book.best_ask(), Some(101));
+        assert_eq!(book.mid_ticks(), Some(100.0));
+        assert_eq!(book.depth(Side::Bid), 20);
+        assert_eq!(book.depth(Side::Ask), 5);
+    }
+
+    #[test]
+    fn crossing_limit_executes_at_resting_price() {
+        let mut book = OrderBook::new();
+        let (maker, _) = book.submit_limit(Side::Ask, 100, 10).unwrap();
+        let (taker, trades) = book.submit_limit(Side::Bid, 105, 4).unwrap();
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].price_ticks, 100, "taker pays maker's price");
+        assert_eq!(trades[0].quantity, 4);
+        assert_eq!(trades[0].maker, maker);
+        assert_eq!(trades[0].taker, taker);
+        assert_eq!(book.depth(Side::Ask), 6);
+        assert_eq!(book.depth(Side::Bid), 0, "fully filled, nothing rests");
+    }
+
+    #[test]
+    fn partial_fill_rests_remainder() {
+        let mut book = OrderBook::new();
+        book.submit_limit(Side::Ask, 100, 3).unwrap();
+        let (_, trades) = book.submit_limit(Side::Bid, 100, 10).unwrap();
+        assert_eq!(trades.len(), 1);
+        assert_eq!(book.best_bid(), Some(100), "remainder rests at limit");
+        assert_eq!(book.depth(Side::Bid), 7);
+        assert_eq!(book.best_ask(), None);
+    }
+
+    #[test]
+    fn fifo_within_level() {
+        let mut book = OrderBook::new();
+        let (first, _) = book.submit_limit(Side::Ask, 100, 5).unwrap();
+        let (second, _) = book.submit_limit(Side::Ask, 100, 5).unwrap();
+        let (_, trades) = book.submit_market(Side::Bid, 7).unwrap();
+        assert_eq!(trades.len(), 2);
+        assert_eq!(trades[0].maker, first);
+        assert_eq!(trades[0].quantity, 5);
+        assert_eq!(trades[1].maker, second);
+        assert_eq!(trades[1].quantity, 2);
+    }
+
+    #[test]
+    fn market_order_ioc_semantics() {
+        let mut book = OrderBook::new();
+        book.submit_limit(Side::Ask, 100, 3).unwrap();
+        let (_, trades) = book.submit_market(Side::Bid, 10).unwrap();
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].quantity, 3);
+        // Unfilled remainder is cancelled, not rested.
+        assert_eq!(book.depth(Side::Bid), 0);
+    }
+
+    #[test]
+    fn cancel_removes_order() {
+        let mut book = OrderBook::new();
+        let (id, _) = book.submit_limit(Side::Bid, 90, 10).unwrap();
+        book.cancel(id).unwrap();
+        assert_eq!(book.best_bid(), None);
+        assert_eq!(book.cancel(id), Err(CexError::UnknownOrder));
+    }
+
+    #[test]
+    fn zero_quantity_rejected() {
+        let mut book = OrderBook::new();
+        assert_eq!(
+            book.submit_limit(Side::Bid, 100, 0).unwrap_err(),
+            CexError::InvalidParameter
+        );
+        assert_eq!(
+            book.submit_market(Side::Ask, 0).unwrap_err(),
+            CexError::InvalidParameter
+        );
+    }
+
+    #[test]
+    fn non_crossing_limits_never_trade() {
+        let mut book = OrderBook::new();
+        book.submit_limit(Side::Bid, 99, 10).unwrap();
+        let (_, trades) = book.submit_limit(Side::Ask, 100, 10).unwrap();
+        assert!(trades.is_empty());
+        assert_eq!(book.order_count(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn book_never_crosses_after_random_flow(
+            ops in proptest::collection::vec(
+                (0..2u8, 1..200u64, 1..50u64), 1..200
+            )
+        ) {
+            let mut book = OrderBook::new();
+            for (side, price, qty) in ops {
+                let side = if side == 0 { Side::Bid } else { Side::Ask };
+                book.submit_limit(side, price, qty).unwrap();
+                if let (Some(b), Some(a)) = (book.best_bid(), book.best_ask()) {
+                    prop_assert!(b < a, "book crossed: bid {b} >= ask {a}");
+                }
+            }
+        }
+
+        #[test]
+        fn conservation_of_quantity(
+            rest_qty in 1..100u64,
+            take_qty in 1..100u64,
+        ) {
+            let mut book = OrderBook::new();
+            book.submit_limit(Side::Ask, 100, rest_qty).unwrap();
+            let (_, trades) = book.submit_market(Side::Bid, take_qty).unwrap();
+            let traded: u64 = trades.iter().map(|t| t.quantity).sum();
+            prop_assert_eq!(traded, rest_qty.min(take_qty));
+            prop_assert_eq!(book.depth(Side::Ask), rest_qty - traded);
+        }
+    }
+}

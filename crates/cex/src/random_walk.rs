@@ -1,0 +1,108 @@
+//! Geometric Brownian motion reference prices.
+
+use arb_numerics::stats::box_muller;
+use rand::Rng;
+
+/// A geometric Brownian motion price process:
+/// `S ← S·exp((μ − σ²/2)·Δt + σ·√Δt·Z)` per step with `Δt = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gbm {
+    price: f64,
+    drift: f64,
+    volatility: f64,
+}
+
+impl Gbm {
+    /// Creates a process at `initial_price` with per-step drift `μ` and
+    /// volatility `σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_price` is not positive/finite or `volatility` is
+    /// negative.
+    pub fn new(initial_price: f64, drift: f64, volatility: f64) -> Self {
+        assert!(
+            initial_price.is_finite() && initial_price > 0.0,
+            "initial price must be positive"
+        );
+        assert!(volatility >= 0.0, "volatility must be non-negative");
+        Gbm {
+            price: initial_price,
+            drift,
+            volatility,
+        }
+    }
+
+    /// Current price.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// Advances one step and returns the new price.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let (z, _) = box_muller(u1, u2);
+        let exponent = self.drift - 0.5 * self.volatility * self.volatility + self.volatility * z;
+        self.price *= exponent.exp();
+        self.price
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_numerics::stats::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn price_stays_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gbm = Gbm::new(100.0, 0.0, 0.1);
+        for _ in 0..10_000 {
+            assert!(gbm.step(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_volatility_grows_deterministically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gbm = Gbm::new(100.0, 0.01, 0.0);
+        let p = gbm.step(&mut rng);
+        assert!((p - 100.0 * (0.01f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_returns_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gbm = Gbm::new(50.0, 0.0005, 0.02);
+        let mut log_returns = Vec::new();
+        let mut prev = gbm.price();
+        for _ in 0..20_000 {
+            let next = gbm.step(&mut rng);
+            log_returns.push((next / prev).ln());
+            prev = next;
+        }
+        let expected_mean = 0.0005 - 0.5 * 0.02 * 0.02;
+        assert!((mean(&log_returns) - expected_mean).abs() < 5e-4);
+        assert!((std_dev(&log_returns) - 0.02).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut gbm = Gbm::new(10.0, 0.0, 0.05);
+            (0..100).map(|_| gbm.step(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial price")]
+    fn rejects_non_positive_price() {
+        Gbm::new(0.0, 0.0, 0.1);
+    }
+}

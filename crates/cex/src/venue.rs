@@ -1,0 +1,243 @@
+//! Per-token USD markets and multi-market exchanges.
+
+use std::collections::BTreeMap;
+
+use arb_amm::token::TokenId;
+use rand::Rng;
+
+use crate::error::CexError;
+use crate::feed::{PriceFeed, PriceTable};
+use crate::market_maker::MarketMaker;
+use crate::orderbook::{OrderBook, Side, Trade};
+use crate::random_walk::Gbm;
+
+/// Ticks per USD: prices are quoted with 1e-6 USD precision.
+pub const TICKS_PER_USD: f64 = 1_000_000.0;
+
+/// Configuration for one token/USD market.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketConfig {
+    /// Initial reference price in USD.
+    pub initial_price: f64,
+    /// GBM per-tick drift.
+    pub drift: f64,
+    /// GBM per-tick volatility.
+    pub volatility: f64,
+    /// Market-maker half spread in basis points.
+    pub half_spread_bps: f64,
+    /// Market-maker quote size in lots.
+    pub quote_lots: u64,
+    /// Probability per tick that a noise trader sends a market order.
+    pub noise_intensity: f64,
+    /// Maximum noise order size in lots.
+    pub noise_max_lots: u64,
+}
+
+impl MarketConfig {
+    /// Sensible defaults around the given initial USD price.
+    pub fn new(initial_price: f64) -> Self {
+        MarketConfig {
+            initial_price,
+            drift: 0.0,
+            volatility: 0.002,
+            half_spread_bps: 5.0,
+            quote_lots: 10_000,
+            noise_intensity: 0.7,
+            noise_max_lots: 500,
+        }
+    }
+}
+
+/// One token's USD market: order book + reference process + agents.
+#[derive(Debug, Clone)]
+pub struct Venue {
+    book: OrderBook,
+    reference: Gbm,
+    maker: MarketMaker,
+    config: MarketConfig,
+    trades: Vec<Trade>,
+}
+
+impl Venue {
+    /// Creates a venue from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive initial price (see [`Gbm::new`]).
+    pub fn new(config: MarketConfig) -> Self {
+        Venue {
+            book: OrderBook::new(),
+            reference: Gbm::new(config.initial_price, config.drift, config.volatility),
+            maker: MarketMaker::new(config.half_spread_bps, config.quote_lots),
+            config,
+            trades: Vec::new(),
+        }
+    }
+
+    /// Advances the market one tick: reference moves, the maker requotes,
+    /// and (probabilistically) a noise trader crosses the spread.
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<(), CexError> {
+        let reference = self.reference.step(rng);
+        let reference_ticks = (reference * TICKS_PER_USD).round().max(1.0) as u64;
+        self.maker.requote(&mut self.book, reference_ticks)?;
+        if rng.gen_bool(self.config.noise_intensity.clamp(0.0, 1.0)) {
+            let side = if rng.gen_bool(0.5) {
+                Side::Bid
+            } else {
+                Side::Ask
+            };
+            let lots = rng.gen_range(1..=self.config.noise_max_lots.max(1));
+            let (_, trades) = self.book.submit_market(side, lots)?;
+            self.trades.extend(trades);
+        }
+        Ok(())
+    }
+
+    /// Mid price in USD (book mid if two-sided, else the reference).
+    pub fn mid_usd(&self) -> f64 {
+        self.book
+            .mid_ticks()
+            .map_or(self.reference.price(), |m| m / TICKS_PER_USD)
+    }
+
+    /// All fills so far (noise flow against the maker).
+    pub fn trades(&self) -> &[Trade] {
+        &self.trades
+    }
+
+    /// The current book (for inspection).
+    pub fn book(&self) -> &OrderBook {
+        &self.book
+    }
+}
+
+/// An exchange hosting one USD market per token — a Binance stand-in.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    name: String,
+    markets: BTreeMap<TokenId, Venue>,
+}
+
+impl Exchange {
+    /// Creates an empty exchange.
+    pub fn new(name: &str) -> Self {
+        Exchange {
+            name: name.to_owned(),
+            markets: BTreeMap::new(),
+        }
+    }
+
+    /// The exchange name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lists (adds) a market for `token`.
+    pub fn add_market(&mut self, token: TokenId, config: MarketConfig) {
+        self.markets.insert(token, Venue::new(config));
+    }
+
+    /// Number of listed markets.
+    pub fn market_count(&self) -> usize {
+        self.markets.len()
+    }
+
+    /// Advances every market one tick (deterministic in iteration order:
+    /// markets tick in ascending token order).
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for venue in self.markets.values_mut() {
+            // Quoting can only fail for sub-tick prices; skip such markets
+            // this tick rather than poisoning the whole exchange.
+            let _ = venue.tick(rng);
+        }
+    }
+
+    /// The venue for a token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CexError::UnknownMarket`] when the token is not listed.
+    pub fn market(&self, token: TokenId) -> Result<&Venue, CexError> {
+        self.markets.get(&token).ok_or(CexError::UnknownMarket)
+    }
+
+    /// Snapshot of all mid prices as a [`PriceTable`].
+    pub fn price_table(&self) -> PriceTable {
+        self.markets
+            .iter()
+            .map(|(t, v)| (*t, v.mid_usd()))
+            .collect()
+    }
+}
+
+impl PriceFeed for Exchange {
+    fn usd_price(&self, token: TokenId) -> Option<f64> {
+        self.markets.get(&token).map(Venue::mid_usd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn venue_mid_tracks_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut venue = Venue::new(MarketConfig::new(2000.0));
+        for _ in 0..200 {
+            venue.tick(&mut rng).unwrap();
+        }
+        let mid = venue.mid_usd();
+        // 200 ticks of 0.2% vol: price should stay within a broad band.
+        assert!(mid > 1000.0 && mid < 4000.0, "mid={mid}");
+    }
+
+    #[test]
+    fn venue_generates_trades() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut venue = Venue::new(MarketConfig::new(100.0));
+        for _ in 0..100 {
+            venue.tick(&mut rng).unwrap();
+        }
+        assert!(!venue.trades().is_empty(), "noise flow should trade");
+    }
+
+    #[test]
+    fn exchange_prices_all_markets() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ex = Exchange::new("binance");
+        ex.add_market(t(0), MarketConfig::new(2000.0));
+        ex.add_market(t(1), MarketConfig::new(1.0));
+        for _ in 0..50 {
+            ex.tick(&mut rng);
+        }
+        assert_eq!(ex.market_count(), 2);
+        let table = ex.price_table();
+        assert_eq!(table.len(), 2);
+        assert!(table.usd_price(t(0)).unwrap() > 100.0);
+        assert!(table.usd_price(t(1)).unwrap() < 100.0);
+        assert_eq!(ex.usd_price(t(2)), None);
+        assert!(ex.market(t(2)).is_err());
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ex = Exchange::new("x");
+            ex.add_market(t(0), MarketConfig::new(50.0));
+            for _ in 0..100 {
+                ex.tick(&mut rng);
+            }
+            ex.usd_price(t(0)).unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

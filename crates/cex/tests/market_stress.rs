@@ -1,0 +1,106 @@
+//! Order-book and venue behaviour under randomized stress.
+
+use arb_amm::token::TokenId;
+use arb_cex::feed::PriceFeed;
+use arb_cex::orderbook::{OrderBook, Side};
+use arb_cex::venue::{Exchange, MarketConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantity conservation under arbitrary mixed order flow: everything
+    /// traded + everything resting + everything cancelled-or-IOC-dropped
+    /// equals everything submitted.
+    #[test]
+    fn order_flow_conserves_quantity(
+        ops in proptest::collection::vec(
+            (any::<bool>(), any::<bool>(), 1..500u64, 1..100u64), 1..120
+        )
+    ) {
+        let mut book = OrderBook::new();
+        let mut submitted: u64 = 0;
+        let mut traded: u64 = 0;
+        for (is_bid, is_market, price, qty) in ops {
+            let side = if is_bid { Side::Bid } else { Side::Ask };
+            submitted += qty;
+            let trades = if is_market {
+                let (_, trades) = book.submit_market(side, qty).unwrap();
+                // IOC remainder evaporates; count it as resolved.
+                trades
+            } else {
+                let (_, trades) = book.submit_limit(side, price, qty).unwrap();
+                trades
+            };
+            traded += 2 * trades.iter().map(|t| t.quantity).sum::<u64>();
+        }
+        let resting = book.depth(Side::Bid) + book.depth(Side::Ask);
+        // Each executed lot consumes one maker lot and one taker lot
+        // (hence the 2×); what remains rests or was dropped.
+        prop_assert!(traded + resting <= submitted * 2);
+        prop_assert!(resting <= submitted);
+        // The book never ends crossed.
+        if let (Some(b), Some(a)) = (book.best_bid(), book.best_ask()) {
+            prop_assert!(b < a);
+        }
+    }
+
+    /// Mid prices stay strictly positive and finite across any volatility
+    /// configuration in the supported range.
+    #[test]
+    fn venue_mids_stay_positive(
+        seed in any::<u64>(),
+        vol in 0.0..0.05f64,
+        initial in 0.1..10_000.0f64,
+        ticks in 1..120usize,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ex = Exchange::new("stress");
+        let token = TokenId::new(0);
+        ex.add_market(token, MarketConfig {
+            volatility: vol,
+            ..MarketConfig::new(initial)
+        });
+        for _ in 0..ticks {
+            ex.tick(&mut rng);
+        }
+        let mid = ex.usd_price(token).unwrap();
+        prop_assert!(mid.is_finite() && mid > 0.0, "mid = {mid}");
+    }
+}
+
+#[test]
+fn multi_market_exchange_is_isolated() {
+    // Activity in one market must not leak prices into another.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ex = Exchange::new("iso");
+    let stable = TokenId::new(0);
+    let volatile = TokenId::new(1);
+    ex.add_market(
+        stable,
+        MarketConfig {
+            volatility: 0.0,
+            noise_intensity: 0.0,
+            ..MarketConfig::new(1.0)
+        },
+    );
+    ex.add_market(
+        volatile,
+        MarketConfig {
+            volatility: 0.05,
+            ..MarketConfig::new(100.0)
+        },
+    );
+    for _ in 0..200 {
+        ex.tick(&mut rng);
+    }
+    let stable_mid = ex.usd_price(stable).unwrap();
+    // Zero volatility and no noise: the stable market's mid never moves
+    // beyond its own spread.
+    assert!(
+        (stable_mid - 1.0).abs() < 0.01,
+        "stable mid drifted: {stable_mid}"
+    );
+}

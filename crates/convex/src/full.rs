@@ -1,0 +1,243 @@
+//! The full `2n`-variable formulation of paper eq. 8.
+//!
+//! Variables are `z = (a_0…a_{n−1}, b_0…b_{n−1})`: `a_j` the input of hop
+//! `j`'s pool and `b_j` its output. The paper's product constraints
+//! `(x_j + γ_j·a_j)(y_j − b_j) ≥ x_j·y_j` are bilinear (not concave) as
+//! written, but taking logarithms gives the equivalent concave form used
+//! here:
+//!
+//! ```text
+//! h_j(z) = log(x_j + γ_j·a_j) + log(y_j − b_j) − log(x_j·y_j) ≥ 0
+//! ```
+//!
+//! together with the linear linking constraints `b_{j−1} − a_j ≥ 0` and the
+//! bounds `a_j ≥ 0`, `b_j ≥ 0`. The objective
+//! `Σ_j (P_{j+1}·b_j − P_j·a_j)` is linear. This formulation exists as an
+//! independent cross-check of [`crate::reduced`]; tests assert the two
+//! agree to solver tolerance.
+
+use arb_amm::curve::SwapCurve;
+use arb_numerics::barrier::{solve_barrier, BarrierConfig, BarrierProblem};
+use arb_numerics::linalg::Matrix;
+
+use crate::error::ConvexError;
+use crate::problem::LoopProblem;
+use crate::solution::LoopPlan;
+
+/// The full barrier problem over `(a, b)`.
+pub(crate) struct FullProblem<'a> {
+    hops: &'a [SwapCurve],
+    prices: &'a [f64],
+}
+
+impl<'a> FullProblem<'a> {
+    pub(crate) fn new(hops: &'a [SwapCurve], prices: &'a [f64]) -> Self {
+        debug_assert_eq!(hops.len(), prices.len());
+        FullProblem { hops, prices }
+    }
+
+    fn n(&self) -> usize {
+        self.hops.len()
+    }
+}
+
+impl BarrierProblem for FullProblem<'_> {
+    fn dim(&self) -> usize {
+        2 * self.n()
+    }
+
+    fn num_constraints(&self) -> usize {
+        4 * self.n()
+    }
+
+    fn objective(&self, z: &[f64]) -> f64 {
+        let n = self.n();
+        (0..n)
+            .map(|j| self.prices[(j + 1) % n] * z[n + j] - self.prices[j] * z[j])
+            .sum()
+    }
+
+    fn objective_grad(&self, _z: &[f64], grad: &mut [f64]) {
+        let n = self.n();
+        for j in 0..n {
+            grad[j] = -self.prices[j];
+            grad[n + j] = self.prices[(j + 1) % n];
+        }
+    }
+
+    fn objective_hess(&self, _z: &[f64], hess: &mut Matrix) {
+        hess.clear();
+    }
+
+    fn constraint(&self, i: usize, z: &[f64]) -> f64 {
+        let n = self.n();
+        if i < n {
+            // Product constraint in log form for hop i.
+            let h = &self.hops[i];
+            let (a, b) = (z[i], z[n + i]);
+            let xin = h.reserve_in() + h.gamma() * a;
+            let yout = h.reserve_out() - b;
+            if xin <= 0.0 || yout <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            xin.ln() + yout.ln() - (h.reserve_in() * h.reserve_out()).ln()
+        } else if i < 2 * n {
+            // Linking: b_{j−1} − a_j ≥ 0 for j = i − n.
+            let j = i - n;
+            let prev = (j + n - 1) % n;
+            z[n + prev] - z[j]
+        } else if i < 3 * n {
+            // Bound a_j ≥ 0.
+            z[i - 2 * n]
+        } else {
+            // Bound b_j ≥ 0.
+            z[n + (i - 3 * n)]
+        }
+    }
+
+    fn constraint_grad(&self, i: usize, z: &[f64], grad: &mut [f64]) {
+        grad.iter_mut().for_each(|v| *v = 0.0);
+        let n = self.n();
+        if i < n {
+            let h = &self.hops[i];
+            let (a, b) = (z[i], z[n + i]);
+            grad[i] = h.gamma() / (h.reserve_in() + h.gamma() * a);
+            grad[n + i] = -1.0 / (h.reserve_out() - b);
+        } else if i < 2 * n {
+            let j = i - n;
+            let prev = (j + n - 1) % n;
+            grad[n + prev] = 1.0;
+            grad[j] -= 1.0;
+        } else if i < 3 * n {
+            grad[i - 2 * n] = 1.0;
+        } else {
+            grad[n + (i - 3 * n)] = 1.0;
+        }
+    }
+
+    fn constraint_hess(&self, i: usize, z: &[f64], hess: &mut Matrix) {
+        hess.clear();
+        let n = self.n();
+        if i < n {
+            let h = &self.hops[i];
+            let (a, b) = (z[i], z[n + i]);
+            let da = h.reserve_in() + h.gamma() * a;
+            let db = h.reserve_out() - b;
+            hess[(i, i)] = -(h.gamma() * h.gamma()) / (da * da);
+            hess[(n + i, n + i)] = -1.0 / (db * db);
+        }
+    }
+}
+
+/// Solves the full formulation from a strictly feasible reduced start
+/// (outputs are interpolated strictly between the linking floor and the
+/// pool ceiling).
+pub(crate) fn solve(
+    problem: &LoopProblem,
+    start_inputs: &[f64],
+    config: &BarrierConfig,
+) -> Result<LoopPlan, ConvexError> {
+    let n = problem.len();
+    let hops = problem.hops();
+    let mut z = vec![0.0; 2 * n];
+    z[..n].copy_from_slice(start_inputs);
+    for j in 0..n {
+        // b_j strictly between a_{j+1} (linking floor) and F_j(a_j) (pool
+        // ceiling); both are satisfiable because the start is strictly
+        // feasible for the reduced problem.
+        let ceil = hops[j].amount_out(start_inputs[j]);
+        let floor = start_inputs[(j + 1) % n];
+        debug_assert!(ceil > floor);
+        z[n + j] = 0.5 * (ceil + floor);
+    }
+    let full = FullProblem::new(hops, problem.prices());
+    let sol = solve_barrier(&full, &z, config)?;
+    // Canonicalize: report exact pool outputs for the solved inputs.
+    Ok(LoopPlan::from_inputs(
+        hops,
+        problem.prices(),
+        &sol.x[..n],
+        sol.converged,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Formulation, SolverOptions};
+    use arb_amm::fee::FeeRate;
+    use proptest::prelude::*;
+
+    fn paper_problem() -> LoopProblem {
+        let fee = FeeRate::UNISWAP_V2;
+        LoopProblem::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![2.0, 10.2, 20.0],
+        )
+        .unwrap()
+    }
+
+    fn full_opts() -> SolverOptions {
+        SolverOptions {
+            formulation: Formulation::Full,
+            ..SolverOptions::default()
+        }
+    }
+
+    #[test]
+    fn paper_example_matches_reduced() {
+        let p = paper_problem();
+        let full = p.solve(&full_opts()).unwrap();
+        let reduced = p.solve(&SolverOptions::default()).unwrap();
+        assert!(
+            (full.monetized_profit() - reduced.monetized_profit()).abs()
+                < 1e-3 * (1.0 + reduced.monetized_profit()),
+            "full={} reduced={}",
+            full.monetized_profit(),
+            reduced.monetized_profit()
+        );
+        assert!(full.max_violation(p.hops()) < 1e-6);
+    }
+
+    #[test]
+    fn unprofitable_zero_plan() {
+        let fee = FeeRate::UNISWAP_V2;
+        let p = LoopProblem::new(
+            vec![
+                SwapCurve::new(500.0, 500.0, fee).unwrap(),
+                SwapCurve::new(500.0, 500.0, fee).unwrap(),
+            ],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert!(p.solve(&full_opts()).unwrap().is_zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn full_and_reduced_agree(
+            r in proptest::collection::vec(100.0..2_000.0f64, 6),
+            prices in proptest::collection::vec(0.5..50.0f64, 3),
+        ) {
+            let fee = FeeRate::UNISWAP_V2;
+            let hops = vec![
+                SwapCurve::new(r[0], r[1], fee).unwrap(),
+                SwapCurve::new(r[2], r[3], fee).unwrap(),
+                SwapCurve::new(r[4], r[5], fee).unwrap(),
+            ];
+            let p = LoopProblem::new(hops, prices).unwrap();
+            let full = p.solve(&full_opts()).unwrap();
+            let reduced = p.solve(&SolverOptions::default()).unwrap();
+            let scale = 1.0 + reduced.monetized_profit().abs();
+            prop_assert!(
+                (full.monetized_profit() - reduced.monetized_profit()).abs() < 5e-3 * scale,
+                "full={} reduced={}", full.monetized_profit(), reduced.monetized_profit()
+            );
+        }
+    }
+}

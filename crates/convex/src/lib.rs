@@ -1,0 +1,61 @@
+//! Convex-optimization formulation of arbitrage-loop profit maximization.
+//!
+//! This crate implements the paper's *ConvexOptimization* strategy
+//! (eq. 7/8): given an arbitrage loop `t0 → t1 → … → t(n−1) → t0` through
+//! CPMM pools and CEX prices `P_t`, maximize the **monetized** profit
+//!
+//! ```text
+//! maximize  Σ_j P_j · (received_j − spent_j)
+//! ```
+//!
+//! subject to the per-pool constant-product constraints and the risk-free
+//! linking constraints `received_j ≥ spent_j` for every token `j` (paper
+//! eq. 8 — the relaxation of the flow-conservation equalities of eq. 7).
+//!
+//! Two equivalent formulations are implemented and cross-checked:
+//!
+//! * [`reduced`] — eliminates the output variables using the fact that the
+//!   pool constraints bind at any optimum (`b_j = F_j(a_j)`), leaving an
+//!   `n`-variable smooth concave program;
+//! * [`full`] — keeps all `2n` variables with the product constraints in
+//!   concave log form `log(x+γa) + log(y−b) ≥ log(x·y)`, faithful to
+//!   eq. 8's structure.
+//!
+//! Both run on the damped-Newton log-barrier solver from `arb-numerics`.
+//! The paper's Theorem "no MaxMax profit ⇒ no ConvexOpt profit" is applied
+//! literally: when the loop's round-trip rate is ≤ 1 the zero plan is
+//! returned without invoking the solver (there is no strictly feasible
+//! interior point in that case).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arb_amm::{fee::FeeRate, curve::SwapCurve};
+//! use arb_convex::{LoopProblem, SolverOptions};
+//!
+//! # fn main() -> Result<(), arb_convex::ConvexError> {
+//! let fee = FeeRate::UNISWAP_V2;
+//! // The paper's §V example: X→Y→Z→X with prices (2, 10.2, 20).
+//! let hops = vec![
+//!     SwapCurve::new(100.0, 200.0, fee)?,
+//!     SwapCurve::new(300.0, 200.0, fee)?,
+//!     SwapCurve::new(200.0, 400.0, fee)?,
+//! ];
+//! let problem = LoopProblem::new(hops, vec![2.0, 10.2, 20.0])?;
+//! let plan = problem.solve(&SolverOptions::default())?;
+//! assert!((plan.monetized_profit() - 206.1).abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod full;
+pub mod kkt;
+pub mod problem;
+pub mod reduced;
+pub mod solution;
+
+pub use error::ConvexError;
+pub use kkt::KktReport;
+pub use problem::{Formulation, LoopProblem, SolverOptions};
+pub use solution::{HopFlow, LoopPlan};

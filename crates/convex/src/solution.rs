@@ -1,0 +1,197 @@
+//! Executable arbitrage plans produced by the solvers.
+
+use arb_amm::curve::SwapCurve;
+
+/// The flow through one hop of a loop plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopFlow {
+    /// Amount of the hop's input token injected into the pool.
+    pub amount_in: f64,
+    /// Amount of the hop's output token received from the pool.
+    pub amount_out: f64,
+}
+
+/// A complete arbitrage plan for one loop: per-hop flows, per-token net
+/// profits, and the monetized total.
+///
+/// Plans are *canonicalized*: each hop's output is the exact pool output
+/// `F_j(amount_in_j)`. Taking the full pool output is always weakly optimal
+/// (token prices are non-negative and more output only relaxes the linking
+/// constraints), so canonicalization never reduces the objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopPlan {
+    flows: Vec<HopFlow>,
+    token_profits: Vec<f64>,
+    prices: Vec<f64>,
+    monetized: f64,
+    converged: bool,
+}
+
+impl LoopPlan {
+    /// The all-zero plan (used for unprofitable loops).
+    pub fn zero(prices: &[f64]) -> Self {
+        let n = prices.len();
+        LoopPlan {
+            flows: vec![
+                HopFlow {
+                    amount_in: 0.0,
+                    amount_out: 0.0
+                };
+                n
+            ],
+            token_profits: vec![0.0; n],
+            prices: prices.to_vec(),
+            monetized: 0.0,
+            converged: true,
+        }
+    }
+
+    /// Builds a canonical plan from hop inputs: outputs are recomputed as
+    /// exact pool outputs and per-token profits derived from the flows.
+    ///
+    /// Token `j`'s net profit is `received − spent = out_{j−1} − in_j`
+    /// (indices mod `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree (internal invariant).
+    pub fn from_inputs(
+        hops: &[SwapCurve],
+        prices: &[f64],
+        inputs: &[f64],
+        converged: bool,
+    ) -> Self {
+        let n = hops.len();
+        assert_eq!(inputs.len(), n);
+        assert_eq!(prices.len(), n);
+        let flows: Vec<HopFlow> = hops
+            .iter()
+            .zip(inputs)
+            .map(|(hop, &amount_in)| HopFlow {
+                amount_in,
+                amount_out: hop.amount_out(amount_in),
+            })
+            .collect();
+        let token_profits: Vec<f64> = (0..n)
+            .map(|j| flows[(j + n - 1) % n].amount_out - flows[j].amount_in)
+            .collect();
+        let monetized = token_profits.iter().zip(prices).map(|(pi, p)| pi * p).sum();
+        LoopPlan {
+            flows,
+            token_profits,
+            prices: prices.to_vec(),
+            monetized,
+            converged,
+        }
+    }
+
+    /// Per-hop flows in loop order.
+    pub fn flows(&self) -> &[HopFlow] {
+        &self.flows
+    }
+
+    /// Net profit in units of each loop token (position `j` = token `t_j`).
+    pub fn token_profits(&self) -> &[f64] {
+        &self.token_profits
+    }
+
+    /// Prices used to monetize the plan.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// The monetized (USD) profit `Σ_j P_j·π_j`.
+    pub fn monetized_profit(&self) -> f64 {
+        self.monetized
+    }
+
+    /// Whether the solver met its convergence tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Loop length.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Whether every hop's input is zero (the null plan).
+    pub fn is_zero(&self) -> bool {
+        self.flows.iter().all(|f| f.amount_in == 0.0)
+    }
+
+    /// Maximum constraint violation of the plan against the given curves:
+    /// checks output feasibility (`out_j ≤ F_j(in_j)`), the risk-free
+    /// linking constraints (`out_{j−1} ≥ in_j`), and non-negativity.
+    ///
+    /// Returns a non-negative violation magnitude (0 means feasible).
+    pub fn max_violation(&self, hops: &[SwapCurve]) -> f64 {
+        let n = self.flows.len();
+        let mut worst = 0.0f64;
+        for (j, (f, hop)) in self.flows.iter().zip(hops).enumerate() {
+            worst = worst.max(-f.amount_in).max(-f.amount_out);
+            worst = worst.max(f.amount_out - hop.amount_out(f.amount_in));
+            let prev = &self.flows[(j + n - 1) % n];
+            worst = worst.max(f.amount_in - prev.amount_out);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+
+    fn paper_hops() -> Vec<SwapCurve> {
+        let fee = FeeRate::UNISWAP_V2;
+        vec![
+            SwapCurve::new(100.0, 200.0, fee).unwrap(),
+            SwapCurve::new(300.0, 200.0, fee).unwrap(),
+            SwapCurve::new(200.0, 400.0, fee).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn zero_plan_properties() {
+        let plan = LoopPlan::zero(&[2.0, 10.2, 20.0]);
+        assert!(plan.is_zero());
+        assert_eq!(plan.monetized_profit(), 0.0);
+        assert!(plan.converged());
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.max_violation(&paper_hops()), 0.0);
+    }
+
+    #[test]
+    fn from_inputs_profits_sum_up() {
+        let hops = paper_hops();
+        let prices = [2.0, 10.2, 20.0];
+        // Chain-consistent flows: input 10 X, forward outputs through.
+        let a0 = 10.0;
+        let a1 = hops[0].amount_out(a0);
+        let a2 = hops[1].amount_out(a1);
+        let plan = LoopPlan::from_inputs(&hops, &prices, &[a0, a1, a2], true);
+        // Chained flows leave zero profit in Y and Z; all profit in X.
+        assert!(plan.token_profits()[1].abs() < 1e-12);
+        assert!(plan.token_profits()[2].abs() < 1e-12);
+        let x_profit = hops[2].amount_out(a2) - a0;
+        assert!((plan.token_profits()[0] - x_profit).abs() < 1e-12);
+        assert!((plan.monetized_profit() - 2.0 * x_profit).abs() < 1e-12);
+        assert!(plan.max_violation(&hops) < 1e-12);
+    }
+
+    #[test]
+    fn violation_detects_over_withdrawal() {
+        let hops = paper_hops();
+        let prices = [1.0, 1.0, 1.0];
+        let mut plan = LoopPlan::from_inputs(&hops, &prices, &[10.0, 5.0, 5.0], true);
+        // Tamper: claim more output than the pool can give.
+        plan.flows[0].amount_out += 5.0;
+        assert!(plan.max_violation(&hops) >= 5.0 - 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! The ConvexOptimization strategy (adapter over `arb-convex`).
+//!
+//! Builds the paper's eq. 8 program from an [`ArbLoop`] and CEX prices,
+//! solves it, and exposes the result in strategy-level terms. The paper's
+//! second theorem — ConvexOpt ≥ MaxMax — is asserted by property tests
+//! here, as is the third — no MaxMax profit ⇒ the zero plan.
+
+use arb_convex::{LoopPlan, LoopProblem, SolverOptions};
+
+use crate::error::StrategyError;
+use crate::loop_def::ArbLoop;
+use crate::monetize::Usd;
+
+/// Outcome of the ConvexOptimization strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexOutcome {
+    /// The solved execution plan (per-hop flows, per-token profits).
+    pub plan: LoopPlan,
+    /// Monetized profit `Σ_j P_j·π_j`.
+    pub monetized: Usd,
+}
+
+/// Evaluates the strategy with default solver options.
+///
+/// # Errors
+///
+/// See [`evaluate_with`].
+pub fn evaluate(loop_: &ArbLoop, prices: &[f64]) -> Result<ConvexOutcome, StrategyError> {
+    evaluate_with(loop_, prices, &SolverOptions::default())
+}
+
+/// Evaluates the strategy with explicit solver options (formulation,
+/// barrier tuning).
+///
+/// # Errors
+///
+/// * [`StrategyError::InvalidLoop`] for misaligned prices.
+/// * [`StrategyError::Convex`] for solver failures.
+pub fn evaluate_with(
+    loop_: &ArbLoop,
+    prices: &[f64],
+    options: &SolverOptions,
+) -> Result<ConvexOutcome, StrategyError> {
+    if prices.len() != loop_.len() {
+        return Err(StrategyError::InvalidLoop);
+    }
+    let problem = LoopProblem::new(loop_.hops().to_vec(), prices.to_vec())?;
+    let plan = problem.solve(options)?;
+    let monetized = Usd::new(plan.monetized_profit());
+    Ok(ConvexOutcome { plan, monetized })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxmax;
+    use arb_amm::curve::SwapCurve;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use proptest::prelude::*;
+
+    fn paper_loop() -> ArbLoop {
+        let fee = FeeRate::UNISWAP_V2;
+        ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_beats_maxmax() {
+        let l = paper_loop();
+        let prices = [2.0, 10.2, 20.0];
+        let cv = evaluate(&l, &prices).unwrap();
+        let mm = maxmax::evaluate(&l, &prices).unwrap();
+        // Paper: $206.1 vs $205.6.
+        assert!((cv.monetized.value() - 206.1).abs() < 0.5, "{cv:?}");
+        assert!(cv.monetized >= mm.best.monetized);
+        // Profit concentrated in Y (~5) and Z (~7.7).
+        assert!((cv.plan.token_profits()[1] - 5.0).abs() < 0.3);
+        assert!((cv.plan.token_profits()[2] - 7.7).abs() < 0.3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn theorem_t2_convex_dominates_maxmax(
+            r in proptest::collection::vec(50.0..20_000.0f64, 6),
+            prices in proptest::collection::vec(0.05..500.0f64, 3),
+        ) {
+            let fee = FeeRate::UNISWAP_V2;
+            let l = ArbLoop::new(
+                vec![
+                    SwapCurve::new(r[0], r[1], fee).unwrap(),
+                    SwapCurve::new(r[2], r[3], fee).unwrap(),
+                    SwapCurve::new(r[4], r[5], fee).unwrap(),
+                ],
+                vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+            ).unwrap();
+            let cv = evaluate(&l, &prices).unwrap();
+            let mm = maxmax::evaluate(&l, &prices).unwrap();
+            let tol = 1e-5 * (1.0 + mm.best.monetized.value());
+            prop_assert!(
+                cv.monetized.value() >= mm.best.monetized.value() - tol,
+                "convex {} < maxmax {}", cv.monetized, mm.best.monetized
+            );
+        }
+
+        #[test]
+        fn theorem_t3_no_arb_implies_zero_plan(
+            x in 100.0..10_000.0f64,
+            y in 100.0..10_000.0f64,
+            px in 0.1..100.0f64,
+            py in 0.1..100.0f64,
+        ) {
+            // Mirror-reserve 2-hop loop: round trip γ² < 1 from any start.
+            let fee = FeeRate::UNISWAP_V2;
+            let l = ArbLoop::new(
+                vec![
+                    SwapCurve::new(x, y, fee).unwrap(),
+                    SwapCurve::new(y, x, fee).unwrap(),
+                ],
+                vec![TokenId::new(0), TokenId::new(1)],
+            ).unwrap();
+            let mm = maxmax::evaluate(&l, &[px, py]).unwrap();
+            prop_assert_eq!(mm.best.monetized.value(), 0.0);
+            let cv = evaluate(&l, &[px, py]).unwrap();
+            prop_assert!(cv.plan.is_zero());
+            prop_assert_eq!(cv.monetized.value(), 0.0);
+        }
+    }
+}

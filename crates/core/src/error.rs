@@ -1,0 +1,82 @@
+//! Error type for strategy evaluation.
+
+use arb_amm::token::TokenId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from strategy evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StrategyError {
+    /// A loop needs at least two hops with aligned token labels.
+    InvalidLoop,
+    /// No CEX price is available for a loop token.
+    MissingPrice(TokenId),
+    /// The rotation index exceeds the loop length.
+    RotationOutOfRange,
+    /// Convex solver failure.
+    Convex(arb_convex::ConvexError),
+    /// Scalar optimizer failure.
+    Numerics(arb_numerics::NumericsError),
+    /// Pool math failure.
+    Amm(arb_amm::AmmError),
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::InvalidLoop => {
+                write!(f, "loop must have at least 2 aligned hops and tokens")
+            }
+            StrategyError::MissingPrice(t) => write!(f, "no cex price for token {t}"),
+            StrategyError::RotationOutOfRange => write!(f, "rotation index out of range"),
+            StrategyError::Convex(e) => write!(f, "convex error: {e}"),
+            StrategyError::Numerics(e) => write!(f, "numerics error: {e}"),
+            StrategyError::Amm(e) => write!(f, "amm error: {e}"),
+        }
+    }
+}
+
+impl Error for StrategyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StrategyError::Convex(e) => Some(e),
+            StrategyError::Numerics(e) => Some(e),
+            StrategyError::Amm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<arb_convex::ConvexError> for StrategyError {
+    fn from(e: arb_convex::ConvexError) -> Self {
+        StrategyError::Convex(e)
+    }
+}
+
+impl From<arb_numerics::NumericsError> for StrategyError {
+    fn from(e: arb_numerics::NumericsError) -> Self {
+        StrategyError::Numerics(e)
+    }
+}
+
+impl From<arb_amm::AmmError> for StrategyError {
+    fn from(e: arb_amm::AmmError) -> Self {
+        StrategyError::Amm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(StrategyError::MissingPrice(TokenId::new(3))
+            .to_string()
+            .contains("T3"));
+        let e = StrategyError::Amm(arb_amm::AmmError::Overflow);
+        assert!(e.source().is_some());
+        assert!(StrategyError::InvalidLoop.source().is_none());
+    }
+}

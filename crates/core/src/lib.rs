@@ -1,0 +1,64 @@
+//! Arbitrage-loop profit maximization strategies — the paper's
+//! contribution.
+//!
+//! Given an arbitrage loop through CPMM pools and CEX (USD) token prices,
+//! this crate implements and compares the four strategies of *"Profit
+//! Maximization In Arbitrage Loops"* (ICDCS 2024):
+//!
+//! * [`traditional`] — fix a start token, optimize the input amount for
+//!   maximal profit *in that token* (the literature's default). Four
+//!   interchangeable optimizers: the Möbius closed form, bisection on
+//!   `dΔout/dΔin = 1` (the paper's method), safeguarded Newton, and
+//!   golden-section — cross-validated against each other in tests.
+//! * [`maxprice`] — run Traditional from the loop token with the highest
+//!   CEX price. The paper shows this heuristic is *unreliable*.
+//! * [`maxmax`] — run Traditional from every rotation, monetize each
+//!   profit at CEX prices, take the maximum.
+//! * [`convexopt`] — solve the paper's eq. 8 convex program (via
+//!   `arb-convex`), which provably dominates MaxMax.
+//!
+//! [`report`] evaluates all strategies on one loop (the row behind the
+//! paper's Figs. 5–8) and [`batch`] fans comparisons out across loops in
+//! parallel.
+//!
+//! # Quickstart — the paper's §V example
+//!
+//! ```
+//! use arb_amm::{curve::SwapCurve, fee::FeeRate, token::TokenId};
+//! use arb_core::loop_def::ArbLoop;
+//! use arb_core::{maxmax, report::compare};
+//!
+//! # fn main() -> Result<(), arb_core::StrategyError> {
+//! let fee = FeeRate::UNISWAP_V2;
+//! let loop_ = ArbLoop::new(
+//!     vec![
+//!         SwapCurve::new(100.0, 200.0, fee)?,
+//!         SwapCurve::new(300.0, 200.0, fee)?,
+//!         SwapCurve::new(200.0, 400.0, fee)?,
+//!     ],
+//!     vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+//! )?;
+//! let prices = [2.0, 10.2, 20.0];
+//! let best = maxmax::evaluate(&loop_, &prices)?;
+//! assert!((best.best.monetized.value() - 205.6).abs() < 0.5);
+//! let row = compare(&loop_, &prices, &Default::default())?;
+//! assert!(row.convex >= row.maxmax);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod convexopt;
+pub mod error;
+pub mod loop_def;
+pub mod maxmax;
+pub mod maxprice;
+pub mod monetize;
+pub mod report;
+pub mod strategy;
+pub mod traditional;
+
+pub use error::StrategyError;
+pub use loop_def::ArbLoop;
+pub use monetize::Usd;
+pub use strategy::{Strategy, StrategyOutcome};

@@ -1,0 +1,162 @@
+//! The executable arbitrage loop consumed by all strategies.
+
+use arb_amm::curve::SwapCurve;
+use arb_amm::token::TokenId;
+
+use crate::error::StrategyError;
+
+/// An arbitrage loop: hop `j` swaps `tokens[j]` into `tokens[(j+1) % n]`
+/// through the curve `hops[j]`.
+///
+/// This type is deliberately decoupled from any pool registry or graph —
+/// it owns plain curves, so it can be built from a [`TokenGraph`] cycle,
+/// a chain-simulator snapshot, or hand-written reserves alike.
+///
+/// [`TokenGraph`]: https://docs.rs/arb-graph
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbLoop {
+    hops: Vec<SwapCurve>,
+    tokens: Vec<TokenId>,
+}
+
+impl ArbLoop {
+    /// Creates a loop from aligned hops and token labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidLoop`] for fewer than 2 hops or
+    /// mismatched lengths.
+    pub fn new(hops: Vec<SwapCurve>, tokens: Vec<TokenId>) -> Result<Self, StrategyError> {
+        if hops.len() < 2 || hops.len() != tokens.len() {
+            return Err(StrategyError::InvalidLoop);
+        }
+        Ok(ArbLoop { hops, tokens })
+    }
+
+    /// Number of hops (= number of tokens).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the loop is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The hop curves in loop order.
+    pub fn hops(&self) -> &[SwapCurve] {
+        &self.hops
+    }
+
+    /// The token labels in loop order.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// The loop's round-trip rate at zero input (`> 1` ⇔ arbitrage).
+    pub fn round_trip_rate(&self) -> f64 {
+        self.hops.iter().map(SwapCurve::spot_rate).product()
+    }
+
+    /// The hops rotated to start at position `start` (same trade, entered
+    /// from a different token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::RotationOutOfRange`] when
+    /// `start >= self.len()`.
+    pub fn rotated_hops(&self, start: usize) -> Result<Vec<SwapCurve>, StrategyError> {
+        if start >= self.len() {
+            return Err(StrategyError::RotationOutOfRange);
+        }
+        let n = self.len();
+        Ok((0..n).map(|k| self.hops[(start + k) % n]).collect())
+    }
+
+    /// Resolves the CEX prices of the loop's tokens from a lookup
+    /// function, aligned with loop order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::MissingPrice`] naming the first unpriced
+    /// token.
+    pub fn resolve_prices<F>(&self, lookup: F) -> Result<Vec<f64>, StrategyError>
+    where
+        F: Fn(TokenId) -> Option<f64>,
+    {
+        self.tokens
+            .iter()
+            .map(|&t| lookup(t).ok_or(StrategyError::MissingPrice(t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    pub(crate) fn paper_loop() -> ArbLoop {
+        let fee = FeeRate::UNISWAP_V2;
+        ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![t(0), t(1), t(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            ArbLoop::new(vec![], vec![]).unwrap_err(),
+            StrategyError::InvalidLoop
+        );
+        let fee = FeeRate::UNISWAP_V2;
+        assert_eq!(
+            ArbLoop::new(
+                vec![SwapCurve::new(1.0, 1.0, fee).unwrap()],
+                vec![t(0), t(1)]
+            )
+            .unwrap_err(),
+            StrategyError::InvalidLoop
+        );
+    }
+
+    #[test]
+    fn round_trip_rate() {
+        let l = paper_loop();
+        let expected = 0.997f64.powi(3) * 8.0 / 3.0;
+        assert!((l.round_trip_rate() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation() {
+        let l = paper_loop();
+        let r1 = l.rotated_hops(1).unwrap();
+        assert_eq!(r1[0], l.hops()[1]);
+        assert_eq!(r1[2], l.hops()[0]);
+        assert_eq!(
+            l.rotated_hops(5).unwrap_err(),
+            StrategyError::RotationOutOfRange
+        );
+    }
+
+    #[test]
+    fn price_resolution() {
+        let l = paper_loop();
+        let prices = l
+            .resolve_prices(|t| [2.0, 10.2, 20.0].get(t.index()).copied())
+            .unwrap();
+        assert_eq!(prices, vec![2.0, 10.2, 20.0]);
+        let missing = l.resolve_prices(|t| if t.index() == 1 { None } else { Some(1.0) });
+        assert_eq!(missing.unwrap_err(), StrategyError::MissingPrice(t(1)));
+    }
+}

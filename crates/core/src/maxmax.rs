@@ -1,0 +1,129 @@
+//! The MaxMax strategy: best rotation by monetized profit.
+//!
+//! Evaluates the Traditional strategy from *every* token of the loop,
+//! monetizes each profit at CEX prices, and keeps the maximum:
+//! `Max(π_A·P_A, π_B·P_B, …)`. By construction it dominates every
+//! Traditional rotation and the MaxPrice heuristic (the paper's first
+//! theorem), which property tests in this crate assert.
+
+use crate::error::StrategyError;
+use crate::loop_def::ArbLoop;
+use crate::traditional::{self, Method, TraditionalOutcome};
+
+/// Outcome of the MaxMax strategy, retaining all rotations (they are the
+/// "traditional strategy" comparison points of the paper's Fig. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxMaxOutcome {
+    /// The winning rotation.
+    pub best: TraditionalOutcome,
+    /// Every rotation's outcome, indexed by start position.
+    pub rotations: Vec<TraditionalOutcome>,
+}
+
+/// Evaluates MaxMax with the default (closed-form) optimizer.
+///
+/// # Errors
+///
+/// Forwards rotation-evaluation failures; see [`traditional::evaluate`].
+pub fn evaluate(loop_: &ArbLoop, prices: &[f64]) -> Result<MaxMaxOutcome, StrategyError> {
+    evaluate_with(loop_, prices, Method::ClosedForm)
+}
+
+/// Evaluates MaxMax with an explicit optimizer (the paper uses bisection).
+///
+/// # Errors
+///
+/// Forwards rotation-evaluation failures; see [`traditional::evaluate`].
+pub fn evaluate_with(
+    loop_: &ArbLoop,
+    prices: &[f64],
+    method: Method,
+) -> Result<MaxMaxOutcome, StrategyError> {
+    if prices.len() != loop_.len() {
+        return Err(StrategyError::InvalidLoop);
+    }
+    let rotations: Vec<TraditionalOutcome> = (0..loop_.len())
+        .map(|start| traditional::evaluate(loop_, prices, start, method))
+        .collect::<Result<_, _>>()?;
+    let best = *rotations
+        .iter()
+        .max_by(|a, b| {
+            a.monetized
+                .partial_cmp(&b.monetized)
+                .expect("monetized profits are finite")
+        })
+        .expect("loops have at least 2 rotations");
+    Ok(MaxMaxOutcome { best, rotations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::curve::SwapCurve;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use proptest::prelude::*;
+
+    fn paper_loop() -> ArbLoop {
+        let fee = FeeRate::UNISWAP_V2;
+        ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_picks_z_start() {
+        // Monetized: X $33.7, Y $201.1, Z $205.6 ⇒ MaxMax starts at Z.
+        let out = evaluate(&paper_loop(), &[2.0, 10.2, 20.0]).unwrap();
+        assert_eq!(out.best.start, 2);
+        assert!((out.best.monetized.value() - 205.6).abs() < 0.5);
+        assert_eq!(out.rotations.len(), 3);
+    }
+
+    #[test]
+    fn maxmax_dominates_every_rotation() {
+        let out = evaluate(&paper_loop(), &[2.0, 10.2, 20.0]).unwrap();
+        for rot in &out.rotations {
+            assert!(out.best.monetized >= rot.monetized);
+        }
+    }
+
+    #[test]
+    fn crossover_as_px_changes() {
+        // Paper Fig. 2: around Px ≈ 15 the X-rotation overtakes Z-rotation.
+        let l = paper_loop();
+        let at = |px: f64| evaluate(&l, &[px, 10.2, 20.0]).unwrap().best.start;
+        assert_eq!(at(2.0), 2, "low Px: start at Z");
+        assert_eq!(at(18.0), 0, "high Px: start at X");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn theorem_t1_maxmax_dominates_traditional(
+            r in proptest::collection::vec(50.0..20_000.0f64, 6),
+            prices in proptest::collection::vec(0.01..1_000.0f64, 3),
+        ) {
+            let fee = FeeRate::UNISWAP_V2;
+            let l = ArbLoop::new(
+                vec![
+                    SwapCurve::new(r[0], r[1], fee).unwrap(),
+                    SwapCurve::new(r[2], r[3], fee).unwrap(),
+                    SwapCurve::new(r[4], r[5], fee).unwrap(),
+                ],
+                vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+            ).unwrap();
+            let out = evaluate(&l, &prices).unwrap();
+            for rot in &out.rotations {
+                prop_assert!(out.best.monetized >= rot.monetized);
+                prop_assert!(rot.monetized.value() >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The MaxPrice strategy: start from the highest-priced token.
+//!
+//! A natural-sounding heuristic — "surely the most valuable token extracts
+//! the most value" — that the paper demonstrates is *unreliable*: the
+//! optimal start token depends on pool depths along the loop, not just on
+//! prices (Fig. 2 and Fig. 6). This module implements the heuristic so the
+//! comparison can be reproduced.
+
+use crate::error::StrategyError;
+use crate::loop_def::ArbLoop;
+use crate::traditional::{self, Method, TraditionalOutcome};
+
+/// The index of the highest-priced token (ties break to the lowest index).
+pub fn argmax_price(prices: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, p) in prices.iter().enumerate() {
+        if *p > prices[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Evaluates MaxPrice with the default (closed-form) optimizer.
+///
+/// # Errors
+///
+/// See [`traditional::evaluate`].
+pub fn evaluate(loop_: &ArbLoop, prices: &[f64]) -> Result<TraditionalOutcome, StrategyError> {
+    evaluate_with(loop_, prices, Method::ClosedForm)
+}
+
+/// Evaluates MaxPrice with an explicit optimizer.
+///
+/// # Errors
+///
+/// See [`traditional::evaluate`].
+pub fn evaluate_with(
+    loop_: &ArbLoop,
+    prices: &[f64],
+    method: Method,
+) -> Result<TraditionalOutcome, StrategyError> {
+    if prices.len() != loop_.len() {
+        return Err(StrategyError::InvalidLoop);
+    }
+    traditional::evaluate(loop_, prices, argmax_price(prices), method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxmax;
+    use arb_amm::curve::SwapCurve;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use proptest::prelude::*;
+
+    fn paper_loop() -> ArbLoop {
+        let fee = FeeRate::UNISWAP_V2;
+        ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn argmax_price_basics() {
+        assert_eq!(argmax_price(&[2.0, 10.2, 20.0]), 2);
+        assert_eq!(argmax_price(&[5.0, 5.0]), 0, "ties break low");
+    }
+
+    #[test]
+    fn coincides_with_maxmax_on_original_prices() {
+        // With Pz = $20 the highest-priced start happens to be optimal.
+        let l = paper_loop();
+        let prices = [2.0, 10.2, 20.0];
+        let mp = evaluate(&l, &prices).unwrap();
+        let mm = maxmax::evaluate(&l, &prices).unwrap();
+        assert_eq!(mp.start, 2);
+        assert_eq!(mp, mm.best);
+    }
+
+    #[test]
+    fn unreliable_when_px_rises() {
+        // Paper Fig. 2: at Px ≈ 15 (still below Pz = 20) the X-rotation
+        // earns more, so MaxPrice (which sticks with Z) is suboptimal.
+        let l = paper_loop();
+        let prices = [15.0, 10.2, 20.0];
+        let mp = evaluate(&l, &prices).unwrap();
+        let mm = maxmax::evaluate(&l, &prices).unwrap();
+        assert_eq!(mp.start, 2, "MaxPrice still starts at the $20 token");
+        assert_eq!(mm.best.start, 0, "the optimum moved to token X");
+        assert!(
+            mm.best.monetized.value() > mp.monetized.value() + 20.0,
+            "maxmax {} vs maxprice {}",
+            mm.best.monetized,
+            mp.monetized
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn never_beats_maxmax(
+            r in proptest::collection::vec(50.0..20_000.0f64, 6),
+            prices in proptest::collection::vec(0.01..1_000.0f64, 3),
+        ) {
+            let fee = FeeRate::UNISWAP_V2;
+            let l = ArbLoop::new(
+                vec![
+                    SwapCurve::new(r[0], r[1], fee).unwrap(),
+                    SwapCurve::new(r[2], r[3], fee).unwrap(),
+                    SwapCurve::new(r[4], r[5], fee).unwrap(),
+                ],
+                vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+            ).unwrap();
+            let mp = evaluate(&l, &prices).unwrap();
+            let mm = maxmax::evaluate(&l, &prices).unwrap();
+            prop_assert!(mm.best.monetized >= mp.monetized);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Monetized profit: token amounts × CEX prices.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A USD amount — the unit all strategies are compared in.
+///
+/// A newtype rather than a bare `f64` so token amounts and dollar amounts
+/// cannot be mixed up in strategy code.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Usd(f64);
+
+impl Usd {
+    /// Zero dollars.
+    pub const ZERO: Usd = Usd(0.0);
+
+    /// Wraps a dollar amount.
+    pub fn new(value: f64) -> Self {
+        Usd(value)
+    }
+
+    /// The raw `f64` value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two amounts.
+    pub fn max(self, other: Usd) -> Usd {
+        Usd(self.0.max(other.0))
+    }
+}
+
+impl Add for Usd {
+    type Output = Usd;
+
+    fn add(self, rhs: Usd) -> Usd {
+        Usd(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Usd {
+    fn add_assign(&mut self, rhs: Usd) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Usd {
+    type Output = Usd;
+
+    fn sub(self, rhs: Usd) -> Usd {
+        Usd(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Usd {
+    fn sum<I: Iterator<Item = Usd>>(iter: I) -> Usd {
+        Usd(iter.map(|u| u.0).sum())
+    }
+}
+
+impl std::fmt::Display for Usd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "${:.2}", self.0)
+    }
+}
+
+/// Monetizes per-token profits against aligned prices:
+/// `Σ_j profits[j] · prices[j]`.
+///
+/// # Panics
+///
+/// Debug-asserts equal lengths.
+pub fn monetize(token_profits: &[f64], prices: &[f64]) -> Usd {
+    debug_assert_eq!(token_profits.len(), prices.len());
+    Usd(token_profits
+        .iter()
+        .zip(prices)
+        .map(|(amount, price)| amount * price)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = Usd::new(10.0);
+        let b = Usd::new(2.5);
+        assert_eq!((a + b).value(), 12.5);
+        assert_eq!((a - b).value(), 7.5);
+        assert_eq!(a.max(b), a);
+        assert_eq!(format!("{a}"), "$10.00");
+        let total: Usd = [a, b].into_iter().sum();
+        assert_eq!(total.value(), 12.5);
+    }
+
+    #[test]
+    fn monetize_weights_by_price() {
+        // The paper's convex plan: ~5 Y at $10.2 + ~7.7 Z at $20.
+        let m = monetize(&[0.0, 5.0, 7.7], &[2.0, 10.2, 20.0]);
+        assert!((m.value() - 205.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Usd::new(1.0) > Usd::ZERO);
+        assert!(Usd::new(-1.0) < Usd::ZERO);
+    }
+}

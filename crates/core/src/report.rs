@@ -1,0 +1,130 @@
+//! Per-loop strategy comparison — the row behind the paper's Figs. 5–8.
+
+use arb_convex::SolverOptions;
+
+use crate::convexopt;
+use crate::error::StrategyError;
+use crate::loop_def::ArbLoop;
+use crate::maxmax;
+use crate::maxprice;
+use crate::monetize::Usd;
+use crate::traditional::Method;
+
+/// Options for a full comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompareOptions {
+    /// Optimizer for the 1-D strategies.
+    pub method: Method,
+    /// Solver options for ConvexOptimization.
+    pub convex: SolverOptions,
+}
+
+/// All strategies evaluated on one loop.
+///
+/// * Fig. 5 plots each entry of `traditional` against `maxmax`;
+/// * Fig. 6 plots `maxprice` against `maxmax`;
+/// * Fig. 7/10 plot `maxmax` against `convex`;
+/// * Fig. 8 compares `maxmax_token_profits` with `convex_token_profits`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopComparison {
+    /// Monetized profit of every Traditional rotation, by start index.
+    pub traditional: Vec<Usd>,
+    /// Monetized profit of the MaxPrice heuristic.
+    pub maxprice: Usd,
+    /// Monetized profit of MaxMax.
+    pub maxmax: Usd,
+    /// Monetized profit of ConvexOptimization.
+    pub convex: Usd,
+    /// MaxMax profit in token units (profit only at the winning start).
+    pub maxmax_token_profits: Vec<f64>,
+    /// ConvexOptimization profit in token units, aligned with loop order.
+    pub convex_token_profits: Vec<f64>,
+}
+
+/// Evaluates all strategies on one loop.
+///
+/// # Errors
+///
+/// Forwards the first strategy failure encountered.
+pub fn compare(
+    loop_: &ArbLoop,
+    prices: &[f64],
+    options: &CompareOptions,
+) -> Result<LoopComparison, StrategyError> {
+    let mm = maxmax::evaluate_with(loop_, prices, options.method)?;
+    let mp = maxprice::evaluate_with(loop_, prices, options.method)?;
+    let cv = convexopt::evaluate_with(loop_, prices, &options.convex)?;
+
+    let mut maxmax_token_profits = vec![0.0; loop_.len()];
+    maxmax_token_profits[mm.best.start] = mm.best.token_profit;
+
+    Ok(LoopComparison {
+        traditional: mm.rotations.iter().map(|r| r.monetized).collect(),
+        maxprice: mp.monetized,
+        maxmax: mm.best.monetized,
+        convex: cv.monetized,
+        maxmax_token_profits,
+        convex_token_profits: cv.plan.token_profits().to_vec(),
+    })
+}
+
+impl LoopComparison {
+    /// The paper's dominance invariants for this row; `tolerance` absorbs
+    /// solver slack. Used by figure-shape integration tests.
+    pub fn satisfies_dominance(&self, tolerance: f64) -> bool {
+        let mm = self.maxmax.value();
+        self.traditional.iter().all(|t| t.value() <= mm + tolerance)
+            && self.maxprice.value() <= mm + tolerance
+            && self.convex.value() >= mm - tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::curve::SwapCurve;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+
+    fn paper_loop() -> ArbLoop {
+        let fee = FeeRate::UNISWAP_V2;
+        ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_row() {
+        let row = compare(
+            &paper_loop(),
+            &[2.0, 10.2, 20.0],
+            &CompareOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(row.traditional.len(), 3);
+        assert!((row.traditional[0].value() - 33.7).abs() < 0.3);
+        assert!((row.traditional[1].value() - 201.1).abs() < 0.5);
+        assert!((row.traditional[2].value() - 205.6).abs() < 0.5);
+        assert!((row.maxmax.value() - 205.6).abs() < 0.5);
+        assert!((row.convex.value() - 206.1).abs() < 0.5);
+        assert!(row.satisfies_dominance(1e-6));
+    }
+
+    #[test]
+    fn dominance_check_catches_violations() {
+        let mut row = compare(
+            &paper_loop(),
+            &[2.0, 10.2, 20.0],
+            &CompareOptions::default(),
+        )
+        .unwrap();
+        row.convex = Usd::new(0.0); // corrupt: convex below maxmax
+        assert!(!row.satisfies_dominance(1e-6));
+    }
+}

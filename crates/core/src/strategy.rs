@@ -1,0 +1,199 @@
+//! The uniform [`Strategy`] interface over all four approaches.
+//!
+//! Benchmarks, the bot, and the figure harness treat strategies
+//! generically; this module provides the object-safe trait and the four
+//! implementations as unit-ish structs.
+
+use arb_convex::SolverOptions;
+
+use crate::convexopt;
+use crate::error::StrategyError;
+use crate::loop_def::ArbLoop;
+use crate::maxmax;
+use crate::maxprice;
+use crate::monetize::Usd;
+use crate::traditional::{self, Method};
+
+/// A uniform strategy evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// Monetized (USD) profit.
+    pub monetized: Usd,
+    /// Net profit per loop token, aligned with loop order.
+    pub token_profits: Vec<f64>,
+    /// Input amount per hop, aligned with loop order (zero except at the
+    /// start token for the 1-D strategies).
+    pub inputs: Vec<f64>,
+}
+
+/// An arbitrage strategy evaluable on any loop.
+///
+/// Object-safe so heterogeneous strategy sets can be iterated in
+/// benchmarks: `Vec<Box<dyn Strategy>>`.
+pub trait Strategy {
+    /// Short human-readable name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the strategy.
+    ///
+    /// # Errors
+    ///
+    /// Implementations forward [`StrategyError`]s from their optimizers.
+    fn evaluate(&self, loop_: &ArbLoop, prices: &[f64]) -> Result<StrategyOutcome, StrategyError>;
+}
+
+/// Helper: a start-rotation outcome as a uniform [`StrategyOutcome`].
+fn rotation_outcome(loop_: &ArbLoop, outcome: &traditional::TraditionalOutcome) -> StrategyOutcome {
+    let n = loop_.len();
+    let mut token_profits = vec![0.0; n];
+    token_profits[outcome.start] = outcome.token_profit;
+    let mut inputs = vec![0.0; n];
+    inputs[outcome.start] = outcome.optimal_input;
+    StrategyOutcome {
+        monetized: outcome.monetized,
+        token_profits,
+        inputs,
+    }
+}
+
+/// Traditional strategy with a fixed start rotation.
+#[derive(Debug, Clone, Copy)]
+pub struct Traditional {
+    /// Start rotation index.
+    pub start: usize,
+    /// 1-D optimizer.
+    pub method: Method,
+}
+
+impl Strategy for Traditional {
+    fn name(&self) -> &'static str {
+        "traditional"
+    }
+
+    fn evaluate(&self, loop_: &ArbLoop, prices: &[f64]) -> Result<StrategyOutcome, StrategyError> {
+        let outcome = traditional::evaluate(loop_, prices, self.start, self.method)?;
+        Ok(rotation_outcome(loop_, &outcome))
+    }
+}
+
+/// MaxPrice strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxPrice {
+    /// 1-D optimizer.
+    pub method: Method,
+}
+
+impl Strategy for MaxPrice {
+    fn name(&self) -> &'static str {
+        "maxprice"
+    }
+
+    fn evaluate(&self, loop_: &ArbLoop, prices: &[f64]) -> Result<StrategyOutcome, StrategyError> {
+        let outcome = maxprice::evaluate_with(loop_, prices, self.method)?;
+        Ok(rotation_outcome(loop_, &outcome))
+    }
+}
+
+/// MaxMax strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxMax {
+    /// 1-D optimizer.
+    pub method: Method,
+}
+
+impl Strategy for MaxMax {
+    fn name(&self) -> &'static str {
+        "maxmax"
+    }
+
+    fn evaluate(&self, loop_: &ArbLoop, prices: &[f64]) -> Result<StrategyOutcome, StrategyError> {
+        let outcome = maxmax::evaluate_with(loop_, prices, self.method)?;
+        Ok(rotation_outcome(loop_, &outcome.best))
+    }
+}
+
+/// ConvexOptimization strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvexOptimization {
+    /// Solver options (formulation + barrier tuning).
+    pub options: SolverOptions,
+}
+
+impl Strategy for ConvexOptimization {
+    fn name(&self) -> &'static str {
+        "convex"
+    }
+
+    fn evaluate(&self, loop_: &ArbLoop, prices: &[f64]) -> Result<StrategyOutcome, StrategyError> {
+        let outcome = convexopt::evaluate_with(loop_, prices, &self.options)?;
+        Ok(StrategyOutcome {
+            monetized: outcome.monetized,
+            token_profits: outcome.plan.token_profits().to_vec(),
+            inputs: outcome.plan.flows().iter().map(|f| f.amount_in).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::curve::SwapCurve;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+
+    fn paper_loop() -> ArbLoop {
+        let fee = FeeRate::UNISWAP_V2;
+        ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trait_objects_compose() {
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(Traditional {
+                start: 0,
+                method: Method::ClosedForm,
+            }),
+            Box::new(MaxPrice::default()),
+            Box::new(MaxMax::default()),
+            Box::new(ConvexOptimization::default()),
+        ];
+        let l = paper_loop();
+        let prices = [2.0, 10.2, 20.0];
+        let mut results = Vec::new();
+        for s in &strategies {
+            let out = s.evaluate(&l, &prices).unwrap();
+            assert_eq!(out.token_profits.len(), 3);
+            assert_eq!(out.inputs.len(), 3);
+            results.push((s.name(), out.monetized.value()));
+        }
+        // Dominance chain on the paper example:
+        // traditional(X) < maxprice = maxmax ≤ convex.
+        assert!(results[0].1 < results[2].1);
+        assert!((results[1].1 - results[2].1).abs() < 1e-9);
+        assert!(results[3].1 >= results[2].1 - 1e-9);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Traditional {
+                start: 0,
+                method: Method::ClosedForm,
+            }
+            .name(),
+            MaxPrice::default().name(),
+            MaxMax::default().name(),
+            ConvexOptimization::default().name(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,275 @@
+//! The Traditional strategy: fixed start token, optimal input amount.
+//!
+//! For a rotation starting at token `t_s`, the trader maximizes
+//! `Δout − Δin` in units of `t_s`. The profit function is concave, so the
+//! optimum satisfies the paper's first-order condition `dΔout/dΔin = 1`.
+//! Four optimizers are provided; [`Method::ClosedForm`] exploits the
+//! Möbius composition of the chain (`Δ* = (√(A·D) − D)/B`) and is exact,
+//! the others are iterative and exist both as cross-checks and because the
+//! paper's own implementation uses bisection.
+
+use arb_amm::curve::SwapCurve;
+use arb_amm::mobius::Mobius;
+use arb_numerics::scalar;
+
+use crate::error::StrategyError;
+use crate::loop_def::ArbLoop;
+use crate::monetize::Usd;
+
+/// Which 1-D optimizer to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Exact Möbius closed form (default).
+    #[default]
+    ClosedForm,
+    /// Bisection on `dΔout/dΔin = 1` — the paper's method.
+    Bisection,
+    /// Safeguarded Newton on the same optimality condition.
+    Newton,
+    /// Derivative-free golden-section search on the profit itself.
+    GoldenSection,
+}
+
+/// Outcome of the Traditional strategy for one rotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraditionalOutcome {
+    /// Rotation index: the strategy starts (and banks profit) at
+    /// `loop.tokens()[start]`.
+    pub start: usize,
+    /// Optimal input amount of the start token.
+    pub optimal_input: f64,
+    /// Net profit in start-token units.
+    pub token_profit: f64,
+    /// `token_profit × P_start` — the monetized profit.
+    pub monetized: Usd,
+}
+
+/// Output of the whole chain (hops already rotated) for a given input.
+pub fn chain_output(hops: &[SwapCurve], input: f64) -> f64 {
+    hops.iter().fold(input, |amt, hop| hop.amount_out(amt))
+}
+
+/// First derivative of the chain output via the chain rule.
+pub fn chain_derivative(hops: &[SwapCurve], input: f64) -> f64 {
+    let mut amount = input;
+    let mut derivative = 1.0;
+    for hop in hops {
+        derivative *= hop.derivative(amount);
+        amount = hop.amount_out(amount);
+    }
+    derivative
+}
+
+/// Second derivative of the chain output via the second-order chain rule:
+/// `(F∘G)'' = F''(G)·G'² + F'(G)·G''` applied hop by hop.
+pub fn chain_second_derivative(hops: &[SwapCurve], input: f64) -> f64 {
+    let mut amount = input;
+    let mut first = 1.0;
+    let mut second = 0.0;
+    for hop in hops {
+        let f1 = hop.derivative(amount);
+        let f2 = hop.second_derivative(amount);
+        second = f2 * first * first + f1 * second;
+        first *= f1;
+        amount = hop.amount_out(amount);
+    }
+    second
+}
+
+/// Finds the optimal input for an already-rotated hop chain.
+///
+/// Returns `(input, profit_in_start_token)`; `(0, 0)` for unprofitable
+/// rotations.
+///
+/// # Errors
+///
+/// Forwards optimizer failures (cannot occur for the closed form).
+pub fn optimal_input(hops: &[SwapCurve], method: Method) -> Result<(f64, f64), StrategyError> {
+    let mobius: Vec<Mobius> = hops.iter().map(SwapCurve::to_mobius).collect();
+    let chain = Mobius::chain(&mobius);
+    if chain.rate_at_zero() <= 1.0 {
+        return Ok((0.0, 0.0));
+    }
+    let closed_form = chain.optimal_input();
+    let input = match method {
+        Method::ClosedForm => closed_form,
+        Method::Bisection => {
+            let df = |x: f64| chain_derivative(hops, x) - 1.0;
+            let hi = scalar::bracket_maximum(df, 1.0, 200).unwrap_or(closed_form * 2.0 + 1.0);
+            scalar::bisect_derivative(df, 0.0, hi, 1e-12, 200)?.x
+        }
+        Method::Newton => {
+            let df = |x: f64| chain_derivative(hops, x) - 1.0;
+            let d2f = |x: f64| chain_second_derivative(hops, x);
+            let hi = scalar::bracket_maximum(df, 1.0, 200).unwrap_or(closed_form * 2.0 + 1.0);
+            scalar::newton_max(df, d2f, 0.0, hi, 1e-12, 100)?.x
+        }
+        Method::GoldenSection => {
+            let f = |x: f64| chain_output(hops, x) - x;
+            let df = |x: f64| chain_derivative(hops, x) - 1.0;
+            let hi = scalar::bracket_maximum(df, 1.0, 200).unwrap_or(closed_form * 2.0 + 1.0);
+            scalar::golden_section(f, 0.0, hi, 1e-12, 400)?.x
+        }
+    };
+    let profit = chain_output(hops, input) - input;
+    Ok((input, profit.max(0.0)))
+}
+
+/// Evaluates the Traditional strategy for one rotation of a loop.
+///
+/// # Errors
+///
+/// * [`StrategyError::RotationOutOfRange`] for a bad `start`.
+/// * Optimizer failures for the iterative methods.
+pub fn evaluate(
+    loop_: &ArbLoop,
+    prices: &[f64],
+    start: usize,
+    method: Method,
+) -> Result<TraditionalOutcome, StrategyError> {
+    if prices.len() != loop_.len() {
+        return Err(StrategyError::InvalidLoop);
+    }
+    let hops = loop_.rotated_hops(start)?;
+    let (input, profit) = optimal_input(&hops, method)?;
+    Ok(TraditionalOutcome {
+        start,
+        optimal_input: input,
+        token_profit: profit,
+        monetized: Usd::new(profit * prices[start]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use proptest::prelude::*;
+
+    fn paper_loop() -> ArbLoop {
+        let fee = FeeRate::UNISWAP_V2;
+        ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 200.0, fee).unwrap(),
+                SwapCurve::new(300.0, 200.0, fee).unwrap(),
+                SwapCurve::new(200.0, 400.0, fee).unwrap(),
+            ],
+            vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+        )
+        .unwrap()
+    }
+
+    const PRICES: [f64; 3] = [2.0, 10.2, 20.0];
+
+    #[test]
+    fn paper_rotation_x() {
+        // Paper: input 27.0 X, profit 16.8 X, monetized $33.7.
+        let out = evaluate(&paper_loop(), &PRICES, 0, Method::ClosedForm).unwrap();
+        assert!((out.optimal_input - 27.0).abs() < 0.1, "{out:?}");
+        assert!((out.token_profit - 16.8).abs() < 0.1, "{out:?}");
+        assert!((out.monetized.value() - 33.7).abs() < 0.3, "{out:?}");
+    }
+
+    #[test]
+    fn paper_rotation_y() {
+        // Paper: input 31.5 Y, profit 19.7 Y, monetized $201.1.
+        let out = evaluate(&paper_loop(), &PRICES, 1, Method::ClosedForm).unwrap();
+        assert!((out.optimal_input - 31.5).abs() < 0.1, "{out:?}");
+        assert!((out.token_profit - 19.7).abs() < 0.1, "{out:?}");
+        assert!((out.monetized.value() - 201.1).abs() < 0.5, "{out:?}");
+    }
+
+    #[test]
+    fn paper_rotation_z() {
+        // Paper: input 16.4 Z, profit 10.3 Z, monetized $205.6.
+        let out = evaluate(&paper_loop(), &PRICES, 2, Method::ClosedForm).unwrap();
+        assert!((out.optimal_input - 16.4).abs() < 0.1, "{out:?}");
+        assert!((out.token_profit - 10.3).abs() < 0.1, "{out:?}");
+        assert!((out.monetized.value() - 205.6).abs() < 0.5, "{out:?}");
+    }
+
+    #[test]
+    fn all_methods_agree_on_paper_loop() {
+        let l = paper_loop();
+        for start in 0..3 {
+            let reference = evaluate(&l, &PRICES, start, Method::ClosedForm).unwrap();
+            for method in [Method::Bisection, Method::Newton, Method::GoldenSection] {
+                let out = evaluate(&l, &PRICES, start, method).unwrap();
+                assert!(
+                    (out.optimal_input - reference.optimal_input).abs()
+                        < 1e-5 * (1.0 + reference.optimal_input),
+                    "{method:?} start {start}: {} vs {}",
+                    out.optimal_input,
+                    reference.optimal_input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unprofitable_rotation_is_zero() {
+        let fee = FeeRate::UNISWAP_V2;
+        let l = ArbLoop::new(
+            vec![
+                SwapCurve::new(100.0, 100.0, fee).unwrap(),
+                SwapCurve::new(100.0, 100.0, fee).unwrap(),
+            ],
+            vec![TokenId::new(0), TokenId::new(1)],
+        )
+        .unwrap();
+        let out = evaluate(&l, &[1.0, 1.0], 0, Method::Bisection).unwrap();
+        assert_eq!(out.optimal_input, 0.0);
+        assert_eq!(out.token_profit, 0.0);
+    }
+
+    #[test]
+    fn first_order_condition_holds_at_optimum() {
+        let l = paper_loop();
+        for start in 0..3 {
+            let hops = l.rotated_hops(start).unwrap();
+            let (input, _) = optimal_input(&hops, Method::ClosedForm).unwrap();
+            let d = chain_derivative(&hops, input);
+            assert!((d - 1.0).abs() < 1e-9, "dΔout/dΔin = {d} at optimum");
+        }
+    }
+
+    #[test]
+    fn chain_derivatives_match_finite_differences() {
+        let l = paper_loop();
+        let hops = l.hops();
+        for x in [0.5, 5.0, 20.0, 100.0] {
+            let h = 1e-5 * (1.0 + x);
+            let fd1 = (chain_output(hops, x + h) - chain_output(hops, x - h)) / (2.0 * h);
+            let an1 = chain_derivative(hops, x);
+            assert!((fd1 - an1).abs() < 1e-4 * (1.0 + an1.abs()), "x={x}");
+            let fd2 = (chain_derivative(hops, x + h) - chain_derivative(hops, x - h)) / (2.0 * h);
+            let an2 = chain_second_derivative(hops, x);
+            assert!((fd2 - an2).abs() < 1e-3 * (1.0 + an2.abs()), "x={x}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn methods_agree_on_random_loops(
+            r in proptest::collection::vec(50.0..50_000.0f64, 6),
+        ) {
+            let fee = FeeRate::UNISWAP_V2;
+            let hops = vec![
+                SwapCurve::new(r[0], r[1], fee).unwrap(),
+                SwapCurve::new(r[2], r[3], fee).unwrap(),
+                SwapCurve::new(r[4], r[5], fee).unwrap(),
+            ];
+            let (reference, ref_profit) = optimal_input(&hops, Method::ClosedForm).unwrap();
+            for method in [Method::Bisection, Method::Newton, Method::GoldenSection] {
+                let (x, p) = optimal_input(&hops, method).unwrap();
+                prop_assert!((x - reference).abs() < 1e-4 * (1.0 + reference),
+                    "{method:?}: {x} vs {reference}");
+                prop_assert!((p - ref_profit).abs() < 1e-6 * (1.0 + ref_profit));
+            }
+            // The optimum is never negative-profit.
+            prop_assert!(ref_profit >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Market agents that perturb on-chain state between blocks.
+//!
+//! The paper's snapshot is one instant of a market that retail flow keeps
+//! pushing out of equilibrium. [`RandomTrader`] (uninformed swaps) and
+//! [`LiquidityAgent`] (depth changes) regenerate the price discrepancies
+//! that the arbitrage bot then harvests — the closed loop the end-to-end
+//! examples and the bot crate run on.
+
+use rand::Rng;
+
+use crate::chain::Chain;
+use crate::state::AccountId;
+use crate::tx::Transaction;
+use crate::units::to_display;
+
+/// Uninformed noise trader: swaps a random fraction of a random pool's
+/// input reserve each activation.
+#[derive(Debug, Clone)]
+pub struct RandomTrader {
+    account: AccountId,
+    /// Probability of trading on each pool per activation.
+    pub trade_probability: f64,
+    /// Maximum input as a fraction of the pool's input-side reserve.
+    pub max_fraction: f64,
+}
+
+impl RandomTrader {
+    /// Registers a trader account on the chain.
+    pub fn new(chain: &mut Chain, trade_probability: f64, max_fraction: f64) -> Self {
+        RandomTrader {
+            account: chain.create_account(),
+            trade_probability: trade_probability.clamp(0.0, 1.0),
+            max_fraction: max_fraction.clamp(0.0, 0.5),
+        }
+    }
+
+    /// The trader's account.
+    pub fn account(&self) -> AccountId {
+        self.account
+    }
+
+    /// Submits this activation's swaps to the mempool. The trader's input
+    /// tokens are faucet-minted first — it models *external* flow entering
+    /// the DEX, so the tokens genuinely come from outside the system.
+    pub fn act<R: Rng + ?Sized>(&self, chain: &mut Chain, rng: &mut R) {
+        let pool_count = chain.state().pool_count();
+        for index in 0..pool_count {
+            if !rng.gen_bool(self.trade_probability) {
+                continue;
+            }
+            let pool = chain.state().pools()[index];
+            let a_to_b = rng.gen_bool(0.5);
+            let (token_in, reserve_in) = if a_to_b {
+                (pool.token_a(), pool.raw().reserve_a())
+            } else {
+                (pool.token_b(), pool.raw().reserve_b())
+            };
+            let fraction = rng.gen_range(0.0..self.max_fraction.max(f64::MIN_POSITIVE));
+            let amount_in = ((reserve_in as f64) * fraction) as u128;
+            if amount_in == 0 {
+                continue;
+            }
+            chain.mint(self.account, token_in, amount_in);
+            chain.submit(Transaction::Swap {
+                account: self.account,
+                pool: arb_amm::pool::PoolId::new(index as u32),
+                token_in,
+                amount_in,
+                min_out: 0,
+            });
+        }
+    }
+}
+
+/// Liquidity agent: occasionally adds (and later removes) liquidity,
+/// changing pool depth and therefore slippage profiles.
+#[derive(Debug, Clone)]
+pub struct LiquidityAgent {
+    account: AccountId,
+    /// Probability of acting on each pool per activation.
+    pub action_probability: f64,
+    /// Deposit size as a fraction of current reserves.
+    pub deposit_fraction: f64,
+}
+
+impl LiquidityAgent {
+    /// Registers an LP account on the chain.
+    pub fn new(chain: &mut Chain, action_probability: f64, deposit_fraction: f64) -> Self {
+        LiquidityAgent {
+            account: chain.create_account(),
+            action_probability: action_probability.clamp(0.0, 1.0),
+            deposit_fraction: deposit_fraction.clamp(0.0, 0.5),
+        }
+    }
+
+    /// The agent's account.
+    pub fn account(&self) -> AccountId {
+        self.account
+    }
+
+    /// Submits this activation's liquidity actions. Deposits are minted
+    /// (external capital entering); removals recycle previously earned
+    /// shares.
+    pub fn act<R: Rng + ?Sized>(&self, chain: &mut Chain, rng: &mut R) {
+        let pool_count = chain.state().pool_count();
+        for index in 0..pool_count {
+            if !rng.gen_bool(self.action_probability) {
+                continue;
+            }
+            let pool_id = arb_amm::pool::PoolId::new(index as u32);
+            let held = chain.state().shares(self.account, pool_id);
+            if held > 0 && rng.gen_bool(0.5) {
+                chain.submit(Transaction::RemoveLiquidity {
+                    account: self.account,
+                    pool: pool_id,
+                    shares: held / 2 + 1,
+                });
+            } else {
+                let pool = chain.state().pools()[index];
+                let dep_a = ((pool.raw().reserve_a() as f64) * self.deposit_fraction) as u128;
+                let dep_b = ((pool.raw().reserve_b() as f64) * self.deposit_fraction) as u128;
+                if dep_a == 0 || dep_b == 0 {
+                    continue;
+                }
+                chain.mint(self.account, pool.token_a(), dep_a);
+                chain.mint(self.account, pool.token_b(), dep_b);
+                chain.submit(Transaction::AddLiquidity {
+                    account: self.account,
+                    pool: pool_id,
+                    amount_a: dep_a,
+                    amount_b: dep_b,
+                });
+            }
+        }
+    }
+}
+
+/// Convenience: the spot mispricing a trader's flow created on one pool,
+/// in display units (useful for diagnostics and tests).
+pub fn display_reserves(chain: &Chain, pool_index: usize) -> (f64, f64) {
+    let pool = chain.state().pools()[pool_index];
+    (
+        to_display(pool.raw().reserve_a()),
+        to_display(pool.raw().reserve_b()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::to_raw;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn chain_with_pools() -> Chain {
+        let mut chain = Chain::new();
+        for i in 0..3u32 {
+            chain
+                .add_pool(
+                    t(i),
+                    t((i + 1) % 3),
+                    to_raw(10_000.0),
+                    to_raw(10_000.0),
+                    FeeRate::UNISWAP_V2,
+                )
+                .unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn trader_perturbs_reserves() {
+        let mut chain = chain_with_pools();
+        let trader = RandomTrader::new(&mut chain, 1.0, 0.05);
+        let mut rng = StdRng::seed_from_u64(42);
+        let before: Vec<_> = (0..3).map(|i| display_reserves(&chain, i)).collect();
+        for _ in 0..5 {
+            trader.act(&mut chain, &mut rng);
+            chain.mine_block();
+        }
+        let after: Vec<_> = (0..3).map(|i| display_reserves(&chain, i)).collect();
+        assert_ne!(before, after, "trading must move reserves");
+        // All submitted swaps succeed (the trader mints its inputs).
+        for block in chain.blocks() {
+            for r in &block.receipts {
+                assert!(r.success, "unexpected revert: {:?}", r.error);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_agent_round_trips_liquidity() {
+        let mut chain = chain_with_pools();
+        let lp = LiquidityAgent::new(&mut chain, 1.0, 0.1);
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..10 {
+            lp.act(&mut chain, &mut rng);
+            chain.mine_block();
+        }
+        for block in chain.blocks() {
+            for r in &block.receipts {
+                assert!(r.success, "unexpected revert: {:?}", r.error);
+            }
+        }
+        // Pool k never decreases under adds/removes beyond rounding dust.
+        for i in 0..3 {
+            let (ra, rb) = display_reserves(&chain, i);
+            assert!(ra > 0.0 && rb > 0.0);
+        }
+    }
+
+    #[test]
+    fn trading_creates_arbitrage_over_time() {
+        let mut chain = chain_with_pools();
+        let trader = RandomTrader::new(&mut chain, 1.0, 0.08);
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..10 {
+            trader.act(&mut chain, &mut rng);
+            chain.mine_block();
+        }
+        // The triangle 0→1→2→0 should now be unbalanced in one direction.
+        let rate: f64 = (0..3)
+            .map(|i| {
+                let pool = chain.state().pools()[i];
+                0.997 * pool.raw().reserve_b() as f64 / pool.raw().reserve_a() as f64
+            })
+            .product();
+        let best = rate.max(1.0 / rate * 0.997f64.powi(6));
+        assert!(
+            best > 1.0,
+            "random flow should create a profitable direction, rate={rate}"
+        );
+    }
+}

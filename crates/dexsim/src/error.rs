@@ -1,0 +1,78 @@
+//! Transaction execution errors (revert reasons).
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a transaction reverted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TxError {
+    /// The referenced pool does not exist.
+    UnknownPool,
+    /// The referenced account does not exist.
+    UnknownAccount,
+    /// The account's balance cannot cover the debit.
+    InsufficientBalance,
+    /// A swap produced less than its `min_out` bound.
+    SlippageExceeded,
+    /// A flash bundle would settle with a negative token balance.
+    BundleInsolvent,
+    /// The account holds fewer LP shares than it tried to burn.
+    InsufficientShares,
+    /// A zero amount where a positive one is required.
+    ZeroAmount,
+    /// AMM-level failure (overflow, drained reserve, …).
+    Amm(arb_amm::AmmError),
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::UnknownPool => write!(f, "unknown pool"),
+            TxError::UnknownAccount => write!(f, "unknown account"),
+            TxError::InsufficientBalance => write!(f, "insufficient balance"),
+            TxError::SlippageExceeded => write!(f, "output below min_out bound"),
+            TxError::BundleInsolvent => write!(f, "flash bundle settles negative"),
+            TxError::InsufficientShares => write!(f, "insufficient lp shares"),
+            TxError::ZeroAmount => write!(f, "amount must be positive"),
+            TxError::Amm(e) => write!(f, "amm error: {e}"),
+        }
+    }
+}
+
+impl Error for TxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TxError::Amm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<arb_amm::AmmError> for TxError {
+    fn from(e: arb_amm::AmmError) -> Self {
+        TxError::Amm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_nonempty() {
+        let variants = [
+            TxError::UnknownPool,
+            TxError::UnknownAccount,
+            TxError::InsufficientBalance,
+            TxError::SlippageExceeded,
+            TxError::BundleInsolvent,
+            TxError::InsufficientShares,
+            TxError::ZeroAmount,
+            TxError::Amm(arb_amm::AmmError::Overflow),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

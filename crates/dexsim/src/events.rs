@@ -1,0 +1,292 @@
+//! Uniswap-style chain events with a compact binary codec.
+//!
+//! Real arbitrage monitors consume `Sync`/`Swap` event logs; the simulator
+//! emits the same shape. Events encode to a tagged little-endian binary
+//! frame via [`bytes`] so the log can be persisted or streamed compactly.
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::state::AccountId;
+
+/// A chain event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// Reserve update after any pool mutation (Uniswap V2 `Sync`).
+    Sync {
+        /// Affected pool.
+        pool: PoolId,
+        /// New reserve of token A.
+        reserve_a: u128,
+        /// New reserve of token B.
+        reserve_b: u128,
+    },
+    /// A swap executed (Uniswap V2 `Swap`).
+    Swap {
+        /// Pool traded against.
+        pool: PoolId,
+        /// Token paid in.
+        token_in: TokenId,
+        /// Raw input amount.
+        amount_in: u128,
+        /// Raw output amount.
+        amount_out: u128,
+    },
+    /// LP shares minted.
+    Mint {
+        /// Pool.
+        pool: PoolId,
+        /// Receiving account.
+        account: AccountId,
+        /// Shares created.
+        shares: u128,
+    },
+    /// LP shares burned.
+    Burn {
+        /// Pool.
+        pool: PoolId,
+        /// Burning account.
+        account: AccountId,
+        /// Shares destroyed.
+        shares: u128,
+    },
+}
+
+const TAG_SYNC: u8 = 1;
+const TAG_SWAP: u8 = 2;
+const TAG_MINT: u8 = 3;
+const TAG_BURN: u8 = 4;
+
+impl Event {
+    /// Appends the binary encoding of this event to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match *self {
+            Event::Sync {
+                pool,
+                reserve_a,
+                reserve_b,
+            } => {
+                buf.put_u8(TAG_SYNC);
+                buf.put_u32_le(pool.index() as u32);
+                buf.put_u128_le(reserve_a);
+                buf.put_u128_le(reserve_b);
+            }
+            Event::Swap {
+                pool,
+                token_in,
+                amount_in,
+                amount_out,
+            } => {
+                buf.put_u8(TAG_SWAP);
+                buf.put_u32_le(pool.index() as u32);
+                buf.put_u32_le(token_in.index() as u32);
+                buf.put_u128_le(amount_in);
+                buf.put_u128_le(amount_out);
+            }
+            Event::Mint {
+                pool,
+                account,
+                shares,
+            } => {
+                buf.put_u8(TAG_MINT);
+                buf.put_u32_le(pool.index() as u32);
+                buf.put_u32_le(account.index() as u32);
+                buf.put_u128_le(shares);
+            }
+            Event::Burn {
+                pool,
+                account,
+                shares,
+            } => {
+                buf.put_u8(TAG_BURN);
+                buf.put_u32_le(pool.index() as u32);
+                buf.put_u32_le(account.index() as u32);
+                buf.put_u128_le(shares);
+            }
+        }
+    }
+
+    /// Decodes one event from the front of `buf`, advancing it.
+    ///
+    /// Returns `None` on an empty/truncated/unknown-tag frame.
+    pub fn decode(buf: &mut Bytes) -> Option<Event> {
+        if buf.is_empty() {
+            return None;
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_SYNC => {
+                if buf.remaining() < 4 + 32 {
+                    return None;
+                }
+                Some(Event::Sync {
+                    pool: PoolId::new(buf.get_u32_le()),
+                    reserve_a: buf.get_u128_le(),
+                    reserve_b: buf.get_u128_le(),
+                })
+            }
+            TAG_SWAP => {
+                if buf.remaining() < 8 + 32 {
+                    return None;
+                }
+                Some(Event::Swap {
+                    pool: PoolId::new(buf.get_u32_le()),
+                    token_in: TokenId::new(buf.get_u32_le()),
+                    amount_in: buf.get_u128_le(),
+                    amount_out: buf.get_u128_le(),
+                })
+            }
+            TAG_MINT | TAG_BURN => {
+                if buf.remaining() < 8 + 16 {
+                    return None;
+                }
+                let pool = PoolId::new(buf.get_u32_le());
+                let account = account_from_index(buf.get_u32_le());
+                let shares = buf.get_u128_le();
+                Some(if tag == TAG_MINT {
+                    Event::Mint {
+                        pool,
+                        account,
+                        shares,
+                    }
+                } else {
+                    Event::Burn {
+                        pool,
+                        account,
+                        shares,
+                    }
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+// AccountId has no public u32 constructor by design; the event codec is
+// the one place that rebuilds one from its wire index.
+fn account_from_index(index: u32) -> AccountId {
+    AccountId::from_wire(index)
+}
+
+/// An append-only encoded event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    buffer: BytesMut,
+    count: usize,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        event.encode(&mut self.buffer);
+        self.count += 1;
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the encoded log in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Decodes the full log back into events.
+    pub fn decode_all(&self) -> Vec<Event> {
+        let mut bytes = Bytes::copy_from_slice(&self.buffer);
+        let mut events = Vec::with_capacity(self.count);
+        while let Some(e) = Event::decode(&mut bytes) {
+            events.push(e);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let mut state = crate::state::ChainState::new();
+        let account = state.create_account();
+        vec![
+            Event::Sync {
+                pool: PoolId::new(3),
+                reserve_a: u128::MAX - 5,
+                reserve_b: 12345,
+            },
+            Event::Swap {
+                pool: PoolId::new(0),
+                token_in: TokenId::new(7),
+                amount_in: 1,
+                amount_out: 2,
+            },
+            Event::Mint {
+                pool: PoolId::new(1),
+                account,
+                shares: 999,
+            },
+            Event::Burn {
+                pool: PoolId::new(1),
+                account,
+                shares: 100,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for event in sample_events() {
+            let mut buf = BytesMut::new();
+            event.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            assert_eq!(Event::decode(&mut bytes), Some(event));
+            assert!(bytes.is_empty(), "decoder must consume the frame exactly");
+        }
+    }
+
+    #[test]
+    fn log_round_trip_preserves_order() {
+        let mut log = EventLog::new();
+        let events = sample_events();
+        for e in &events {
+            log.push(*e);
+        }
+        assert_eq!(log.len(), events.len());
+        assert_eq!(log.decode_all(), events);
+    }
+
+    #[test]
+    fn truncated_frame_returns_none() {
+        let mut buf = BytesMut::new();
+        sample_events()[0].encode(&mut buf);
+        let mut truncated = buf.freeze().slice(0..10);
+        assert_eq!(Event::decode(&mut truncated), None);
+    }
+
+    #[test]
+    fn unknown_tag_returns_none() {
+        let mut bytes = Bytes::from_static(&[0xFFu8, 1, 2, 3]);
+        assert_eq!(Event::decode(&mut bytes), None);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.decode_all(), vec![]);
+    }
+}

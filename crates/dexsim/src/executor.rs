@@ -1,0 +1,698 @@
+//! Journaled transaction execution with full revert semantics.
+//!
+//! Every state mutation is recorded in an undo journal before it happens;
+//! if any later step of the same transaction fails, the journal unwinds in
+//! reverse order and the state is exactly as before — the simulator's
+//! equivalent of an EVM revert. This is what makes
+//! [`Transaction::FlashBundle`] atomic and risk-free in the paper's sense.
+
+use std::collections::HashMap;
+
+use arb_amm::exact::RawPool;
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+
+use crate::error::TxError;
+use crate::events::Event;
+use crate::state::{AccountId, ChainState};
+use crate::tx::{BundleStep, Transaction};
+
+/// One reversible state mutation.
+enum Undo {
+    Balance {
+        account: AccountId,
+        token: TokenId,
+        prev: u128,
+    },
+    PoolRaw {
+        pool: PoolId,
+        prev: RawPool,
+    },
+    Shares {
+        account: AccountId,
+        pool: PoolId,
+        prev: u128,
+    },
+    TotalShares {
+        pool: PoolId,
+        prev: u128,
+    },
+}
+
+/// Executes a transaction; on error the state is untouched.
+///
+/// Returns the events emitted on success.
+///
+/// # Errors
+///
+/// Any [`TxError`] is a revert reason; the caller may record it in a
+/// receipt. State is rolled back before returning.
+pub fn execute(state: &mut ChainState, tx: &Transaction) -> Result<Vec<Event>, TxError> {
+    let mut journal: Vec<Undo> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let result = run(state, tx, &mut journal, &mut events);
+    match result {
+        Ok(()) => Ok(events),
+        Err(e) => {
+            for undo in journal.into_iter().rev() {
+                apply_undo(state, undo);
+            }
+            Err(e)
+        }
+    }
+}
+
+fn apply_undo(state: &mut ChainState, undo: Undo) {
+    match undo {
+        Undo::Balance {
+            account,
+            token,
+            prev,
+        } => state.set_balance(account, token, prev),
+        Undo::PoolRaw { pool, prev } => state.set_pool_raw(pool, prev),
+        Undo::Shares {
+            account,
+            pool,
+            prev,
+        } => state.set_shares(account, pool, prev),
+        Undo::TotalShares { pool, prev } => state.set_total_shares(pool, prev),
+    }
+}
+
+fn journal_balance(
+    state: &ChainState,
+    journal: &mut Vec<Undo>,
+    account: AccountId,
+    token: TokenId,
+) {
+    journal.push(Undo::Balance {
+        account,
+        token,
+        prev: state.balance(account, token),
+    });
+}
+
+fn run(
+    state: &mut ChainState,
+    tx: &Transaction,
+    journal: &mut Vec<Undo>,
+    events: &mut Vec<Event>,
+) -> Result<(), TxError> {
+    if !state.account_exists(tx.sender()) {
+        return Err(TxError::UnknownAccount);
+    }
+    match tx {
+        Transaction::Swap {
+            account,
+            pool,
+            token_in,
+            amount_in,
+            min_out,
+        } => {
+            let out = swap(
+                state, journal, events, *account, *pool, *token_in, *amount_in,
+            )?;
+            if out < *min_out {
+                return Err(TxError::SlippageExceeded);
+            }
+            Ok(())
+        }
+        Transaction::AddLiquidity {
+            account,
+            pool,
+            amount_a,
+            amount_b,
+        } => add_liquidity(
+            state, journal, events, *account, *pool, *amount_a, *amount_b,
+        ),
+        Transaction::RemoveLiquidity {
+            account,
+            pool,
+            shares,
+        } => remove_liquidity(state, journal, events, *account, *pool, *shares),
+        Transaction::Transfer {
+            from,
+            to,
+            token,
+            amount,
+        } => {
+            if !state.account_exists(*to) {
+                return Err(TxError::UnknownAccount);
+            }
+            if *amount == 0 {
+                return Err(TxError::ZeroAmount);
+            }
+            journal_balance(state, journal, *from, *token);
+            state.debit(*from, *token, *amount)?;
+            journal_balance(state, journal, *to, *token);
+            state.credit(*to, *token, *amount);
+            Ok(())
+        }
+        Transaction::FlashBundle { account, steps } => {
+            flash_bundle(state, journal, events, *account, steps)
+        }
+    }
+}
+
+/// A balance-settled swap: debit input, trade, credit output.
+fn swap(
+    state: &mut ChainState,
+    journal: &mut Vec<Undo>,
+    events: &mut Vec<Event>,
+    account: AccountId,
+    pool_id: PoolId,
+    token_in: TokenId,
+    amount_in: u128,
+) -> Result<u128, TxError> {
+    if amount_in == 0 {
+        return Err(TxError::ZeroAmount);
+    }
+    journal_balance(state, journal, account, token_in);
+    state.debit(account, token_in, amount_in)?;
+    let (token_out, out) = pool_swap(state, journal, events, pool_id, token_in, amount_in)?;
+    journal_balance(state, journal, account, token_out);
+    state.credit(account, token_out, out);
+    Ok(out)
+}
+
+/// Mutates only the pool (no balance settlement) — shared by swaps and
+/// flash-bundle steps.
+fn pool_swap(
+    state: &mut ChainState,
+    journal: &mut Vec<Undo>,
+    events: &mut Vec<Event>,
+    pool_id: PoolId,
+    token_in: TokenId,
+    amount_in: u128,
+) -> Result<(TokenId, u128), TxError> {
+    let pool = state.pool(pool_id)?;
+    let (a_to_b, token_out) = if token_in == pool.token_a() {
+        (true, pool.token_b())
+    } else if token_in == pool.token_b() {
+        (false, pool.token_a())
+    } else {
+        return Err(TxError::Amm(arb_amm::AmmError::TokenNotInPool));
+    };
+    let prev = *pool.raw();
+    let mut raw = prev;
+    let out = raw.execute(a_to_b, amount_in)?;
+    journal.push(Undo::PoolRaw {
+        pool: pool_id,
+        prev,
+    });
+    state.set_pool_raw(pool_id, raw);
+    events.push(Event::Swap {
+        pool: pool_id,
+        token_in,
+        amount_in,
+        amount_out: out,
+    });
+    events.push(Event::Sync {
+        pool: pool_id,
+        reserve_a: raw.reserve_a(),
+        reserve_b: raw.reserve_b(),
+    });
+    Ok((token_out, out))
+}
+
+fn add_liquidity(
+    state: &mut ChainState,
+    journal: &mut Vec<Undo>,
+    events: &mut Vec<Event>,
+    account: AccountId,
+    pool_id: PoolId,
+    amount_a: u128,
+    amount_b: u128,
+) -> Result<(), TxError> {
+    if amount_a == 0 || amount_b == 0 {
+        return Err(TxError::ZeroAmount);
+    }
+    let pool = state.pool(pool_id)?;
+    let (ra, rb) = (pool.raw().reserve_a(), pool.raw().reserve_b());
+    let (token_a, token_b) = (pool.token_a(), pool.token_b());
+    let total = pool.total_shares();
+    let fee = pool.raw().fee();
+
+    // Largest ratio-preserving deposit within the desired maxima
+    // (Uniswap V2 router `addLiquidity` semantics).
+    let b_for_a = amount_a.saturating_mul(rb) / ra;
+    let (dep_a, dep_b) = if b_for_a <= amount_b && b_for_a > 0 {
+        (amount_a, b_for_a)
+    } else {
+        (amount_b.saturating_mul(ra) / rb, amount_b)
+    };
+    if dep_a == 0 || dep_b == 0 {
+        return Err(TxError::ZeroAmount);
+    }
+    let minted = (dep_a.saturating_mul(total) / ra).min(dep_b.saturating_mul(total) / rb);
+    if minted == 0 {
+        return Err(TxError::ZeroAmount);
+    }
+
+    journal_balance(state, journal, account, token_a);
+    state.debit(account, token_a, dep_a)?;
+    journal_balance(state, journal, account, token_b);
+    state.debit(account, token_b, dep_b)?;
+
+    journal.push(Undo::PoolRaw {
+        pool: pool_id,
+        prev: *state.pool(pool_id)?.raw(),
+    });
+    state.set_pool_raw(pool_id, RawPool::new(ra + dep_a, rb + dep_b, fee)?);
+
+    journal.push(Undo::TotalShares {
+        pool: pool_id,
+        prev: total,
+    });
+    state.set_total_shares(pool_id, total + minted);
+
+    journal.push(Undo::Shares {
+        account,
+        pool: pool_id,
+        prev: state.shares(account, pool_id),
+    });
+    state.set_shares(account, pool_id, state.shares(account, pool_id) + minted);
+
+    events.push(Event::Mint {
+        pool: pool_id,
+        account,
+        shares: minted,
+    });
+    events.push(Event::Sync {
+        pool: pool_id,
+        reserve_a: ra + dep_a,
+        reserve_b: rb + dep_b,
+    });
+    Ok(())
+}
+
+fn remove_liquidity(
+    state: &mut ChainState,
+    journal: &mut Vec<Undo>,
+    events: &mut Vec<Event>,
+    account: AccountId,
+    pool_id: PoolId,
+    shares: u128,
+) -> Result<(), TxError> {
+    if shares == 0 {
+        return Err(TxError::ZeroAmount);
+    }
+    let held = state.shares(account, pool_id);
+    if held < shares {
+        return Err(TxError::InsufficientShares);
+    }
+    let pool = state.pool(pool_id)?;
+    let (ra, rb) = (pool.raw().reserve_a(), pool.raw().reserve_b());
+    let (token_a, token_b) = (pool.token_a(), pool.token_b());
+    let total = pool.total_shares();
+    let fee = pool.raw().fee();
+
+    let out_a = shares.saturating_mul(ra) / total;
+    let out_b = shares.saturating_mul(rb) / total;
+    if out_a == 0 || out_b == 0 {
+        return Err(TxError::ZeroAmount);
+    }
+    // A pool can never be fully drained in the simulator.
+    if out_a >= ra || out_b >= rb {
+        return Err(TxError::Amm(arb_amm::AmmError::InsufficientLiquidity));
+    }
+
+    journal.push(Undo::Shares {
+        account,
+        pool: pool_id,
+        prev: held,
+    });
+    state.set_shares(account, pool_id, held - shares);
+    journal.push(Undo::TotalShares {
+        pool: pool_id,
+        prev: total,
+    });
+    state.set_total_shares(pool_id, total - shares);
+    journal.push(Undo::PoolRaw {
+        pool: pool_id,
+        prev: *state.pool(pool_id)?.raw(),
+    });
+    state.set_pool_raw(pool_id, RawPool::new(ra - out_a, rb - out_b, fee)?);
+
+    journal_balance(state, journal, account, token_a);
+    state.credit(account, token_a, out_a);
+    journal_balance(state, journal, account, token_b);
+    state.credit(account, token_b, out_b);
+
+    events.push(Event::Burn {
+        pool: pool_id,
+        account,
+        shares,
+    });
+    events.push(Event::Sync {
+        pool: pool_id,
+        reserve_a: ra - out_a,
+        reserve_b: rb - out_b,
+    });
+    Ok(())
+}
+
+/// Flash-loan bundle: swaps execute against pools while per-token deltas
+/// accumulate off-balance; settlement applies deltas to the account and
+/// reverts if any token would go negative.
+fn flash_bundle(
+    state: &mut ChainState,
+    journal: &mut Vec<Undo>,
+    events: &mut Vec<Event>,
+    account: AccountId,
+    steps: &[BundleStep],
+) -> Result<(), TxError> {
+    if steps.is_empty() {
+        return Err(TxError::ZeroAmount);
+    }
+    let mut deltas: HashMap<TokenId, i128> = HashMap::new();
+    for step in steps {
+        if step.amount_in == 0 {
+            return Err(TxError::ZeroAmount);
+        }
+        let (token_out, out) = pool_swap(
+            state,
+            journal,
+            events,
+            step.pool,
+            step.token_in,
+            step.amount_in,
+        )?;
+        *deltas.entry(step.token_in).or_insert(0) -= step.amount_in as i128;
+        *deltas.entry(token_out).or_insert(0) += out as i128;
+    }
+    // Settlement: deterministic order for reproducible receipts.
+    let mut tokens: Vec<TokenId> = deltas.keys().copied().collect();
+    tokens.sort_unstable();
+    for token in tokens {
+        let delta = deltas[&token];
+        if delta < 0 {
+            let owed = delta.unsigned_abs();
+            if state.balance(account, token) < owed {
+                return Err(TxError::BundleInsolvent);
+            }
+            journal_balance(state, journal, account, token);
+            state.debit(account, token, owed)?;
+        } else if delta > 0 {
+            journal_balance(state, journal, account, token);
+            state.credit(account, token, delta as u128);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::to_raw;
+    use arb_amm::fee::FeeRate;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    struct Fixture {
+        state: ChainState,
+        alice: AccountId,
+        pool: PoolId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut state = ChainState::new();
+        let pool = state
+            .add_pool(
+                t(0),
+                t(1),
+                to_raw(1_000.0),
+                to_raw(2_000.0),
+                FeeRate::UNISWAP_V2,
+            )
+            .unwrap();
+        let alice = state.create_account();
+        state.mint(alice, t(0), to_raw(100.0));
+        state.mint(alice, t(1), to_raw(100.0));
+        Fixture { state, alice, pool }
+    }
+
+    #[test]
+    fn swap_settles_balances_and_reserves() {
+        let mut f = fixture();
+        let events = execute(
+            &mut f.state,
+            &Transaction::Swap {
+                account: f.alice,
+                pool: f.pool,
+                token_in: t(0),
+                amount_in: to_raw(10.0),
+                min_out: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(events.len(), 2, "Swap + Sync");
+        assert_eq!(f.state.balance(f.alice, t(0)), to_raw(90.0));
+        let got = f.state.balance(f.alice, t(1)) - to_raw(100.0);
+        assert!(got > 0);
+        let pool = f.state.pool(f.pool).unwrap();
+        assert_eq!(pool.raw().reserve_a(), to_raw(1_010.0));
+        assert_eq!(pool.raw().reserve_b(), to_raw(2_000.0) - got);
+    }
+
+    #[test]
+    fn slippage_bound_reverts_cleanly() {
+        let mut f = fixture();
+        let digest = f.state.digest();
+        let balance = f.state.balance(f.alice, t(0));
+        let err = execute(
+            &mut f.state,
+            &Transaction::Swap {
+                account: f.alice,
+                pool: f.pool,
+                token_in: t(0),
+                amount_in: to_raw(10.0),
+                min_out: u128::MAX,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TxError::SlippageExceeded);
+        assert_eq!(f.state.digest(), digest, "reserves rolled back");
+        assert_eq!(
+            f.state.balance(f.alice, t(0)),
+            balance,
+            "balance rolled back"
+        );
+    }
+
+    #[test]
+    fn insufficient_balance_reverts() {
+        let mut f = fixture();
+        let err = execute(
+            &mut f.state,
+            &Transaction::Swap {
+                account: f.alice,
+                pool: f.pool,
+                token_in: t(0),
+                amount_in: to_raw(1e9),
+                min_out: 0,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TxError::InsufficientBalance);
+    }
+
+    #[test]
+    fn unknown_account_rejected() {
+        let mut f = fixture();
+        let ghost = {
+            let mut other = ChainState::new();
+            other.create_account();
+            other.create_account();
+            other.create_account() // id 2, beyond f.state's account count
+        };
+        let err = execute(
+            &mut f.state,
+            &Transaction::Swap {
+                account: ghost,
+                pool: f.pool,
+                token_in: t(0),
+                amount_in: 1,
+                min_out: 0,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TxError::UnknownAccount);
+    }
+
+    #[test]
+    fn add_then_remove_liquidity_round_trips() {
+        let mut f = fixture();
+        execute(
+            &mut f.state,
+            &Transaction::AddLiquidity {
+                account: f.alice,
+                pool: f.pool,
+                amount_a: to_raw(10.0),
+                amount_b: to_raw(100.0), // more than needed; ratio clips to 20
+            },
+        )
+        .unwrap();
+        let shares = f.state.shares(f.alice, f.pool);
+        assert!(shares > 0);
+        // Ratio preserved: deposited 10 A and 20 B.
+        assert_eq!(f.state.balance(f.alice, t(0)), to_raw(90.0));
+        assert_eq!(f.state.balance(f.alice, t(1)), to_raw(80.0));
+
+        execute(
+            &mut f.state,
+            &Transaction::RemoveLiquidity {
+                account: f.alice,
+                pool: f.pool,
+                shares,
+            },
+        )
+        .unwrap();
+        // Back within rounding dust of the original balances.
+        assert!(f.state.balance(f.alice, t(0)) >= to_raw(100.0) - 2);
+        assert!(f.state.balance(f.alice, t(1)) >= to_raw(100.0) - 2);
+        assert_eq!(f.state.shares(f.alice, f.pool), 0);
+    }
+
+    #[test]
+    fn remove_more_shares_than_held_fails() {
+        let mut f = fixture();
+        let err = execute(
+            &mut f.state,
+            &Transaction::RemoveLiquidity {
+                account: f.alice,
+                pool: f.pool,
+                shares: 1,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TxError::InsufficientShares);
+    }
+
+    #[test]
+    fn transfer_moves_balance() {
+        let mut f = fixture();
+        let bob = f.state.create_account();
+        execute(
+            &mut f.state,
+            &Transaction::Transfer {
+                from: f.alice,
+                to: bob,
+                token: t(0),
+                amount: to_raw(30.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(f.state.balance(f.alice, t(0)), to_raw(70.0));
+        assert_eq!(f.state.balance(bob, t(0)), to_raw(30.0));
+    }
+
+    /// Three-pool loop with an injected mispricing; the bundle extracts
+    /// profit starting from a *zero* balance in the input token.
+    #[test]
+    fn flash_bundle_extracts_loop_profit_without_capital() {
+        let mut state = ChainState::new();
+        let fee = FeeRate::UNISWAP_V2;
+        // The paper's example scaled up: rates 2, 2/3, 2 ⇒ round trip ≈ 2.64.
+        let p0 = state
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+            .unwrap();
+        let p1 = state
+            .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+            .unwrap();
+        let p2 = state
+            .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+            .unwrap();
+        let arb = state.create_account();
+        // No starting capital at all.
+        assert_eq!(state.balance(arb, t(0)), 0);
+
+        // Paper-optimal input ≈ 27 X; chain the exact integer outputs.
+        let in0 = to_raw(27.0);
+        let out0 = state.pool(p0).unwrap().raw().quote(true, in0).unwrap();
+        let out1 = state.pool(p1).unwrap().raw().quote(true, out0).unwrap();
+        let steps = vec![
+            BundleStep {
+                pool: p0,
+                token_in: t(0),
+                amount_in: in0,
+            },
+            BundleStep {
+                pool: p1,
+                token_in: t(1),
+                amount_in: out0,
+            },
+            BundleStep {
+                pool: p2,
+                token_in: t(2),
+                amount_in: out1,
+            },
+        ];
+        execute(
+            &mut state,
+            &Transaction::FlashBundle {
+                account: arb,
+                steps,
+            },
+        )
+        .unwrap();
+        let profit = state.balance(arb, t(0));
+        // Paper: ~16.8 token X of profit.
+        assert!(
+            profit > to_raw(16.0) && profit < to_raw(17.5),
+            "profit = {profit}"
+        );
+    }
+
+    #[test]
+    fn insolvent_bundle_reverts_every_pool() {
+        let mut state = ChainState::new();
+        let fee = FeeRate::UNISWAP_V2;
+        // Balanced pools: any loop loses to fees.
+        let p0 = state
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(100.0), fee)
+            .unwrap();
+        let p1 = state
+            .add_pool(t(1), t(0), to_raw(100.0), to_raw(100.0), fee)
+            .unwrap();
+        let arb = state.create_account();
+        let digest = state.digest();
+        let err = execute(
+            &mut state,
+            &Transaction::FlashBundle {
+                account: arb,
+                steps: vec![
+                    BundleStep {
+                        pool: p0,
+                        token_in: t(0),
+                        amount_in: to_raw(10.0),
+                    },
+                    BundleStep {
+                        pool: p1,
+                        token_in: t(1),
+                        amount_in: to_raw(9.0),
+                    },
+                ],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TxError::BundleInsolvent);
+        assert_eq!(state.digest(), digest, "all pool mutations rolled back");
+    }
+
+    #[test]
+    fn empty_bundle_rejected() {
+        let mut f = fixture();
+        let err = execute(
+            &mut f.state,
+            &Transaction::FlashBundle {
+                account: f.alice,
+                steps: vec![],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TxError::ZeroAmount);
+    }
+}

@@ -1,0 +1,331 @@
+//! On-chain state: pools, balances, LP shares.
+
+use std::collections::HashMap;
+
+use arb_amm::exact::RawPool;
+use arb_amm::fee::FeeRate;
+use arb_amm::pool::{Pool, PoolId};
+use arb_amm::token::TokenId;
+
+use crate::error::TxError;
+use crate::units::to_display;
+
+/// An account on the simulated chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccountId(u32);
+
+impl AccountId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from its wire representation (event codec only).
+    pub(crate) const fn from_wire(index: u32) -> AccountId {
+        AccountId(index)
+    }
+}
+
+impl std::fmt::Display for AccountId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A deployed pool: the token pair plus exact integer reserves and the LP
+/// share supply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnChainPool {
+    token_a: TokenId,
+    token_b: TokenId,
+    raw: RawPool,
+    total_shares: u128,
+}
+
+impl OnChainPool {
+    /// First token of the pair.
+    pub fn token_a(&self) -> TokenId {
+        self.token_a
+    }
+
+    /// Second token of the pair.
+    pub fn token_b(&self) -> TokenId {
+        self.token_b
+    }
+
+    /// The integer-exact reserves.
+    pub fn raw(&self) -> &RawPool {
+        &self.raw
+    }
+
+    /// Total LP shares outstanding.
+    pub fn total_shares(&self) -> u128 {
+        self.total_shares
+    }
+
+    /// An analysis-level (f64 display units) view of this pool, preserving
+    /// token ids and fee — the bridge to the strategy layer.
+    ///
+    /// # Errors
+    ///
+    /// Forwards construction errors for degenerate (drained) reserves.
+    pub fn to_analysis_pool(&self) -> Result<Pool, arb_amm::AmmError> {
+        Pool::new(
+            self.token_a,
+            self.token_b,
+            to_display(self.raw.reserve_a()),
+            to_display(self.raw.reserve_b()),
+            self.raw.fee(),
+        )
+    }
+}
+
+/// The complete mutable chain state.
+#[derive(Debug, Clone, Default)]
+pub struct ChainState {
+    pools: Vec<OnChainPool>,
+    balances: HashMap<(AccountId, TokenId), u128>,
+    shares: HashMap<(AccountId, PoolId), u128>,
+    next_account: u32,
+}
+
+impl ChainState {
+    /// Creates empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploys a pool with initial reserves; the initial LP shares
+    /// (geometric mean of reserves, Uniswap V2 style) are credited to no
+    /// one (burned), keeping the setup minimal.
+    ///
+    /// # Errors
+    ///
+    /// Forwards AMM validation (zero reserves) as [`TxError::Amm`].
+    pub fn add_pool(
+        &mut self,
+        token_a: TokenId,
+        token_b: TokenId,
+        reserve_a: u128,
+        reserve_b: u128,
+        fee: FeeRate,
+    ) -> Result<PoolId, TxError> {
+        if token_a == token_b {
+            return Err(TxError::Amm(arb_amm::AmmError::SameToken));
+        }
+        let raw = RawPool::new(reserve_a, reserve_b, fee)?;
+        let id = PoolId::new(self.pools.len() as u32);
+        self.pools.push(OnChainPool {
+            token_a,
+            token_b,
+            raw,
+            total_shares: isqrt(reserve_a.saturating_mul(reserve_b)),
+        });
+        Ok(id)
+    }
+
+    /// Number of deployed pools.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// All pools, indexable by [`PoolId::index`].
+    pub fn pools(&self) -> &[OnChainPool] {
+        &self.pools
+    }
+
+    /// The pool behind `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::UnknownPool`] for out-of-range ids.
+    pub fn pool(&self, id: PoolId) -> Result<&OnChainPool, TxError> {
+        self.pools.get(id.index()).ok_or(TxError::UnknownPool)
+    }
+
+    pub(crate) fn set_pool_raw(&mut self, id: PoolId, raw: RawPool) {
+        self.pools[id.index()].raw = raw;
+    }
+
+    pub(crate) fn set_total_shares(&mut self, id: PoolId, shares: u128) {
+        self.pools[id.index()].total_shares = shares;
+    }
+
+    /// Registers a new externally-owned account.
+    pub fn create_account(&mut self) -> AccountId {
+        let id = AccountId(self.next_account);
+        self.next_account += 1;
+        id
+    }
+
+    /// Number of accounts created.
+    pub fn account_count(&self) -> usize {
+        self.next_account as usize
+    }
+
+    /// Whether `account` exists.
+    pub fn account_exists(&self, account: AccountId) -> bool {
+        account.0 < self.next_account
+    }
+
+    /// Token balance of an account (0 when never credited).
+    pub fn balance(&self, account: AccountId, token: TokenId) -> u128 {
+        self.balances.get(&(account, token)).copied().unwrap_or(0)
+    }
+
+    /// LP shares an account holds in a pool.
+    pub fn shares(&self, account: AccountId, pool: PoolId) -> u128 {
+        self.shares.get(&(account, pool)).copied().unwrap_or(0)
+    }
+
+    /// Faucet: credits `amount` of `token` to `account` (test/bootstrap
+    /// helper, not a transaction).
+    pub fn mint(&mut self, account: AccountId, token: TokenId, amount: u128) {
+        *self.balances.entry((account, token)).or_insert(0) += amount;
+    }
+
+    pub(crate) fn credit(&mut self, account: AccountId, token: TokenId, amount: u128) {
+        *self.balances.entry((account, token)).or_insert(0) += amount;
+    }
+
+    pub(crate) fn debit(
+        &mut self,
+        account: AccountId,
+        token: TokenId,
+        amount: u128,
+    ) -> Result<(), TxError> {
+        let entry = self.balances.entry((account, token)).or_insert(0);
+        if *entry < amount {
+            return Err(TxError::InsufficientBalance);
+        }
+        *entry -= amount;
+        Ok(())
+    }
+
+    pub(crate) fn set_balance(&mut self, account: AccountId, token: TokenId, value: u128) {
+        self.balances.insert((account, token), value);
+    }
+
+    pub(crate) fn set_shares(&mut self, account: AccountId, pool: PoolId, value: u128) {
+        self.shares.insert((account, pool), value);
+    }
+
+    /// A deterministic digest of all pool reserves and share supplies —
+    /// the simulator's "state root". Two runs with identical inputs
+    /// produce identical digests.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over the reserve words.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |value: u128| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for pool in &self.pools {
+            mix(pool.raw.reserve_a());
+            mix(pool.raw.reserve_b());
+            mix(pool.total_shares);
+        }
+        hash
+    }
+}
+
+/// Integer square root (Newton's method on u128).
+pub(crate) fn isqrt(value: u128) -> u128 {
+    if value < 2 {
+        return value;
+    }
+    let mut x = 1u128 << (value.ilog2() / 2 + 1);
+    loop {
+        let next = (x + value / x) / 2;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn pool_deployment_and_lookup() {
+        let mut state = ChainState::new();
+        let id = state
+            .add_pool(t(0), t(1), 1_000_000, 2_000_000, FeeRate::UNISWAP_V2)
+            .unwrap();
+        assert_eq!(state.pool_count(), 1);
+        let pool = state.pool(id).unwrap();
+        assert_eq!(pool.raw().reserve_a(), 1_000_000);
+        assert!(pool.total_shares() > 0);
+        assert_eq!(
+            state.pool(PoolId::new(9)).unwrap_err(),
+            TxError::UnknownPool
+        );
+    }
+
+    #[test]
+    fn same_token_pool_rejected() {
+        let mut state = ChainState::new();
+        assert!(matches!(
+            state.add_pool(t(0), t(0), 1, 1, FeeRate::UNISWAP_V2),
+            Err(TxError::Amm(arb_amm::AmmError::SameToken))
+        ));
+    }
+
+    #[test]
+    fn balances_and_faucet() {
+        let mut state = ChainState::new();
+        let alice = state.create_account();
+        assert_eq!(state.balance(alice, t(0)), 0);
+        state.mint(alice, t(0), 500);
+        assert_eq!(state.balance(alice, t(0)), 500);
+        state.debit(alice, t(0), 200).unwrap();
+        assert_eq!(state.balance(alice, t(0)), 300);
+        assert_eq!(
+            state.debit(alice, t(0), 301).unwrap_err(),
+            TxError::InsufficientBalance
+        );
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let mut state = ChainState::new();
+        state
+            .add_pool(t(0), t(1), 1_000, 2_000, FeeRate::UNISWAP_V2)
+            .unwrap();
+        let d0 = state.digest();
+        state.set_pool_raw(
+            PoolId::new(0),
+            RawPool::new(1_001, 2_000, FeeRate::UNISWAP_V2).unwrap(),
+        );
+        assert_ne!(state.digest(), d0);
+    }
+
+    #[test]
+    fn analysis_pool_bridge() {
+        let mut state = ChainState::new();
+        let id = state
+            .add_pool(t(0), t(1), 100_000_000, 200_000_000, FeeRate::UNISWAP_V2)
+            .unwrap();
+        let pool = state.pool(id).unwrap().to_analysis_pool().unwrap();
+        assert!((pool.reserve_a() - 100.0).abs() < 1e-9);
+        assert!((pool.reserve_b() - 200.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn isqrt_is_exact_floor(v in 0u128..u64::MAX as u128) {
+            let r = isqrt(v);
+            prop_assert!(r * r <= v);
+            prop_assert!((r + 1) * (r + 1) > v);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Transaction types.
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+
+use crate::state::AccountId;
+
+/// One swap inside a flash bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BundleStep {
+    /// Pool to swap through.
+    pub pool: PoolId,
+    /// Token paid into the pool.
+    pub token_in: TokenId,
+    /// Exact raw input amount.
+    pub amount_in: u128,
+}
+
+/// A transaction submitted to the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Transaction {
+    /// A single swap with a slippage bound: reverts unless the output is at
+    /// least `min_out`.
+    Swap {
+        /// Paying account.
+        account: AccountId,
+        /// Pool to trade against.
+        pool: PoolId,
+        /// Token paid in (must be one of the pool's pair).
+        token_in: TokenId,
+        /// Raw input amount.
+        amount_in: u128,
+        /// Minimum acceptable raw output.
+        min_out: u128,
+    },
+    /// Adds liquidity. Amounts are *desired* maxima; the executor deposits
+    /// the largest reserve-ratio-preserving amounts within them (Uniswap
+    /// router semantics) and mints LP shares.
+    AddLiquidity {
+        /// Depositing account.
+        account: AccountId,
+        /// Target pool.
+        pool: PoolId,
+        /// Max raw amount of the pool's token A.
+        amount_a: u128,
+        /// Max raw amount of the pool's token B.
+        amount_b: u128,
+    },
+    /// Burns LP shares for the proportional reserves.
+    RemoveLiquidity {
+        /// Withdrawing account.
+        account: AccountId,
+        /// Target pool.
+        pool: PoolId,
+        /// Shares to burn.
+        shares: u128,
+    },
+    /// A plain token transfer between accounts.
+    Transfer {
+        /// Sender.
+        from: AccountId,
+        /// Recipient.
+        to: AccountId,
+        /// Token to move.
+        token: TokenId,
+        /// Raw amount.
+        amount: u128,
+    },
+    /// An atomic sequence of swaps with flash-loan semantics: intermediate
+    /// token positions may go negative, but every token must settle
+    /// non-negative against the account's balance or the whole bundle
+    /// reverts. This is how a loop trade executes without upfront capital.
+    FlashBundle {
+        /// Executing account.
+        account: AccountId,
+        /// Swap steps in order.
+        steps: Vec<BundleStep>,
+    },
+}
+
+impl Transaction {
+    /// The gas this transaction consumes (simplified flat-rate model:
+    /// 21k base + 60k per swap + 80k per liquidity action).
+    pub fn gas(&self) -> u64 {
+        const BASE: u64 = 21_000;
+        match self {
+            Transaction::Swap { .. } => BASE + 60_000,
+            Transaction::AddLiquidity { .. } | Transaction::RemoveLiquidity { .. } => BASE + 80_000,
+            Transaction::Transfer { .. } => BASE,
+            Transaction::FlashBundle { steps, .. } => BASE + 60_000 * steps.len() as u64,
+        }
+    }
+
+    /// The account paying for / initiating the transaction.
+    pub fn sender(&self) -> AccountId {
+        match self {
+            Transaction::Swap { account, .. }
+            | Transaction::AddLiquidity { account, .. }
+            | Transaction::RemoveLiquidity { account, .. }
+            | Transaction::FlashBundle { account, .. } => *account,
+            Transaction::Transfer { from, .. } => *from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct() -> AccountId {
+        let mut s = crate::state::ChainState::new();
+        s.create_account()
+    }
+
+    #[test]
+    fn gas_scales_with_bundle_size() {
+        let account = acct();
+        let step = BundleStep {
+            pool: PoolId::new(0),
+            token_in: TokenId::new(0),
+            amount_in: 1,
+        };
+        let small = Transaction::FlashBundle {
+            account,
+            steps: vec![step; 2],
+        };
+        let large = Transaction::FlashBundle {
+            account,
+            steps: vec![step; 10],
+        };
+        assert!(large.gas() > small.gas());
+        assert_eq!(large.gas() - small.gas(), 8 * 60_000);
+    }
+
+    #[test]
+    fn sender_extraction() {
+        let account = acct();
+        let tx = Transaction::Swap {
+            account,
+            pool: PoolId::new(0),
+            token_in: TokenId::new(0),
+            amount_in: 1,
+            min_out: 0,
+        };
+        assert_eq!(tx.sender(), account);
+    }
+}

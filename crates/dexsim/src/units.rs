@@ -1,0 +1,49 @@
+//! Fixed-point unit conversions.
+//!
+//! The simulator uses one global scale: 10⁶ raw units per display unit
+//! (6 decimals, USDC-style) for every token. A single scale keeps the
+//! f64 ↔ u128 bridge trivial while leaving ample headroom: display
+//! reserves up to 10¹² become raw 10¹⁸, whose product 10³⁶ fits u128.
+
+/// Raw units per display unit.
+pub const UNIT: u128 = 1_000_000;
+
+/// Converts a display amount to raw units (rounds to nearest; saturates
+/// negatives and non-finite values to 0).
+pub fn to_raw(display: f64) -> u128 {
+    if !display.is_finite() || display <= 0.0 {
+        return 0;
+    }
+    (display * UNIT as f64).round() as u128
+}
+
+/// Converts raw units to a display amount.
+pub fn to_display(raw: u128) -> f64 {
+    raw as f64 / UNIT as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_conversions() {
+        assert_eq!(to_raw(1.0), UNIT);
+        assert_eq!(to_raw(0.5), UNIT / 2);
+        assert_eq!(to_raw(-3.0), 0);
+        assert_eq!(to_raw(f64::NAN), 0);
+        assert_eq!(to_display(UNIT), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_within_tick_or_ulp(x in 0.0..1e12f64) {
+            let back = to_display(to_raw(x));
+            // Half a tick of absolute error, or a few ulps once the raw
+            // value exceeds f64's 2^53 integer-exact range.
+            let bound = (0.5 / UNIT as f64).max(4.0 * f64::EPSILON * x);
+            prop_assert!((back - x).abs() <= bound, "x={x} back={back}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Chain-level behaviour: invariants under randomized transaction flow
+//! and failure injection.
+
+use arb_amm::fee::FeeRate;
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+use arb_dexsim::chain::{BlockConfig, Chain};
+use arb_dexsim::tx::{BundleStep, Transaction};
+use arb_dexsim::units::to_raw;
+use arb_dexsim::TxError;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn t(i: u32) -> TokenId {
+    TokenId::new(i)
+}
+
+fn three_pool_chain() -> Chain {
+    let mut chain = Chain::new();
+    let fee = FeeRate::UNISWAP_V2;
+    for (a, b) in [(0u32, 1u32), (1, 2), (2, 0)] {
+        chain
+            .add_pool(t(a), t(b), to_raw(5_000.0), to_raw(5_000.0), fee)
+            .unwrap();
+    }
+    chain
+}
+
+#[test]
+fn k_never_decreases_under_swap_flow() {
+    let mut chain = three_pool_chain();
+    let alice = chain.create_account();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut last_k: Vec<u128> = chain
+        .state()
+        .pools()
+        .iter()
+        .map(|p| p.raw().k().unwrap())
+        .collect();
+    for _ in 0..30 {
+        for _ in 0..10 {
+            let pool = rng.gen_range(0..3u32);
+            let p = chain.state().pools()[pool as usize];
+            let a_to_b = rng.gen_bool(0.5);
+            let token_in = if a_to_b { p.token_a() } else { p.token_b() };
+            let amount = to_raw(rng.gen_range(0.1..50.0));
+            chain.mint(alice, token_in, amount);
+            chain.submit(Transaction::Swap {
+                account: alice,
+                pool: PoolId::new(pool),
+                token_in,
+                amount_in: amount,
+                min_out: 0,
+            });
+        }
+        chain.mine_block();
+        let k_now: Vec<u128> = chain
+            .state()
+            .pools()
+            .iter()
+            .map(|p| p.raw().k().unwrap())
+            .collect();
+        for (before, after) in last_k.iter().zip(&k_now) {
+            assert!(after >= before, "pool k decreased under pure swaps");
+        }
+        last_k = k_now;
+    }
+}
+
+#[test]
+fn partial_bundle_failure_reverts_midway_state() {
+    let mut chain = three_pool_chain();
+    let bot = chain.create_account();
+    let digest = chain.state().digest();
+    // First two steps fine, last step drains more than exists: overall
+    // revert must restore even the pools touched by the good steps.
+    let steps = vec![
+        BundleStep {
+            pool: PoolId::new(0),
+            token_in: t(0),
+            amount_in: to_raw(100.0),
+        },
+        BundleStep {
+            pool: PoolId::new(1),
+            token_in: t(1),
+            amount_in: to_raw(50.0),
+        },
+        BundleStep {
+            pool: PoolId::new(2),
+            token_in: t(2),
+            amount_in: u128::MAX / 2, // overflow territory
+        },
+    ];
+    chain.submit(Transaction::FlashBundle {
+        account: bot,
+        steps,
+    });
+    let block = chain.mine_block();
+    assert!(!block.receipts[0].success);
+    assert_eq!(chain.state().digest(), digest);
+    assert_eq!(chain.state().balance(bot, t(0)), 0);
+    assert_eq!(chain.state().balance(bot, t(1)), 0);
+}
+
+#[test]
+fn gas_accounting_is_exact() {
+    let mut chain = Chain::with_config(BlockConfig { gas_limit: 400_000 });
+    let fee = FeeRate::UNISWAP_V2;
+    let pool = chain
+        .add_pool(t(0), t(1), to_raw(100.0), to_raw(100.0), fee)
+        .unwrap();
+    let alice = chain.create_account();
+    chain.mint(alice, t(0), to_raw(50.0));
+    // Swap gas = 81_000; transfer gas = 21_000.
+    for _ in 0..3 {
+        chain.submit(Transaction::Swap {
+            account: alice,
+            pool,
+            token_in: t(0),
+            amount_in: to_raw(1.0),
+            min_out: 0,
+        });
+    }
+    chain.submit(Transaction::Transfer {
+        from: alice,
+        to: alice,
+        token: t(0),
+        amount: 1,
+    });
+    let block = chain.mine_block();
+    // 3×81k = 243k + 21k = 264k ≤ 400k: all four fit.
+    assert_eq!(block.receipts.len(), 4);
+    assert_eq!(block.gas_used, 3 * 81_000 + 21_000);
+}
+
+#[test]
+fn transfer_to_unknown_account_reverts() {
+    let mut chain = three_pool_chain();
+    let alice = chain.create_account();
+    chain.mint(alice, t(0), 100);
+    // Forge an account id from a different chain.
+    let ghost = {
+        let mut other = Chain::new();
+        other.create_account();
+        other.create_account()
+    };
+    chain.submit(Transaction::Transfer {
+        from: alice,
+        to: ghost,
+        token: t(0),
+        amount: 10,
+    });
+    let block = chain.mine_block();
+    assert!(!block.receipts[0].success);
+    assert_eq!(block.receipts[0].error, Some(TxError::UnknownAccount));
+    assert_eq!(chain.state().balance(alice, t(0)), 100);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Value conservation: tokens paid into pools + balances held equals
+    /// tokens minted, under arbitrary successful swap flow.
+    #[test]
+    fn token_conservation(ops in proptest::collection::vec((0u32..3, any::<bool>(), 1.0..100.0f64), 1..40)) {
+        let mut chain = three_pool_chain();
+        let alice = chain.create_account();
+        let mut minted: [u128; 3] = [0; 3];
+        let initial_reserves: Vec<(u128, u128)> = chain
+            .state()
+            .pools()
+            .iter()
+            .map(|p| (p.raw().reserve_a(), p.raw().reserve_b()))
+            .collect();
+        for (pool, a_to_b, amount) in ops {
+            let p = chain.state().pools()[pool as usize];
+            let token_in = if a_to_b { p.token_a() } else { p.token_b() };
+            let raw = to_raw(amount);
+            chain.mint(alice, token_in, raw);
+            minted[token_in.index()] += raw;
+            chain.submit(Transaction::Swap {
+                account: alice,
+                pool: PoolId::new(pool),
+                token_in,
+                amount_in: raw,
+                min_out: 0,
+            });
+        }
+        chain.mine_block();
+        // Per token: minted == balance + (reserves now − reserves then).
+        for token in 0..3u32 {
+            let balance = chain.state().balance(alice, t(token));
+            let mut reserve_delta: i128 = 0;
+            for (i, pool) in chain.state().pools().iter().enumerate() {
+                let (ia, ib) = initial_reserves[i];
+                if pool.token_a() == t(token) {
+                    reserve_delta += pool.raw().reserve_a() as i128 - ia as i128;
+                }
+                if pool.token_b() == t(token) {
+                    reserve_delta += pool.raw().reserve_b() as i128 - ib as i128;
+                }
+            }
+            let total = balance as i128 + reserve_delta;
+            prop_assert_eq!(total, minted[token as usize] as i128,
+                "token {} conservation violated", token);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Bellman–Ford–Moore negative-cycle detection.
+//!
+//! Zhou et al. (S&P '21) detect arbitrage loops by running Bellman–Ford on
+//! edge weights `w(u→v) = −log(rate(u→v))`: a loop with
+//! `Π rate > 1 ⇔ Σ log rate > 0 ⇔ Σ w < 0` is exactly a negative cycle.
+//! This module reproduces that detector on the pool graph, returning the
+//! discovered loop as a pool-level [`Cycle`] ready for the strategy layer.
+//!
+//! Unlike full enumeration this finds *one* loop (fast, not exhaustive) —
+//! the classic trade-off the paper's related-work section discusses.
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+
+use crate::cycles::Cycle;
+use crate::error::GraphError;
+use crate::token_graph::TokenGraph;
+
+/// A directed, weighted edge of the detection graph.
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    from: usize,
+    to: usize,
+    weight: f64,
+    pool: PoolId,
+}
+
+/// Finds one arbitrage loop (negative `−log rate` cycle), if any exists.
+///
+/// Runs Bellman–Ford–Moore from a virtual super-source (all distances start
+/// at 0), then extracts the cycle via predecessor walking. Parallel pools
+/// are independent arcs, so the detector can return loops through any pool.
+///
+/// Returns `None` when no negative cycle exists (no arbitrage anywhere).
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if the graph has no pools (cannot
+/// happen for graphs built by [`TokenGraph::new`], but guards direct use).
+pub fn find_negative_cycle(graph: &TokenGraph) -> Result<Option<Cycle>, GraphError> {
+    if graph.pool_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let n = graph.token_count();
+    let mut arcs = Vec::with_capacity(graph.pool_count() * 2);
+    for token in graph.active_tokens() {
+        for edge in graph.neighbors(token) {
+            let curve = graph.curve(edge.pool, token)?;
+            arcs.push(Arc {
+                from: token.index(),
+                to: edge.to.index(),
+                weight: -curve.spot_rate().ln(),
+                pool: edge.pool,
+            });
+        }
+    }
+
+    // Virtual source: dist 0 everywhere.
+    let mut dist = vec![0.0f64; n];
+    let mut pred: Vec<Option<(usize, PoolId)>> = vec![None; n];
+    let mut updated = false;
+    for _round in 0..n {
+        updated = false;
+        for arc in &arcs {
+            let candidate = dist[arc.from] + arc.weight;
+            if candidate < dist[arc.to] - 1e-15 {
+                dist[arc.to] = candidate;
+                pred[arc.to] = Some((arc.from, arc.pool));
+                updated = true;
+            }
+        }
+        if !updated {
+            break;
+        }
+    }
+    if !updated {
+        return Ok(None);
+    }
+
+    // A relaxation occurred in round n ⇒ a negative cycle exists. For each
+    // still-relaxable arc, apply the relaxation (so the witness has a
+    // predecessor) and walk the predecessor chain backwards; the walk must
+    // revisit a vertex, and the revisited vertex sits on the cycle.
+    for arc in &arcs {
+        if dist[arc.from] + arc.weight >= dist[arc.to] - 1e-15 {
+            continue;
+        }
+        dist[arc.to] = dist[arc.from] + arc.weight;
+        pred[arc.to] = Some((arc.from, arc.pool));
+        if let Some(cycle) = extract_cycle(graph, &pred, arc.to, n)? {
+            return Ok(Some(cycle));
+        }
+    }
+    Ok(None)
+}
+
+/// Walks predecessors from `start` until a vertex repeats, then assembles
+/// the enclosed loop in forward trade order. Returns `None` if the chain
+/// dead-ends before closing (the witness was not downstream of a cycle).
+fn extract_cycle(
+    graph: &TokenGraph,
+    pred: &[Option<(usize, PoolId)>],
+    start: usize,
+    n: usize,
+) -> Result<Option<Cycle>, GraphError> {
+    // step_seen[v] = position at which v appeared in the backward walk.
+    let mut step_seen = vec![usize::MAX; n];
+    let mut walk: Vec<(usize, PoolId)> = Vec::new(); // (vertex, incoming pool)
+    let mut v = start;
+    loop {
+        if step_seen[v] != usize::MAX {
+            // `v` repeats: the backward walk between the two sightings is
+            // the cycle. Entries walk[step_seen[v]..] run backwards from v,
+            // i.e. each (u, pool) says "u was reached via pool from the
+            // next entry's vertex". Reversing yields forward trade order.
+            let cycle_part = &walk[step_seen[v]..];
+            let mut hops: Vec<(usize, PoolId)> = Vec::with_capacity(cycle_part.len());
+            for idx in (0..cycle_part.len()).rev() {
+                // Forward hop: from the next-backward vertex (wrapping to v)
+                // into cycle_part[idx].0, via that entry's incoming pool.
+                let from = if idx + 1 < cycle_part.len() {
+                    cycle_part[idx + 1].0
+                } else {
+                    v
+                };
+                hops.push((from, cycle_part[idx].1));
+            }
+            let tokens: Vec<TokenId> = hops
+                .iter()
+                .map(|&(from, _)| TokenId::new(from as u32))
+                .collect();
+            let pools: Vec<PoolId> = hops.iter().map(|&(_, pool)| pool).collect();
+            let cycle = Cycle::new(tokens, pools)?;
+            cycle.validate(graph)?;
+            return Ok(Some(cycle));
+        }
+        step_seen[v] = walk.len();
+        let Some((prev, pool)) = pred[v] else {
+            return Ok(None);
+        };
+        walk.push((v, pool));
+        v = prev;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::Pool;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn detects_the_paper_triangle() {
+        let fee = FeeRate::UNISWAP_V2;
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let cycle = find_negative_cycle(&g).unwrap().expect("arb exists");
+        // The discovered loop must genuinely be profitable.
+        assert!(cycle.log_rate(&g).unwrap() > 0.0);
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn no_cycle_in_balanced_market() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Consistent prices: token i worth 2^i of token 0; every pool's mid
+        // rate matches, so fees make every loop lossy.
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 200.0, 100.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 200.0, 100.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 100.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap();
+        assert!(find_negative_cycle(&g).unwrap().is_none());
+    }
+
+    #[test]
+    fn detects_two_pool_discrepancy() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Same pair, very different prices: 2-pool loop is profitable.
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 100.0, fee).unwrap(),
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let cycle = find_negative_cycle(&g).unwrap().expect("arb exists");
+        assert!(cycle.log_rate(&g).unwrap() > 0.0);
+        assert_eq!(cycle.len(), 2);
+        assert_ne!(cycle.pools()[0], cycle.pools()[1]);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_enumeration() {
+        let fee = FeeRate::UNISWAP_V2;
+        // A 4-token market with one injected mispricing.
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 1000.0, 1000.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 1000.0, 1000.0, fee).unwrap(),
+            Pool::new(t(2), t(3), 1000.0, 1000.0, fee).unwrap(),
+            Pool::new(t(3), t(0), 1000.0, 1300.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let has_loop_bfm = find_negative_cycle(&g).unwrap().is_some();
+        let has_loop_enum = !g.arbitrage_loops(4).unwrap().is_empty();
+        assert_eq!(has_loop_bfm, has_loop_enum);
+        assert!(has_loop_bfm);
+    }
+}

@@ -1,0 +1,350 @@
+//! Directed simple-cycle enumeration with bounded length.
+//!
+//! This is the paper's discovery procedure: "we traversed all token loops
+//! with 3 tokens and selected those loops where arbitrage profit exists".
+//! Cycles are enumerated at the *pool* level (every combination of parallel
+//! pools is a distinct cycle, matching the paper's edge-per-pool graph) and
+//! canonicalized so the smallest token id starts the sequence; both
+//! directions of an undirected loop are kept because they are distinct
+//! trades.
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+
+use crate::error::GraphError;
+use crate::token_graph::TokenGraph;
+
+/// A directed cycle: `tokens[j]` is swapped through `pools[j]` into
+/// `tokens[(j+1) % n]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cycle {
+    tokens: Vec<TokenId>,
+    pools: Vec<PoolId>,
+}
+
+impl Cycle {
+    /// Creates a cycle from aligned token/pool sequences.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::CycleTooShort`] for fewer than 2 hops.
+    /// * [`GraphError::DisconnectedCycle`] for mismatched lengths.
+    pub fn new(tokens: Vec<TokenId>, pools: Vec<PoolId>) -> Result<Self, GraphError> {
+        if tokens.len() < 2 {
+            return Err(GraphError::CycleTooShort);
+        }
+        if tokens.len() != pools.len() {
+            return Err(GraphError::DisconnectedCycle);
+        }
+        Ok(Cycle { tokens, pools })
+    }
+
+    /// The token sequence (`tokens[0]` is the canonical start).
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// The pool sequence aligned with [`Cycle::tokens`].
+    pub fn pools(&self) -> &[PoolId] {
+        &self.pools
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the cycle is empty (never true for a constructed cycle).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Checks that each hop's pool actually connects its tokens.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownReference`] for out-of-range pools.
+    /// * [`GraphError::DisconnectedCycle`] if a hop does not connect.
+    pub fn validate(&self, graph: &TokenGraph) -> Result<(), GraphError> {
+        let n = self.len();
+        for j in 0..n {
+            let pool = graph.pool(self.pools[j])?;
+            let from = self.tokens[j];
+            let to = self.tokens[(j + 1) % n];
+            if !(pool.contains(from) && pool.contains(to)) || from == to {
+                return Err(GraphError::DisconnectedCycle);
+            }
+        }
+        Ok(())
+    }
+
+    /// The round-trip rate `Π_j γ·r_out/r_in` at zero input.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cycle::validate`].
+    pub fn rate(&self, graph: &TokenGraph) -> Result<f64, GraphError> {
+        let n = self.len();
+        let mut rate = 1.0;
+        for j in 0..n {
+            rate *= graph.curve(self.pools[j], self.tokens[j])?.spot_rate();
+        }
+        Ok(rate)
+    }
+
+    /// The paper's arbitrage indicator `Σ_j log p_j` (positive ⇔ loop).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cycle::validate`].
+    pub fn log_rate(&self, graph: &TokenGraph) -> Result<f64, GraphError> {
+        let n = self.len();
+        let mut sum = 0.0;
+        for j in 0..n {
+            sum += graph.curve(self.pools[j], self.tokens[j])?.spot_rate().ln();
+        }
+        Ok(sum)
+    }
+
+    /// The rotation of this cycle starting at position `offset` — the same
+    /// trade entered from a different token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.len()`.
+    pub fn rotated(&self, offset: usize) -> Cycle {
+        assert!(offset < self.len());
+        let n = self.len();
+        Cycle {
+            tokens: (0..n).map(|j| self.tokens[(offset + j) % n]).collect(),
+            pools: (0..n).map(|j| self.pools[(offset + j) % n]).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Cycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (t, p) in self.tokens.iter().zip(&self.pools) {
+            write!(f, "{t} -[{p}]-> ")?;
+        }
+        write!(f, "{}", self.tokens[0])
+    }
+}
+
+/// Enumerates all directed simple cycles with exactly `length` hops.
+///
+/// Canonical form: the cycle starts at its smallest token id, which
+/// uniquely selects one rotation per directed cycle. The DFS only extends
+/// paths through tokens larger than the start, so each cycle is emitted
+/// exactly once. Parallel pools multiply cycles combinatorially, matching
+/// the paper's pool-level loop census.
+///
+/// # Errors
+///
+/// Returns [`GraphError::CycleTooShort`] for `length < 2`.
+pub fn enumerate(graph: &TokenGraph, length: usize) -> Result<Vec<Cycle>, GraphError> {
+    if length < 2 {
+        return Err(GraphError::CycleTooShort);
+    }
+    let mut out = Vec::new();
+    let mut visited = vec![false; graph.token_count()];
+    for start in graph.active_tokens() {
+        let mut tokens = vec![start];
+        let mut pools = Vec::new();
+        visited[start.index()] = true;
+        dfs(
+            graph,
+            start,
+            length,
+            &mut tokens,
+            &mut pools,
+            &mut visited,
+            &mut out,
+        );
+        visited[start.index()] = false;
+    }
+    Ok(out)
+}
+
+fn dfs(
+    graph: &TokenGraph,
+    start: TokenId,
+    length: usize,
+    tokens: &mut Vec<TokenId>,
+    pools: &mut Vec<PoolId>,
+    visited: &mut [bool],
+    out: &mut Vec<Cycle>,
+) {
+    let current = *tokens.last().expect("path never empty");
+    if tokens.len() == length {
+        // Close the loop back to `start`; 2-cycles must not reuse the
+        // opening pool (a pool swapped there-and-back is not a loop).
+        for edge in graph.neighbors(current) {
+            if edge.to == start && (length > 2 || edge.pool != pools[0]) {
+                out.push(Cycle {
+                    tokens: tokens.clone(),
+                    pools: {
+                        let mut p = pools.clone();
+                        p.push(edge.pool);
+                        p
+                    },
+                });
+            }
+        }
+        return;
+    }
+    for edge in graph.neighbors(current) {
+        // Canonicalization: interior tokens must exceed the start token.
+        if edge.to <= start || visited[edge.to.index()] {
+            continue;
+        }
+        visited[edge.to.index()] = true;
+        tokens.push(edge.to);
+        pools.push(edge.pool);
+        dfs(graph, start, length, tokens, pools, visited, out);
+        tokens.pop();
+        pools.pop();
+        visited[edge.to.index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::Pool;
+    use std::collections::HashSet;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn p(i: u32) -> PoolId {
+        PoolId::new(i)
+    }
+
+    fn triangle() -> TokenGraph {
+        let fee = FeeRate::UNISWAP_V2;
+        TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cycle_construction_validation() {
+        assert_eq!(
+            Cycle::new(vec![t(0)], vec![p(0)]).unwrap_err(),
+            GraphError::CycleTooShort
+        );
+        assert_eq!(
+            Cycle::new(vec![t(0), t(1)], vec![p(0)]).unwrap_err(),
+            GraphError::DisconnectedCycle
+        );
+    }
+
+    #[test]
+    fn triangle_enumeration() {
+        let g = triangle();
+        let cycles = enumerate(&g, 3).unwrap();
+        assert_eq!(cycles.len(), 2);
+        // Both start at token 0 (canonical rotation).
+        for c in &cycles {
+            assert_eq!(c.tokens()[0], t(0));
+            c.validate(&g).unwrap();
+        }
+        // Distinct directions.
+        assert_ne!(cycles[0].tokens(), cycles[1].tokens());
+    }
+
+    #[test]
+    fn rate_and_log_rate_agree() {
+        let g = triangle();
+        for c in enumerate(&g, 3).unwrap() {
+            let rate = c.rate(&g).unwrap();
+            let log = c.log_rate(&g).unwrap();
+            assert!((rate.ln() - log).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_cycles_require_parallel_pools() {
+        let fee = FeeRate::UNISWAP_V2;
+        // One pool only: no 2-cycles.
+        let g1 = TokenGraph::new(vec![Pool::new(t(0), t(1), 10.0, 10.0, fee).unwrap()]).unwrap();
+        assert!(enumerate(&g1, 2).unwrap().is_empty());
+        // Two parallel pools: exactly two directed 2-cycles (0→1 via p0,
+        // back via p1; and 0→1 via p1, back via p0).
+        let g2 = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 10.0, 10.0, fee).unwrap(),
+            Pool::new(t(0), t(1), 20.0, 10.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let cycles = enumerate(&g2, 2).unwrap();
+        assert_eq!(cycles.len(), 2);
+        for c in &cycles {
+            assert_ne!(c.pools()[0], c.pools()[1]);
+        }
+    }
+
+    #[test]
+    fn parallel_pools_multiply_triangles() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Triangle with 2 parallel pools on edge (0,1): 2 pool choices × 2
+        // directions = 4 directed cycles.
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(0), t(1), 150.0, 250.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let cycles = enumerate(&g, 3).unwrap();
+        assert_eq!(cycles.len(), 4);
+        let unique: HashSet<_> = cycles.iter().collect();
+        assert_eq!(unique.len(), 4, "no duplicates");
+    }
+
+    #[test]
+    fn square_graph_enumeration() {
+        let fee = FeeRate::UNISWAP_V2;
+        // 4-cycle 0-1-2-3 plus diagonal 0-2.
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 10.0, 10.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 10.0, 10.0, fee).unwrap(),
+            Pool::new(t(2), t(3), 10.0, 10.0, fee).unwrap(),
+            Pool::new(t(3), t(0), 10.0, 10.0, fee).unwrap(),
+            Pool::new(t(0), t(2), 10.0, 10.0, fee).unwrap(),
+        ])
+        .unwrap();
+        // Triangles: {0,1,2} and {0,2,3}, two directions each = 4.
+        assert_eq!(enumerate(&g, 3).unwrap().len(), 4);
+        // Squares: {0,1,2,3} two directions = 2.
+        assert_eq!(enumerate(&g, 4).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rotation_preserves_trade() {
+        let g = triangle();
+        let c = &enumerate(&g, 3).unwrap()[0];
+        let r = c.rotated(1);
+        assert_eq!(r.tokens()[0], c.tokens()[1]);
+        assert!((c.rate(&g).unwrap() - r.rate(&g).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_loop() {
+        let g = triangle();
+        let c = &enumerate(&g, 3).unwrap()[0];
+        let s = c.to_string();
+        assert!(s.starts_with("T0 -[") && s.ends_with("T0"), "{s}");
+    }
+
+    #[test]
+    fn length_below_two_rejected() {
+        let g = triangle();
+        assert_eq!(enumerate(&g, 1).unwrap_err(), GraphError::CycleTooShort);
+    }
+}

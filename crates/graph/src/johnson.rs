@@ -1,0 +1,309 @@
+//! Johnson's algorithm for all elementary cycles.
+//!
+//! McLaughlin et al. (USENIX Security '23) use Johnson's 1975 algorithm to
+//! enumerate candidate arbitrage cycles exhaustively. This module
+//! implements it at the token level (each pool contributes arcs in both
+//! directions; parallel pools collapse to one arc for enumeration) and then
+//! expands token cycles into pool-level [`Cycle`]s, multiplying out
+//! parallel-pool choices.
+//!
+//! Compared to [`crate::cycles::enumerate`] (fixed length `k`), Johnson
+//! enumerates *all* lengths in `O((V+E)(C+1))` output-sensitive time; a
+//! `max_cycles` cap bounds runaway output on dense graphs.
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+use std::collections::HashSet;
+
+use crate::cycles::Cycle;
+use crate::error::GraphError;
+use crate::tarjan;
+use crate::token_graph::TokenGraph;
+
+/// Enumerates all elementary token cycles (vertex sequences, length ≥ 2),
+/// canonically rooted at their smallest vertex, up to `max_cycles`.
+///
+/// Both directions of each undirected cycle are produced (distinct trades).
+pub fn elementary_token_cycles(graph: &TokenGraph, max_cycles: usize) -> Vec<Vec<TokenId>> {
+    let n = graph.token_count();
+    // Token-level simple digraph (dedup parallel pools).
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for token in graph.active_tokens() {
+        let mut seen = HashSet::new();
+        for edge in graph.neighbors(token) {
+            if seen.insert(edge.to.index()) {
+                adjacency[token.index()].push(edge.to.index());
+            }
+        }
+        adjacency[token.index()].sort_unstable();
+    }
+
+    let mut cycles: Vec<Vec<TokenId>> = Vec::new();
+    let mut blocked = vec![false; n];
+    let mut block_map: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let mut stack: Vec<usize> = Vec::new();
+
+    for s in 0..n {
+        if cycles.len() >= max_cycles {
+            break;
+        }
+        // Restrict to vertices ≥ s in the SCC containing s.
+        let mut allowed = vec![false; n];
+        for (v, a) in allowed.iter_mut().enumerate() {
+            *a = v >= s;
+        }
+        let sccs = tarjan::scc_indices(&adjacency, &allowed);
+        let Some(component) = sccs.into_iter().find(|c| c.contains(&s)) else {
+            continue;
+        };
+        let in_scc: HashSet<usize> = component.into_iter().collect();
+        // 2-cycles u↔v are elementary in this digraph but SCC membership
+        // alone admits them; Johnson handles them naturally below.
+        for v in 0..n {
+            if in_scc.contains(&v) {
+                blocked[v] = false;
+                block_map[v].clear();
+            }
+        }
+        circuit(
+            s,
+            s,
+            &adjacency,
+            &in_scc,
+            &mut blocked,
+            &mut block_map,
+            &mut stack,
+            &mut cycles,
+            max_cycles,
+        );
+    }
+    cycles
+}
+
+#[allow(clippy::too_many_arguments)]
+fn circuit(
+    v: usize,
+    start: usize,
+    adjacency: &[Vec<usize>],
+    in_scc: &HashSet<usize>,
+    blocked: &mut [bool],
+    block_map: &mut [HashSet<usize>],
+    stack: &mut Vec<usize>,
+    cycles: &mut Vec<Vec<TokenId>>,
+    max_cycles: usize,
+) -> bool {
+    let mut found = false;
+    stack.push(v);
+    blocked[v] = true;
+    for &w in &adjacency[v] {
+        if cycles.len() >= max_cycles {
+            break;
+        }
+        if !in_scc.contains(&w) {
+            continue;
+        }
+        if w == start {
+            if stack.len() >= 2 {
+                cycles.push(stack.iter().map(|&i| TokenId::new(i as u32)).collect());
+                found = true;
+            }
+        } else if !blocked[w]
+            && circuit(
+                w, start, adjacency, in_scc, blocked, block_map, stack, cycles, max_cycles,
+            )
+        {
+            found = true;
+        }
+    }
+    if found {
+        unblock(v, blocked, block_map);
+    } else {
+        for &w in &adjacency[v] {
+            if in_scc.contains(&w) {
+                block_map[w].insert(v);
+            }
+        }
+    }
+    stack.pop();
+    found
+}
+
+fn unblock(v: usize, blocked: &mut [bool], block_map: &mut [HashSet<usize>]) {
+    blocked[v] = false;
+    let waiters: Vec<usize> = block_map[v].drain().collect();
+    for w in waiters {
+        if blocked[w] {
+            unblock(w, blocked, block_map);
+        }
+    }
+}
+
+/// Expands token cycles into pool-level cycles, multiplying out parallel
+/// pools; 2-cycles through a single pool (a swap there and back) are
+/// excluded. The `max_cycles` cap applies to the expanded output.
+pub fn elementary_pool_cycles(
+    graph: &TokenGraph,
+    max_cycles: usize,
+) -> Result<Vec<Cycle>, GraphError> {
+    let token_cycles = elementary_token_cycles(graph, max_cycles);
+    let mut out = Vec::new();
+    for tokens in token_cycles {
+        expand_pools(graph, &tokens, max_cycles, &mut out)?;
+        if out.len() >= max_cycles {
+            out.truncate(max_cycles);
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Depth-first expansion of pool choices along a token cycle.
+fn expand_pools(
+    graph: &TokenGraph,
+    tokens: &[TokenId],
+    max_cycles: usize,
+    out: &mut Vec<Cycle>,
+) -> Result<(), GraphError> {
+    let n = tokens.len();
+    let mut choice: Vec<PoolId> = Vec::with_capacity(n);
+    fn rec(
+        graph: &TokenGraph,
+        tokens: &[TokenId],
+        j: usize,
+        choice: &mut Vec<PoolId>,
+        max_cycles: usize,
+        out: &mut Vec<Cycle>,
+    ) -> Result<(), GraphError> {
+        let n = tokens.len();
+        if out.len() >= max_cycles {
+            return Ok(());
+        }
+        if j == n {
+            // Reject single-pool 2-cycles.
+            if n == 2 && choice[0] == choice[1] {
+                return Ok(());
+            }
+            out.push(Cycle::new(tokens.to_vec(), choice.clone())?);
+            return Ok(());
+        }
+        let from = tokens[j];
+        let to = tokens[(j + 1) % n];
+        for edge in graph.neighbors(from) {
+            if edge.to == to {
+                choice.push(edge.pool);
+                rec(graph, tokens, j + 1, choice, max_cycles, out)?;
+                choice.pop();
+            }
+        }
+        Ok(())
+    }
+    rec(graph, tokens, 0, &mut choice, max_cycles, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::Pool;
+    use std::collections::HashSet as Set;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn triangle() -> TokenGraph {
+        let fee = FeeRate::UNISWAP_V2;
+        TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn triangle_token_cycles() {
+        let g = triangle();
+        let cycles = elementary_token_cycles(&g, 1000);
+        // 2-cycles: (0,1), (0,2), (1,2) ×2 directions = 6... at token level
+        // u→v→u is one cycle per direction pair start: canonical root makes
+        // [0,1] and [1,0] the same? No: [0,1] means 0→1→0; the reverse
+        // direction 1→0→1 canonically roots at 0 as [0,1] again — i.e. a
+        // 2-cycle is direction-symmetric. So: 3 two-cycles + 2 directed
+        // triangles = 5.
+        let two: Vec<_> = cycles.iter().filter(|c| c.len() == 2).collect();
+        let three: Vec<_> = cycles.iter().filter(|c| c.len() == 3).collect();
+        assert_eq!(two.len(), 3, "{cycles:?}");
+        assert_eq!(three.len(), 2, "{cycles:?}");
+    }
+
+    #[test]
+    fn pool_expansion_matches_fixed_length_enumeration() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Triangle with a parallel edge to exercise pool expansion.
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(0), t(1), 120.0, 220.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let johnson: Set<Cycle> = elementary_pool_cycles(&g, 100_000)
+            .unwrap()
+            .into_iter()
+            .filter(|c| c.len() == 3)
+            .collect();
+        let direct: Set<Cycle> = g.cycles(3).unwrap().into_iter().collect();
+        assert_eq!(johnson, direct);
+    }
+
+    #[test]
+    fn two_cycle_expansion_requires_distinct_pools() {
+        let fee = FeeRate::UNISWAP_V2;
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 100.0, fee).unwrap(),
+            Pool::new(t(0), t(1), 100.0, 150.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let cycles = elementary_pool_cycles(&g, 1000).unwrap();
+        // One token 2-cycle expands into 2 pool cycles (p0→p1, p1→p0).
+        assert_eq!(cycles.len(), 2);
+        for c in &cycles {
+            assert_ne!(c.pools()[0], c.pools()[1]);
+        }
+    }
+
+    #[test]
+    fn max_cycles_caps_output() {
+        let fee = FeeRate::UNISWAP_V2;
+        // K4: plenty of cycles.
+        let mut pools = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                pools.push(Pool::new(t(a), t(b), 100.0, 100.0, fee).unwrap());
+            }
+        }
+        let g = TokenGraph::new(pools).unwrap();
+        let capped = elementary_token_cycles(&g, 3);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn k4_cycle_census() {
+        let fee = FeeRate::UNISWAP_V2;
+        let mut pools = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                pools.push(Pool::new(t(a), t(b), 100.0, 100.0, fee).unwrap());
+            }
+        }
+        let g = TokenGraph::new(pools).unwrap();
+        let cycles = elementary_token_cycles(&g, 100_000);
+        let by_len = |k: usize| cycles.iter().filter(|c| c.len() == k).count();
+        // K4 undirected: 6 edges ⇒ 6 two-cycles (direction symmetric);
+        // 4 triangles × 2 directions = 8; 3 four-cycles × 2 directions = 6.
+        assert_eq!(by_len(2), 6);
+        assert_eq!(by_len(3), 8);
+        assert_eq!(by_len(4), 6);
+    }
+}

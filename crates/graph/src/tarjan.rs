@@ -1,0 +1,172 @@
+//! Tarjan's strongly connected components.
+//!
+//! Used to prune cycle search: every cycle lies entirely inside one SCC, so
+//! enumeration can skip cross-component edges. (For pool graphs every edge
+//! is bidirectional, making SCCs coincide with connected components, but
+//! the algorithm is implemented in full generality and is reused by
+//! [`crate::johnson`] on induced subgraphs.)
+
+use arb_amm::token::TokenId;
+
+use crate::token_graph::TokenGraph;
+
+/// Computes the strongly connected components of the token graph, each as
+/// a list of tokens. Components are returned in reverse topological order
+/// (a property of Tarjan's algorithm); isolated token indices form
+/// singleton components only if they have at least one edge, otherwise they
+/// are skipped.
+pub fn strongly_connected_components(graph: &TokenGraph) -> Vec<Vec<TokenId>> {
+    let n = graph.token_count();
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for token in graph.active_tokens() {
+        let u = token.index();
+        for edge in graph.neighbors(token) {
+            adjacency[u].push(edge.to.index());
+        }
+    }
+    let allowed = vec![true; n];
+    scc_indices(&adjacency, &allowed)
+        .into_iter()
+        .filter(|comp| {
+            // Skip isolated indices (no pools at all).
+            comp.len() > 1 || !adjacency[comp[0]].is_empty()
+        })
+        .map(|comp| comp.into_iter().map(|i| TokenId::new(i as u32)).collect())
+        .collect()
+}
+
+/// Iterative Tarjan over a `usize`-indexed adjacency restricted to
+/// `allowed` vertices. Shared with Johnson's algorithm, which repeatedly
+/// needs SCCs of induced subgraphs.
+pub(crate) fn scc_indices(adjacency: &[Vec<usize>], allowed: &[bool]) -> Vec<Vec<usize>> {
+    let n = adjacency.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Explicit DFS state: (vertex, next child position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if !allowed[root] || index[root] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            let mut descended = false;
+            while *child < adjacency[v].len() {
+                let w = adjacency[v][*child];
+                *child += 1;
+                if !allowed[w] {
+                    continue;
+                }
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished: pop and propagate lowlink.
+            call_stack.pop();
+            if let Some(&(parent, _)) = call_stack.last() {
+                lowlink[parent] = lowlink[parent].min(lowlink[v]);
+            }
+            if lowlink[v] == index[v] {
+                let mut component = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w] = false;
+                    component.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                components.push(component);
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::Pool;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn single_component_for_connected_pools() {
+        let fee = FeeRate::UNISWAP_V2;
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 10.0, 10.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 10.0, 10.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 3);
+    }
+
+    #[test]
+    fn two_islands_two_components() {
+        let fee = FeeRate::UNISWAP_V2;
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 10.0, 10.0, fee).unwrap(),
+            Pool::new(t(2), t(3), 10.0, 10.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let mut sizes: Vec<usize> = strongly_connected_components(&g)
+            .iter()
+            .map(Vec::len)
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn directed_helper_detects_dag_structure() {
+        // Pure digraph: 0→1→2, 2→1 forms SCC {1,2}; {0} alone.
+        let adjacency = vec![vec![1], vec![2], vec![1]];
+        let allowed = vec![true; 3];
+        let mut sccs = scc_indices(&adjacency, &allowed);
+        for c in &mut sccs {
+            c.sort_unstable();
+        }
+        sccs.sort();
+        assert!(sccs.contains(&vec![0]));
+        assert!(sccs.contains(&vec![1, 2]));
+    }
+
+    #[test]
+    fn restriction_excludes_vertices() {
+        let adjacency = vec![vec![1], vec![0], vec![]];
+        let allowed = vec![true, false, true];
+        let sccs = scc_indices(&adjacency, &allowed);
+        // With 1 excluded, 0 is a singleton.
+        assert!(sccs.iter().any(|c| c == &vec![0]));
+        assert!(!sccs.iter().any(|c| c.contains(&1)));
+    }
+}

@@ -1,0 +1,228 @@
+//! The token exchange multigraph.
+
+use arb_amm::curve::SwapCurve;
+use arb_amm::pool::{Pool, PoolId};
+use arb_amm::token::TokenId;
+
+use crate::cycles::{self, Cycle};
+use crate::error::GraphError;
+
+/// A directed half-edge: swapping into `pool` yields token `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Destination token.
+    pub to: TokenId,
+    /// Pool implementing the hop.
+    pub pool: PoolId,
+}
+
+/// The token exchange graph: nodes are tokens, edges are pools.
+///
+/// Parallel pools between the same token pair are preserved as distinct
+/// edges (a real feature of Uniswap-style DEX state: the paper's snapshot
+/// has 208 pools over 51 tokens).
+#[derive(Debug, Clone)]
+pub struct TokenGraph {
+    pools: Vec<Pool>,
+    adjacency: Vec<Vec<EdgeRef>>,
+    token_count: usize,
+}
+
+impl TokenGraph {
+    /// Builds a graph from pools. Token ids are used as dense node indices;
+    /// the node count is `1 + max(token id)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`] when `pools` is empty.
+    pub fn new(pools: Vec<Pool>) -> Result<Self, GraphError> {
+        if pools.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        let token_count = pools
+            .iter()
+            .map(|p| p.token_a().index().max(p.token_b().index()) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut adjacency = vec![Vec::new(); token_count];
+        for (i, pool) in pools.iter().enumerate() {
+            let id = PoolId::new(i as u32);
+            adjacency[pool.token_a().index()].push(EdgeRef {
+                to: pool.token_b(),
+                pool: id,
+            });
+            adjacency[pool.token_b().index()].push(EdgeRef {
+                to: pool.token_a(),
+                pool: id,
+            });
+        }
+        Ok(TokenGraph {
+            pools,
+            adjacency,
+            token_count,
+        })
+    }
+
+    /// Number of token nodes (including isolated indices below the max id).
+    pub fn token_count(&self) -> usize {
+        self.token_count
+    }
+
+    /// Number of pool edges.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// All pools, indexable by [`PoolId::index`].
+    pub fn pools(&self) -> &[Pool] {
+        &self.pools
+    }
+
+    /// The pool behind `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownReference`] for an out-of-range id.
+    pub fn pool(&self, id: PoolId) -> Result<&Pool, GraphError> {
+        self.pools
+            .get(id.index())
+            .ok_or(GraphError::UnknownReference)
+    }
+
+    /// Outgoing edges from a token (empty for unknown/isolated tokens).
+    pub fn neighbors(&self, token: TokenId) -> &[EdgeRef] {
+        self.adjacency.get(token.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Tokens that have at least one pool.
+    pub fn active_tokens(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .filter(|(_, adj)| !adj.is_empty())
+            .map(|(i, _)| TokenId::new(i as u32))
+    }
+
+    /// The directional swap curve for entering `pool` with `token_in`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownReference`] for an unknown pool and
+    /// forwards AMM errors for a token not in the pool.
+    pub fn curve(&self, pool: PoolId, token_in: TokenId) -> Result<SwapCurve, GraphError> {
+        Ok(self.pool(pool)?.curve(token_in)?)
+    }
+
+    /// The directional swap curves along a cycle, in hop order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DisconnectedCycle`] if consecutive hops do not
+    /// share tokens correctly.
+    pub fn curves_for(&self, cycle: &Cycle) -> Result<Vec<SwapCurve>, GraphError> {
+        cycle.validate(self)?;
+        let n = cycle.len();
+        (0..n)
+            .map(|j| self.curve(cycle.pools()[j], cycle.tokens()[j]))
+            .collect()
+    }
+
+    /// All directed simple cycles of exactly `length` hops, each rotation
+    /// canonicalized (the smallest token id comes first). Both directions
+    /// of an undirected loop are returned — they are distinct trades with
+    /// reciprocal-ish rates, and at most one is profitable after fees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CycleTooShort`] for `length < 2`.
+    pub fn cycles(&self, length: usize) -> Result<Vec<Cycle>, GraphError> {
+        cycles::enumerate(self, length)
+    }
+
+    /// The subset of [`TokenGraph::cycles`] that are arbitrage loops:
+    /// round-trip rate strictly above 1 (paper's `Σ log p > 0` condition).
+    ///
+    /// # Errors
+    ///
+    /// See [`TokenGraph::cycles`].
+    pub fn arbitrage_loops(&self, length: usize) -> Result<Vec<Cycle>, GraphError> {
+        Ok(self
+            .cycles(length)?
+            .into_iter()
+            .filter(|c| c.log_rate(self).unwrap_or(f64::NEG_INFINITY) > 0.0)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    pub(crate) fn triangle() -> TokenGraph {
+        let fee = FeeRate::UNISWAP_V2;
+        TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(TokenGraph::new(vec![]).unwrap_err(), GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn adjacency_is_bidirectional() {
+        let g = triangle();
+        assert_eq!(g.token_count(), 3);
+        assert_eq!(g.pool_count(), 3);
+        assert_eq!(g.neighbors(t(0)).len(), 2);
+        assert_eq!(g.neighbors(t(1)).len(), 2);
+        assert_eq!(g.neighbors(t(9)).len(), 0);
+    }
+
+    #[test]
+    fn active_tokens_skips_isolated() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Token 1 unused: pool connects 0 and 5.
+        let g = TokenGraph::new(vec![Pool::new(t(0), t(5), 10.0, 10.0, fee).unwrap()]).unwrap();
+        let active: Vec<_> = g.active_tokens().collect();
+        assert_eq!(active, vec![t(0), t(5)]);
+    }
+
+    #[test]
+    fn curve_direction_matters() {
+        let g = triangle();
+        let c01 = g.curve(PoolId::new(0), t(0)).unwrap();
+        let c10 = g.curve(PoolId::new(0), t(1)).unwrap();
+        assert_eq!(c01.reserve_in(), 100.0);
+        assert_eq!(c10.reserve_in(), 200.0);
+    }
+
+    #[test]
+    fn unknown_pool_rejected() {
+        let g = triangle();
+        assert_eq!(
+            g.curve(PoolId::new(99), t(0)).unwrap_err(),
+            GraphError::UnknownReference
+        );
+    }
+
+    #[test]
+    fn triangle_has_two_directed_cycles_one_profitable() {
+        let g = triangle();
+        let all = g.cycles(3).unwrap();
+        assert_eq!(all.len(), 2, "two directions of the one triangle");
+        let arbs = g.arbitrage_loops(3).unwrap();
+        assert_eq!(arbs.len(), 1, "exactly one profitable direction");
+        // The profitable direction is 0 → 1 → 2 → 0 (the paper's example).
+        assert_eq!(arbs[0].tokens(), &[t(0), t(1), t(2)]);
+    }
+}

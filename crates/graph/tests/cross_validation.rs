@@ -1,0 +1,109 @@
+//! Cross-validation of the three cycle-discovery algorithms on random
+//! graphs: they must agree with each other exactly.
+
+use arb_amm::fee::FeeRate;
+use arb_amm::pool::Pool;
+use arb_amm::token::TokenId;
+use arb_graph::{bellman_ford, johnson, TokenGraph};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn t(i: u32) -> TokenId {
+    TokenId::new(i)
+}
+
+/// Random connected pool graph over `n` tokens.
+fn random_graph(n: u32, extra_edges: &[(u32, u32)], reserves: &[(f64, f64)]) -> TokenGraph {
+    let fee = FeeRate::UNISWAP_V2;
+    let mut pools = Vec::new();
+    let mut k = 0usize;
+    // Spanning path keeps it connected.
+    for i in 1..n {
+        let (ra, rb) = reserves[k % reserves.len()];
+        k += 1;
+        pools.push(Pool::new(t(i - 1), t(i), ra, rb, fee).unwrap());
+    }
+    for &(a, b) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let (ra, rb) = reserves[k % reserves.len()];
+        k += 1;
+        pools.push(Pool::new(t(a), t(b), ra, rb, fee).unwrap());
+    }
+    TokenGraph::new(pools).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Fixed-length enumeration must equal the same-length slice of
+    /// Johnson's complete elementary-cycle listing.
+    #[test]
+    fn enumeration_matches_johnson(
+        n in 4u32..8,
+        extra in proptest::collection::vec((0u32..8, 0u32..8), 2..8),
+        reserves in proptest::collection::vec((100.0..10_000.0f64, 100.0..10_000.0f64), 4),
+    ) {
+        let graph = random_graph(n, &extra, &reserves);
+        let johnson_all = johnson::elementary_pool_cycles(&graph, 1_000_000).unwrap();
+        for len in 2..=4usize {
+            let direct: HashSet<_> = graph.cycles(len).unwrap().into_iter().collect();
+            let via_johnson: HashSet<_> = johnson_all
+                .iter()
+                .filter(|c| c.len() == len)
+                .cloned()
+                .collect();
+            prop_assert_eq!(
+                &direct, &via_johnson,
+                "length {} mismatch on {} tokens", len, n
+            );
+        }
+    }
+
+    /// If any enumerated loop is profitable, Bellman–Ford must find a
+    /// negative cycle (it searches all lengths, so it sees at least as
+    /// much as bounded enumeration). And any cycle BFM returns must
+    /// genuinely be profitable.
+    #[test]
+    fn bfm_consistent_with_enumeration(
+        n in 4u32..8,
+        extra in proptest::collection::vec((0u32..8, 0u32..8), 2..8),
+        reserves in proptest::collection::vec((100.0..10_000.0f64, 100.0..10_000.0f64), 4),
+    ) {
+        let graph = random_graph(n, &extra, &reserves);
+        let enum_profitable = (2..=4).any(|k| !graph.arbitrage_loops(k).unwrap().is_empty());
+        let bfm = bellman_ford::find_negative_cycle(&graph).unwrap();
+        if enum_profitable {
+            prop_assert!(bfm.is_some(), "enumeration found profit, BFM missed it");
+        }
+        if let Some(cycle) = bfm {
+            prop_assert!(cycle.log_rate(&graph).unwrap() > 0.0,
+                "BFM returned an unprofitable cycle");
+        }
+    }
+
+    /// Every enumerated cycle validates and respects canonical rotation.
+    #[test]
+    fn cycles_are_canonical_and_valid(
+        n in 4u32..8,
+        extra in proptest::collection::vec((0u32..8, 0u32..8), 2..8),
+        reserves in proptest::collection::vec((100.0..10_000.0f64, 100.0..10_000.0f64), 4),
+    ) {
+        let graph = random_graph(n, &extra, &reserves);
+        for len in 2..=4usize {
+            for cycle in graph.cycles(len).unwrap() {
+                cycle.validate(&graph).unwrap();
+                let first = cycle.tokens()[0];
+                prop_assert!(
+                    cycle.tokens().iter().all(|tok| *tok >= first),
+                    "not canonically rooted: {cycle}"
+                );
+                // Tokens are pairwise distinct (simple cycle).
+                let unique: HashSet<_> = cycle.tokens().iter().collect();
+                prop_assert_eq!(unique.len(), cycle.len());
+            }
+        }
+    }
+}

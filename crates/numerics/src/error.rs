@@ -1,0 +1,71 @@
+//! Error type for numerical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by optimizers, factorizations, and solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// An iterative method exhausted its iteration budget.
+    NotConverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Best residual or gap achieved.
+        residual: f64,
+    },
+    /// A matrix factorization failed (singular or not positive definite).
+    SingularMatrix,
+    /// A bracketing interval did not contain the sought point.
+    InvalidBracket,
+    /// The starting point violated strict feasibility.
+    InfeasibleStart,
+    /// Mismatched vector/matrix dimensions.
+    DimensionMismatch,
+    /// A function returned NaN or infinity during iteration.
+    NonFiniteValue,
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration budget exhausted after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::SingularMatrix => {
+                write!(f, "matrix is singular or not positive definite")
+            }
+            NumericsError::InvalidBracket => write!(f, "bracket does not contain the target point"),
+            NumericsError::InfeasibleStart => write!(f, "starting point is not strictly feasible"),
+            NumericsError::DimensionMismatch => write!(f, "dimension mismatch"),
+            NumericsError::NonFiniteValue => write!(f, "non-finite value encountered"),
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NumericsError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(!NumericsError::SingularMatrix.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

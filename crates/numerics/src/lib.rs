@@ -1,0 +1,30 @@
+//! Numerical substrate: scalar optimizers, dense linear algebra, and a
+//! log-barrier interior-point method.
+//!
+//! No convex-optimization crates are available offline, so this crate
+//! implements the three layers the arbitrage strategies need from scratch:
+//!
+//! * [`scalar`] — 1-D concave maximization (derivative bisection, golden
+//!   section, safeguarded Newton) used by the Traditional/MaxMax strategies;
+//! * [`linalg`] — small dense matrices with Cholesky and partially-pivoted
+//!   LU solves for Newton systems;
+//! * [`barrier`] — a damped-Newton log-barrier interior-point method for
+//!   smooth concave maximization under smooth concave inequality
+//!   constraints, used by the ConvexOptimization strategy (paper eq. 8);
+//! * [`rootfind`] — safeguarded scalar root finding.
+//!
+//! Everything is deterministic and allocation-light; problem sizes in this
+//! workspace are tiny (loops of length ≤ ~16 ⇒ ≤ 32 variables), so dense
+//! factorizations are the right tool.
+
+pub mod barrier;
+pub mod error;
+pub mod linalg;
+pub mod rootfind;
+pub mod scalar;
+pub mod stats;
+
+pub use barrier::{solve_barrier, BarrierConfig, BarrierProblem, BarrierSolution};
+pub use error::NumericsError;
+pub use linalg::Matrix;
+pub use scalar::{bisect_derivative, golden_section, newton_max, OptimizeResult};

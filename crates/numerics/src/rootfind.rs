@@ -1,0 +1,167 @@
+//! Safeguarded scalar root finding.
+
+use crate::error::NumericsError;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (or one of them to be
+/// zero).
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidBracket`] if the signs do not straddle zero.
+/// * [`NumericsError::NonFiniteValue`] if `f` produces NaN.
+pub fn bisect_root(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(NumericsError::InvalidBracket);
+    }
+    let flo = f(lo);
+    let fhi = f(hi);
+    if flo.is_nan() || fhi.is_nan() {
+        return Err(NumericsError::NonFiniteValue);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::InvalidBracket);
+    }
+    let (mut a, mut b, mut fa) = (lo, hi, flo);
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm.is_nan() {
+            return Err(NumericsError::NonFiniteValue);
+        }
+        if fm == 0.0 || (b - a) <= tol * (1.0 + mid.abs()) {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Newton's method with bisection fallback inside a bracket.
+///
+/// Each iteration tries a Newton step from the current iterate; if the step
+/// leaves the bracket or the derivative vanishes, falls back to bisection.
+/// Converges quadratically near simple roots, never diverges.
+///
+/// # Errors
+///
+/// Same as [`bisect_root`].
+pub fn newton_root(
+    mut f: impl FnMut(f64) -> f64,
+    mut df: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(NumericsError::InvalidBracket);
+    }
+    let flo = f(lo);
+    let fhi = f(hi);
+    if flo.is_nan() || fhi.is_nan() {
+        return Err(NumericsError::NonFiniteValue);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::InvalidBracket);
+    }
+    let (mut a, mut b, mut fa) = (lo, hi, flo);
+    let mut x = 0.5 * (a + b);
+    for _ in 0..max_iter {
+        let fx = f(x);
+        if fx.is_nan() {
+            return Err(NumericsError::NonFiniteValue);
+        }
+        if fx.abs() <= tol {
+            return Ok(x);
+        }
+        if fx.signum() == fa.signum() {
+            a = x;
+            fa = fx;
+        } else {
+            b = x;
+        }
+        let d = df(x);
+        let newton = x - fx / d;
+        x = if newton.is_finite() && newton > a && newton < b {
+            newton
+        } else {
+            0.5 * (a + b)
+        };
+        if b - a <= tol * (1.0 + x.abs()) {
+            return Ok(x);
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_sqrt2() {
+        let r = newton_root(|x| x * x - 2.0, |x| 2.0 * x, 0.0, 2.0, 1e-14, 100).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_roots() {
+        assert_eq!(bisect_root(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, 1e-12, 10).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn no_sign_change_rejected() {
+        assert_eq!(
+            bisect_root(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 10),
+            Err(NumericsError::InvalidBracket)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn both_methods_agree_on_cubic(c in 0.5..100.0f64) {
+            // x^3 = c has root c^(1/3).
+            let f = |x: f64| x * x * x - c;
+            let df = |x: f64| 3.0 * x * x;
+            let hi = c.max(1.0) + 1.0;
+            let b = bisect_root(f, 0.0, hi, 1e-13, 300).unwrap();
+            let n = newton_root(f, df, 0.0, hi, 1e-13, 100).unwrap();
+            let truth = c.cbrt();
+            prop_assert!((b - truth).abs() < 1e-6 * (1.0 + truth));
+            prop_assert!((n - truth).abs() < 1e-6 * (1.0 + truth));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Small statistical helpers (pure functions, no RNG dependency).
+//!
+//! Callers draw uniforms from their own `rand` source and map them through
+//! these transforms; keeping this crate RNG-free avoids version coupling.
+
+/// Box–Muller transform: maps two independent uniforms in `(0, 1]` to two
+/// independent standard normal deviates.
+///
+/// # Panics
+///
+/// Debug-asserts the inputs lie in `(0, 1]` (a `u1` of exactly 0 would
+/// produce infinity).
+pub fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
+    debug_assert!(u1 > 0.0 && u1 <= 1.0, "u1={u1}");
+    debug_assert!((0.0..=1.0).contains(&u2), "u2={u2}");
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Maps two uniforms to one log-normal deviate with the given parameters
+/// of the underlying normal (`ln X ~ N(mu, sigma²)`).
+pub fn log_normal(mu: f64, sigma: f64, u1: f64, u2: f64) -> f64 {
+    let (z, _) = box_muller(u1, u2);
+    (mu + sigma * z).exp()
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice (0 for fewer than 2 samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation of two equal-length slices (0 when degenerate).
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_muller_produces_plausible_normals() {
+        // Deterministic low-discrepancy sweep instead of an RNG.
+        let mut samples = Vec::new();
+        let n = 5000;
+        for i in 0..n {
+            let u1 = (i as f64 + 0.5) / n as f64;
+            let u2 = ((i as f64 * 0.618_033_988_75) % 1.0).max(1e-12);
+            let (z1, z2) = box_muller(u1, u2);
+            samples.push(z1);
+            samples.push(z2);
+        }
+        let m = mean(&samples);
+        let s = std_dev(&samples);
+        assert!(m.abs() < 0.05, "mean={m}");
+        assert!((s - 1.0).abs() < 0.05, "std={s}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        for i in 1..100 {
+            let u1 = i as f64 / 100.0;
+            let v = log_normal(0.0, 1.0, u1, 0.37);
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((correlation(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&xs, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! CSV persistence for snapshots.
+//!
+//! Two files represent a snapshot on disk:
+//!
+//! * `tokens.csv` — `index,symbol,decimals,usd_price`
+//! * `pools.csv`  — `token_a,token_b,reserve_a,reserve_b,fee_ppm`
+//!
+//! The format is deliberately trivial (no quoting — symbols are
+//! alphanumeric by construction) so no CSV dependency is needed; floats are
+//! round-tripped through Rust's shortest-exact formatting.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use arb_amm::fee::FeeRate;
+use arb_amm::pool::Pool;
+use arb_amm::token::TokenId;
+
+use crate::error::SnapshotError;
+use crate::snapshot::{Snapshot, TokenMeta};
+
+/// Serializes the token table to CSV.
+pub fn tokens_to_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("index,symbol,decimals,usd_price\n");
+    for (i, t) in snapshot.tokens().iter().enumerate() {
+        writeln!(out, "{i},{},{},{}", t.symbol, t.decimals, t.usd_price)
+            .expect("string write cannot fail");
+    }
+    out
+}
+
+/// Serializes the pool table to CSV.
+pub fn pools_to_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("token_a,token_b,reserve_a,reserve_b,fee_ppm\n");
+    for p in snapshot.pools() {
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            p.token_a().index(),
+            p.token_b().index(),
+            p.reserve_a(),
+            p.reserve_b(),
+            p.fee().ppm()
+        )
+        .expect("string write cannot fail");
+    }
+    out
+}
+
+/// Parses a token table CSV (inverse of [`tokens_to_csv`]).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Parse`] with a 1-based line number on any
+/// malformed record.
+pub fn tokens_from_csv(text: &str) -> Result<Vec<TokenMeta>, SnapshotError> {
+    let mut tokens = Vec::new();
+    for (lineno, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(parse_err(lineno + 1, "expected 4 fields"));
+        }
+        let index: usize = fields[0]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad index"))?;
+        if index != tokens.len() {
+            return Err(parse_err(lineno + 1, "indices must be dense and ordered"));
+        }
+        tokens.push(TokenMeta {
+            symbol: fields[1].to_owned(),
+            decimals: fields[2]
+                .parse()
+                .map_err(|_| parse_err(lineno + 1, "bad decimals"))?,
+            usd_price: fields[3]
+                .parse()
+                .map_err(|_| parse_err(lineno + 1, "bad price"))?,
+        });
+    }
+    Ok(tokens)
+}
+
+/// Parses a pool table CSV (inverse of [`pools_to_csv`]).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Parse`] on malformed records and forwards
+/// pool-validation failures as [`SnapshotError::Amm`].
+pub fn pools_from_csv(text: &str) -> Result<Vec<Pool>, SnapshotError> {
+    let mut pools = Vec::new();
+    for (lineno, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(parse_err(lineno + 1, "expected 5 fields"));
+        }
+        let a: u32 = fields[0]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad token_a"))?;
+        let b: u32 = fields[1]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad token_b"))?;
+        let ra: f64 = fields[2]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad reserve_a"))?;
+        let rb: f64 = fields[3]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad reserve_b"))?;
+        let fee_ppm: u32 = fields[4]
+            .parse()
+            .map_err(|_| parse_err(lineno + 1, "bad fee_ppm"))?;
+        let fee = FeeRate::from_ppm(fee_ppm)?;
+        pools.push(Pool::new(TokenId::new(a), TokenId::new(b), ra, rb, fee)?);
+    }
+    Ok(pools)
+}
+
+/// Writes `tokens.csv` and `pools.csv` into `dir` (created if missing).
+///
+/// # Errors
+///
+/// Forwards filesystem errors.
+pub fn save(snapshot: &Snapshot, dir: &Path) -> Result<(), SnapshotError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("tokens.csv"), tokens_to_csv(snapshot))?;
+    std::fs::write(dir.join("pools.csv"), pools_to_csv(snapshot))?;
+    Ok(())
+}
+
+/// Loads a snapshot previously written by [`save`].
+///
+/// # Errors
+///
+/// Forwards filesystem and parse errors.
+pub fn load(dir: &Path) -> Result<Snapshot, SnapshotError> {
+    let tokens = tokens_from_csv(&std::fs::read_to_string(dir.join("tokens.csv"))?)?;
+    let pools = pools_from_csv(&std::fs::read_to_string(dir.join("pools.csv"))?)?;
+    Ok(Snapshot::new(tokens, pools))
+}
+
+fn parse_err(line: usize, reason: &str) -> SnapshotError {
+    SnapshotError::Parse {
+        line,
+        reason: reason.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SnapshotConfig;
+    use crate::generator::Generator;
+
+    #[test]
+    fn round_trip_through_strings() {
+        let cfg = SnapshotConfig {
+            num_tokens: 8,
+            num_pools: 12,
+            ..SnapshotConfig::default()
+        };
+        let snapshot = Generator::new(cfg).generate().unwrap();
+        let tokens = tokens_from_csv(&tokens_to_csv(&snapshot)).unwrap();
+        let pools = pools_from_csv(&pools_to_csv(&snapshot)).unwrap();
+        let rebuilt = Snapshot::new(tokens, pools);
+        assert_eq!(&rebuilt, &snapshot, "exact float round-trip");
+    }
+
+    #[test]
+    fn round_trip_through_files() {
+        let dir = std::env::temp_dir().join(format!("arb_snapshot_test_{}", std::process::id()));
+        let cfg = SnapshotConfig {
+            num_tokens: 5,
+            num_pools: 8,
+            ..SnapshotConfig::default()
+        };
+        let snapshot = Generator::new(cfg).generate().unwrap();
+        save(&snapshot, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded, snapshot);
+    }
+
+    #[test]
+    fn malformed_rows_report_line_numbers() {
+        let bad = "index,symbol,decimals,usd_price\n0,WETH,18,2000\nnonsense\n";
+        match tokens_from_csv(bad) {
+            Err(SnapshotError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_pool = "token_a,token_b,reserve_a,reserve_b,fee_ppm\n0,0,1,1,3000\n";
+        assert!(matches!(
+            pools_from_csv(bad_pool),
+            Err(SnapshotError::Amm(_))
+        ));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let text = "index,symbol,decimals,usd_price\n0,A,18,1.5\n\n1,B,6,2.5\n";
+        let tokens = tokens_from_csv(text).unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(tokens[1].symbol, "B");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for snapshot generation and persistence.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from snapshot generation, filtering, and CSV persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Configuration failed validation.
+    InvalidConfig(&'static str),
+    /// Generation could not reach the pool target (filters too strict for
+    /// the distribution parameters).
+    GenerationStalled {
+        /// Pools that passed filters when generation gave up.
+        reached: usize,
+        /// The configured target.
+        target: usize,
+    },
+    /// Pool construction failed.
+    Amm(arb_amm::AmmError),
+    /// Filesystem I/O failure.
+    Io(std::io::Error),
+    /// A CSV record could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            SnapshotError::GenerationStalled { reached, target } => write!(
+                f,
+                "generation stalled at {reached}/{target} pools passing filters"
+            ),
+            SnapshotError::Amm(e) => write!(f, "amm error: {e}"),
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::Parse { line, reason } => {
+                write!(f, "csv parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Amm(e) => Some(e),
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<arb_amm::AmmError> for SnapshotError {
+    fn from(e: arb_amm::AmmError) -> Self {
+        SnapshotError::Amm(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SnapshotError::InvalidConfig("x").to_string().contains("x"));
+        let e = SnapshotError::GenerationStalled {
+            reached: 5,
+            target: 10,
+        };
+        assert!(e.to_string().contains("5/10"));
+        let e = SnapshotError::Parse {
+            line: 3,
+            reason: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

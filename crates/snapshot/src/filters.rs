@@ -1,0 +1,99 @@
+//! The paper's pool-quality filters.
+//!
+//! "We chose those liquidity pools that have more than thirty thousand
+//! dollars TVL and where the number of each token is larger than one
+//! hundred." Both thresholds are applied against the snapshot's CEX prices.
+
+use crate::snapshot::Snapshot;
+
+/// Returns a snapshot containing only pools that satisfy both filters.
+/// The token table is preserved unchanged (token ids stay stable).
+pub fn apply_filters(snapshot: &Snapshot, min_tvl_usd: f64, min_reserve: f64) -> Snapshot {
+    let pools = snapshot
+        .pools()
+        .iter()
+        .filter(|pool| {
+            let tvl_ok = snapshot.pool_tvl(pool).is_some_and(|tvl| tvl > min_tvl_usd);
+            let reserves_ok = pool.reserve_a() > min_reserve && pool.reserve_b() > min_reserve;
+            tvl_ok && reserves_ok
+        })
+        .copied()
+        .collect();
+    Snapshot::new(snapshot.tokens().to_vec(), pools)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::TokenMeta;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::Pool;
+    use arb_amm::token::TokenId;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn snapshot_with(pools: Vec<Pool>) -> Snapshot {
+        let tokens = vec![
+            TokenMeta {
+                symbol: "A".into(),
+                decimals: 18,
+                usd_price: 100.0,
+            },
+            TokenMeta {
+                symbol: "B".into(),
+                decimals: 18,
+                usd_price: 1.0,
+            },
+        ];
+        Snapshot::new(tokens, pools)
+    }
+
+    #[test]
+    fn keeps_qualifying_pool() {
+        let fee = FeeRate::UNISWAP_V2;
+        // TVL = 500·100 + 50_000·1 = 100_000 > 30_000; reserves > 100.
+        let s = snapshot_with(vec![Pool::new(t(0), t(1), 500.0, 50_000.0, fee).unwrap()]);
+        assert_eq!(apply_filters(&s, 30_000.0, 100.0).pools().len(), 1);
+    }
+
+    #[test]
+    fn drops_low_tvl_pool() {
+        let fee = FeeRate::UNISWAP_V2;
+        // TVL = 101·100 + 150·1 ≈ 10_250 < 30_000.
+        let s = snapshot_with(vec![Pool::new(t(0), t(1), 101.0, 150.0, fee).unwrap()]);
+        assert!(apply_filters(&s, 30_000.0, 100.0).pools().is_empty());
+    }
+
+    #[test]
+    fn drops_thin_reserve_pool_despite_tvl() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Reserve A = 90 < 100 even though TVL = 90·100 + 40_000 = 49_000.
+        let s = snapshot_with(vec![Pool::new(t(0), t(1), 90.0, 40_000.0, fee).unwrap()]);
+        assert!(apply_filters(&s, 30_000.0, 100.0).pools().is_empty());
+    }
+
+    #[test]
+    fn filter_is_monotone_in_thresholds() {
+        let fee = FeeRate::UNISWAP_V2;
+        let pools = vec![
+            Pool::new(t(0), t(1), 500.0, 50_000.0, fee).unwrap(),
+            Pool::new(t(0), t(1), 150.0, 15_000.0, fee).unwrap(),
+            Pool::new(t(0), t(1), 110.0, 11_000.0, fee).unwrap(),
+        ];
+        let s = snapshot_with(pools);
+        let loose = apply_filters(&s, 10_000.0, 100.0).pools().len();
+        let tight = apply_filters(&s, 30_000.0, 100.0).pools().len();
+        let tighter = apply_filters(&s, 30_000.0, 200.0).pools().len();
+        assert!(loose >= tight && tight >= tighter);
+    }
+
+    #[test]
+    fn token_table_preserved() {
+        let fee = FeeRate::UNISWAP_V2;
+        let s = snapshot_with(vec![Pool::new(t(0), t(1), 1.0, 1.0, fee).unwrap()]);
+        let f = apply_filters(&s, 30_000.0, 100.0);
+        assert_eq!(f.token_count(), 2, "token ids must remain stable");
+    }
+}

@@ -1,0 +1,296 @@
+//! Snapshot generation.
+//!
+//! The generator builds a market whose *filtered* pool census matches the
+//! configured targets exactly:
+//!
+//! 1. Token prices: two pinned hubs (a $2,000 WETH-like and a $1
+//!    USDC-like), the rest log-normal.
+//! 2. A hub-biased spanning tree of filter-passing pools guarantees the
+//!    filtered graph stays connected over all tokens.
+//! 3. Additional pools are drawn (hub-biased endpoints, log-normal TVL,
+//!    log-normal mispricing) until exactly `num_pools` pass the filters;
+//!    sub-threshold draws are kept in the raw snapshot so filtering is a
+//!    real operation, mirroring the paper's data pipeline.
+//!
+//! Pool reserves are *value-balanced*: each side holds `TVL/2` dollars at
+//! CEX prices, then the B side is multiplied by the mispricing factor
+//! `exp(σ·z)`. With `σ = 0` every pool's relative price agrees with the
+//! CEX ratio and no loop beats the 0.3% fee; raising `σ` injects the
+//! price discrepancies the paper observes on mainnet.
+
+use arb_amm::pool::Pool;
+use arb_amm::token::TokenId;
+use arb_numerics::stats::box_muller;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SnapshotConfig;
+use crate::error::SnapshotError;
+use crate::snapshot::{Snapshot, TokenMeta};
+
+/// Number of pinned hub tokens (WETH-like and USDC-like).
+const HUB_COUNT: usize = 2;
+
+/// Safety multiple of the pool target before generation reports a stall.
+const MAX_DRAW_FACTOR: usize = 20;
+
+/// The snapshot generator. One generator produces one snapshot; it is
+/// consumed by [`Generator::generate`] conceptually but kept reusable for
+/// sweeps (each call re-seeds from the config).
+#[derive(Debug, Clone)]
+pub struct Generator {
+    config: SnapshotConfig,
+}
+
+impl Generator {
+    /// Creates a generator from a config.
+    pub fn new(config: SnapshotConfig) -> Self {
+        Generator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SnapshotConfig {
+        &self.config
+    }
+
+    /// Generates a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapshotError::InvalidConfig`] for inconsistent parameters.
+    /// * [`SnapshotError::GenerationStalled`] if the filter thresholds are
+    ///   unreachable for the configured distributions.
+    pub fn generate(&self) -> Result<Snapshot, SnapshotError> {
+        let cfg = &self.config;
+        cfg.validate().map_err(SnapshotError::InvalidConfig)?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let tokens = self.draw_tokens(&mut rng);
+        let prices: Vec<f64> = tokens.iter().map(|t| t.usd_price).collect();
+
+        let mut pools: Vec<Pool> = Vec::new();
+        let mut passing = 0usize;
+
+        // Spanning tree: token i (≥1) attaches to a hub-biased earlier
+        // token, with parameters forced above the filter thresholds.
+        for i in 1..cfg.num_tokens {
+            let partner = self.pick_partner(&mut rng, i);
+            let pool = self.draw_pool(&mut rng, i, partner, &prices, true)?;
+            debug_assert!(self.passes_filters(&pool, &prices));
+            pools.push(pool);
+            passing += 1;
+        }
+
+        // Fill with random pools until the filtered census hits the target.
+        let max_draws = cfg.num_pools * MAX_DRAW_FACTOR;
+        while passing < cfg.num_pools {
+            if pools.len() > max_draws {
+                return Err(SnapshotError::GenerationStalled {
+                    reached: passing,
+                    target: cfg.num_pools,
+                });
+            }
+            let a = self.pick_endpoint(&mut rng);
+            let mut b = self.pick_endpoint(&mut rng);
+            while b == a {
+                b = self.pick_endpoint(&mut rng);
+            }
+            let pool = self.draw_pool(&mut rng, a, b, &prices, false)?;
+            if self.passes_filters(&pool, &prices) {
+                passing += 1;
+            }
+            pools.push(pool);
+        }
+
+        Ok(Snapshot::new(tokens, pools))
+    }
+
+    fn draw_tokens(&self, rng: &mut StdRng) -> Vec<TokenMeta> {
+        let cfg = &self.config;
+        let mut tokens = Vec::with_capacity(cfg.num_tokens);
+        tokens.push(TokenMeta {
+            symbol: "WETH".into(),
+            decimals: 18,
+            usd_price: 2_000.0,
+        });
+        tokens.push(TokenMeta {
+            symbol: "USDC".into(),
+            decimals: 6,
+            usd_price: 1.0,
+        });
+        for i in HUB_COUNT..cfg.num_tokens {
+            let (z, _) = self.normal(rng);
+            tokens.push(TokenMeta {
+                symbol: format!("TKN{i}"),
+                decimals: 18,
+                usd_price: (cfg.price_log_mean + cfg.price_log_std * z).exp(),
+            });
+        }
+        tokens
+    }
+
+    /// Hub-biased endpoint selection over all tokens.
+    fn pick_endpoint(&self, rng: &mut StdRng) -> usize {
+        if rng.gen_bool(self.config.hub_bias) {
+            rng.gen_range(0..HUB_COUNT)
+        } else {
+            rng.gen_range(0..self.config.num_tokens)
+        }
+    }
+
+    /// Hub-biased partner among tokens `< i` (for the spanning tree).
+    fn pick_partner(&self, rng: &mut StdRng, i: usize) -> usize {
+        if i > HUB_COUNT && rng.gen_bool(self.config.hub_bias) {
+            rng.gen_range(0..HUB_COUNT)
+        } else {
+            rng.gen_range(0..i)
+        }
+    }
+
+    /// Draws one pool between tokens `a` and `b`. With `force_pass` the
+    /// TVL is lifted until both filters hold (used for the spanning tree).
+    fn draw_pool(
+        &self,
+        rng: &mut StdRng,
+        a: usize,
+        b: usize,
+        prices: &[f64],
+        force_pass: bool,
+    ) -> Result<Pool, SnapshotError> {
+        let cfg = &self.config;
+        let (z_tvl, z_mis) = self.normal(rng);
+        let mut tvl = (cfg.tvl_log_mean + cfg.tvl_log_std * z_tvl).exp();
+        if force_pass {
+            // Lift above both thresholds: TVL and the per-side reserve
+            // floor (each side holds TVL/2 dollars ⇒ reserve = TVL/(2·P)).
+            let reserve_floor = 2.0 * (cfg.min_reserve + 1.0) * prices[a].max(prices[b]);
+            tvl = tvl.max(cfg.min_tvl_usd * 1.5).max(reserve_floor * 1.1);
+        }
+        let mispricing = (cfg.mispricing_std * z_mis).exp();
+        let reserve_a = tvl / (2.0 * prices[a]);
+        let reserve_b = tvl / (2.0 * prices[b]) * mispricing;
+        Ok(Pool::new(
+            TokenId::new(a as u32),
+            TokenId::new(b as u32),
+            reserve_a,
+            reserve_b,
+            cfg.fee,
+        )?)
+    }
+
+    fn passes_filters(&self, pool: &Pool, prices: &[f64]) -> bool {
+        let cfg = &self.config;
+        let tvl = pool.reserve_a() * prices[pool.token_a().index()]
+            + pool.reserve_b() * prices[pool.token_b().index()];
+        tvl > cfg.min_tvl_usd
+            && pool.reserve_a() > cfg.min_reserve
+            && pool.reserve_b() > cfg.min_reserve
+    }
+
+    fn normal(&self, rng: &mut StdRng) -> (f64, f64) {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        box_muller(u1, u2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hits_paper_census() {
+        let snapshot = Generator::new(SnapshotConfig::default())
+            .generate()
+            .unwrap();
+        assert_eq!(snapshot.token_count(), 51);
+        let filtered = snapshot.filtered(&SnapshotConfig::default());
+        assert_eq!(filtered.pools().len(), 208, "filtered pool census");
+        // The raw snapshot carries extra sub-threshold pools.
+        assert!(snapshot.pools().len() >= 208);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Generator::new(SnapshotConfig::default())
+            .generate()
+            .unwrap();
+        let b = Generator::new(SnapshotConfig::default())
+            .generate()
+            .unwrap();
+        assert_eq!(a, b);
+        let other = SnapshotConfig {
+            seed: SnapshotConfig::default().seed + 1,
+            ..SnapshotConfig::default()
+        };
+        let c = Generator::new(other).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn filtered_graph_stays_connected() {
+        let cfg = SnapshotConfig::default();
+        let filtered = Generator::new(cfg).generate().unwrap().filtered(&cfg);
+        // Union-find over pools.
+        let n = filtered.token_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for pool in filtered.pools() {
+            let ra = find(&mut parent, pool.token_a().index());
+            let rb = find(&mut parent, pool.token_b().index());
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..n {
+            assert_eq!(find(&mut parent, i), root, "token {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn zero_mispricing_balances_pools() {
+        let cfg = SnapshotConfig {
+            mispricing_std: 0.0,
+            ..SnapshotConfig::default()
+        };
+        let snapshot = Generator::new(cfg).generate().unwrap();
+        for pool in snapshot.pools() {
+            let pa = snapshot.usd_price(pool.token_a()).unwrap();
+            let pb = snapshot.usd_price(pool.token_b()).unwrap();
+            let value_ratio = (pool.reserve_a() * pa) / (pool.reserve_b() * pb);
+            assert!(
+                (value_ratio - 1.0).abs() < 1e-9,
+                "pool should be value-balanced, ratio {value_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_config_generates() {
+        let cfg = SnapshotConfig {
+            num_tokens: 5,
+            num_pools: 8,
+            ..SnapshotConfig::default()
+        };
+        let snapshot = Generator::new(cfg).generate().unwrap();
+        assert_eq!(snapshot.token_count(), 5);
+        assert_eq!(snapshot.filtered(&cfg).pools().len(), 8);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = SnapshotConfig {
+            num_tokens: 1,
+            ..SnapshotConfig::default()
+        };
+        assert!(matches!(
+            Generator::new(cfg).generate(),
+            Err(SnapshotError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic Uniswap V2 snapshots calibrated to the paper's dataset.
+//!
+//! The paper's empirical section uses on-chain Uniswap V2 state from
+//! September 1st, 2023: after keeping pools with more than $30,000 TVL and
+//! token reserves above 100 units, the token graph has **51 nodes and 208
+//! edges**, of which 123 length-3 loops admit arbitrage. That dataset is
+//! not available offline, so this crate generates synthetic snapshots with
+//! the same *structure*:
+//!
+//! * token USD prices are log-normal with pinned WETH/USDC-like hubs;
+//! * pool reserves are value-balanced against CEX prices times a
+//!   controlled log-normal mispricing factor (the arbitrage source);
+//! * pool TVLs are log-normal with hub-biased preferential attachment;
+//! * the paper's two filters are applied by [`filters::apply_filters`],
+//!   and generation continues until exactly the target number of pools
+//!   *survives* the filters (so the filters do real work).
+//!
+//! Everything is seed-deterministic. See `DESIGN.md` §3 for why this
+//! substitution preserves the paper's findings.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arb_snapshot::{Generator, SnapshotConfig};
+//!
+//! let snapshot = Generator::new(SnapshotConfig::default()).generate().unwrap();
+//! assert_eq!(snapshot.token_count(), 51);
+//! let filtered = snapshot.filtered(&SnapshotConfig::default());
+//! assert_eq!(filtered.pools().len(), 208);
+//! ```
+
+pub mod config;
+pub mod csv;
+pub mod error;
+pub mod filters;
+pub mod generator;
+pub mod snapshot;
+
+pub use config::SnapshotConfig;
+pub use error::SnapshotError;
+pub use generator::Generator;
+pub use snapshot::{Snapshot, TokenMeta};

@@ -1,0 +1,124 @@
+//! The snapshot data model.
+
+use arb_amm::pool::Pool;
+use arb_amm::token::TokenId;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SnapshotConfig;
+use crate::filters;
+
+/// Token metadata carried by a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenMeta {
+    /// Ticker symbol.
+    pub symbol: String,
+    /// ERC-20 style decimals.
+    pub decimals: u8,
+    /// CEX (USD) price at snapshot time.
+    pub usd_price: f64,
+}
+
+/// A frozen view of DEX state + CEX prices at one moment — the unit of
+/// input for the empirical pipeline (paper §VI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    tokens: Vec<TokenMeta>,
+    pools: Vec<Pool>,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot. Token ids used by `pools` index into
+    /// `tokens`.
+    pub fn new(tokens: Vec<TokenMeta>, pools: Vec<Pool>) -> Self {
+        Snapshot { tokens, pools }
+    }
+
+    /// Number of tokens.
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Token metadata, indexable by [`TokenId::index`].
+    pub fn tokens(&self) -> &[TokenMeta] {
+        &self.tokens
+    }
+
+    /// The pools.
+    pub fn pools(&self) -> &[Pool] {
+        &self.pools
+    }
+
+    /// CEX USD price of a token (None for out-of-range ids).
+    pub fn usd_price(&self, token: TokenId) -> Option<f64> {
+        self.tokens.get(token.index()).map(|t| t.usd_price)
+    }
+
+    /// All prices as a dense vector aligned with token indices.
+    pub fn price_vector(&self) -> Vec<f64> {
+        self.tokens.iter().map(|t| t.usd_price).collect()
+    }
+
+    /// TVL of a pool under this snapshot's CEX prices (None when a token
+    /// id is out of range).
+    pub fn pool_tvl(&self, pool: &Pool) -> Option<f64> {
+        let pa = self.usd_price(pool.token_a())?;
+        let pb = self.usd_price(pool.token_b())?;
+        pool.tvl(pa, pb).ok()
+    }
+
+    /// Applies the paper's filters (TVL and per-reserve thresholds from
+    /// `config`), returning a snapshot with the surviving pools and the
+    /// same token table.
+    pub fn filtered(&self, config: &SnapshotConfig) -> Snapshot {
+        filters::apply_filters(self, config.min_tvl_usd, config.min_reserve)
+    }
+
+    /// Total TVL across pools (ignoring pools with unknown tokens).
+    pub fn total_tvl(&self) -> f64 {
+        self.pools.iter().filter_map(|p| self.pool_tvl(p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn sample() -> Snapshot {
+        let tokens = vec![
+            TokenMeta {
+                symbol: "WETH".into(),
+                decimals: 18,
+                usd_price: 2000.0,
+            },
+            TokenMeta {
+                symbol: "USDC".into(),
+                decimals: 6,
+                usd_price: 1.0,
+            },
+        ];
+        let pools = vec![Pool::new(t(0), t(1), 100.0, 200_000.0, FeeRate::UNISWAP_V2).unwrap()];
+        Snapshot::new(tokens, pools)
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.token_count(), 2);
+        assert_eq!(s.usd_price(t(0)), Some(2000.0));
+        assert_eq!(s.usd_price(t(5)), None);
+        assert_eq!(s.price_vector(), vec![2000.0, 1.0]);
+    }
+
+    #[test]
+    fn tvl_computation() {
+        let s = sample();
+        let tvl = s.pool_tvl(&s.pools()[0]).unwrap();
+        assert!((tvl - 400_000.0).abs() < 1e-6);
+        assert!((s.total_tvl() - 400_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: evaluate all four strategies on the paper's worked example.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use arbloops::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's §V pools: (x,y) = (100,200), (y,z) = (300,200),
+    // (z,x) = (200,400), Uniswap V2 fee 0.3%.
+    let fee = FeeRate::UNISWAP_V2;
+    let loop_ = ArbLoop::new(
+        vec![
+            SwapCurve::new(100.0, 200.0, fee)?, // X → Y
+            SwapCurve::new(300.0, 200.0, fee)?, // Y → Z
+            SwapCurve::new(200.0, 400.0, fee)?, // Z → X
+        ],
+        vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+    )?;
+    // CEX prices: Px = $2, Py = $10.2, Pz = $20.
+    let prices = [2.0, 10.2, 20.0];
+
+    println!(
+        "round-trip rate: {:.4} (>1 ⇒ arbitrage)",
+        loop_.round_trip_rate()
+    );
+
+    // Traditional: each start token separately.
+    for start in 0..3 {
+        let t = traditional::evaluate(&loop_, &prices, start, Method::ClosedForm)?;
+        println!(
+            "traditional start T{start}: input {:>6.2}, profit {:>6.2} tokens = {}",
+            t.optimal_input, t.token_profit, t.monetized
+        );
+    }
+
+    // MaxPrice, MaxMax, ConvexOptimization.
+    let mp = maxprice::evaluate(&loop_, &prices)?;
+    let mm = maxmax::evaluate(&loop_, &prices)?;
+    let cv = convexopt::evaluate(&loop_, &prices)?;
+    println!("maxprice (start T{}): {}", mp.start, mp.monetized);
+    println!("maxmax   (start T{}): {}", mm.best.start, mm.best.monetized);
+    println!("convex              : {}", cv.monetized);
+    println!(
+        "convex profit per token: X {:.2}, Y {:.2}, Z {:.2}",
+        cv.plan.token_profits()[0],
+        cv.plan.token_profits()[1],
+        cv.plan.token_profits()[2],
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Snapshot persistence: generate → save CSV → reload → re-analyze.
+//!
+//! Shows the data-pipeline face of the library: snapshots round-trip
+//! through `tokens.csv`/`pools.csv` exactly, so a census can be archived
+//! and re-examined later (the paper's own workflow with its Sept-1-2023
+//! snapshot).
+//!
+//! ```text
+//! cargo run --release --example snapshot_io
+//! ```
+
+use arbloops::prelude::*;
+use arbloops::snapshot::csv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SnapshotConfig {
+        num_tokens: 20,
+        num_pools: 50,
+        ..SnapshotConfig::default()
+    };
+    let snapshot = Generator::new(config).generate()?;
+    println!(
+        "generated: {} tokens, {} pools, total TVL ${:.0}",
+        snapshot.token_count(),
+        snapshot.pools().len(),
+        snapshot.total_tvl()
+    );
+
+    let dir = std::env::temp_dir().join("arbloops_snapshot_demo");
+    csv::save(&snapshot, &dir)?;
+    println!("saved to {}", dir.display());
+
+    let reloaded = csv::load(&dir)?;
+    assert_eq!(reloaded, snapshot, "bit-exact CSV round-trip");
+    println!("reloaded: identical ✓");
+
+    // Re-run the analysis pipeline on the reloaded data.
+    let filtered = reloaded.filtered(&config);
+    let graph = TokenGraph::new(filtered.pools().to_vec())?;
+    let loops = graph.arbitrage_loops(3)?;
+    println!(
+        "analysis on reloaded data: {} filtered pools, {} arbitrage triangles",
+        filtered.pools().len(),
+        loops.len()
+    );
+    if let Some(best) = loops.iter().max_by(|a, b| {
+        a.log_rate(&graph)
+            .unwrap()
+            .partial_cmp(&b.log_rate(&graph).unwrap())
+            .unwrap()
+    }) {
+        println!(
+            "strongest loop: {best} (log rate {:+.4})",
+            best.log_rate(&graph)?
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

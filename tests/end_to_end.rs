@@ -1,0 +1,154 @@
+//! Integration: snapshot → chain → scan → strategy → flash execution,
+//! verifying that predicted profits are realized on-chain.
+
+use arbloops::bot::execution::chained_bundle;
+use arbloops::bot::scanner;
+use arbloops::prelude::*;
+
+/// Deploys a filtered snapshot onto a fresh chain.
+fn deploy(config: &SnapshotConfig) -> (Chain, Snapshot) {
+    let snapshot = Generator::new(*config).generate().unwrap().filtered(config);
+    let mut chain = Chain::new();
+    for pool in snapshot.pools() {
+        chain
+            .add_pool(
+                pool.token_a(),
+                pool.token_b(),
+                to_raw(pool.reserve_a()),
+                to_raw(pool.reserve_b()),
+                pool.fee(),
+            )
+            .unwrap();
+    }
+    (chain, snapshot)
+}
+
+#[test]
+fn predicted_profit_is_realized_on_chain() {
+    let config = SnapshotConfig {
+        seed: 9,
+        num_tokens: 10,
+        num_pools: 20,
+        mispricing_std: 0.02,
+        ..SnapshotConfig::default()
+    };
+    let (mut chain, snapshot) = deploy(&config);
+    let opportunities = scanner::scan(&chain, 3).unwrap();
+    assert!(!opportunities.is_empty(), "market should have loops");
+
+    let prices = snapshot.price_vector();
+    let opp = &opportunities[0];
+    let case_prices: Vec<f64> = opp
+        .cycle
+        .tokens()
+        .iter()
+        .map(|t| prices[t.index()])
+        .collect();
+    let mm = maxmax::evaluate(&opp.loop_, &case_prices).unwrap();
+    assert!(mm.best.token_profit > 0.0);
+
+    let bot = chain.create_account();
+    let steps = chained_bundle(&chain, &opp.cycle, mm.best.start, mm.best.optimal_input).unwrap();
+    chain.submit(Transaction::FlashBundle {
+        account: bot,
+        steps,
+    });
+    let block = chain.mine_block();
+    assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+
+    let start_token = opp.cycle.tokens()[mm.best.start];
+    let realized = to_display(chain.state().balance(bot, start_token));
+    // Integer execution matches the float prediction to sub-0.1% of the
+    // predicted profit (rounding only).
+    let relative_err = (realized - mm.best.token_profit).abs() / mm.best.token_profit;
+    assert!(
+        relative_err < 1e-3,
+        "realized {realized} vs predicted {} (rel err {relative_err})",
+        mm.best.token_profit
+    );
+}
+
+#[test]
+fn executed_loop_closes_the_opportunity() {
+    let config = SnapshotConfig {
+        seed: 10,
+        num_tokens: 8,
+        num_pools: 16,
+        mispricing_std: 0.02,
+        ..SnapshotConfig::default()
+    };
+    let (mut chain, _snapshot) = deploy(&config);
+    let before = scanner::scan(&chain, 3).unwrap();
+    assert!(!before.is_empty());
+    let target = before[0].cycle.clone();
+    let rate_before = before[0].loop_.round_trip_rate();
+
+    // Execute the optimal MaxMax trade on the best loop.
+    let bot = chain.create_account();
+    let hops = before[0].loop_.rotated_hops(0).unwrap();
+    let (input, _) =
+        arbloops::strategies::traditional::optimal_input(&hops, Method::ClosedForm).unwrap();
+    let steps = chained_bundle(&chain, &target, 0, input).unwrap();
+    chain.submit(Transaction::FlashBundle {
+        account: bot,
+        steps,
+    });
+    assert!(chain.mine_block().receipts[0].success);
+
+    // The same cycle's round-trip rate collapses to ~1 (the paper's
+    // optimality condition log Σ p* = 0 post-trade).
+    let analysis: Vec<Pool> = chain
+        .state()
+        .pools()
+        .iter()
+        .map(|p| p.to_analysis_pool().unwrap())
+        .collect();
+    let graph = TokenGraph::new(analysis).unwrap();
+    let rate_after = target.rate(&graph).unwrap();
+    assert!(rate_before > 1.0);
+    assert!(
+        (rate_after - 1.0).abs() < 1e-3,
+        "rate before {rate_before}, after {rate_after}"
+    );
+}
+
+#[test]
+fn reverted_bundles_leave_no_trace() {
+    let config = SnapshotConfig {
+        seed: 11,
+        num_tokens: 8,
+        num_pools: 16,
+        mispricing_std: 0.0, // no arbitrage anywhere
+        ..SnapshotConfig::default()
+    };
+    let (mut chain, _snapshot) = deploy(&config);
+    let digest_before = chain.state().digest();
+
+    // Force a hopeless loop trade: any triangle, large input.
+    let analysis: Vec<Pool> = chain
+        .state()
+        .pools()
+        .iter()
+        .map(|p| p.to_analysis_pool().unwrap())
+        .collect();
+    let graph = TokenGraph::new(analysis).unwrap();
+    let cycle = graph
+        .cycles(3)
+        .unwrap()
+        .into_iter()
+        .next()
+        .expect("a triangle");
+    let bot = chain.create_account();
+    let steps = chained_bundle(&chain, &cycle, 0, 50.0).unwrap();
+    chain.submit(Transaction::FlashBundle {
+        account: bot,
+        steps,
+    });
+    let block = chain.mine_block();
+    assert!(!block.receipts[0].success, "loss-making bundle must revert");
+    assert_eq!(
+        chain.state().digest(),
+        digest_before,
+        "reverted bundle must not change state"
+    );
+}

@@ -1,0 +1,145 @@
+//! Integration: the strategies on loops longer than the paper's examples
+//! (the paper's machinery "can be applied to the loops with any length").
+
+use arbloops::prelude::*;
+
+/// A profitable loop of arbitrary length: 1:1 pools with the mispricing
+/// concentrated on the first hop.
+fn long_loop(length: usize, edge: f64) -> ArbLoop {
+    let fee = FeeRate::UNISWAP_V2;
+    let mut hops = Vec::with_capacity(length);
+    for i in 0..length {
+        let out = if i == 0 { 10_000.0 * edge } else { 10_000.0 };
+        hops.push(SwapCurve::new(10_000.0, out, fee).unwrap());
+    }
+    let tokens = (0..length as u32).map(TokenId::new).collect();
+    ArbLoop::new(hops, tokens).unwrap()
+}
+
+#[test]
+fn dominance_chain_holds_up_to_length_10() {
+    for length in [4usize, 5, 6, 8, 10] {
+        let loop_ = long_loop(length, 1.25);
+        let prices: Vec<f64> = (0..length).map(|i| 1.0 + (i as f64) * 0.7).collect();
+        let mm = maxmax::evaluate(&loop_, &prices).unwrap();
+        let mp = maxprice::evaluate(&loop_, &prices).unwrap();
+        let cv = convexopt::evaluate(&loop_, &prices).unwrap();
+        assert!(mm.best.monetized >= mp.monetized, "length {length}");
+        let tol = 1e-5 * (1.0 + mm.best.monetized.value());
+        assert!(
+            cv.monetized.value() >= mm.best.monetized.value() - tol,
+            "length {length}: convex {} < maxmax {}",
+            cv.monetized,
+            mm.best.monetized
+        );
+        assert!(
+            cv.plan.max_violation(loop_.hops()) < 1e-6,
+            "length {length}"
+        );
+    }
+}
+
+#[test]
+fn optimizer_methods_agree_on_long_loops() {
+    for length in [4usize, 6, 10] {
+        let loop_ = long_loop(length, 1.3);
+        let hops = loop_.rotated_hops(0).unwrap();
+        let (reference, _) =
+            arbloops::strategies::traditional::optimal_input(&hops, Method::ClosedForm).unwrap();
+        for method in [Method::Bisection, Method::Newton, Method::GoldenSection] {
+            let (x, _) = arbloops::strategies::traditional::optimal_input(&hops, method).unwrap();
+            assert!(
+                (x - reference).abs() < 1e-4 * (1.0 + reference),
+                "length {length} {method:?}: {x} vs {reference}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_formulation_agrees_on_length_6() {
+    let loop_ = long_loop(6, 1.2);
+    let prices: Vec<f64> = (0..6).map(|i| 1.0 + i as f64).collect();
+    let reduced = convexopt::evaluate(&loop_, &prices).unwrap();
+    let full = convexopt::evaluate_with(
+        &loop_,
+        &prices,
+        &SolverOptions {
+            formulation: Formulation::Full,
+            ..SolverOptions::default()
+        },
+    )
+    .unwrap();
+    let scale = 1.0 + reduced.monetized.value();
+    assert!(
+        (full.monetized.value() - reduced.monetized.value()).abs() < 5e-3 * scale,
+        "full {} vs reduced {}",
+        full.monetized,
+        reduced.monetized
+    );
+}
+
+#[test]
+fn rotation_invariance_of_convex_optimum() {
+    // The convex optimum is a property of the loop, not of the entry
+    // point: solving any rotation yields the same monetized profit.
+    let loop_ = long_loop(5, 1.3);
+    let prices: Vec<f64> = vec![2.0, 3.0, 5.0, 7.0, 11.0];
+    let base = convexopt::evaluate(&loop_, &prices).unwrap();
+    for start in 1..5 {
+        let hops = loop_.rotated_hops(start).unwrap();
+        let tokens: Vec<TokenId> = (0..5).map(|k| loop_.tokens()[(start + k) % 5]).collect();
+        let rotated_prices: Vec<f64> = (0..5).map(|k| prices[(start + k) % 5]).collect();
+        let rotated = ArbLoop::new(hops, tokens).unwrap();
+        let cv = convexopt::evaluate(&rotated, &rotated_prices).unwrap();
+        assert!(
+            (cv.monetized.value() - base.monetized.value()).abs()
+                < 1e-4 * (1.0 + base.monetized.value()),
+            "rotation {start}: {} vs {}",
+            cv.monetized,
+            base.monetized
+        );
+    }
+}
+
+#[test]
+fn zero_price_token_is_handled() {
+    // Fig. 2 sweeps Px down to 0: a worthless token's profit contributes
+    // nothing but the loop can still be worked for the others.
+    let loop_ = long_loop(3, 1.3);
+    let prices = [0.0, 5.0, 5.0];
+    let mm = maxmax::evaluate(&loop_, &prices).unwrap();
+    let cv = convexopt::evaluate(&loop_, &prices).unwrap();
+    assert!(mm.best.monetized.value() > 0.0);
+    assert_ne!(mm.best.start, 0, "never start from the worthless token");
+    assert!(cv.monetized.value() >= mm.best.monetized.value() - 1e-5);
+    // No value parked in the worthless token beyond tolerance.
+    assert!(cv.plan.token_profits()[0] * prices[0] == 0.0);
+}
+
+#[test]
+fn near_breakeven_loops_are_consistent() {
+    // Rates barely above 1: tiny but positive optima, no solver blowups.
+    for edge_ppm in [9_100, 9_500, 10_000, 20_000] {
+        // fees cost ~0.9%; edges below that are unprofitable.
+        let edge = 1.0 + edge_ppm as f64 / 1e6;
+        let loop_ = long_loop(3, edge);
+        let prices = [1.0, 1.0, 1.0];
+        let mm = maxmax::evaluate(&loop_, &prices).unwrap();
+        if loop_.round_trip_rate() <= 1.0 {
+            assert_eq!(mm.best.monetized.value(), 0.0);
+            continue;
+        }
+        assert!(mm.best.monetized.value() > 0.0, "edge {edge}");
+        match convexopt::evaluate(&loop_, &prices) {
+            Ok(cv) => assert!(
+                cv.monetized.value() >= mm.best.monetized.value() * 0.99 - 1e-6,
+                "edge {edge}"
+            ),
+            Err(StrategyError::Convex(arbloops::convex::ConvexError::FeasibilityConstruction)) => {
+                // Acceptable for razor-thin interiors.
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration: the paper's §V worked example, asserted end to end
+//! through the public facade.
+
+use arbloops::prelude::*;
+
+fn paper_loop() -> ArbLoop {
+    let fee = FeeRate::UNISWAP_V2;
+    ArbLoop::new(
+        vec![
+            SwapCurve::new(100.0, 200.0, fee).unwrap(),
+            SwapCurve::new(300.0, 200.0, fee).unwrap(),
+            SwapCurve::new(200.0, 400.0, fee).unwrap(),
+        ],
+        vec![TokenId::new(0), TokenId::new(1), TokenId::new(2)],
+    )
+    .unwrap()
+}
+
+const PRICES: [f64; 3] = [2.0, 10.2, 20.0];
+
+#[test]
+fn round_trip_rate_is_8_thirds_after_fees() {
+    let expected = 0.997f64.powi(3) * 8.0 / 3.0;
+    assert!((paper_loop().round_trip_rate() - expected).abs() < 1e-12);
+}
+
+#[test]
+fn traditional_rotations_match_paper() {
+    // Paper §V: (input, token profit, monetized $) per start token.
+    let expected = [(27.0, 16.8, 33.7), (31.5, 19.7, 201.1), (16.4, 10.3, 205.6)];
+    let l = paper_loop();
+    for (start, (e_in, e_profit, e_usd)) in expected.into_iter().enumerate() {
+        let out = traditional::evaluate(&l, &PRICES, start, Method::ClosedForm).unwrap();
+        assert!(
+            (out.optimal_input - e_in).abs() < 0.1,
+            "start {start}: {out:?}"
+        );
+        assert!(
+            (out.token_profit - e_profit).abs() < 0.1,
+            "start {start}: {out:?}"
+        );
+        assert!(
+            (out.monetized.value() - e_usd).abs() < 0.5,
+            "start {start}: {out:?}"
+        );
+    }
+}
+
+#[test]
+fn maxmax_and_maxprice_coincide_here() {
+    let l = paper_loop();
+    let mm = maxmax::evaluate(&l, &PRICES).unwrap();
+    let mp = maxprice::evaluate(&l, &PRICES).unwrap();
+    assert_eq!(mm.best.start, 2, "Z is both optimal and highest-priced");
+    assert_eq!(mm.best, mp);
+    assert!((mm.best.monetized.value() - 205.6).abs() < 0.5);
+}
+
+#[test]
+fn convex_plan_matches_paper_flows() {
+    let l = paper_loop();
+    let cv = convexopt::evaluate(&l, &PRICES).unwrap();
+    assert!((cv.monetized.value() - 206.1).abs() < 0.5);
+    // Paper: 31.3 X→47.6 Y; 42.6 Y→24.8 Z; 17.1 Z→31.3 X.
+    let expected = [(31.3, 47.6), (42.6, 24.8), (17.1, 31.3)];
+    for (flow, (e_in, e_out)) in cv.plan.flows().iter().zip(expected) {
+        assert!((flow.amount_in - e_in).abs() < 0.3, "{flow:?}");
+        assert!((flow.amount_out - e_out).abs() < 0.3, "{flow:?}");
+    }
+    // Profit ≈ 5 Y + 7.7 Z, nothing in X.
+    assert!(cv.plan.token_profits()[0].abs() < 0.05);
+    assert!((cv.plan.token_profits()[1] - 5.0).abs() < 0.3);
+    assert!((cv.plan.token_profits()[2] - 7.7).abs() < 0.3);
+}
+
+#[test]
+fn fig2_crossover_behaviour() {
+    // The MaxPrice heuristic (always Z at $20) loses to starting at X once
+    // Px is high enough — the paper's Fig. 2 observation.
+    let l = paper_loop();
+    let prices = [15.0, 10.2, 20.0];
+    let mm = maxmax::evaluate(&l, &prices).unwrap();
+    let mp = maxprice::evaluate(&l, &prices).unwrap();
+    assert_eq!(mm.best.start, 0);
+    assert_eq!(mp.start, 2);
+    assert!(mm.best.monetized.value() > mp.monetized.value());
+}
+
+#[test]
+fn full_formulation_agrees_with_reduced() {
+    let l = paper_loop();
+    let reduced = convexopt::evaluate(&l, &PRICES).unwrap();
+    let full = convexopt::evaluate_with(
+        &l,
+        &PRICES,
+        &SolverOptions {
+            formulation: Formulation::Full,
+            ..SolverOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        (full.monetized.value() - reduced.monetized.value()).abs() < 0.01,
+        "full {} vs reduced {}",
+        full.monetized,
+        reduced.monetized
+    );
+}
+
+#[test]
+fn comparison_row_is_dominance_consistent() {
+    let row = compare(&paper_loop(), &PRICES, &CompareOptions::default()).unwrap();
+    assert!(row.satisfies_dominance(1e-6));
+    assert!(row.convex.value() > row.maxmax.value());
+}

@@ -1,0 +1,122 @@
+//! Integration: the paper's three theorems as cross-crate properties on
+//! randomly generated markets (snapshot → graph → strategies).
+
+use arbloops::prelude::*;
+use proptest::prelude::*;
+
+/// Builds the arbitrage-loop cases of a small random market.
+fn market_cases(seed: u64) -> Vec<(ArbLoop, Vec<f64>)> {
+    let config = SnapshotConfig {
+        seed,
+        num_tokens: 10,
+        num_pools: 20,
+        mispricing_std: 0.02, // strong mispricing: plenty of loops
+        ..SnapshotConfig::default()
+    };
+    let snapshot = Generator::new(config).generate().unwrap().filtered(&config);
+    let graph = TokenGraph::new(snapshot.pools().to_vec()).unwrap();
+    let prices = snapshot.price_vector();
+    graph
+        .arbitrage_loops(3)
+        .unwrap()
+        .into_iter()
+        .map(|cycle| {
+            let hops = graph.curves_for(&cycle).unwrap();
+            let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec()).unwrap();
+            let case_prices = cycle.tokens().iter().map(|t| prices[t.index()]).collect();
+            (loop_, case_prices)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// T1: MaxMax dominates every Traditional rotation and MaxPrice.
+    #[test]
+    fn t1_maxmax_dominates(seed in 0u64..1_000) {
+        for (loop_, prices) in market_cases(seed) {
+            let mm = maxmax::evaluate(&loop_, &prices).unwrap();
+            for rot in &mm.rotations {
+                prop_assert!(mm.best.monetized >= rot.monetized);
+            }
+            let mp = maxprice::evaluate(&loop_, &prices).unwrap();
+            prop_assert!(mm.best.monetized >= mp.monetized);
+        }
+    }
+
+    /// T2: ConvexOptimization dominates MaxMax (to solver tolerance).
+    #[test]
+    fn t2_convex_dominates_maxmax(seed in 0u64..1_000) {
+        for (loop_, prices) in market_cases(seed) {
+            let mm = maxmax::evaluate(&loop_, &prices).unwrap();
+            let cv = match convexopt::evaluate(&loop_, &prices) {
+                Ok(cv) => cv,
+                // Near-breakeven loops may have no usable interior.
+                Err(StrategyError::Convex(
+                    arbloops::convex::ConvexError::FeasibilityConstruction,
+                )) => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            let tol = 1e-5 * (1.0 + mm.best.monetized.value());
+            prop_assert!(
+                cv.monetized.value() >= mm.best.monetized.value() - tol,
+                "convex {} < maxmax {}", cv.monetized, mm.best.monetized
+            );
+        }
+    }
+}
+
+/// T3: when no rotation is profitable, the convex plan is identically
+/// zero. Built from a fee-only market (pool prices agree with CEX).
+#[test]
+fn t3_no_arb_implies_zero_plan() {
+    let config = SnapshotConfig {
+        seed: 77,
+        num_tokens: 10,
+        num_pools: 20,
+        mispricing_std: 0.0, // perfectly consistent prices: only fees remain
+        ..SnapshotConfig::default()
+    };
+    let snapshot = Generator::new(config).generate().unwrap().filtered(&config);
+    let graph = TokenGraph::new(snapshot.pools().to_vec()).unwrap();
+    assert!(
+        graph.arbitrage_loops(3).unwrap().is_empty(),
+        "fee-only market must have no arbitrage loops"
+    );
+    // Try the convex solver on every (unprofitable) triangle directly.
+    let prices = snapshot.price_vector();
+    for cycle in graph.cycles(3).unwrap() {
+        let hops = graph.curves_for(&cycle).unwrap();
+        let case_prices: Vec<f64> = cycle.tokens().iter().map(|t| prices[t.index()]).collect();
+        let problem = LoopProblem::new(hops, case_prices).unwrap();
+        let plan = problem.solve(&SolverOptions::default()).unwrap();
+        assert!(plan.is_zero(), "plan must be zero on a no-arb loop");
+        assert_eq!(plan.monetized_profit(), 0.0);
+    }
+}
+
+/// The detectors agree on arbitrage existence.
+#[test]
+fn detectors_agree_on_existence() {
+    use arbloops::graph::bellman_ford;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let config = SnapshotConfig {
+            seed,
+            num_tokens: 8,
+            num_pools: 16,
+            ..SnapshotConfig::default()
+        };
+        let snapshot = Generator::new(config).generate().unwrap().filtered(&config);
+        let graph = TokenGraph::new(snapshot.pools().to_vec()).unwrap();
+        let enum_found = (2..=4).any(|k| !graph.arbitrage_loops(k).unwrap().is_empty());
+        let bfm_found = bellman_ford::find_negative_cycle(&graph).unwrap().is_some();
+        // BFM searches all lengths; enumeration up to 4 is a lower bound.
+        if enum_found {
+            assert!(
+                bfm_found,
+                "seed {seed}: enumeration found a loop, BFM did not"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! End-to-end engine throughput: opportunities/second for the full
+//! snapshot → graph → cycles → strategies → ranking pipeline on a
+//! 100-pool snapshot. The baseline every future scaling PR compares
+//! against.
+
+use arb_engine::{OpportunityPipeline, PipelineConfig};
+use arb_snapshot::{Generator, Snapshot, SnapshotConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn snapshot_with_pools(num_pools: usize) -> Snapshot {
+    let config = SnapshotConfig {
+        num_tokens: (num_pools / 2).max(8),
+        num_pools,
+        ..SnapshotConfig::default()
+    };
+    Generator::new(config).generate().expect("snapshot")
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/pipeline");
+    group.sample_size(20);
+    let snapshot = snapshot_with_pools(100);
+    for parallel in [false, true] {
+        let pipeline = OpportunityPipeline::new(PipelineConfig {
+            parallel,
+            ..PipelineConfig::default()
+        });
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_with_input(
+            BenchmarkId::new("100_pools_len3", label),
+            &snapshot,
+            |b, snap| {
+                b.iter(|| black_box(pipeline.run_snapshot(snap).unwrap().opportunities.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pipeline_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/scaling");
+    group.sample_size(10);
+    let pipeline = OpportunityPipeline::new(PipelineConfig::default());
+    for num_pools in [50usize, 100, 200] {
+        let snapshot = snapshot_with_pools(num_pools);
+        group.bench_with_input(
+            BenchmarkId::new("pools", num_pools),
+            &snapshot,
+            |b, snap| {
+                b.iter(|| black_box(pipeline.run_snapshot(snap).unwrap().opportunities.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_pipeline_scaling);
+criterion_main!(benches);

@@ -1,16 +1,42 @@
-//! The per-block scan → evaluate → execute policy.
+//! The per-block scan → evaluate → execute policy, driven by the engine.
+
+use std::sync::Arc;
 
 use arb_cex::feed::PriceFeed;
 use arb_core::monetize::Usd;
-use arb_core::{convexopt, maxmax};
+use arb_core::{ConvexOptimization, MaxMax};
 use arb_dexsim::chain::Chain;
 use arb_dexsim::state::AccountId;
-use arb_dexsim::tx::{BundleStep, Transaction};
+use arb_dexsim::tx::Transaction;
+use arb_engine::{OpportunityPipeline, PipelineConfig, SharedStrategy};
 
 use crate::config::{BotConfig, StrategyChoice};
 use crate::error::BotError;
 use crate::execution;
-use crate::scanner::{self, Opportunity};
+use crate::scanner;
+
+/// Builds the engine pipeline a bot configuration describes: one sizing
+/// strategy, net-profit ranking, and the config's loop-length and
+/// profit-floor limits.
+pub fn pipeline_for(config: &BotConfig) -> OpportunityPipeline {
+    let strategy: SharedStrategy = match config.strategy {
+        StrategyChoice::MaxMax => Arc::new(MaxMax {
+            method: config.method,
+        }),
+        StrategyChoice::Convex => Arc::new(ConvexOptimization {
+            options: config.convex,
+        }),
+    };
+    OpportunityPipeline::new(PipelineConfig {
+        min_cycle_len: 2,
+        max_cycle_len: config.max_loop_len,
+        execution_cost_usd: 0.0,
+        min_net_profit_usd: config.min_profit_usd,
+        parallel: config.workers > 1,
+        top_k: None,
+    })
+    .with_strategies(vec![strategy])
+}
 
 /// What the bot decided to do this block.
 #[derive(Debug, Clone)]
@@ -26,11 +52,24 @@ pub enum BotAction {
     },
 }
 
-/// The arbitrage bot: owns an account and a configuration.
-#[derive(Debug, Clone)]
+/// The arbitrage bot: owns an account, a configuration, and the engine
+/// pipeline built from it.
+#[derive(Debug)]
 pub struct ArbBot {
     account: AccountId,
     config: BotConfig,
+    pipeline: OpportunityPipeline,
+}
+
+impl Clone for ArbBot {
+    fn clone(&self) -> Self {
+        // The pipeline is a pure function of the config; rebuild it.
+        ArbBot {
+            account: self.account,
+            config: self.config,
+            pipeline: pipeline_for(&self.config),
+        }
+    }
 }
 
 impl ArbBot {
@@ -38,6 +77,7 @@ impl ArbBot {
     pub fn new(chain: &mut Chain, config: BotConfig) -> Self {
         ArbBot {
             account: chain.create_account(),
+            pipeline: pipeline_for(&config),
             config,
         }
     }
@@ -52,93 +92,33 @@ impl ArbBot {
         &self.config
     }
 
-    /// One decision step: scan current state, evaluate the configured
-    /// strategy on each opportunity, and submit a flash bundle for the
-    /// best one above the profit floor.
+    /// One decision step: run the engine pipeline on current state and
+    /// submit a flash bundle for the best executable opportunity.
     ///
     /// The transaction is only *submitted*; the caller mines the block.
     ///
     /// # Errors
     ///
-    /// Fails on scan/evaluation errors, not on unprofitable markets
-    /// (those yield [`BotAction::Idle`]).
+    /// Fails on discovery errors, not on unprofitable markets (those
+    /// yield [`BotAction::Idle`]).
     pub fn step<F: PriceFeed>(&self, chain: &mut Chain, feed: &F) -> Result<BotAction, BotError> {
-        let opportunities = scanner::scan(chain, self.config.max_loop_len)?;
-        let mut best: Option<(Usd, Vec<BundleStep>)> = None;
-        for opp in &opportunities {
-            let Some((expected, steps)) = self.evaluate(chain, feed, opp)? else {
+        let report = scanner::discover(chain, &self.pipeline, feed)?;
+        for opportunity in &report.opportunities {
+            let steps = execution::opportunity_bundle(chain, opportunity)?;
+            if steps.len() < opportunity.cycle.len() {
+                // Rounding collapsed a hop; try the next-ranked loop
+                // rather than submit a broken bundle.
                 continue;
-            };
-            if expected.value() < self.config.min_profit_usd {
-                continue;
             }
-            if best.as_ref().is_none_or(|(b, _)| expected > *b) {
-                best = Some((expected, steps));
-            }
+            let expected = opportunity.gross_profit;
+            let hops = steps.len();
+            chain.submit(Transaction::FlashBundle {
+                account: self.account,
+                steps,
+            });
+            return Ok(BotAction::Submitted { expected, hops });
         }
-        match best {
-            None => Ok(BotAction::Idle),
-            Some((expected, steps)) => {
-                let hops = steps.len();
-                chain.submit(Transaction::FlashBundle {
-                    account: self.account,
-                    steps,
-                });
-                Ok(BotAction::Submitted { expected, hops })
-            }
-        }
-    }
-
-    /// Evaluates one opportunity with the configured strategy, returning
-    /// the expected profit and the execution bundle (None when the loop
-    /// has no priced tokens or the plan is empty).
-    fn evaluate<F: PriceFeed>(
-        &self,
-        chain: &Chain,
-        feed: &F,
-        opp: &Opportunity,
-    ) -> Result<Option<(Usd, Vec<BundleStep>)>, BotError> {
-        let Ok(prices) = opp.loop_.resolve_prices(|t| feed.usd_price(t)) else {
-            // A loop touching unpriced tokens cannot be monetized; skip it.
-            return Ok(None);
-        };
-        match self.config.strategy {
-            StrategyChoice::MaxMax => {
-                let outcome = maxmax::evaluate_with(&opp.loop_, &prices, self.config.method)?;
-                if outcome.best.token_profit <= 0.0 {
-                    return Ok(None);
-                }
-                let steps = execution::chained_bundle(
-                    chain,
-                    &opp.cycle,
-                    outcome.best.start,
-                    outcome.best.optimal_input,
-                )?;
-                Ok(Some((outcome.best.monetized, steps)))
-            }
-            StrategyChoice::Convex => {
-                let outcome =
-                    match convexopt::evaluate_with(&opp.loop_, &prices, &self.config.convex) {
-                        Ok(outcome) => outcome,
-                        // Near-breakeven loops can have an interior too thin to
-                        // start the solver in; they are not worth trading.
-                        Err(arb_core::StrategyError::Convex(
-                            arb_convex::ConvexError::FeasibilityConstruction,
-                        )) => return Ok(None),
-                        Err(e) => return Err(e.into()),
-                    };
-                if outcome.plan.is_zero() {
-                    return Ok(None);
-                }
-                let steps = execution::plan_bundle(&opp.cycle, &outcome.plan);
-                if steps.len() < opp.cycle.len() {
-                    // Rounding collapsed a hop; fall back to idle rather
-                    // than submit a broken loop.
-                    return Ok(None);
-                }
-                Ok(Some((outcome.monetized, steps)))
-            }
-        }
+        Ok(BotAction::Idle)
     }
 }
 
@@ -252,5 +232,18 @@ mod tests {
         let empty = PriceTable::new();
         let action = bot.step(&mut chain, &empty).unwrap();
         assert!(matches!(action, BotAction::Idle));
+    }
+
+    #[test]
+    fn pipeline_reflects_config() {
+        let maxmax = pipeline_for(&BotConfig::default());
+        assert_eq!(maxmax.strategy_names(), vec!["maxmax"]);
+        let convex = pipeline_for(&BotConfig {
+            strategy: StrategyChoice::Convex,
+            max_loop_len: 4,
+            ..BotConfig::default()
+        });
+        assert_eq!(convex.strategy_names(), vec!["convex"]);
+        assert_eq!(convex.config().max_cycle_len, 4);
     }
 }

@@ -27,7 +27,9 @@ pub struct BotConfig {
     pub method: Method,
     /// Solver options for Convex.
     pub convex: SolverOptions,
-    /// Worker threads for parallel loop evaluation.
+    /// Parallel loop evaluation: values > 1 enable the engine's parallel
+    /// evaluation stage (which uses all available cores); 1 forces the
+    /// serial path. The exact value is not a thread-count bound.
     pub workers: usize,
 }
 

@@ -17,6 +17,8 @@ pub enum BotError {
     MissingPrice,
     /// Snapshot generation failed (market-sim setup).
     Snapshot(arb_snapshot::SnapshotError),
+    /// An engine failure outside the graph/strategy categories.
+    Engine(arb_engine::EngineError),
 }
 
 impl fmt::Display for BotError {
@@ -27,6 +29,7 @@ impl fmt::Display for BotError {
             BotError::Chain(e) => write!(f, "chain error: {e}"),
             BotError::MissingPrice => write!(f, "missing cex price for a loop token"),
             BotError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            BotError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -38,6 +41,7 @@ impl Error for BotError {
             BotError::Strategy(e) => Some(e),
             BotError::Chain(e) => Some(e),
             BotError::Snapshot(e) => Some(e),
+            BotError::Engine(e) => Some(e),
             BotError::MissingPrice => None,
         }
     }
@@ -52,6 +56,16 @@ impl From<arb_graph::GraphError> for BotError {
 impl From<arb_core::StrategyError> for BotError {
     fn from(e: arb_core::StrategyError) -> Self {
         BotError::Strategy(e)
+    }
+}
+
+impl From<arb_engine::EngineError> for BotError {
+    fn from(e: arb_engine::EngineError) -> Self {
+        match e {
+            arb_engine::EngineError::Graph(g) => BotError::Graph(g),
+            arb_engine::EngineError::Strategy(s) => BotError::Strategy(s),
+            other => BotError::Engine(other),
+        }
     }
 }
 

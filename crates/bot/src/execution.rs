@@ -7,9 +7,12 @@
 //! * [`chained_bundle`] — a MaxMax-style rotation: the start input is
 //!   converted to raw units and every later hop consumes *exactly* the
 //!   previous hop's integer output (guaranteed feasible);
-//! * [`plan_bundle`] — a convex plan with per-hop inputs; inputs are
-//!   floored into raw units, and the flash-loan settlement check enforces
-//!   per-token solvency at execution time.
+//! * [`inputs_bundle`] — per-hop inputs (a convex plan's flows, or any
+//!   engine sizing); inputs are floored into raw units, and the
+//!   flash-loan settlement check enforces per-token solvency at
+//!   execution time;
+//! * [`opportunity_bundle`] — picks between the two shapes for an
+//!   [`arb_engine::ArbitrageOpportunity`].
 //!
 //! Either way the bundle is atomic: if integer rounding or interleaved
 //! transactions made it unprofitable, it reverts and costs nothing but gas.
@@ -18,6 +21,7 @@ use arb_convex::LoopPlan;
 use arb_dexsim::chain::Chain;
 use arb_dexsim::tx::BundleStep;
 use arb_dexsim::units::to_raw;
+use arb_engine::ArbitrageOpportunity;
 use arb_graph::Cycle;
 
 use crate::error::BotError;
@@ -55,17 +59,17 @@ pub fn chained_bundle(
     Ok(steps)
 }
 
-/// Builds a bundle from a convex plan's per-hop inputs (floored to raw
-/// units). Zero-input hops are skipped (the zero plan produces an empty
-/// bundle, which callers should not submit).
-pub fn plan_bundle(cycle: &Cycle, plan: &LoopPlan) -> Vec<BundleStep> {
+/// Builds a bundle from per-hop display-unit inputs (floored to raw
+/// units). Zero-input hops are skipped (an all-zero input vector produces
+/// an empty bundle, which callers should not submit).
+pub fn inputs_bundle(cycle: &Cycle, inputs: &[f64]) -> Vec<BundleStep> {
     cycle
         .tokens()
         .iter()
         .zip(cycle.pools())
-        .zip(plan.flows())
-        .filter_map(|((token_in, pool), flow)| {
-            let amount_in = to_raw(flow.amount_in);
+        .zip(inputs)
+        .filter_map(|((token_in, pool), &input)| {
+            let amount_in = to_raw(input);
             (amount_in > 0).then_some(BundleStep {
                 pool: *pool,
                 token_in: *token_in,
@@ -73,6 +77,34 @@ pub fn plan_bundle(cycle: &Cycle, plan: &LoopPlan) -> Vec<BundleStep> {
             })
         })
         .collect()
+}
+
+/// Builds a bundle from a convex plan's per-hop inputs.
+pub fn plan_bundle(cycle: &Cycle, plan: &LoopPlan) -> Vec<BundleStep> {
+    let inputs: Vec<f64> = plan.flows().iter().map(|f| f.amount_in).collect();
+    inputs_bundle(cycle, &inputs)
+}
+
+/// Builds the execution bundle for an engine opportunity: single-entry
+/// sizings (Traditional/MaxPrice/MaxMax) chain exact integer outputs from
+/// the funded rotation, multi-entry sizings (ConvexOpt) fund each hop
+/// independently under flash-loan settlement.
+///
+/// # Errors
+///
+/// Returns [`BotError::Chain`] if a chained quote fails (degenerate pool
+/// state).
+pub fn opportunity_bundle(
+    chain: &Chain,
+    opportunity: &ArbitrageOpportunity,
+) -> Result<Vec<BundleStep>, BotError> {
+    match opportunity.single_entry() {
+        Some((rotation, input)) => chained_bundle(chain, &opportunity.cycle, rotation, input),
+        None => Ok(inputs_bundle(
+            &opportunity.cycle,
+            &opportunity.optimal_inputs,
+        )),
+    }
 }
 
 #[cfg(test)]

@@ -6,15 +6,15 @@
 //! substrate together:
 //!
 //! ```text
-//! dexsim state ──▶ scanner (graph cycles) ──▶ strategies (core/convex)
+//! dexsim state ──▶ arb-engine pipeline (graph → cycles → strategies)
 //!      ▲                                            │
 //!      └────────── flash bundle execution ◀─────────┘
 //!                        (pnl ledger)
 //! ```
 //!
-//! * [`scanner`] — chain state → token graph → profitable loops;
-//! * [`execution`] — strategy plan → integer-exact flash bundle;
-//! * [`bot`] — the per-block scan/evaluate/execute policy;
+//! * [`scanner`] — chain state → token graph → engine discovery run;
+//! * [`execution`] — engine opportunity → integer-exact flash bundle;
+//! * [`bot`] — the per-block policy over ranked engine opportunities;
 //! * [`pnl`] — balance accounting and monetized PnL series;
 //! * [`sim`] — a deterministic market harness (noise traders + LPs + CEX
 //!   price drift + the bot) used by examples, tests, and benches.
@@ -44,6 +44,6 @@ pub mod pnl;
 pub mod scanner;
 pub mod sim;
 
-pub use bot::ArbBot;
+pub use bot::{pipeline_for, ArbBot};
 pub use config::{BotConfig, StrategyChoice};
 pub use error::BotError;

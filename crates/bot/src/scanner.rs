@@ -1,21 +1,14 @@
-//! Chain-state scanning: current pools → token graph → profitable loops.
+//! Chain-state discovery: current pools → analysis graph → engine run.
+//!
+//! The discovery/evaluation loop itself lives in [`arb_engine`]; this
+//! module only adapts chain state into the engine's inputs.
 
-use arb_core::loop_def::ArbLoop;
+use arb_cex::feed::PriceFeed;
 use arb_dexsim::chain::Chain;
-use arb_graph::{Cycle, TokenGraph};
+use arb_engine::{OpportunityPipeline, PipelineReport};
+use arb_graph::TokenGraph;
 
 use crate::error::BotError;
-
-/// A loop discovered on-chain, carrying both the analysis-level
-/// [`ArbLoop`] (for the strategies) and the originating [`Cycle`] with its
-/// pool ids (for execution).
-#[derive(Debug, Clone)]
-pub struct Opportunity {
-    /// The executable cycle (token + pool ids in trade order).
-    pub cycle: Cycle,
-    /// The analysis view of the same loop.
-    pub loop_: ArbLoop,
-}
 
 /// Builds the analysis token graph from current chain state.
 ///
@@ -35,26 +28,22 @@ pub fn graph_from_chain(chain: &Chain) -> Result<TokenGraph, BotError> {
     Ok(TokenGraph::new(pools)?)
 }
 
-/// Scans for arbitrage loops up to `max_len` hops, returning opportunities
-/// sorted by descending zero-input round-trip rate (the cheapest useful
-/// prioritization before full strategy evaluation).
+/// Runs the engine pipeline against current chain state, returning ranked
+/// opportunities.
 ///
 /// # Errors
 ///
-/// Returns [`BotError::Graph`] on graph construction failures.
-pub fn scan(chain: &Chain, max_len: usize) -> Result<Vec<Opportunity>, BotError> {
+/// Returns [`BotError::Graph`] on graph-construction or enumeration
+/// failures and [`BotError::Strategy`] when a strategy fails non-benignly
+/// during evaluation (benign thin-interior infeasibility is only counted
+/// in the report's stats).
+pub fn discover<F: PriceFeed>(
+    chain: &Chain,
+    pipeline: &OpportunityPipeline,
+    feed: &F,
+) -> Result<PipelineReport, BotError> {
     let graph = graph_from_chain(chain)?;
-    let mut out: Vec<(f64, Opportunity)> = Vec::new();
-    for len in 2..=max_len.max(2) {
-        for cycle in graph.arbitrage_loops(len)? {
-            let hops = graph.curves_for(&cycle)?;
-            let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec())?;
-            let rate = loop_.round_trip_rate();
-            out.push((rate, Opportunity { cycle, loop_ }));
-        }
-    }
-    out.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("rates are finite"));
-    Ok(out.into_iter().map(|(_, opp)| opp).collect())
+    Ok(pipeline.run_graph(&graph, feed)?)
 }
 
 #[cfg(test)]
@@ -62,7 +51,9 @@ mod tests {
     use super::*;
     use arb_amm::fee::FeeRate;
     use arb_amm::token::TokenId;
+    use arb_cex::feed::PriceTable;
     use arb_dexsim::units::to_raw;
+    use arb_engine::{PipelineConfig, RankByGrossProfit};
 
     fn t(i: u32) -> TokenId {
         TokenId::new(i)
@@ -83,15 +74,21 @@ mod tests {
         chain
     }
 
+    fn paper_feed() -> PriceTable {
+        [(t(0), 2.0), (t(1), 10.2), (t(2), 20.0)]
+            .into_iter()
+            .collect()
+    }
+
     #[test]
     fn finds_the_paper_triangle() {
         let chain = paper_chain();
-        let opportunities = scan(&chain, 3).unwrap();
-        assert_eq!(opportunities.len(), 1);
-        let opp = &opportunities[0];
+        let report = discover(&chain, &OpportunityPipeline::default(), &paper_feed()).unwrap();
+        assert_eq!(report.opportunities.len(), 1);
+        let opp = report.best().unwrap();
         assert_eq!(opp.cycle.tokens(), &[t(0), t(1), t(2)]);
         let expected = 0.997f64.powi(3) * 8.0 / 3.0;
-        assert!((opp.loop_.round_trip_rate() - expected).abs() < 1e-6);
+        assert!((opp.round_trip_rate() - expected).abs() < 1e-6);
     }
 
     #[test]
@@ -104,11 +101,20 @@ mod tests {
                 .add_pool(t(a), t(b), to_raw(1_000.0), to_raw(1_000.0), fee)
                 .unwrap();
         }
-        assert!(scan(&chain, 4).unwrap().is_empty());
+        let mut feed = PriceTable::new();
+        for i in 0..3 {
+            feed.set(t(i), 1.0);
+        }
+        let pipeline = OpportunityPipeline::new(PipelineConfig {
+            max_cycle_len: 4,
+            ..PipelineConfig::default()
+        });
+        let report = discover(&chain, &pipeline, &feed).unwrap();
+        assert!(report.opportunities.is_empty());
     }
 
     #[test]
-    fn opportunities_sorted_by_rate() {
+    fn opportunities_ranked_by_profit() {
         let mut chain = paper_chain();
         let fee = FeeRate::UNISWAP_V2;
         // A second, milder triangle over tokens 3,4,5.
@@ -121,11 +127,15 @@ mod tests {
         chain
             .add_pool(t(5), t(3), to_raw(1_000.0), to_raw(1_000.0), fee)
             .unwrap();
-        let opportunities = scan(&chain, 3).unwrap();
-        assert_eq!(opportunities.len(), 2);
+        let mut feed = paper_feed();
+        feed.extend([(t(3), 1.0), (t(4), 1.0), (t(5), 1.0)]);
+        let pipeline = OpportunityPipeline::default().with_ranking(Box::new(RankByGrossProfit));
+        let report = discover(&chain, &pipeline, &feed).unwrap();
+        assert_eq!(report.opportunities.len(), 2);
         assert!(
-            opportunities[0].loop_.round_trip_rate() >= opportunities[1].loop_.round_trip_rate()
+            report.opportunities[0].gross_profit.value()
+                >= report.opportunities[1].gross_profit.value()
         );
-        assert_eq!(opportunities[0].cycle.tokens()[0], t(0));
+        assert_eq!(report.opportunities[0].cycle.tokens()[0], t(0));
     }
 }

@@ -1,10 +1,9 @@
 //! The USD price feed consumed by the strategy layer.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use arb_amm::token::TokenId;
-use parking_lot::RwLock;
 
 /// A source of USD token prices.
 ///
@@ -91,18 +90,24 @@ impl SharedPriceTable {
 
     /// Replaces the entire snapshot.
     pub fn publish(&self, table: PriceTable) {
-        *self.inner.write() = table;
+        *self.inner.write().expect("price table lock poisoned") = table;
     }
 
     /// Reads a consistent snapshot clone.
     pub fn snapshot(&self) -> PriceTable {
-        self.inner.read().clone()
+        self.inner
+            .read()
+            .expect("price table lock poisoned")
+            .clone()
     }
 }
 
 impl PriceFeed for SharedPriceTable {
     fn usd_price(&self, token: TokenId) -> Option<f64> {
-        self.inner.read().usd_price(token)
+        self.inner
+            .read()
+            .expect("price table lock poisoned")
+            .usd_price(token)
     }
 }
 

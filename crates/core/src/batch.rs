@@ -2,10 +2,8 @@
 //!
 //! The empirical pipeline (paper §VI) evaluates four strategies on
 //! hundreds of loops; the work is embarrassingly parallel, so this module
-//! fans it out over `crossbeam` scoped threads. Results preserve input
+//! fans it out over `std::thread` scoped threads. Results preserve input
 //! order and are bit-identical to the serial path (asserted in tests).
-
-use crossbeam::thread;
 
 use crate::error::StrategyError;
 use crate::loop_def::ArbLoop;
@@ -56,12 +54,11 @@ pub fn compare_all_parallel(
         return compare_all(cases, options);
     }
     let chunk_size = cases.len().div_ceil(workers);
-    let chunks: Vec<&[LoopCase]> = cases.chunks(chunk_size).collect();
-    let results = thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = cases
+            .chunks(chunk_size)
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|case| compare(&case.loop_, &case.prices, options))
@@ -73,8 +70,7 @@ pub fn compare_all_parallel(
             .into_iter()
             .map(|h| h.join().expect("strategy worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
+    });
     let mut out = Vec::with_capacity(cases.len());
     for chunk_result in results {
         out.extend(chunk_result?);

@@ -61,4 +61,4 @@ pub mod traditional;
 pub use error::StrategyError;
 pub use loop_def::ArbLoop;
 pub use monetize::Usd;
-pub use strategy::{Strategy, StrategyOutcome};
+pub use strategy::{ConvexOptimization, MaxMax, MaxPrice, Strategy, StrategyOutcome, Traditional};

@@ -1,0 +1,56 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from pipeline discovery and evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Graph construction or cycle enumeration failed.
+    Graph(arb_graph::GraphError),
+    /// A loop could not be assembled from a discovered cycle.
+    Strategy(arb_core::StrategyError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::Strategy(e) => write!(f, "strategy error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Graph(e) => Some(e),
+            EngineError::Strategy(e) => Some(e),
+        }
+    }
+}
+
+impl From<arb_graph::GraphError> for EngineError {
+    fn from(e: arb_graph::GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl From<arb_core::StrategyError> for EngineError {
+    fn from(e: arb_core::StrategyError) -> Self {
+        EngineError::Strategy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EngineError::Graph(arb_graph::GraphError::EmptyGraph);
+        assert!(e.to_string().contains("graph"));
+        assert!(e.source().is_some());
+    }
+}

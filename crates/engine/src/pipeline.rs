@@ -1,0 +1,477 @@
+//! The snapshot → graph → cycles → strategies → ranking pipeline.
+
+use std::fmt;
+use std::sync::Arc;
+
+use arb_amm::pool::Pool;
+use arb_cex::feed::PriceFeed;
+use arb_core::loop_def::ArbLoop;
+use arb_core::monetize::Usd;
+use arb_core::{ConvexOptimization, MaxMax, Strategy};
+use arb_graph::{Cycle, TokenGraph};
+use arb_snapshot::Snapshot;
+use rayon::prelude::*;
+
+use crate::error::EngineError;
+use crate::opportunity::ArbitrageOpportunity;
+use crate::ranking::{RankByNetProfit, RankingPolicy};
+
+/// A strategy the pipeline can fan out across threads.
+pub type SharedStrategy = Arc<dyn Strategy + Send + Sync>;
+
+/// Pipeline tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Shortest cycle length discovered (2 = two-pool back-and-forth).
+    pub min_cycle_len: usize,
+    /// Longest cycle length discovered (the paper studies 3 and 4).
+    pub max_cycle_len: usize,
+    /// Flat monetized cost per submitted trade (gas stand-in), subtracted
+    /// from gross profit to produce net profit.
+    pub execution_cost_usd: f64,
+    /// Opportunities with net profit below this floor are dropped.
+    pub min_net_profit_usd: f64,
+    /// Evaluate cycles across threads (order-preserving; results are
+    /// bit-identical to the serial path).
+    pub parallel: bool,
+    /// Keep only the best `top_k` opportunities after ranking.
+    pub top_k: Option<usize>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            min_cycle_len: 2,
+            max_cycle_len: 3,
+            execution_cost_usd: 0.0,
+            min_net_profit_usd: 0.0,
+            parallel: true,
+            top_k: None,
+        }
+    }
+}
+
+/// Counters describing one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Tokens in the constructed graph.
+    pub tokens: usize,
+    /// Pools in the constructed graph.
+    pub pools: usize,
+    /// Cycles with round-trip rate > 1 discovered across all lengths.
+    pub cycles_discovered: usize,
+    /// Cycles dropped because a loop token had no CEX price.
+    pub cycles_unpriced: usize,
+    /// Strategy evaluations attempted (cycles × strategies).
+    pub evaluations: usize,
+    /// Evaluations skipped for benign infeasibility (near-breakeven loops
+    /// whose interior is too thin to start the convex solver). Any other
+    /// evaluation error aborts the run instead of being counted here.
+    pub evaluation_failures: usize,
+    /// Evaluated cycles dropped by the net-profit floor.
+    pub below_floor: usize,
+}
+
+/// The ranked output of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Opportunities in execution-priority order (best first).
+    pub opportunities: Vec<ArbitrageOpportunity>,
+    /// Run counters.
+    pub stats: PipelineStats,
+}
+
+impl PipelineReport {
+    /// The best opportunity, if any survived the floor.
+    pub fn best(&self) -> Option<&ArbitrageOpportunity> {
+        self.opportunities.first()
+    }
+
+    /// Total net profit across all ranked opportunities (an upper bound —
+    /// executing one loop moves the pools under the others).
+    pub fn total_net_profit(&self) -> Usd {
+        self.opportunities
+            .iter()
+            .fold(Usd::ZERO, |acc, o| acc + o.net_profit)
+    }
+}
+
+/// Adapter exposing a [`Snapshot`]'s embedded CEX prices as a
+/// [`PriceFeed`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotPrices<'a>(pub &'a Snapshot);
+
+impl PriceFeed for SnapshotPrices<'_> {
+    fn usd_price(&self, token: arb_amm::token::TokenId) -> Option<f64> {
+        self.0.usd_price(token)
+    }
+}
+
+/// The unified discovery → evaluation → ranking engine.
+///
+/// One pipeline instance owns a strategy set, a ranking policy, and a
+/// config; every run is a pure function of the market state handed in
+/// (pools or snapshot plus a price feed), so instances are reusable across
+/// blocks and shareable across threads.
+pub struct OpportunityPipeline {
+    strategies: Vec<SharedStrategy>,
+    ranking: Box<dyn RankingPolicy>,
+    config: PipelineConfig,
+}
+
+impl fmt::Debug for OpportunityPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpportunityPipeline")
+            .field("strategies", &self.strategy_names())
+            .field("ranking", &self.ranking.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Default for OpportunityPipeline {
+    fn default() -> Self {
+        Self::new(PipelineConfig::default())
+    }
+}
+
+impl OpportunityPipeline {
+    /// A pipeline with the default strategy set — MaxMax (the paper's fast
+    /// strategy) and ConvexOpt (its dominant one) — ranked by net profit.
+    pub fn new(config: PipelineConfig) -> Self {
+        OpportunityPipeline {
+            strategies: vec![
+                Arc::new(MaxMax::default()) as SharedStrategy,
+                Arc::new(ConvexOptimization::default()) as SharedStrategy,
+            ],
+            ranking: Box::new(RankByNetProfit),
+            config,
+        }
+    }
+
+    /// Replaces the strategy set.
+    pub fn with_strategies(mut self, strategies: Vec<SharedStrategy>) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// Replaces the ranking policy.
+    pub fn with_ranking(mut self, ranking: Box<dyn RankingPolicy>) -> Self {
+        self.ranking = ranking;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The strategy names in evaluation order.
+    pub fn strategy_names(&self) -> Vec<&'static str> {
+        self.strategies.iter().map(|s| s.name()).collect()
+    }
+
+    /// Runs the full pipeline on a pool set plus a price feed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Graph`] on graph-construction failures and
+    /// [`EngineError::Strategy`] on non-benign evaluation failures
+    /// (benign thin-interior infeasibility is counted in the stats
+    /// instead).
+    pub fn run<F: PriceFeed>(
+        &self,
+        pools: Vec<Pool>,
+        feed: &F,
+    ) -> Result<PipelineReport, EngineError> {
+        let graph = TokenGraph::new(pools)?;
+        self.run_graph(&graph, feed)
+    }
+
+    /// Runs the pipeline on a paper-calibrated snapshot, pricing tokens
+    /// from the snapshot's own CEX table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Graph`] on graph-construction failures.
+    pub fn run_snapshot(&self, snapshot: &Snapshot) -> Result<PipelineReport, EngineError> {
+        self.run(snapshot.pools().to_vec(), &SnapshotPrices(snapshot))
+    }
+
+    /// Runs discovery + evaluation + ranking on an already-built graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Graph`] if cycle enumeration fails.
+    pub fn run_graph<F: PriceFeed>(
+        &self,
+        graph: &TokenGraph,
+        feed: &F,
+    ) -> Result<PipelineReport, EngineError> {
+        let mut stats = PipelineStats {
+            tokens: graph.token_count(),
+            pools: graph.pool_count(),
+            ..PipelineStats::default()
+        };
+
+        // Discovery: profitable cycles at every configured length, with
+        // prices resolved up front so the evaluation stage is pure CPU.
+        let mut candidates: Vec<(Cycle, ArbLoop, Vec<f64>)> = Vec::new();
+        let min_len = self.config.min_cycle_len.max(2);
+        for len in min_len..=self.config.max_cycle_len.max(min_len) {
+            for cycle in graph.arbitrage_loops(len)? {
+                stats.cycles_discovered += 1;
+                let hops = graph.curves_for(&cycle)?;
+                let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec())?;
+                match loop_.resolve_prices(|t| feed.usd_price(t)) {
+                    Ok(prices) => candidates.push((cycle, loop_, prices)),
+                    Err(_) => stats.cycles_unpriced += 1,
+                }
+            }
+        }
+
+        // Evaluation: every strategy on every cycle, best sizing wins.
+        let evaluate = |(cycle, loop_, prices): &(Cycle, ArbLoop, Vec<f64>)| {
+            self.evaluate_cycle(cycle, loop_, prices)
+        };
+        let evaluated: Result<Vec<(Option<ArbitrageOpportunity>, usize, usize)>, EngineError> =
+            if self.config.parallel && candidates.len() > 1 {
+                candidates.par_iter().map(evaluate).collect()
+            } else {
+                candidates.iter().map(evaluate).collect()
+            };
+
+        let mut opportunities = Vec::new();
+        for (opportunity, attempts, benign_failures) in evaluated? {
+            stats.evaluations += attempts;
+            stats.evaluation_failures += benign_failures;
+            match opportunity {
+                Some(opp) if opp.net_profit.value() >= self.config.min_net_profit_usd => {
+                    opportunities.push(opp);
+                }
+                Some(_) => stats.below_floor += 1,
+                None => {}
+            }
+        }
+
+        // Ranking: policy score descending, deterministic tie-break on
+        // loop length then token order.
+        opportunities.sort_by(|a, b| {
+            self.ranking
+                .score(b)
+                .partial_cmp(&self.ranking.score(a))
+                .expect("ranking scores are finite")
+                .then_with(|| a.hops().cmp(&b.hops()))
+                .then_with(|| a.cycle.tokens().cmp(b.cycle.tokens()))
+        });
+        if let Some(k) = self.config.top_k {
+            opportunities.truncate(k);
+        }
+
+        Ok(PipelineReport {
+            opportunities,
+            stats,
+        })
+    }
+
+    /// Evaluates every strategy on one cycle, returning the best-gross
+    /// opportunity plus (attempts, benign-failure) counters.
+    ///
+    /// # Errors
+    ///
+    /// Benign infeasibility (a near-breakeven loop whose interior is too
+    /// thin to start the convex solver) is counted and skipped; any other
+    /// strategy error indicates a real defect and aborts the run.
+    fn evaluate_cycle(
+        &self,
+        cycle: &Cycle,
+        loop_: &ArbLoop,
+        prices: &[f64],
+    ) -> Result<(Option<ArbitrageOpportunity>, usize, usize), EngineError> {
+        let mut attempts = 0usize;
+        let mut benign_failures = 0usize;
+        let mut best: Option<(&'static str, arb_core::StrategyOutcome)> = None;
+        for strategy in &self.strategies {
+            attempts += 1;
+            match strategy.evaluate(loop_, prices) {
+                Ok(outcome) => {
+                    if best
+                        .as_ref()
+                        .is_none_or(|(_, b)| outcome.monetized > b.monetized)
+                    {
+                        best = Some((strategy.name(), outcome));
+                    }
+                }
+                // Near-breakeven loops can have an interior too thin to
+                // start the convex solver in; they are not worth trading,
+                // so skip the strategy, not the scan.
+                Err(arb_core::StrategyError::Convex(
+                    arb_convex::ConvexError::FeasibilityConstruction,
+                )) => benign_failures += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let opportunity = best.and_then(|(name, outcome)| {
+            if outcome.monetized.value() <= 0.0 {
+                return None;
+            }
+            let gross = outcome.monetized;
+            let net = Usd::new(gross.value() - self.config.execution_cost_usd);
+            Some(ArbitrageOpportunity {
+                cycle: cycle.clone(),
+                loop_: loop_.clone(),
+                prices: prices.to_vec(),
+                strategy: name,
+                optimal_inputs: outcome.inputs,
+                token_profits: outcome.token_profits,
+                gross_profit: gross,
+                net_profit: net,
+            })
+        });
+        Ok((opportunity, attempts, benign_failures))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use arb_cex::feed::PriceTable;
+    use arb_core::{MaxPrice, Traditional};
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn paper_pools() -> Vec<Pool> {
+        let fee = FeeRate::UNISWAP_V2;
+        vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ]
+    }
+
+    fn paper_feed() -> PriceTable {
+        [(t(0), 2.0), (t(1), 10.2), (t(2), 20.0)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn finds_and_sizes_the_paper_triangle() {
+        let pipeline = OpportunityPipeline::default();
+        let report = pipeline.run(paper_pools(), &paper_feed()).unwrap();
+        assert_eq!(report.opportunities.len(), 1);
+        let opp = report.best().unwrap();
+        // ConvexOpt dominates MaxMax, so it must win the sizing.
+        assert_eq!(opp.strategy, "convex");
+        assert!((opp.gross_profit.value() - 206.1).abs() < 1.0);
+        assert_eq!(report.stats.cycles_discovered, 1);
+        assert_eq!(report.stats.evaluations, 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_bitwise() {
+        let mut pools = paper_pools();
+        let fee = FeeRate::UNISWAP_V2;
+        // Add a second, milder triangle and a balanced pair.
+        pools.push(Pool::new(t(3), t(4), 1_000.0, 1_050.0, fee).unwrap());
+        pools.push(Pool::new(t(4), t(5), 1_000.0, 1_000.0, fee).unwrap());
+        pools.push(Pool::new(t(5), t(3), 1_000.0, 1_000.0, fee).unwrap());
+        let mut feed = paper_feed();
+        feed.extend([(t(3), 1.0), (t(4), 1.0), (t(5), 1.0)]);
+
+        let serial = OpportunityPipeline::new(PipelineConfig {
+            parallel: false,
+            ..PipelineConfig::default()
+        })
+        .run(pools.clone(), &feed)
+        .unwrap();
+        let parallel = OpportunityPipeline::new(PipelineConfig {
+            parallel: true,
+            ..PipelineConfig::default()
+        })
+        .run(pools, &feed)
+        .unwrap();
+
+        assert_eq!(serial.opportunities.len(), parallel.opportunities.len());
+        for (a, b) in serial.opportunities.iter().zip(&parallel.opportunities) {
+            assert_eq!(a.cycle.tokens(), b.cycle.tokens());
+            assert_eq!(
+                a.gross_profit.value().to_bits(),
+                b.gross_profit.value().to_bits()
+            );
+        }
+        assert_eq!(serial.stats, parallel.stats);
+    }
+
+    #[test]
+    fn unpriced_cycles_are_counted_not_fatal() {
+        let pipeline = OpportunityPipeline::default();
+        let empty = PriceTable::new();
+        let report = pipeline.run(paper_pools(), &empty).unwrap();
+        assert!(report.opportunities.is_empty());
+        assert_eq!(report.stats.cycles_unpriced, 1);
+    }
+
+    #[test]
+    fn floor_filters_and_counts() {
+        let pipeline = OpportunityPipeline::new(PipelineConfig {
+            min_net_profit_usd: 1_000.0,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(paper_pools(), &paper_feed()).unwrap();
+        assert!(report.opportunities.is_empty());
+        assert_eq!(report.stats.below_floor, 1);
+    }
+
+    #[test]
+    fn execution_cost_reduces_net() {
+        let pipeline = OpportunityPipeline::new(PipelineConfig {
+            execution_cost_usd: 50.0,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(paper_pools(), &paper_feed()).unwrap();
+        let opp = report.best().unwrap();
+        assert!((opp.gross_profit.value() - opp.net_profit.value() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_strategy_sets_and_ranking() {
+        let pipeline = OpportunityPipeline::new(PipelineConfig::default())
+            .with_strategies(vec![
+                Arc::new(Traditional {
+                    start: 0,
+                    method: arb_core::traditional::Method::ClosedForm,
+                }) as SharedStrategy,
+                Arc::new(MaxPrice::default()) as SharedStrategy,
+            ])
+            .with_ranking(Box::new(crate::ranking::RankByProfitPerHop));
+        assert_eq!(pipeline.strategy_names(), vec!["traditional", "maxprice"]);
+        let report = pipeline.run(paper_pools(), &paper_feed()).unwrap();
+        let opp = report.best().unwrap();
+        // MaxPrice starts from the highest-priced token (Z at $20) and
+        // beats Traditional-from-X on the paper example.
+        assert_eq!(opp.strategy, "maxprice");
+        assert!(opp.single_entry().is_some());
+    }
+
+    #[test]
+    fn balanced_market_yields_nothing() {
+        let fee = FeeRate::UNISWAP_V2;
+        let pools = vec![
+            Pool::new(t(0), t(1), 1_000.0, 1_000.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 1_000.0, 1_000.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 1_000.0, 1_000.0, fee).unwrap(),
+        ];
+        let mut feed = PriceTable::new();
+        for i in 0..3 {
+            feed.set(t(i), 1.0);
+        }
+        let report = OpportunityPipeline::default().run(pools, &feed).unwrap();
+        assert!(report.opportunities.is_empty());
+        assert_eq!(report.stats.cycles_discovered, 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements a minimal but honest measurement loop: every benchmark is
+//! warmed up, then timed over enough iterations to fill a measurement
+//! window, and the mean ns/iter is printed. No statistics beyond the mean,
+//! no HTML reports — the point is that `cargo bench` runs offline and
+//! produces comparable numbers between commits on the same machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_hint: u64,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run a few iterations untimed.
+        for _ in 0..3.min(self.iters_hint) {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let window = Duration::from_millis(200);
+        while start.elapsed() < window && iters < self.iters_hint {
+            black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.last_mean_ns = if iters == 0 {
+            f64::NAN
+        } else {
+            total.as_nanos() as f64 / iters as f64
+        };
+    }
+
+    /// Times `routine`, rebuilding its input with `setup` outside the
+    /// measured region each iteration.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        for _ in 0..3.min(self.iters_hint) {
+            black_box(routine(setup()));
+        }
+        let window = Duration::from_millis(200);
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < window && iters < self.iters_hint {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.last_mean_ns = if iters == 0 {
+            f64::NAN
+        } else {
+            measured.as_nanos() as f64 / iters as f64
+        };
+    }
+}
+
+/// A benchmark identifier: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+fn run_one(label: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_hint: sample_size.max(1) * 100,
+        last_mean_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let ns = bencher.last_mean_ns;
+    if ns.is_finite() {
+        println!("{label:<50} {:>14.1} ns/iter", ns);
+    } else {
+        println!("{label:<50} {:>14} ns/iter", "-");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the iteration budget (kept for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 100, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::new("g", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+}

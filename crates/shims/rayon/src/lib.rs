@@ -1,0 +1,139 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Provides `par_iter().map(..).collect()` over slices, implemented with
+//! `std::thread::scope` and contiguous chunking. Results preserve input
+//! order exactly, so a parallel stage is bit-identical to its serial
+//! equivalent. The worker count defaults to the machine's available
+//! parallelism.
+
+use std::num::NonZeroUsize;
+
+/// The number of worker threads used by parallel iterators.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parallel iterator types.
+pub mod iter {
+    /// A parallel iterator over `&[T]`.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    /// A mapped parallel iterator, ready to collect.
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Maps every element through `f` in parallel.
+        pub fn map<U: Send, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParMap<'a, T, F> {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Number of elements.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// Whether the iterator is empty.
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+        /// Runs the map in parallel and collects, preserving input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            let workers = super::current_num_threads().clamp(1, self.items.len().max(1));
+            if workers == 1 {
+                return self.items.iter().map(&self.f).collect();
+            }
+            let chunk_size = self.items.len().div_ceil(workers);
+            let f = &self.f;
+            let mut chunk_results: Vec<Vec<U>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()))
+                    .collect();
+                chunk_results = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon-shim worker panicked"))
+                    .collect();
+            });
+            chunk_results.into_iter().flatten().collect()
+        }
+    }
+
+    /// Types convertible into a parallel iterator by reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Creates the parallel iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+}
+
+/// The common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collects_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, String> = items.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = items
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = Vec::new();
+        let out: Vec<u64> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

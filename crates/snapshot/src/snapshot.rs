@@ -2,13 +2,12 @@
 
 use arb_amm::pool::Pool;
 use arb_amm::token::TokenId;
-use serde::{Deserialize, Serialize};
 
 use crate::config::SnapshotConfig;
 use crate::filters;
 
 /// Token metadata carried by a snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TokenMeta {
     /// Ticker symbol.
     pub symbol: String,

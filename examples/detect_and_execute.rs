@@ -63,28 +63,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         all.len()
     );
 
-    // Execute the best triangle with the MaxMax-optimal input via a flash
-    // bundle — no starting capital needed.
-    let cycle = &triangles[0];
-    let hops = graph.curves_for(cycle)?;
-    let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec())?;
-    let prices = [2.0, 10.2, 20.0, 1.0, 1.0];
-    let case_prices: Vec<f64> = cycle.tokens().iter().map(|tk| prices[tk.index()]).collect();
-    let mm = maxmax::evaluate(&loop_, &case_prices)?;
+    // Size and execute the best loop through the engine pipeline: the
+    // same graph feeds discovery, MaxMax sizes every rotation, and the
+    // ranked result drives a flash bundle — no starting capital needed.
+    let feed: PriceTable = [2.0, 10.2, 20.0, 1.0, 1.0]
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (t(i as u32), p))
+        .collect();
+    let pipeline = OpportunityPipeline::new(PipelineConfig::default()).with_strategies(vec![
+        std::sync::Arc::new(arbloops::strategies::MaxMax::default()) as _,
+    ]);
+    let report = pipeline.run_graph(&graph, &feed)?;
+    let opp = report.best().expect("arbitrage exists");
+    let (start, input) = opp.single_entry().expect("maxmax funds one rotation");
     println!(
-        "maxmax: start {}, input {:.2}, expect {}",
-        cycle.tokens()[mm.best.start],
-        mm.best.optimal_input,
-        mm.best.monetized
+        "engine: {} ranked opportunities; best via {}: start {}, input {:.2}, expect {}",
+        report.opportunities.len(),
+        opp.strategy,
+        opp.cycle.tokens()[start],
+        input,
+        opp.gross_profit,
     );
 
     let bot = chain.create_account();
-    let steps = arbloops::bot::execution::chained_bundle(
-        &chain,
-        cycle,
-        mm.best.start,
-        mm.best.optimal_input,
-    )?;
+    let steps = arbloops::bot::execution::opportunity_bundle(&chain, opp)?;
     chain.submit(Transaction::FlashBundle {
         account: bot,
         steps,
@@ -97,11 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let height = block.height;
 
-    let start_token = cycle.tokens()[mm.best.start];
+    let start_token = opp.cycle.tokens()[start];
     let banked = to_display(chain.state().balance(bot, start_token));
     println!(
         "executed at height {height}: banked {banked:.4} {start_token} (predicted {:.4})",
-        mm.best.token_profit
+        opp.token_profits[start]
     );
     Ok(())
 }

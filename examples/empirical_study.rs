@@ -1,14 +1,15 @@
 //! The paper's §VI empirical study on a synthetic Uniswap V2 snapshot.
 //!
 //! Pipeline: generate a paper-calibrated snapshot (51 tokens / 208 pools
-//! after the TVL > $30k and reserve > 100 filters), build the token graph,
-//! enumerate length-3 arbitrage loops, and compare all four strategies on
-//! every loop.
+//! after the TVL > $30k and reserve > 100 filters), run the engine's
+//! discovery pipeline over it, and compare all four strategies on every
+//! discovered loop.
 //!
 //! ```text
 //! cargo run --release --example empirical_study
 //! ```
 
+use arbloops::engine::RankByGrossProfit;
 use arbloops::prelude::*;
 use arbloops::strategies::batch::{compare_all_parallel, LoopCase};
 
@@ -28,25 +29,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         filtered.pools().len()
     );
 
-    let graph = TokenGraph::new(filtered.pools().to_vec())?;
-    let loops = graph.arbitrage_loops(3)?;
+    // Discovery through the engine: snapshot → graph → length-3 loops →
+    // sized + ranked opportunities, in one call. MaxMax-only sizing here:
+    // every discovered loop has rate > 1, so MaxMax is always positive
+    // and the full four-strategy comparison below (which re-solves the
+    // convex program per loop) is not paid twice.
+    let pipeline = OpportunityPipeline::new(PipelineConfig {
+        min_cycle_len: 3,
+        max_cycle_len: 3,
+        ..PipelineConfig::default()
+    })
+    .with_strategies(vec![
+        std::sync::Arc::new(arbloops::strategies::MaxMax::default()) as _,
+    ])
+    .with_ranking(Box::new(RankByGrossProfit));
+    let report = pipeline.run_snapshot(&filtered)?;
     println!(
-        "length-3 arbitrage loops: {} (paper found 123)",
-        loops.len()
+        "length-3 arbitrage loops: {} discovered, {} profitable after sizing (paper found 123)",
+        report.stats.cycles_discovered,
+        report.opportunities.len()
     );
+    if let Some(best) = report.best() {
+        println!(
+            "best opportunity: {} via {} (rate {:.4})",
+            best.gross_profit,
+            best.strategy,
+            best.round_trip_rate()
+        );
+    }
 
-    // Build strategy cases with snapshot CEX prices.
-    let prices = filtered.price_vector();
-    let cases: Vec<LoopCase> = loops
+    // Figure-shape checks need all four strategies per loop, not just the
+    // winner — reuse the engine's discovered loops as comparison cases.
+    // Every discovered loop has round-trip rate > 1, so MaxMax's closed
+    // form always yields positive monetized profit and the opportunity
+    // set equals the discovery set (the counts printed above agree).
+    let cases: Vec<LoopCase> = report
+        .opportunities
         .iter()
-        .map(|cycle| {
-            let hops = graph.curves_for(cycle).expect("validated cycle");
-            let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec()).expect("valid loop");
-            let case_prices = cycle.tokens().iter().map(|t| prices[t.index()]).collect();
-            LoopCase {
-                loop_,
-                prices: case_prices,
-            }
+        .map(|opp| LoopCase {
+            loop_: opp.loop_.clone(),
+            prices: opp.prices.clone(),
         })
         .collect();
 

@@ -48,5 +48,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cv.plan.token_profits()[1],
         cv.plan.token_profits()[2],
     );
+
+    // Or let the engine do all of it: discovery, per-cycle strategy
+    // evaluation, and ranking, from nothing but pools and a price feed.
+    let pools = vec![
+        Pool::new(TokenId::new(0), TokenId::new(1), 100.0, 200.0, fee)?,
+        Pool::new(TokenId::new(1), TokenId::new(2), 300.0, 200.0, fee)?,
+        Pool::new(TokenId::new(2), TokenId::new(0), 200.0, 400.0, fee)?,
+    ];
+    let feed: PriceTable = [2.0, 10.2, 20.0]
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (TokenId::new(i as u32), p))
+        .collect();
+    let report = OpportunityPipeline::new(PipelineConfig::default()).run(pools, &feed)?;
+    let best = report.best().expect("the triangle is profitable");
+    println!(
+        "engine: {} opportunity, best sized by {} for {} gross",
+        report.opportunities.len(),
+        best.strategy,
+        best.gross_profit
+    );
     Ok(())
 }

@@ -18,7 +18,8 @@
 //! | [`snapshot`] | `arb-snapshot` | paper-calibrated synthetic Uniswap snapshots |
 //! | [`convex`] | `arb-convex` | the eq. 8 convex program and its solvers |
 //! | [`strategies`] | `arb-core` | Traditional, MaxPrice, MaxMax, ConvexOpt |
-//! | [`bot`] | `arb-bot` | scan → evaluate → flash-execute bot + market sim |
+//! | [`engine`] | `arb-engine` | discovery → evaluation → ranking pipeline |
+//! | [`bot`] | `arb-bot` | engine-driven flash-execute bot + market sim |
 //!
 //! # The paper's §V example, in six lines
 //!
@@ -52,6 +53,7 @@ pub use arb_cex as cex;
 pub use arb_convex as convex;
 pub use arb_core as strategies;
 pub use arb_dexsim as dexsim;
+pub use arb_engine as engine;
 pub use arb_graph as graph;
 pub use arb_numerics as numerics;
 pub use arb_snapshot as snapshot;
@@ -81,6 +83,10 @@ pub mod prelude {
         chain::Chain,
         tx::{BundleStep, Transaction},
         units::{to_display, to_raw},
+    };
+    pub use arb_engine::{
+        ArbitrageOpportunity, EngineError, OpportunityPipeline, PipelineConfig, PipelineReport,
+        RankingPolicy,
     };
     pub use arb_graph::{Cycle, TokenGraph};
     pub use arb_snapshot::{Generator, Snapshot, SnapshotConfig};

@@ -1,9 +1,24 @@
-//! Integration: snapshot → chain → scan → strategy → flash execution,
+//! Integration: snapshot → chain → engine pipeline → flash execution,
 //! verifying that predicted profits are realized on-chain.
 
 use arbloops::bot::execution::chained_bundle;
 use arbloops::bot::scanner;
 use arbloops::prelude::*;
+
+/// Discovers ranked opportunities on the chain, pricing tokens from the
+/// snapshot's CEX table.
+fn discover(chain: &Chain, snapshot: &Snapshot) -> Vec<ArbitrageOpportunity> {
+    let prices: PriceTable = snapshot
+        .pools()
+        .iter()
+        .flat_map(|p| [p.token_a(), p.token_b()])
+        .filter_map(|t| snapshot.usd_price(t).map(|p| (t, p)))
+        .collect();
+    let pipeline = OpportunityPipeline::new(PipelineConfig::default());
+    scanner::discover(chain, &pipeline, &prices)
+        .unwrap()
+        .opportunities
+}
 
 /// Deploys a filtered snapshot onto a fresh chain.
 fn deploy(config: &SnapshotConfig) -> (Chain, Snapshot) {
@@ -33,18 +48,11 @@ fn predicted_profit_is_realized_on_chain() {
         ..SnapshotConfig::default()
     };
     let (mut chain, snapshot) = deploy(&config);
-    let opportunities = scanner::scan(&chain, 3).unwrap();
+    let opportunities = discover(&chain, &snapshot);
     assert!(!opportunities.is_empty(), "market should have loops");
 
-    let prices = snapshot.price_vector();
     let opp = &opportunities[0];
-    let case_prices: Vec<f64> = opp
-        .cycle
-        .tokens()
-        .iter()
-        .map(|t| prices[t.index()])
-        .collect();
-    let mm = maxmax::evaluate(&opp.loop_, &case_prices).unwrap();
+    let mm = maxmax::evaluate(&opp.loop_, &opp.prices).unwrap();
     assert!(mm.best.token_profit > 0.0);
 
     let bot = chain.create_account();
@@ -77,8 +85,8 @@ fn executed_loop_closes_the_opportunity() {
         mispricing_std: 0.02,
         ..SnapshotConfig::default()
     };
-    let (mut chain, _snapshot) = deploy(&config);
-    let before = scanner::scan(&chain, 3).unwrap();
+    let (mut chain, snapshot) = deploy(&config);
+    let before = discover(&chain, &snapshot);
     assert!(!before.is_empty());
     let target = before[0].cycle.clone();
     let rate_before = before[0].loop_.round_trip_rate();

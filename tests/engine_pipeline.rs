@@ -1,0 +1,110 @@
+//! Integration: the engine pipeline end-to-end on a paper-calibrated
+//! snapshot, checking the paper's dominance theorems on the ranked
+//! output: ConvexOpt ≥ MaxMax ≥ every Traditional rotation.
+
+use std::sync::Arc;
+
+use arbloops::engine::SharedStrategy;
+use arbloops::prelude::*;
+use arbloops::strategies::{maxmax, ConvexOptimization, MaxMax};
+
+/// Tolerance scaled to the profit magnitude (f64 solver outputs).
+fn tol(value: f64) -> f64 {
+    1e-4 * (1.0 + value.abs())
+}
+
+fn paper_snapshot() -> Snapshot {
+    let config = SnapshotConfig {
+        seed: 20,
+        num_tokens: 24,
+        num_pools: 60,
+        ..SnapshotConfig::default()
+    };
+    Generator::new(config).generate().expect("snapshot")
+}
+
+#[test]
+fn ranked_opportunities_satisfy_dominance_theorems() {
+    let snapshot = paper_snapshot();
+    let pipeline = OpportunityPipeline::new(PipelineConfig {
+        min_cycle_len: 3,
+        max_cycle_len: 3,
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.run_snapshot(&snapshot).unwrap();
+    assert!(
+        !report.opportunities.is_empty(),
+        "calibrated snapshot should admit arbitrage: {:?}",
+        report.stats
+    );
+
+    for opp in &report.opportunities {
+        // Re-evaluate each strategy on the opportunity's own loop/prices.
+        let mm = MaxMax::default()
+            .evaluate(&opp.loop_, &opp.prices)
+            .expect("maxmax");
+        let cv = ConvexOptimization::default()
+            .evaluate(&opp.loop_, &opp.prices)
+            .expect("convex");
+        let mm_usd = mm.monetized.value();
+        let cv_usd = cv.monetized.value();
+
+        // Theorem: ConvexOpt dominates MaxMax.
+        assert!(
+            cv_usd >= mm_usd - tol(mm_usd),
+            "convex {cv_usd} < maxmax {mm_usd} on {:?}",
+            opp.cycle
+        );
+
+        // Theorem: MaxMax dominates every Traditional rotation (it *is*
+        // the maximum over rotations — check each explicitly).
+        let full = maxmax::evaluate(&opp.loop_, &opp.prices).expect("rotations");
+        for rotation in &full.rotations {
+            assert!(
+                mm_usd >= rotation.monetized.value() - tol(mm_usd),
+                "maxmax {mm_usd} < rotation {:?}",
+                rotation
+            );
+        }
+
+        // The winning sizing recorded on the opportunity matches the
+        // best strategy's gross profit.
+        let best = mm_usd.max(cv_usd);
+        assert!(
+            (opp.gross_profit.value() - best).abs() <= tol(best),
+            "ranked gross {} != best strategy {best}",
+            opp.gross_profit
+        );
+    }
+
+    // Ranking is descending in net profit (default policy).
+    for pair in report.opportunities.windows(2) {
+        assert!(pair[0].net_profit >= pair[1].net_profit);
+    }
+}
+
+#[test]
+fn single_strategy_pipelines_preserve_dominance_order() {
+    let snapshot = paper_snapshot();
+    let base = PipelineConfig {
+        min_cycle_len: 3,
+        max_cycle_len: 3,
+        ..PipelineConfig::default()
+    };
+    let run = |strategy: SharedStrategy| {
+        OpportunityPipeline::new(base)
+            .with_strategies(vec![strategy])
+            .run_snapshot(&snapshot)
+            .unwrap()
+    };
+    let mm_report = run(Arc::new(MaxMax::default()));
+    let cv_report = run(Arc::new(ConvexOptimization::default()));
+
+    // Convex finds at least as much total profit as MaxMax.
+    let mm_total = mm_report.total_net_profit().value();
+    let cv_total = cv_report.total_net_profit().value();
+    assert!(
+        cv_total >= mm_total - tol(mm_total),
+        "convex total {cv_total} < maxmax total {mm_total}"
+    );
+}

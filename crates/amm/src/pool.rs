@@ -182,6 +182,23 @@ impl Pool {
         Ok(out)
     }
 
+    /// Replaces both reserves in place (a Uniswap `Sync`), keeping tokens
+    /// and fee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmmError::NonPositiveReserve`] if a reserve is not
+    /// positive and finite; the pool is left unchanged.
+    pub fn set_reserves(&mut self, reserve_a: f64, reserve_b: f64) -> Result<(), AmmError> {
+        let valid = |r: f64| r.is_finite() && r > 0.0;
+        if !valid(reserve_a) || !valid(reserve_b) {
+            return Err(AmmError::NonPositiveReserve);
+        }
+        self.reserve_a = reserve_a;
+        self.reserve_b = reserve_b;
+        Ok(())
+    }
+
     /// The paper's relative price `p_ij = (1−λ)·r_j/r_i` of `token_in` in
     /// units of the other token.
     ///
@@ -274,6 +291,22 @@ mod tests {
         let p = pool();
         assert!((p.relative_price(x).unwrap() - 0.997 * 2.0).abs() < 1e-12);
         assert!((p.relative_price(y).unwrap() - 0.997 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_reserves_syncs_in_place() {
+        let mut p = pool();
+        p.set_reserves(50.0, 75.0).unwrap();
+        assert_eq!(p.reserve_a(), 50.0);
+        assert_eq!(p.reserve_b(), 75.0);
+        // Degenerate updates are rejected and leave the pool unchanged.
+        assert_eq!(p.set_reserves(0.0, 1.0), Err(AmmError::NonPositiveReserve));
+        assert_eq!(
+            p.set_reserves(1.0, f64::NAN),
+            Err(AmmError::NonPositiveReserve)
+        );
+        assert_eq!(p.reserve_a(), 50.0);
+        assert_eq!(p.reserve_b(), 75.0);
     }
 
     #[test]

@@ -5,12 +5,15 @@ use std::sync::Arc;
 use arb_cex::feed::PriceFeed;
 use arb_core::monetize::Usd;
 use arb_core::{ConvexOptimization, MaxMax};
-use arb_dexsim::chain::Chain;
+use arb_dexsim::chain::{Chain, EventCursor};
 use arb_dexsim::state::AccountId;
 use arb_dexsim::tx::Transaction;
-use arb_engine::{OpportunityPipeline, PipelineConfig, SharedStrategy};
+use arb_engine::{
+    ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, SharedStrategy, StreamStats,
+    StreamingEngine,
+};
 
-use crate::config::{BotConfig, StrategyChoice};
+use crate::config::{BotConfig, ScanMode, StrategyChoice};
 use crate::error::BotError;
 use crate::execution;
 use crate::scanner;
@@ -52,22 +55,34 @@ pub enum BotAction {
     },
 }
 
+/// The bot's live streaming view: an incremental engine plus its
+/// position in the chain's event log.
+#[derive(Debug)]
+struct StreamState {
+    engine: StreamingEngine,
+    cursor: EventCursor,
+}
+
 /// The arbitrage bot: owns an account, a configuration, and the engine
-/// pipeline built from it.
+/// pipeline built from it. In [`ScanMode::Streaming`] it also owns a
+/// [`StreamingEngine`] kept in sync with the chain's event stream.
 #[derive(Debug)]
 pub struct ArbBot {
     account: AccountId,
     config: BotConfig,
     pipeline: OpportunityPipeline,
+    stream: Option<StreamState>,
 }
 
 impl Clone for ArbBot {
     fn clone(&self) -> Self {
-        // The pipeline is a pure function of the config; rebuild it.
+        // The pipeline is a pure function of the config; rebuild it. The
+        // streaming view re-synchronizes lazily on the clone's first step.
         ArbBot {
             account: self.account,
             config: self.config,
             pipeline: pipeline_for(&self.config),
+            stream: None,
         }
     }
 }
@@ -79,6 +94,7 @@ impl ArbBot {
             account: chain.create_account(),
             pipeline: pipeline_for(&config),
             config,
+            stream: None,
         }
     }
 
@@ -92,7 +108,14 @@ impl ArbBot {
         &self.config
     }
 
-    /// One decision step: run the engine pipeline on current state and
+    /// Streaming counters, once the event-driven view is live (`None` in
+    /// batch mode and before the first streaming step).
+    pub fn stream_stats(&self) -> Option<&StreamStats> {
+        self.stream.as_ref().map(|s| s.engine.stats())
+    }
+
+    /// One decision step: bring the market view current (incrementally in
+    /// [`ScanMode::Streaming`], by full rescan in [`ScanMode::Batch`]) and
     /// submit a flash bundle for the best executable opportunity.
     ///
     /// The transaction is only *submitted*; the caller mines the block.
@@ -101,9 +124,16 @@ impl ArbBot {
     ///
     /// Fails on discovery errors, not on unprofitable markets (those
     /// yield [`BotAction::Idle`]).
-    pub fn step<F: PriceFeed>(&self, chain: &mut Chain, feed: &F) -> Result<BotAction, BotError> {
-        let report = scanner::discover(chain, &self.pipeline, feed)?;
-        for opportunity in &report.opportunities {
+    pub fn step<F: PriceFeed>(
+        &mut self,
+        chain: &mut Chain,
+        feed: &F,
+    ) -> Result<BotAction, BotError> {
+        let opportunities = match self.config.mode {
+            ScanMode::Batch => scanner::discover(chain, &self.pipeline, feed)?.opportunities,
+            ScanMode::Streaming => self.streaming_opportunities(chain, feed)?,
+        };
+        for opportunity in &opportunities {
             let steps = execution::opportunity_bundle(chain, opportunity)?;
             if steps.len() < opportunity.cycle.len() {
                 // Rounding collapsed a hop; try the next-ranked loop
@@ -119,6 +149,46 @@ impl ArbBot {
             return Ok(BotAction::Submitted { expected, hops });
         }
         Ok(BotAction::Idle)
+    }
+
+    /// The event-driven path: drain new chain events into the streaming
+    /// engine and return its standing ranking. The first step pays one
+    /// full build (cold start); a desynchronized stream is dropped and
+    /// the step falls back to a batch scan, re-synchronizing next step.
+    fn streaming_opportunities<F: PriceFeed>(
+        &mut self,
+        chain: &Chain,
+        feed: &F,
+    ) -> Result<Vec<ArbitrageOpportunity>, BotError> {
+        if self.stream.is_none() {
+            self.stream = Some(self.build_stream(chain)?);
+        }
+        let state = self.stream.as_mut().expect("initialized above");
+        let events = chain.drain_events(&mut state.cursor);
+        match state.engine.apply_events(&events, feed) {
+            Ok(report) => Ok(report.opportunities),
+            Err(_) => {
+                // Fallback path: drop the stale view, serve this block
+                // from a full rescan, rebuild the stream next step.
+                self.stream = None;
+                Ok(scanner::discover(chain, &self.pipeline, feed)?.opportunities)
+            }
+        }
+    }
+
+    /// Builds a streaming engine over the chain's *current* pool set and
+    /// subscribes at the current end of the event log, so the pair stays
+    /// consistent: state now + every event after now. Degenerate pools
+    /// enter as retired slots (keeping `PoolId`s chain-aligned) and
+    /// revive through their next valid `Sync`.
+    fn build_stream(&self, chain: &Chain) -> Result<StreamState, BotError> {
+        let graph = scanner::graph_from_chain(chain)?;
+        let engine = StreamingEngine::with_graph(pipeline_for(&self.config), graph)
+            .map_err(BotError::from)?;
+        Ok(StreamState {
+            engine,
+            cursor: chain.subscribe(),
+        })
     }
 }
 
@@ -160,7 +230,7 @@ mod tests {
     #[test]
     fn maxmax_bot_extracts_paper_profit() {
         let mut chain = paper_chain();
-        let bot = ArbBot::new(&mut chain, BotConfig::default());
+        let mut bot = ArbBot::new(&mut chain, BotConfig::default());
         let action = bot.step(&mut chain, &paper_feed()).unwrap();
         let BotAction::Submitted { expected, hops } = action else {
             panic!("expected a submission");
@@ -177,7 +247,7 @@ mod tests {
     #[test]
     fn convex_bot_extracts_more() {
         let mut chain = paper_chain();
-        let bot = ArbBot::new(
+        let mut bot = ArbBot::new(
             &mut chain,
             BotConfig {
                 strategy: StrategyChoice::Convex,
@@ -205,7 +275,7 @@ mod tests {
                 .add_pool(t(a), t(b), to_raw(1_000.0), to_raw(1_000.0), fee)
                 .unwrap();
         }
-        let bot = ArbBot::new(&mut chain, BotConfig::default());
+        let mut bot = ArbBot::new(&mut chain, BotConfig::default());
         let action = bot.step(&mut chain, &paper_feed()).unwrap();
         assert!(matches!(action, BotAction::Idle));
         assert_eq!(chain.pending(), 0);
@@ -214,7 +284,7 @@ mod tests {
     #[test]
     fn profit_floor_filters_small_opportunities() {
         let mut chain = paper_chain();
-        let bot = ArbBot::new(
+        let mut bot = ArbBot::new(
             &mut chain,
             BotConfig {
                 min_profit_usd: 1_000.0, // above the ~$206 available
@@ -228,10 +298,76 @@ mod tests {
     #[test]
     fn unpriced_tokens_are_skipped() {
         let mut chain = paper_chain();
-        let bot = ArbBot::new(&mut chain, BotConfig::default());
+        let mut bot = ArbBot::new(&mut chain, BotConfig::default());
         let empty = PriceTable::new();
         let action = bot.step(&mut chain, &empty).unwrap();
         assert!(matches!(action, BotAction::Idle));
+    }
+
+    #[test]
+    fn streaming_and_batch_bots_make_identical_decisions() {
+        // Same chain, same feed, same seed of perturbations: the
+        // event-driven bot must submit exactly what the rescan bot does.
+        let run = |mode: ScanMode| {
+            let mut chain = paper_chain();
+            let mut bot = ArbBot::new(
+                &mut chain,
+                BotConfig {
+                    mode,
+                    ..BotConfig::default()
+                },
+            );
+            let whale = chain.create_account();
+            chain.mint(whale, t(0), to_raw(1_000.0));
+            let mut actions = Vec::new();
+            for i in 0..6 {
+                // A whale trade perturbs pool 0 between bot steps.
+                chain.submit(Transaction::Swap {
+                    account: whale,
+                    pool: arb_amm::pool::PoolId::new(0),
+                    token_in: t(0),
+                    amount_in: to_raw(2.0 + i as f64),
+                    min_out: 0,
+                });
+                chain.mine_block();
+                let action = bot.step(&mut chain, &paper_feed()).unwrap();
+                chain.mine_block();
+                actions.push(match action {
+                    BotAction::Idle => None,
+                    BotAction::Submitted { expected, hops } => {
+                        Some((expected.value().to_bits(), hops))
+                    }
+                });
+            }
+            (actions, chain.state().digest())
+        };
+        let (streaming_actions, streaming_digest) = run(ScanMode::Streaming);
+        let (batch_actions, batch_digest) = run(ScanMode::Batch);
+        assert_eq!(streaming_actions, batch_actions);
+        assert_eq!(streaming_digest, batch_digest);
+        assert!(
+            streaming_actions.iter().any(Option::is_some),
+            "perturbations should open executable opportunities"
+        );
+    }
+
+    #[test]
+    fn streaming_bot_tracks_pools_created_after_cold_start() {
+        let mut chain = paper_chain();
+        let mut bot = ArbBot::new(&mut chain, BotConfig::default());
+        // Cold start over the original triangle.
+        bot.step(&mut chain, &paper_feed()).unwrap();
+        chain.mine_block();
+        assert!(bot.stream_stats().is_some());
+
+        // A new pool arrives as an event, not a re-snapshot.
+        chain
+            .add_pool(t(0), t(1), to_raw(90.0), to_raw(210.0), FeeRate::UNISWAP_V2)
+            .unwrap();
+        bot.step(&mut chain, &paper_feed()).unwrap();
+        let stats = bot.stream_stats().unwrap();
+        assert_eq!(stats.pools_added, 1);
+        assert!(stats.cycles_added > 0, "{stats}");
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub mod scanner;
 pub mod sim;
 
 pub use bot::{pipeline_for, ArbBot};
-pub use config::{BotConfig, StrategyChoice};
+pub use config::{BotConfig, ScanMode, StrategyChoice};
 pub use error::BotError;

@@ -3,6 +3,7 @@
 //! The discovery/evaluation loop itself lives in [`arb_engine`]; this
 //! module only adapts chain state into the engine's inputs.
 
+use arb_amm::pool::Pool;
 use arb_cex::feed::PriceFeed;
 use arb_dexsim::chain::Chain;
 use arb_engine::{OpportunityPipeline, PipelineReport};
@@ -13,19 +14,41 @@ use crate::error::BotError;
 /// Builds the analysis token graph from current chain state.
 ///
 /// Pools whose reserves have degenerated below representability are
-/// skipped rather than failing the scan.
+/// *retired* rather than dropped: they keep their slot (so every
+/// surviving cycle's `PoolId`s still index chain state directly — the
+/// invariant flash-bundle execution relies on) but contribute no edges,
+/// so no discovered cycle can route through them.
 ///
 /// # Errors
 ///
-/// Returns [`BotError::Graph`] if no usable pool remains.
+/// Returns [`BotError::Graph`] if the chain has no pools at all.
 pub fn graph_from_chain(chain: &Chain) -> Result<TokenGraph, BotError> {
-    let pools: Vec<_> = chain
+    let mut degenerate = Vec::new();
+    let pools: Vec<Pool> = chain
         .state()
         .pools()
         .iter()
-        .filter_map(|p| p.to_analysis_pool().ok())
+        .enumerate()
+        .map(|(index, on_chain)| {
+            on_chain.to_analysis_pool().unwrap_or_else(|_| {
+                // Slot-preserving placeholder; retired immediately below.
+                degenerate.push(index);
+                Pool::new(
+                    on_chain.token_a(),
+                    on_chain.token_b(),
+                    1.0,
+                    1.0,
+                    on_chain.raw().fee(),
+                )
+                .expect("distinct tokens and positive reserves")
+            })
+        })
         .collect();
-    Ok(TokenGraph::new(pools)?)
+    let mut graph = TokenGraph::new(pools)?;
+    for index in degenerate {
+        graph.remove_pool(arb_amm::pool::PoolId::new(index as u32))?;
+    }
+    Ok(graph)
 }
 
 /// Runs the engine pipeline against current chain state, returning ranked

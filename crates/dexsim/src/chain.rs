@@ -55,6 +55,26 @@ pub struct Block {
     pub state_digest: u64,
 }
 
+/// A subscriber's position in the chain's event log. Create one with
+/// [`Chain::subscribe`] (from "now") or [`EventCursor::genesis`] (replay
+/// everything), then advance it with [`Chain::drain_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCursor {
+    next: usize,
+}
+
+impl EventCursor {
+    /// A cursor that replays the log from the very first event.
+    pub const fn genesis() -> Self {
+        EventCursor { next: 0 }
+    }
+
+    /// The sequence number of the next event this cursor will yield.
+    pub const fn position(self) -> usize {
+        self.next
+    }
+}
+
 /// The simulated chain: state + mempool + history.
 #[derive(Debug, Clone, Default)]
 pub struct Chain {
@@ -99,12 +119,32 @@ impl Chain {
         &self.log
     }
 
+    /// A cursor positioned at the *current* end of the event log: it will
+    /// yield only events emitted after this call. Use
+    /// [`EventCursor::genesis`] to replay history instead.
+    pub fn subscribe(&self) -> EventCursor {
+        EventCursor {
+            next: self.log.len(),
+        }
+    }
+
+    /// Decodes and returns every event the cursor has not yet seen,
+    /// advancing it to the end of the log. Streaming consumers call this
+    /// once per block (or batch of blocks) and apply the deltas.
+    pub fn drain_events(&self, cursor: &mut EventCursor) -> Vec<Event> {
+        let events = self.log.decode_from(cursor.next);
+        cursor.next = self.log.len();
+        events
+    }
+
     /// Number of pending transactions.
     pub fn pending(&self) -> usize {
         self.mempool.len()
     }
 
-    /// Deploys a pool directly into state (genesis-style, not a tx).
+    /// Deploys a pool directly into state (genesis-style, not a tx) and
+    /// logs a [`Event::PoolCreated`] so streaming subscribers can extend
+    /// their graph without re-snapshotting the chain.
     ///
     /// # Errors
     ///
@@ -117,8 +157,18 @@ impl Chain {
         reserve_b: u128,
         fee: FeeRate,
     ) -> Result<PoolId, TxError> {
-        self.state
-            .add_pool(token_a, token_b, reserve_a, reserve_b, fee)
+        let pool = self
+            .state
+            .add_pool(token_a, token_b, reserve_a, reserve_b, fee)?;
+        self.log.push(Event::PoolCreated {
+            pool,
+            token_a,
+            token_b,
+            reserve_a,
+            reserve_b,
+            fee,
+        });
+        Ok(pool)
     }
 
     /// Registers an account.
@@ -291,9 +341,58 @@ mod tests {
             });
             chain.mine_block();
         }
-        // Each successful swap emits Swap + Sync.
-        assert_eq!(chain.event_log().len(), 6);
-        assert_eq!(chain.event_log().decode_all().len(), 6);
+        // Genesis PoolCreated + (Swap + Sync) per successful swap.
+        assert_eq!(chain.event_log().len(), 7);
+        assert_eq!(chain.event_log().decode_all().len(), 7);
+    }
+
+    #[test]
+    fn add_pool_logs_pool_created() {
+        let (chain, _, pool) = setup();
+        let events = chain.event_log().decode_all();
+        assert_eq!(events.len(), 1);
+        let Event::PoolCreated {
+            pool: created,
+            token_a,
+            reserve_a,
+            ..
+        } = events[0]
+        else {
+            panic!("expected PoolCreated, got {:?}", events[0]);
+        };
+        assert_eq!(created, pool);
+        assert_eq!(token_a, t(0));
+        assert_eq!(reserve_a, to_raw(1_000.0));
+    }
+
+    #[test]
+    fn subscribe_and_drain_sees_only_new_events() {
+        let (mut chain, alice, pool) = setup();
+        // A subscription opened now skips the genesis PoolCreated…
+        let mut cursor = chain.subscribe();
+        assert!(chain.drain_events(&mut cursor).is_empty());
+
+        chain.submit(Transaction::Swap {
+            account: alice,
+            pool,
+            token_in: t(0),
+            amount_in: to_raw(1.0),
+            min_out: 0,
+        });
+        chain.mine_block();
+        let events = chain.drain_events(&mut cursor);
+        assert_eq!(events.len(), 2, "Swap + Sync");
+        assert!(matches!(events[0], Event::Swap { .. }));
+        assert!(matches!(events[1], Event::Sync { .. }));
+        // Draining again yields nothing until new blocks land.
+        assert!(chain.drain_events(&mut cursor).is_empty());
+
+        // …while a genesis cursor replays everything, including setup.
+        let mut replay = EventCursor::genesis();
+        let all = chain.drain_events(&mut replay);
+        assert_eq!(all.len(), 3);
+        assert!(matches!(all[0], Event::PoolCreated { .. }));
+        assert_eq!(replay.position(), chain.event_log().len());
     }
 
     #[test]

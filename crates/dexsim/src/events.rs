@@ -4,6 +4,7 @@
 //! emits the same shape. Events encode to a tagged little-endian binary
 //! frame via [`bytes`] so the log can be persisted or streamed compactly.
 
+use arb_amm::fee::FeeRate;
 use arb_amm::pool::PoolId;
 use arb_amm::token::TokenId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -52,12 +53,30 @@ pub enum Event {
         /// Shares destroyed.
         shares: u128,
     },
+    /// A pool was deployed (Uniswap factory `PairCreated` + initial
+    /// reserves). Emitted so streaming consumers can extend their graph
+    /// without re-snapshotting the chain.
+    PoolCreated {
+        /// The id assigned to the new pool.
+        pool: PoolId,
+        /// First token of the pair.
+        token_a: TokenId,
+        /// Second token of the pair.
+        token_b: TokenId,
+        /// Initial reserve of token A.
+        reserve_a: u128,
+        /// Initial reserve of token B.
+        reserve_b: u128,
+        /// The pool's swap fee.
+        fee: FeeRate,
+    },
 }
 
 const TAG_SYNC: u8 = 1;
 const TAG_SWAP: u8 = 2;
 const TAG_MINT: u8 = 3;
 const TAG_BURN: u8 = 4;
+const TAG_POOL_CREATED: u8 = 5;
 
 impl Event {
     /// Appends the binary encoding of this event to `buf`.
@@ -105,6 +124,22 @@ impl Event {
                 buf.put_u32_le(account.index() as u32);
                 buf.put_u128_le(shares);
             }
+            Event::PoolCreated {
+                pool,
+                token_a,
+                token_b,
+                reserve_a,
+                reserve_b,
+                fee,
+            } => {
+                buf.put_u8(TAG_POOL_CREATED);
+                buf.put_u32_le(pool.index() as u32);
+                buf.put_u32_le(token_a.index() as u32);
+                buf.put_u32_le(token_b.index() as u32);
+                buf.put_u128_le(reserve_a);
+                buf.put_u128_le(reserve_b);
+                buf.put_u32_le(fee.ppm());
+            }
         }
     }
 
@@ -136,6 +171,27 @@ impl Event {
                     token_in: TokenId::new(buf.get_u32_le()),
                     amount_in: buf.get_u128_le(),
                     amount_out: buf.get_u128_le(),
+                })
+            }
+            TAG_POOL_CREATED => {
+                if buf.remaining() < 12 + 32 + 4 {
+                    return None;
+                }
+                let pool = PoolId::new(buf.get_u32_le());
+                let token_a = TokenId::new(buf.get_u32_le());
+                let token_b = TokenId::new(buf.get_u32_le());
+                let reserve_a = buf.get_u128_le();
+                let reserve_b = buf.get_u128_le();
+                // A fee ≥ 100% can never have been encoded from a valid
+                // FeeRate; treat it like an unknown tag.
+                let fee = FeeRate::from_ppm(buf.get_u32_le()).ok()?;
+                Some(Event::PoolCreated {
+                    pool,
+                    token_a,
+                    token_b,
+                    reserve_a,
+                    reserve_b,
+                    fee,
                 })
             }
             TAG_MINT | TAG_BURN => {
@@ -170,11 +226,14 @@ fn account_from_index(index: u32) -> AccountId {
     AccountId::from_wire(index)
 }
 
-/// An append-only encoded event log.
+/// An append-only encoded event log with per-event offsets, so consumers
+/// can resume decoding from any sequence number (the drain API in
+/// [`crate::chain::Chain`] builds on this).
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     buffer: BytesMut,
-    count: usize,
+    /// Byte offset where each event's frame starts.
+    offsets: Vec<usize>,
 }
 
 impl EventLog {
@@ -185,18 +244,18 @@ impl EventLog {
 
     /// Appends an event.
     pub fn push(&mut self, event: Event) {
+        self.offsets.push(self.buffer.len());
         event.encode(&mut self.buffer);
-        self.count += 1;
     }
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.count
+        self.offsets.len()
     }
 
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.offsets.is_empty()
     }
 
     /// Size of the encoded log in bytes.
@@ -206,8 +265,17 @@ impl EventLog {
 
     /// Decodes the full log back into events.
     pub fn decode_all(&self) -> Vec<Event> {
-        let mut bytes = Bytes::copy_from_slice(&self.buffer);
-        let mut events = Vec::with_capacity(self.count);
+        self.decode_from(0)
+    }
+
+    /// Decodes events starting at sequence number `from` (0-based).
+    /// Returns an empty vector when `from` is at or past the end.
+    pub fn decode_from(&self, from: usize) -> Vec<Event> {
+        if from >= self.offsets.len() {
+            return Vec::new();
+        }
+        let mut bytes = Bytes::copy_from_slice(&self.buffer[self.offsets[from]..]);
+        let mut events = Vec::with_capacity(self.offsets.len() - from);
         while let Some(e) = Event::decode(&mut bytes) {
             events.push(e);
         }
@@ -218,6 +286,7 @@ impl EventLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn sample_events() -> Vec<Event> {
         let mut state = crate::state::ChainState::new();
@@ -243,6 +312,14 @@ mod tests {
                 pool: PoolId::new(1),
                 account,
                 shares: 100,
+            },
+            Event::PoolCreated {
+                pool: PoolId::new(4),
+                token_a: TokenId::new(0),
+                token_b: TokenId::new(9),
+                reserve_a: u128::MAX,
+                reserve_b: 1,
+                fee: FeeRate::UNISWAP_V2,
             },
         ]
     }
@@ -288,5 +365,106 @@ mod tests {
         let log = EventLog::new();
         assert!(log.is_empty());
         assert_eq!(log.decode_all(), vec![]);
+        assert_eq!(log.decode_from(0), vec![]);
+    }
+
+    #[test]
+    fn decode_from_resumes_mid_log() {
+        let mut log = EventLog::new();
+        let events = sample_events();
+        for e in &events {
+            log.push(*e);
+        }
+        for from in 0..=events.len() {
+            assert_eq!(log.decode_from(from), events[from..], "from={from}");
+        }
+        assert_eq!(log.decode_from(events.len() + 10), vec![]);
+    }
+
+    /// Builds the event variant selected by `tag` from raw field material.
+    /// `a`/`b` carry the u128 payloads so every variant exercises wide
+    /// words, including the exact `u128::MAX` boundary via `flip`.
+    fn build_event(tag: u8, pool: u32, idx: u32, a: u128, b: u128) -> Event {
+        let pool = PoolId::new(pool);
+        match tag {
+            0 => Event::Sync {
+                pool,
+                reserve_a: a,
+                reserve_b: b,
+            },
+            1 => Event::Swap {
+                pool,
+                token_in: TokenId::new(idx),
+                amount_in: a,
+                amount_out: b,
+            },
+            2 => Event::Mint {
+                pool,
+                account: account_from_index(idx),
+                shares: a,
+            },
+            3 => Event::Burn {
+                pool,
+                account: account_from_index(idx),
+                shares: b,
+            },
+            _ => Event::PoolCreated {
+                pool,
+                token_a: TokenId::new(idx),
+                token_b: TokenId::new(idx ^ 1),
+                reserve_a: a,
+                reserve_b: b,
+                fee: FeeRate::from_ppm(idx % arb_amm::fee::PPM).unwrap(),
+            },
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn codec_round_trips_every_variant(
+            tag in 0u8..5,
+            pool in 0u32..u32::MAX,
+            idx in 0u32..u32::MAX,
+            a in 0u128..u128::MAX,
+            b in 0u128..u128::MAX,
+            flip in 0u8..4,
+        ) {
+            // Push the wide words to the exact boundaries in a quarter of
+            // the cases: the codec must survive u128::MAX and 0.
+            let (a, b) = match flip {
+                0 => (u128::MAX, b),
+                1 => (a, u128::MAX),
+                2 => (0, 0),
+                _ => (a, b),
+            };
+            let event = build_event(tag, pool, idx, a, b);
+            let mut buf = BytesMut::new();
+            event.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(Event::decode(&mut bytes), Some(event));
+            prop_assert!(bytes.is_empty(), "decoder must consume the frame exactly");
+        }
+
+        #[test]
+        fn log_round_trips_random_sequences(
+            tags in proptest::collection::vec(0u8..5, 0..32),
+            seed in 0u128..u128::MAX,
+        ) {
+            let events: Vec<Event> = tags
+                .iter()
+                .enumerate()
+                .map(|(i, &tag)| {
+                    build_event(tag, i as u32, i as u32, seed, seed.rotate_left(i as u32))
+                })
+                .collect();
+            let mut log = EventLog::new();
+            for e in &events {
+                log.push(*e);
+            }
+            prop_assert_eq!(log.len(), events.len());
+            prop_assert_eq!(log.decode_all(), events.clone());
+            let mid = events.len() / 2;
+            prop_assert_eq!(log.decode_from(mid), events[mid..].to_vec());
+        }
     }
 }

@@ -11,6 +11,13 @@ pub enum EngineError {
     Graph(arb_graph::GraphError),
     /// A loop could not be assembled from a discovered cycle.
     Strategy(arb_core::StrategyError),
+    /// The pipeline configuration is invalid (see
+    /// [`crate::PipelineConfig::validate`]).
+    Config(String),
+    /// A streaming engine's event feed is out of sync with its graph
+    /// (e.g. an event references a pool the engine never saw created).
+    /// The caller should rebuild from a fresh snapshot of the source.
+    Desync(&'static str),
 }
 
 impl fmt::Display for EngineError {
@@ -18,6 +25,8 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Graph(e) => write!(f, "graph error: {e}"),
             EngineError::Strategy(e) => write!(f, "strategy error: {e}"),
+            EngineError::Config(reason) => write!(f, "invalid pipeline config: {reason}"),
+            EngineError::Desync(reason) => write!(f, "event stream desynchronized: {reason}"),
         }
     }
 }
@@ -27,6 +36,7 @@ impl Error for EngineError {
         match self {
             EngineError::Graph(e) => Some(e),
             EngineError::Strategy(e) => Some(e),
+            EngineError::Config(_) | EngineError::Desync(_) => None,
         }
     }
 }

@@ -14,10 +14,14 @@
 //!                        ranking policy ──▶ Vec<ArbitrageOpportunity>
 //! ```
 //!
-//! * [`pipeline::OpportunityPipeline`] — the engine: configured once with
-//!   a strategy set ([`arb_core::Strategy`] trait objects), a
+//! * [`pipeline::OpportunityPipeline`] — the batch engine: configured once
+//!   with a strategy set ([`arb_core::Strategy`] trait objects), a
 //!   [`ranking::RankingPolicy`], and a [`pipeline::PipelineConfig`]; each
 //!   run is a pure function of the market state passed in.
+//! * [`streaming::StreamingEngine`] — the incremental engine: owns a
+//!   graph + persistent cycle index, consumes chain event batches, and
+//!   re-evaluates only the cycles the events touched while keeping a
+//!   standing ranked opportunity set identical to a fresh batch run.
 //! * [`opportunity::ArbitrageOpportunity`] — the uniform result: cycle,
 //!   winning strategy, per-hop optimal inputs, gross/net monetized profit.
 //! * [`ranking`] — pluggable execution-priority policies.
@@ -51,6 +55,7 @@ pub mod error;
 pub mod opportunity;
 pub mod pipeline;
 pub mod ranking;
+pub mod streaming;
 
 pub use error::EngineError;
 pub use opportunity::ArbitrageOpportunity;
@@ -59,3 +64,4 @@ pub use pipeline::{
     SnapshotPrices,
 };
 pub use ranking::{RankByGrossProfit, RankByNetProfit, RankByProfitPerHop, RankingPolicy};
+pub use streaming::{StreamReport, StreamStats, StreamingEngine};

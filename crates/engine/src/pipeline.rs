@@ -19,6 +19,22 @@ use crate::ranking::{RankByNetProfit, RankingPolicy};
 /// A strategy the pipeline can fan out across threads.
 pub type SharedStrategy = Arc<dyn Strategy + Send + Sync>;
 
+/// Outcome of the shared per-cycle discovery step
+/// ([`OpportunityPipeline::prepare_candidate`]).
+pub(crate) enum CycleCandidate {
+    /// Round-trip rate ≤ 1 (or unratable): not an arbitrage loop.
+    NotArbitrage,
+    /// A loop, but some token has no USD price in the feed.
+    Unpriced,
+    /// Ready for strategy evaluation.
+    Ready {
+        /// The assembled analysis loop.
+        loop_: ArbLoop,
+        /// USD prices aligned with the loop's token order.
+        prices: Vec<f64>,
+    },
+}
+
 /// Pipeline tuning parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -51,6 +67,45 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Checks the configuration for contradictions. Called by every
+    /// pipeline run and by [`crate::StreamingEngine::new`]; invalid
+    /// configs fail loudly instead of being silently clamped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] when `min_cycle_len < 2` (a 1-hop
+    /// "loop" is a self-swap), `min_cycle_len > max_cycle_len`, or a cost
+    /// or floor is not finite.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.min_cycle_len < 2 {
+            return Err(EngineError::Config(format!(
+                "min_cycle_len must be at least 2, got {}",
+                self.min_cycle_len
+            )));
+        }
+        if self.min_cycle_len > self.max_cycle_len {
+            return Err(EngineError::Config(format!(
+                "min_cycle_len ({}) exceeds max_cycle_len ({})",
+                self.min_cycle_len, self.max_cycle_len
+            )));
+        }
+        if !self.execution_cost_usd.is_finite() {
+            return Err(EngineError::Config(format!(
+                "execution_cost_usd must be finite, got {}",
+                self.execution_cost_usd
+            )));
+        }
+        // +∞ is a legitimate "never trade" floor; only NaN is meaningless.
+        if self.min_net_profit_usd.is_nan() {
+            return Err(EngineError::Config(
+                "min_net_profit_usd must not be NaN".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Counters describing one pipeline run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
@@ -70,6 +125,23 @@ pub struct PipelineStats {
     pub evaluation_failures: usize,
     /// Evaluated cycles dropped by the net-profit floor.
     pub below_floor: usize,
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tokens, {} pools, {} cycles ({} unpriced), \
+             {} evaluations ({} benign failures), {} below floor",
+            self.tokens,
+            self.pools,
+            self.cycles_discovered,
+            self.cycles_unpriced,
+            self.evaluations,
+            self.evaluation_failures,
+            self.below_floor
+        )
+    }
 }
 
 /// The ranked output of one pipeline run.
@@ -208,24 +280,30 @@ impl OpportunityPipeline {
         graph: &TokenGraph,
         feed: &F,
     ) -> Result<PipelineReport, EngineError> {
+        self.config.validate()?;
         let mut stats = PipelineStats {
             tokens: graph.token_count(),
-            pools: graph.pool_count(),
+            // Retired slots (degenerate pools kept for id stability)
+            // contribute no liquidity and are not counted.
+            pools: graph.live_pool_count(),
             ..PipelineStats::default()
         };
 
         // Discovery: profitable cycles at every configured length, with
         // prices resolved up front so the evaluation stage is pure CPU.
         let mut candidates: Vec<(Cycle, ArbLoop, Vec<f64>)> = Vec::new();
-        let min_len = self.config.min_cycle_len.max(2);
-        for len in min_len..=self.config.max_cycle_len.max(min_len) {
-            for cycle in graph.arbitrage_loops(len)? {
-                stats.cycles_discovered += 1;
-                let hops = graph.curves_for(&cycle)?;
-                let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec())?;
-                match loop_.resolve_prices(|t| feed.usd_price(t)) {
-                    Ok(prices) => candidates.push((cycle, loop_, prices)),
-                    Err(_) => stats.cycles_unpriced += 1,
+        for len in self.config.min_cycle_len..=self.config.max_cycle_len {
+            for cycle in graph.cycles(len)? {
+                match self.prepare_candidate(graph, &cycle, feed)? {
+                    CycleCandidate::NotArbitrage => {}
+                    CycleCandidate::Unpriced => {
+                        stats.cycles_discovered += 1;
+                        stats.cycles_unpriced += 1;
+                    }
+                    CycleCandidate::Ready { loop_, prices } => {
+                        stats.cycles_discovered += 1;
+                        candidates.push((cycle, loop_, prices));
+                    }
                 }
             }
         }
@@ -254,8 +332,47 @@ impl OpportunityPipeline {
             }
         }
 
-        // Ranking: policy score descending, deterministic tie-break on
-        // loop length then token order.
+        self.rank(&mut opportunities);
+
+        Ok(PipelineReport {
+            opportunities,
+            stats,
+        })
+    }
+
+    /// Classifies one cycle for evaluation: the shared discovery step of
+    /// the batch run and the streaming engine, so the arbitrage filter
+    /// (`Σ log p > 0`, with rate errors treated as "not a loop") and
+    /// price resolution can never drift between the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Graph`]/[`EngineError::Strategy`] if the
+    /// cycle's curves or loop cannot be assembled — a structural defect,
+    /// not a market condition.
+    pub(crate) fn prepare_candidate<F: PriceFeed>(
+        &self,
+        graph: &TokenGraph,
+        cycle: &Cycle,
+        feed: &F,
+    ) -> Result<CycleCandidate, EngineError> {
+        let is_loop = cycle.log_rate(graph).unwrap_or(f64::NEG_INFINITY) > 0.0;
+        if !is_loop {
+            return Ok(CycleCandidate::NotArbitrage);
+        }
+        let hops = graph.curves_for(cycle)?;
+        let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec())?;
+        match loop_.resolve_prices(|t| feed.usd_price(t)) {
+            Ok(prices) => Ok(CycleCandidate::Ready { loop_, prices }),
+            Err(_) => Ok(CycleCandidate::Unpriced),
+        }
+    }
+
+    /// Sorts opportunities into execution-priority order (policy score
+    /// descending, deterministic tie-break on loop length, token order,
+    /// then pool order) and applies the `top_k` cut. Shared by the batch
+    /// run and the streaming engine so both rank identically.
+    pub(crate) fn rank(&self, opportunities: &mut Vec<ArbitrageOpportunity>) {
         opportunities.sort_by(|a, b| {
             self.ranking
                 .score(b)
@@ -263,15 +380,11 @@ impl OpportunityPipeline {
                 .expect("ranking scores are finite")
                 .then_with(|| a.hops().cmp(&b.hops()))
                 .then_with(|| a.cycle.tokens().cmp(b.cycle.tokens()))
+                .then_with(|| a.cycle.pools().cmp(b.cycle.pools()))
         });
         if let Some(k) = self.config.top_k {
             opportunities.truncate(k);
         }
-
-        Ok(PipelineReport {
-            opportunities,
-            stats,
-        })
     }
 
     /// Evaluates every strategy on one cycle, returning the best-gross
@@ -282,7 +395,7 @@ impl OpportunityPipeline {
     /// Benign infeasibility (a near-breakeven loop whose interior is too
     /// thin to start the convex solver) is counted and skipped; any other
     /// strategy error indicates a real defect and aborts the run.
-    fn evaluate_cycle(
+    pub(crate) fn evaluate_cycle(
         &self,
         cycle: &Cycle,
         loop_: &ArbLoop,
@@ -456,6 +569,52 @@ mod tests {
         // beats Traditional-from-X on the paper example.
         assert_eq!(opp.strategy, "maxprice");
         assert!(opp.single_entry().is_some());
+    }
+
+    #[test]
+    fn contradictory_config_is_rejected_not_clamped() {
+        let pipeline = OpportunityPipeline::new(PipelineConfig {
+            min_cycle_len: 4,
+            max_cycle_len: 3,
+            ..PipelineConfig::default()
+        });
+        let err = pipeline.run(paper_pools(), &paper_feed()).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("exceeds max_cycle_len"));
+
+        let too_short = PipelineConfig {
+            min_cycle_len: 1,
+            ..PipelineConfig::default()
+        };
+        assert!(too_short.validate().is_err());
+        let bad_cost = PipelineConfig {
+            execution_cost_usd: f64::NAN,
+            ..PipelineConfig::default()
+        };
+        assert!(bad_cost.validate().is_err());
+        let nan_floor = PipelineConfig {
+            min_net_profit_usd: f64::NAN,
+            ..PipelineConfig::default()
+        };
+        assert!(nan_floor.validate().is_err());
+        // +∞ is the "never trade" sentinel and must stay legal.
+        let never_trade = PipelineConfig {
+            min_net_profit_usd: f64::INFINITY,
+            ..PipelineConfig::default()
+        };
+        assert!(never_trade.validate().is_ok());
+        assert!(PipelineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn stats_display_one_liner() {
+        let pipeline = OpportunityPipeline::default();
+        let report = pipeline.run(paper_pools(), &paper_feed()).unwrap();
+        let line = report.stats.to_string();
+        assert!(line.contains("3 tokens"), "{line}");
+        assert!(line.contains("3 pools"), "{line}");
+        assert!(line.contains("1 cycles"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

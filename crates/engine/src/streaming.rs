@@ -1,0 +1,732 @@
+//! The incremental streaming engine: event deltas → dirty cycles → re-rank.
+//!
+//! [`crate::OpportunityPipeline`] is a pure function of a full market
+//! snapshot: every run rebuilds the graph and re-enumerates every cycle.
+//! That is the right shape for cold starts and offline studies, but a live
+//! market tick touches a handful of pools while the universe holds
+//! hundreds — rescanning the world each block does O(universe) work for
+//! O(delta) change.
+//!
+//! [`StreamingEngine`] owns the state the batch pipeline recomputes:
+//!
+//! ```text
+//! events ──▶ delta apply (TokenGraph::apply_sync / add_pool)
+//!    │              │
+//!    │        CycleIndex: PoolId → affected CycleIds  ──▶ dirty set
+//!    │                                                      │
+//!    └── price feed ──▶ re-evaluate ONLY dirty cycles (parallel)
+//!                                   │
+//!                    merge into standing ranked opportunity set
+//! ```
+//!
+//! The work per batch is proportional to the cycles the events touched,
+//! not to the universe; [`StreamStats::evaluations_saved`] counts the
+//! difference. Evaluation, floor filtering, and ranking reuse the exact
+//! pipeline code, so after any event sequence the standing set is
+//! *identical* to a fresh batch run on the resulting state under the same
+//! feed (`tests/streaming_equivalence.rs` enforces this).
+//!
+//! Feed moves are handled symmetrically to reserve moves: every refresh
+//! compares the feed against the per-token prices used last time and
+//! dirties the cycles touching any token whose USD price changed, so the
+//! standing set stays batch-identical even under a drifting CEX feed —
+//! while a universe whose prices *didn't* move pays nothing.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use arb_amm::pool::Pool;
+use arb_cex::feed::PriceFeed;
+use arb_core::loop_def::ArbLoop;
+use arb_dexsim::events::Event;
+use arb_dexsim::units::to_display;
+use arb_graph::{Cycle, CycleId, CycleIndex, SyncOutcome, TokenGraph};
+use rayon::prelude::*;
+
+use crate::error::EngineError;
+use crate::opportunity::ArbitrageOpportunity;
+use crate::pipeline::{CycleCandidate, OpportunityPipeline};
+
+/// Cumulative counters for one streaming engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events consumed (all variants).
+    pub events_applied: usize,
+    /// `Sync` reserve updates applied to the graph.
+    pub syncs_applied: usize,
+    /// Pools added from `PoolCreated` events.
+    pub pools_added: usize,
+    /// Pools retired after degenerate reserves.
+    pub pools_retired: usize,
+    /// Retired pools revived by a later valid `Sync`.
+    pub pools_revived: usize,
+    /// Cycles newly indexed for added/revived pools.
+    pub cycles_added: usize,
+    /// Cycles retired with their pools.
+    pub cycles_retired: usize,
+    /// Cycle-ids marked dirty by events (deduplicated per batch).
+    pub cycles_dirtied: usize,
+    /// Dirty cycles actually re-examined across all refreshes.
+    pub cycles_evaluated: usize,
+    /// Strategy evaluation attempts on dirty profitable cycles.
+    pub strategy_evaluations: usize,
+    /// Live cycles whose standing evaluation was reused instead of being
+    /// recomputed — the per-refresh gap to a full rescan, accumulated.
+    pub evaluations_saved: usize,
+    /// Refresh passes run.
+    pub refreshes: usize,
+}
+
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events ({} syncs), {} cycles dirtied, {} evaluated, \
+             {} evaluations saved over {} refreshes \
+             (+{} pools, -{} pools, {} revived)",
+            self.events_applied,
+            self.syncs_applied,
+            self.cycles_dirtied,
+            self.cycles_evaluated,
+            self.evaluations_saved,
+            self.refreshes,
+            self.pools_added,
+            self.pools_retired,
+            self.pools_revived
+        )
+    }
+}
+
+/// The ranked output of one streaming refresh.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The standing opportunity set in execution-priority order.
+    pub opportunities: Vec<ArbitrageOpportunity>,
+    /// Cumulative engine counters at the time of the refresh.
+    pub stats: StreamStats,
+}
+
+impl StreamReport {
+    /// The best standing opportunity, if any.
+    pub fn best(&self) -> Option<&ArbitrageOpportunity> {
+        self.opportunities.first()
+    }
+}
+
+/// The incremental engine: an owned graph + cycle index + standing
+/// opportunity set, advanced by event batches.
+#[derive(Debug)]
+pub struct StreamingEngine {
+    pipeline: OpportunityPipeline,
+    graph: TokenGraph,
+    index: CycleIndex,
+    dirty: BTreeSet<CycleId>,
+    standing: BTreeMap<CycleId, ArbitrageOpportunity>,
+    /// USD price per token index as of the last refresh (`None` =
+    /// unpriced then). Refreshes diff the feed against this to dirty the
+    /// cycles a price move invalidates.
+    feed_prices: Vec<Option<f64>>,
+    stats: StreamStats,
+}
+
+impl StreamingEngine {
+    /// Builds the engine over an initial pool universe: constructs the
+    /// graph, enumerates the cycle index once, and marks every cycle
+    /// dirty so the first refresh produces the full cold-start ranking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for an invalid pipeline config and
+    /// [`EngineError::Graph`] on graph/index construction failures.
+    pub fn new(pipeline: OpportunityPipeline, pools: Vec<Pool>) -> Result<Self, EngineError> {
+        let graph = TokenGraph::new(pools)?;
+        Self::with_graph(pipeline, graph)
+    }
+
+    /// Builds the engine over an already-constructed graph, which may
+    /// contain retired slots (e.g. a chain mirror where some pools have
+    /// degenerated — they keep their slot for id alignment and revive on
+    /// a later valid `Sync`). Retired pools contribute no cycles.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingEngine::new`].
+    pub fn with_graph(
+        pipeline: OpportunityPipeline,
+        graph: TokenGraph,
+    ) -> Result<Self, EngineError> {
+        let config = *pipeline.config();
+        config.validate()?;
+        let index = CycleIndex::build(&graph, config.min_cycle_len, config.max_cycle_len)?;
+        let dirty: BTreeSet<CycleId> = index.iter_live().map(|(id, _)| id).collect();
+        let stats = StreamStats {
+            cycles_added: dirty.len(),
+            cycles_dirtied: dirty.len(),
+            ..StreamStats::default()
+        };
+        Ok(StreamingEngine {
+            pipeline,
+            graph,
+            index,
+            dirty,
+            standing: BTreeMap::new(),
+            feed_prices: Vec::new(),
+            stats,
+        })
+    }
+
+    /// The engine's current graph view.
+    pub fn graph(&self) -> &TokenGraph {
+        &self.graph
+    }
+
+    /// The persistent cycle index.
+    pub fn index(&self) -> &CycleIndex {
+        &self.index
+    }
+
+    /// The inner pipeline (strategy set, ranking policy, config).
+    pub fn pipeline(&self) -> &OpportunityPipeline {
+        &self.pipeline
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Cycles currently awaiting re-evaluation.
+    pub fn pending_dirty(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Marks every live cycle dirty, forcing the next refresh to
+    /// re-evaluate the full standing set. Feed moves are detected
+    /// automatically per token ([`StreamingEngine::refresh`]); this is
+    /// the blunt escape hatch for anything else (e.g. a strategy whose
+    /// output depends on state outside the graph and feed).
+    pub fn mark_all_dirty(&mut self) {
+        for (id, _) in self.index.iter_live() {
+            if self.dirty.insert(id) {
+                self.stats.cycles_dirtied += 1;
+            }
+        }
+    }
+
+    /// Applies a batch of chain events to the owned graph, marks the
+    /// affected cycles dirty via the index, re-evaluates **only** those,
+    /// and returns the merged standing ranking.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Desync`] — an event references a pool this engine
+    ///   never saw; rebuild from a fresh snapshot.
+    /// * [`EngineError::Graph`] / [`EngineError::Strategy`] — forwarded
+    ///   evaluation failures (benign thin-interior infeasibility is only
+    ///   counted).
+    pub fn apply_events<F: PriceFeed>(
+        &mut self,
+        events: &[Event],
+        feed: &F,
+    ) -> Result<StreamReport, EngineError> {
+        for event in events {
+            self.apply_event(event)?;
+        }
+        self.refresh(feed)
+    }
+
+    /// Re-evaluates the dirty set against `feed` and returns the standing
+    /// ranking. Tokens whose USD price moved since the last refresh dirty
+    /// their cycles first, so standing valuations never go stale under a
+    /// drifting feed. A no-op refresh (nothing dirty, no price moves)
+    /// just re-ranks.
+    ///
+    /// # Errors
+    ///
+    /// Forwards evaluation failures; see [`StreamingEngine::apply_events`].
+    /// A failed refresh leaves the standing ranking and evaluation
+    /// counters untouched and keeps every pending cycle dirty (including
+    /// cycles dirtied by this call's feed diff), so the engine stays
+    /// consistent and the refresh can simply be retried.
+    pub fn refresh<F: PriceFeed>(&mut self, feed: &F) -> Result<StreamReport, EngineError> {
+        self.dirty_feed_moves(feed);
+
+        // Prepare + evaluate without consuming engine state: any `?`
+        // below leaves the dirty set, standing ranking, and evaluation
+        // counters as they were (feed-diffed cycles stay dirty — a
+        // conservative over-approximation a retry re-evaluates).
+        let dirty: Vec<CycleId> = self.dirty.iter().copied().collect();
+        let mut dropped: Vec<CycleId> = Vec::new();
+        let mut candidates: Vec<(CycleId, Cycle, ArbLoop, Vec<f64>)> = Vec::new();
+        for &id in &dirty {
+            let cycle = self
+                .index
+                .get(id)
+                .expect("dirty set only holds live cycles")
+                .clone();
+            // The pipeline's own discovery step: identical arbitrage
+            // filter and price resolution as the batch path.
+            match self.pipeline.prepare_candidate(&self.graph, &cycle, feed)? {
+                CycleCandidate::NotArbitrage | CycleCandidate::Unpriced => dropped.push(id),
+                CycleCandidate::Ready { loop_, prices } => {
+                    candidates.push((id, cycle, loop_, prices));
+                }
+            }
+        }
+
+        // Evaluation: the pipeline's own per-cycle strategy fan-out.
+        let evaluate = |(_, cycle, loop_, prices): &(CycleId, Cycle, ArbLoop, Vec<f64>)| {
+            self.pipeline.evaluate_cycle(cycle, loop_, prices)
+        };
+        let evaluated: Vec<_> = if self.pipeline.config().parallel && candidates.len() > 1 {
+            candidates
+                .par_iter()
+                .map(evaluate)
+                .collect::<Result<_, EngineError>>()?
+        } else {
+            candidates
+                .iter()
+                .map(evaluate)
+                .collect::<Result<_, EngineError>>()?
+        };
+
+        // Commit phase — infallible from here on.
+        self.dirty.clear();
+        self.stats.refreshes += 1;
+        self.stats.cycles_evaluated += dirty.len();
+        self.stats.evaluations_saved += self.index.live_cycles() - dirty.len();
+        for id in dropped {
+            self.standing.remove(&id);
+        }
+        let floor = self.pipeline.config().min_net_profit_usd;
+        for ((id, ..), (opportunity, attempts, _benign)) in candidates.iter().zip(evaluated) {
+            self.stats.strategy_evaluations += attempts;
+            match opportunity {
+                Some(opp) if opp.net_profit.value() >= floor => {
+                    self.standing.insert(*id, opp);
+                }
+                _ => {
+                    self.standing.remove(id);
+                }
+            }
+        }
+
+        Ok(StreamReport {
+            opportunities: self.ranked(),
+            stats: self.stats,
+        })
+    }
+
+    /// The standing opportunity set in execution-priority order (the
+    /// pipeline's ranking policy, tie-breaks, and `top_k` cut).
+    pub fn ranked(&self) -> Vec<ArbitrageOpportunity> {
+        let mut opportunities: Vec<ArbitrageOpportunity> =
+            self.standing.values().cloned().collect();
+        self.pipeline.rank(&mut opportunities);
+        opportunities
+    }
+
+    fn apply_event(&mut self, event: &Event) -> Result<(), EngineError> {
+        self.stats.events_applied += 1;
+        match *event {
+            Event::Sync {
+                pool,
+                reserve_a,
+                reserve_b,
+            } => {
+                if pool.index() >= self.graph.pool_count() {
+                    return Err(EngineError::Desync("Sync for a pool never seen"));
+                }
+                self.stats.syncs_applied += 1;
+                let was_live = self.graph.is_live(pool);
+                match self
+                    .graph
+                    .apply_sync(pool, to_display(reserve_a), to_display(reserve_b))?
+                {
+                    SyncOutcome::Updated => self.mark_pool_dirty(pool),
+                    // `Retired` is idempotent at the graph layer; only a
+                    // live → retired transition has cycles to drop (and
+                    // counts as a retirement).
+                    SyncOutcome::Retired if was_live => self.retire_pool_cycles(pool),
+                    SyncOutcome::Retired => {}
+                    SyncOutcome::Revived => {
+                        self.stats.pools_revived += 1;
+                        self.extend_index(pool)?;
+                    }
+                }
+            }
+            Event::PoolCreated {
+                pool,
+                token_a,
+                token_b,
+                reserve_a,
+                reserve_b,
+                fee,
+            } => {
+                if pool.index() != self.graph.pool_count() {
+                    return Err(EngineError::Desync("PoolCreated out of slot order"));
+                }
+                let analysis = Pool::new(
+                    token_a,
+                    token_b,
+                    to_display(reserve_a),
+                    to_display(reserve_b),
+                    fee,
+                )
+                .map_err(arb_graph::GraphError::from)?;
+                let assigned = self.graph.add_pool(analysis);
+                debug_assert_eq!(assigned, pool);
+                self.stats.pools_added += 1;
+                self.extend_index(pool)?;
+            }
+            Event::Swap { pool, .. } | Event::Mint { pool, .. } | Event::Burn { pool, .. } => {
+                // Reserve changes arrive via the paired `Sync`; these only
+                // pre-mark the pool's cycles (cheap and idempotent).
+                if pool.index() >= self.graph.pool_count() {
+                    return Err(EngineError::Desync("event for a pool never seen"));
+                }
+                self.mark_pool_dirty(pool);
+            }
+            // `Event` is non-exhaustive; unknown variants carry no reserve
+            // deltas this engine understands, so they are counted and
+            // skipped rather than desyncing the stream.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Diffs `feed` against the prices used at the last refresh and marks
+    /// the cycles of every token whose price changed (a cycle visiting a
+    /// token always enters it through one of the token's adjacent pools,
+    /// so the pool posting lists cover it). Bit-level comparison: any
+    /// representable move, however small, re-values its cycles.
+    fn dirty_feed_moves<F: PriceFeed>(&mut self, feed: &F) {
+        let tokens = self.graph.token_count();
+        if self.feed_prices.len() < tokens {
+            self.feed_prices.resize(tokens, None);
+        }
+        let mut moved_pools: Vec<arb_amm::pool::PoolId> = Vec::new();
+        for index in 0..tokens {
+            let token = arb_amm::token::TokenId::new(index as u32);
+            let now = feed.usd_price(token);
+            if self.feed_prices[index].map(f64::to_bits) != now.map(f64::to_bits) {
+                self.feed_prices[index] = now;
+                moved_pools.extend(self.graph.neighbors(token).iter().map(|e| e.pool));
+            }
+        }
+        for pool in moved_pools {
+            self.mark_pool_dirty(pool);
+        }
+    }
+
+    fn mark_pool_dirty(&mut self, pool: arb_amm::pool::PoolId) {
+        for &id in self.index.cycles_for_pool(pool) {
+            if self.dirty.insert(id) {
+                self.stats.cycles_dirtied += 1;
+            }
+        }
+    }
+
+    fn retire_pool_cycles(&mut self, pool: arb_amm::pool::PoolId) {
+        self.stats.pools_retired += 1;
+        for id in self.index.on_pool_removed(pool) {
+            self.dirty.remove(&id);
+            self.standing.remove(&id);
+            self.stats.cycles_retired += 1;
+        }
+    }
+
+    fn extend_index(&mut self, pool: arb_amm::pool::PoolId) -> Result<(), EngineError> {
+        for id in self.index.on_pool_added(&self.graph, pool)? {
+            self.stats.cycles_added += 1;
+            if self.dirty.insert(id) {
+                self.stats.cycles_dirtied += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::PoolId;
+    use arb_amm::token::TokenId;
+    use arb_cex::feed::PriceTable;
+    use arb_dexsim::units::to_raw;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn p(i: u32) -> PoolId {
+        PoolId::new(i)
+    }
+
+    fn paper_pools() -> Vec<Pool> {
+        let fee = FeeRate::UNISWAP_V2;
+        vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ]
+    }
+
+    fn paper_feed() -> PriceTable {
+        [(t(0), 2.0), (t(1), 10.2), (t(2), 20.0)]
+            .into_iter()
+            .collect()
+    }
+
+    fn sync(pool: u32, a: f64, b: f64) -> Event {
+        Event::Sync {
+            pool: p(pool),
+            reserve_a: to_raw(a),
+            reserve_b: to_raw(b),
+        }
+    }
+
+    /// The streaming oracle: after any event batch the ranked set must be
+    /// bit-identical to a fresh batch run on the engine's live pools.
+    fn assert_matches_batch(engine: &StreamingEngine, feed: &PriceTable) {
+        let pools: Vec<Pool> = engine.graph().live_pools().map(|(_, p)| *p).collect();
+        let fresh = OpportunityPipeline::new(*engine.pipeline().config())
+            .run(pools, feed)
+            .unwrap();
+        let streamed = engine.ranked();
+        assert_eq!(streamed.len(), fresh.opportunities.len());
+        for (s, f) in streamed.iter().zip(&fresh.opportunities) {
+            assert_eq!(s.cycle.tokens(), f.cycle.tokens());
+            assert_eq!(s.strategy, f.strategy);
+            assert_eq!(
+                s.gross_profit.value().to_bits(),
+                f.gross_profit.value().to_bits()
+            );
+            assert_eq!(
+                s.net_profit.value().to_bits(),
+                f.net_profit.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn cold_start_equals_batch_run() {
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        let report = engine.refresh(&paper_feed()).unwrap();
+        assert_eq!(report.opportunities.len(), 1);
+        assert_eq!(report.best().unwrap().strategy, "convex");
+        assert_matches_batch(&engine, &paper_feed());
+    }
+
+    #[test]
+    fn sync_dirties_only_affected_cycles() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Two disjoint triangles: 0-1-2 (paper) and 3-4-5 (imbalanced).
+        let mut pools = paper_pools();
+        pools.push(Pool::new(t(3), t(4), 1_000.0, 1_050.0, fee).unwrap());
+        pools.push(Pool::new(t(4), t(5), 1_000.0, 1_000.0, fee).unwrap());
+        pools.push(Pool::new(t(5), t(3), 1_000.0, 1_000.0, fee).unwrap());
+        let mut feed = paper_feed();
+        feed.extend([(t(3), 1.0), (t(4), 1.0), (t(5), 1.0)]);
+
+        let mut engine = StreamingEngine::new(OpportunityPipeline::default(), pools).unwrap();
+        engine.refresh(&feed).unwrap();
+        let evaluated_cold = engine.stats().cycles_evaluated;
+
+        // Perturb one pool of the second triangle: only its two directed
+        // cycles are dirtied, the paper triangle is untouched.
+        let report = engine
+            .apply_events(&[sync(3, 1_000.0, 1_060.0)], &feed)
+            .unwrap();
+        assert_eq!(report.stats.cycles_evaluated - evaluated_cold, 2);
+        assert!(report.stats.evaluations_saved > 0);
+        assert_matches_batch(&engine, &feed);
+    }
+
+    #[test]
+    fn degenerate_sync_retires_then_revives() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine.refresh(&feed).unwrap();
+        assert_eq!(engine.ranked().len(), 1);
+
+        // Draining pool 0 breaks the triangle: no cycles, no standing set.
+        let report = engine
+            .apply_events(
+                &[Event::Sync {
+                    pool: p(0),
+                    reserve_a: 0,
+                    reserve_b: 0,
+                }],
+                &feed,
+            )
+            .unwrap();
+        assert!(report.opportunities.is_empty());
+        assert_eq!(report.stats.pools_retired, 1);
+        assert_eq!(report.stats.cycles_retired, 2);
+        assert_eq!(engine.index().live_cycles(), 0);
+
+        // A second degenerate sync is idempotent: no double retirement.
+        let report = engine
+            .apply_events(
+                &[Event::Sync {
+                    pool: p(0),
+                    reserve_a: 0,
+                    reserve_b: 0,
+                }],
+                &feed,
+            )
+            .unwrap();
+        assert_eq!(report.stats.pools_retired, 1, "{}", report.stats);
+        assert_eq!(report.stats.cycles_retired, 2);
+
+        // Reviving it restores the standing set exactly.
+        let report = engine
+            .apply_events(&[sync(0, 100.0, 200.0)], &feed)
+            .unwrap();
+        assert_eq!(report.opportunities.len(), 1);
+        assert_eq!(report.stats.pools_revived, 1);
+        assert_matches_batch(&engine, &feed);
+    }
+
+    #[test]
+    fn pool_created_extends_the_universe() {
+        let feed = {
+            let mut f = paper_feed();
+            f.set(t(3), 1.0);
+            f
+        };
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine.refresh(&feed).unwrap();
+
+        // A parallel pool on (0,1) at a different price opens 2-cycles and
+        // new triangles.
+        let created = Event::PoolCreated {
+            pool: p(3),
+            token_a: t(0),
+            token_b: t(1),
+            reserve_a: to_raw(150.0),
+            reserve_b: to_raw(250.0),
+            fee: FeeRate::UNISWAP_V2,
+        };
+        let report = engine.apply_events(&[created], &feed).unwrap();
+        assert_eq!(report.stats.pools_added, 1);
+        assert!(report.stats.cycles_added > 0);
+        assert_matches_batch(&engine, &feed);
+    }
+
+    #[test]
+    fn out_of_order_events_desync() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        let err = engine
+            .apply_events(&[sync(9, 1.0, 1.0)], &feed)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Desync(_)), "{err:?}");
+
+        let gap = Event::PoolCreated {
+            pool: p(7),
+            token_a: t(0),
+            token_b: t(3),
+            reserve_a: to_raw(1.0),
+            reserve_b: to_raw(1.0),
+            fee: FeeRate::UNISWAP_V2,
+        };
+        let err = engine.apply_events(&[gap], &feed).unwrap_err();
+        assert!(matches!(err, EngineError::Desync(_)), "{err:?}");
+    }
+
+    #[test]
+    fn floor_and_top_k_match_pipeline_semantics() {
+        let feed = paper_feed();
+        let config = PipelineConfig {
+            min_net_profit_usd: 1_000.0,
+            ..PipelineConfig::default()
+        };
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::new(config), paper_pools()).unwrap();
+        let report = engine.refresh(&feed).unwrap();
+        assert!(report.opportunities.is_empty(), "floored out");
+        assert_matches_batch(&engine, &feed);
+    }
+
+    #[test]
+    fn mark_all_dirty_forces_full_revaluation() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine.refresh(&feed).unwrap();
+        assert_eq!(engine.pending_dirty(), 0);
+        engine.mark_all_dirty();
+        assert_eq!(engine.pending_dirty(), engine.index().live_cycles());
+
+        // A feed move re-values the standing set on the next refresh.
+        let mut moved = feed.clone();
+        moved.set(t(2), 25.0);
+        let report = engine.refresh(&moved).unwrap();
+        assert_matches_batch(&engine, &moved);
+        assert_eq!(report.opportunities.len(), 1);
+    }
+
+    #[test]
+    fn feed_moves_dirty_affected_cycles_automatically() {
+        let fee = FeeRate::UNISWAP_V2;
+        // Two disjoint triangles so a price move on one leaves the other
+        // untouched.
+        let mut pools = paper_pools();
+        pools.push(Pool::new(t(3), t(4), 1_000.0, 1_080.0, fee).unwrap());
+        pools.push(Pool::new(t(4), t(5), 1_000.0, 1_000.0, fee).unwrap());
+        pools.push(Pool::new(t(5), t(3), 1_000.0, 1_000.0, fee).unwrap());
+        let mut feed = paper_feed();
+        feed.extend([(t(3), 1.0), (t(4), 1.0), (t(5), 1.0)]);
+
+        let mut engine = StreamingEngine::new(OpportunityPipeline::default(), pools).unwrap();
+        engine.refresh(&feed).unwrap();
+        let evaluated_cold = engine.stats().cycles_evaluated;
+
+        // No chain events, just a CEX move on token 4: only the second
+        // triangle's two directed cycles re-evaluate, and the standing
+        // set still equals a fresh batch run under the new feed.
+        feed.set(t(4), 1.3);
+        let report = engine.refresh(&feed).unwrap();
+        assert_eq!(report.stats.cycles_evaluated - evaluated_cold, 2);
+        assert_matches_batch(&engine, &feed);
+
+        // A refresh with an unchanged feed re-evaluates nothing.
+        let before = engine.stats().cycles_evaluated;
+        engine.refresh(&feed).unwrap();
+        assert_eq!(engine.stats().cycles_evaluated, before);
+    }
+
+    #[test]
+    fn stream_stats_display_one_liner() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine
+            .apply_events(&[sync(0, 101.0, 199.0)], &feed)
+            .unwrap();
+        let line = engine.stats().to_string();
+        assert!(line.contains("events"), "{line}");
+        assert!(line.contains("evaluations saved"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let config = PipelineConfig {
+            min_cycle_len: 5,
+            max_cycle_len: 3,
+            ..PipelineConfig::default()
+        };
+        let err =
+            StreamingEngine::new(OpportunityPipeline::new(config), paper_pools()).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err:?}");
+    }
+}

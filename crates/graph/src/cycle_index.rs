@@ -1,0 +1,468 @@
+//! A persistent cycle index for incremental discovery.
+//!
+//! Re-enumerating every bounded-length cycle on every market tick is the
+//! dominant cost of a naive scan loop: the DFS is exponential in loop
+//! length while a tick usually touches a handful of pools. The
+//! [`CycleIndex`] pays the enumeration cost **once** and then maintains
+//! two structures:
+//!
+//! * a stable arena of cycles (`CycleId` → [`Cycle`], tombstoned on
+//!   retirement so ids never shift), and
+//! * an inverted index `PoolId → [CycleId]` answering "which cycles does
+//!   this pool participate in?" in O(candidates).
+//!
+//! When a pool's reserves move, only the cycles in its posting list can
+//! change profitability; when a pool appears (or revives), only cycles
+//! *through that pool* are new and a restricted DFS enumerates exactly
+//! those; when a pool degenerates, its posting list names every cycle to
+//! retire. The streaming engine in `arb-engine` drives these hooks from
+//! chain events.
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+
+use crate::cycles::Cycle;
+use crate::error::GraphError;
+use crate::token_graph::TokenGraph;
+
+/// A stable identifier for an indexed cycle. Ids are never reused while
+/// the cycle is live; retired slots may be recycled for later additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CycleId(u32);
+
+impl CycleId {
+    /// The raw slot index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CycleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// The persistent cycle index: every directed simple cycle with
+/// `min_len..=max_len` hops, plus the pool → cycles inverted index.
+#[derive(Debug, Clone)]
+pub struct CycleIndex {
+    min_len: usize,
+    max_len: usize,
+    /// Cycle arena; `None` marks a retired slot.
+    cycles: Vec<Option<Cycle>>,
+    /// Posting lists: pool slot → live cycle ids through that pool.
+    by_pool: Vec<Vec<CycleId>>,
+    /// Retired slots available for reuse.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl CycleIndex {
+    /// Enumerates all cycles of `min_len..=max_len` hops once and builds
+    /// the inverted index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CycleTooShort`] for `min_len < 2` and
+    /// [`GraphError::DisconnectedCycle`] for `min_len > max_len`.
+    pub fn build(graph: &TokenGraph, min_len: usize, max_len: usize) -> Result<Self, GraphError> {
+        if min_len < 2 {
+            return Err(GraphError::CycleTooShort);
+        }
+        if min_len > max_len {
+            return Err(GraphError::DisconnectedCycle);
+        }
+        let mut index = CycleIndex {
+            min_len,
+            max_len,
+            cycles: Vec::new(),
+            by_pool: vec![Vec::new(); graph.pool_count()],
+            free: Vec::new(),
+            live: 0,
+        };
+        for len in min_len..=max_len {
+            for cycle in graph.cycles(len)? {
+                index.insert(cycle);
+            }
+        }
+        Ok(index)
+    }
+
+    /// The configured length bounds `(min_len, max_len)`.
+    pub fn length_bounds(&self) -> (usize, usize) {
+        (self.min_len, self.max_len)
+    }
+
+    /// Number of live cycles.
+    pub fn live_cycles(&self) -> usize {
+        self.live
+    }
+
+    /// The cycle behind `id`, if still live.
+    pub fn get(&self, id: CycleId) -> Option<&Cycle> {
+        self.cycles.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Live cycle ids through `pool` (empty for unknown/edge-less pools).
+    pub fn cycles_for_pool(&self, pool: PoolId) -> &[CycleId] {
+        self.by_pool.get(pool.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// All live cycles with their ids, in slot order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (CycleId, &Cycle)> + '_ {
+        self.cycles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (CycleId(i as u32), c)))
+    }
+
+    /// Extends the index after `pool` appeared (or revived) in `graph`:
+    /// enumerates exactly the cycles through that pool and registers them.
+    /// Returns the newly indexed cycle ids — the caller's dirty set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownReference`] for a pool not in `graph`.
+    pub fn on_pool_added(
+        &mut self,
+        graph: &TokenGraph,
+        pool: PoolId,
+    ) -> Result<Vec<CycleId>, GraphError> {
+        let mut added = Vec::new();
+        for len in self.min_len..=self.max_len {
+            for cycle in cycles_through(graph, pool, len)? {
+                added.push(self.insert(cycle));
+            }
+        }
+        Ok(added)
+    }
+
+    /// Retires every cycle through `pool` (because it degenerated or was
+    /// removed), returning the retired ids so callers can drop any
+    /// standing results keyed on them. Unknown pools retire nothing.
+    pub fn on_pool_removed(&mut self, pool: PoolId) -> Vec<CycleId> {
+        if pool.index() >= self.by_pool.len() {
+            return Vec::new();
+        }
+        let retired = std::mem::take(&mut self.by_pool[pool.index()]);
+        for &id in &retired {
+            let cycle = self.cycles[id.index()]
+                .take()
+                .expect("posting lists only reference live cycles");
+            self.live -= 1;
+            self.free.push(id.0);
+            for &other in cycle.pools() {
+                if other != pool {
+                    self.by_pool[other.index()].retain(|&c| c != id);
+                }
+            }
+        }
+        retired
+    }
+
+    fn insert(&mut self, cycle: Cycle) -> CycleId {
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.cycles[slot as usize] = Some(cycle);
+                CycleId(slot)
+            }
+            None => {
+                self.cycles.push(Some(cycle));
+                CycleId((self.cycles.len() - 1) as u32)
+            }
+        };
+        let cycle = self.cycles[id.index()].as_ref().expect("just inserted");
+        let max_pool = cycle
+            .pools()
+            .iter()
+            .map(|p| p.index() + 1)
+            .max()
+            .unwrap_or(0);
+        if max_pool > self.by_pool.len() {
+            self.by_pool.resize(max_pool, Vec::new());
+        }
+        for &pool in cycle.pools() {
+            self.by_pool[pool.index()].push(id);
+        }
+        self.live += 1;
+        id
+    }
+}
+
+/// Enumerates the directed simple cycles of exactly `length` hops that
+/// traverse `pool`, in the same canonical rotation as
+/// [`crate::cycles::enumerate`] (smallest token id first).
+///
+/// Each directed cycle uses `pool` in exactly one direction (tokens on a
+/// simple cycle are distinct, and a pool joins one pair), so fixing the
+/// first hop to each direction of `pool` in turn enumerates every such
+/// cycle exactly once.
+fn cycles_through(
+    graph: &TokenGraph,
+    pool: PoolId,
+    length: usize,
+) -> Result<Vec<Cycle>, GraphError> {
+    if length < 2 {
+        return Err(GraphError::CycleTooShort);
+    }
+    let p = graph.pool(pool)?;
+    let mut out = Vec::new();
+    for (a, b) in [(p.token_a(), p.token_b()), (p.token_b(), p.token_a())] {
+        if length == 2 {
+            // Close straight back through any *other* parallel pool.
+            for edge in graph.neighbors(b) {
+                if edge.to == a && edge.pool != pool {
+                    out.push(canonical(vec![a, b], vec![pool, edge.pool]));
+                }
+            }
+            continue;
+        }
+        let mut visited = vec![false; graph.token_count()];
+        visited[a.index()] = true;
+        visited[b.index()] = true;
+        let mut tokens = vec![a, b];
+        let mut pools = vec![pool];
+        path_dfs(
+            graph,
+            a,
+            length,
+            &mut tokens,
+            &mut pools,
+            &mut visited,
+            &mut out,
+        );
+    }
+    Ok(out)
+}
+
+/// DFS over simple paths extending `tokens` (first hop already fixed)
+/// until `length` tokens are placed, then closes each path back to `home`.
+/// The closing hop cannot collide with an interior pool: every interior
+/// pool joins a token pair that includes neither endpoint pair again.
+#[allow(clippy::too_many_arguments)]
+fn path_dfs(
+    graph: &TokenGraph,
+    home: TokenId,
+    length: usize,
+    tokens: &mut Vec<TokenId>,
+    pools: &mut Vec<PoolId>,
+    visited: &mut [bool],
+    out: &mut Vec<Cycle>,
+) {
+    let current = *tokens.last().expect("path never empty");
+    if tokens.len() == length {
+        for edge in graph.neighbors(current) {
+            if edge.to == home {
+                let mut closed = pools.clone();
+                closed.push(edge.pool);
+                out.push(canonical(tokens.clone(), closed));
+            }
+        }
+        return;
+    }
+    for edge in graph.neighbors(current) {
+        if visited[edge.to.index()] {
+            continue;
+        }
+        visited[edge.to.index()] = true;
+        tokens.push(edge.to);
+        pools.push(edge.pool);
+        path_dfs(graph, home, length, tokens, pools, visited, out);
+        tokens.pop();
+        pools.pop();
+        visited[edge.to.index()] = false;
+    }
+}
+
+/// Rotates a directed cycle into the canonical form used by the bulk
+/// enumerator: the smallest token id comes first.
+fn canonical(tokens: Vec<TokenId>, pools: Vec<PoolId>) -> Cycle {
+    let offset = tokens
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| **t)
+        .map(|(i, _)| i)
+        .expect("cycles are non-empty");
+    Cycle::new(tokens, pools)
+        .expect("aligned sequences")
+        .rotated(offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::Pool;
+    use std::collections::HashSet;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn p(i: u32) -> PoolId {
+        PoolId::new(i)
+    }
+
+    fn diamond() -> TokenGraph {
+        let fee = FeeRate::UNISWAP_V2;
+        // 4-cycle 0-1-2-3 plus diagonal 0-2: four triangles' worth of
+        // directed 3-cycles (2 undirected × 2 directions) and two 4-cycles.
+        TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 10.0, 11.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 10.0, 12.0, fee).unwrap(),
+            Pool::new(t(2), t(3), 10.0, 13.0, fee).unwrap(),
+            Pool::new(t(3), t(0), 10.0, 14.0, fee).unwrap(),
+            Pool::new(t(0), t(2), 10.0, 15.0, fee).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// The index must always equal a from-scratch enumeration on the
+    /// current graph — the invariant every incremental hook preserves.
+    fn assert_matches_full_enumeration(index: &CycleIndex, graph: &TokenGraph) {
+        let (min_len, max_len) = index.length_bounds();
+        let mut expected = HashSet::new();
+        for len in min_len..=max_len {
+            expected.extend(graph.cycles(len).unwrap());
+        }
+        let actual: HashSet<Cycle> = index.iter_live().map(|(_, c)| c.clone()).collect();
+        assert_eq!(actual, expected);
+        assert_eq!(index.live_cycles(), expected.len());
+    }
+
+    #[test]
+    fn build_matches_bulk_enumeration() {
+        let g = diamond();
+        let index = CycleIndex::build(&g, 2, 4).unwrap();
+        assert_matches_full_enumeration(&index, &g);
+        // 4 directed triangles + 2 directed squares, no 2-cycles.
+        assert_eq!(index.live_cycles(), 6);
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        let g = diamond();
+        assert_eq!(
+            CycleIndex::build(&g, 1, 3).unwrap_err(),
+            GraphError::CycleTooShort
+        );
+        assert_eq!(
+            CycleIndex::build(&g, 4, 3).unwrap_err(),
+            GraphError::DisconnectedCycle
+        );
+    }
+
+    #[test]
+    fn posting_lists_cover_every_cycle_hop() {
+        let g = diamond();
+        let index = CycleIndex::build(&g, 3, 4).unwrap();
+        for (id, cycle) in index.iter_live() {
+            for pool in cycle.pools() {
+                assert!(
+                    index.cycles_for_pool(*pool).contains(&id),
+                    "cycle {id} missing from posting list of {pool}"
+                );
+            }
+        }
+        // The diagonal 0-2 participates in all four directed triangles.
+        assert_eq!(index.cycles_for_pool(p(4)).len(), 4);
+    }
+
+    #[test]
+    fn pool_removal_retires_exactly_its_cycles() {
+        let g = diamond();
+        let mut index = CycleIndex::build(&g, 3, 4).unwrap();
+        let mut graph = g.clone();
+        graph.remove_pool(p(4)).unwrap();
+        let retired = index.on_pool_removed(p(4));
+        assert_eq!(retired.len(), 4, "all four triangles used the diagonal");
+        assert_matches_full_enumeration(&index, &graph);
+        assert_eq!(index.live_cycles(), 2, "the two squares survive");
+        assert!(index.cycles_for_pool(p(4)).is_empty());
+        for id in retired {
+            assert!(index.get(id).is_none());
+        }
+    }
+
+    #[test]
+    fn pool_addition_extends_incrementally() {
+        let fee = FeeRate::UNISWAP_V2;
+        let mut graph = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 10.0, 11.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 10.0, 12.0, fee).unwrap(),
+            Pool::new(t(2), t(3), 10.0, 13.0, fee).unwrap(),
+            Pool::new(t(3), t(0), 10.0, 14.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let mut index = CycleIndex::build(&graph, 2, 4).unwrap();
+        assert_eq!(index.live_cycles(), 2, "just the two directed squares");
+
+        // Adding the diagonal creates the four directed triangles.
+        let id = graph.add_pool(Pool::new(t(0), t(2), 10.0, 15.0, fee).unwrap());
+        let added = index.on_pool_added(&graph, id).unwrap();
+        assert_eq!(added.len(), 4);
+        assert_matches_full_enumeration(&index, &graph);
+
+        // A parallel pool on (0,1) creates two 2-cycles, replacement
+        // triangles/squares, and more triangles via the diagonal.
+        let id2 = graph.add_pool(Pool::new(t(0), t(1), 20.0, 21.0, fee).unwrap());
+        index.on_pool_added(&graph, id2).unwrap();
+        assert_matches_full_enumeration(&index, &graph);
+    }
+
+    #[test]
+    fn retire_then_revive_round_trips() {
+        let g = diamond();
+        let mut graph = g.clone();
+        let mut index = CycleIndex::build(&graph, 2, 4).unwrap();
+        let before: HashSet<Cycle> = index.iter_live().map(|(_, c)| c.clone()).collect();
+
+        graph.remove_pool(p(1)).unwrap();
+        index.on_pool_removed(p(1));
+        assert_matches_full_enumeration(&index, &graph);
+
+        // Revive with the same reserves: the cycle *set* must round-trip
+        // (ids may differ — slots are recycled).
+        assert_eq!(
+            graph.apply_sync(p(1), 10.0, 12.0).unwrap(),
+            crate::token_graph::SyncOutcome::Revived
+        );
+        index.on_pool_added(&graph, p(1)).unwrap();
+        assert_matches_full_enumeration(&index, &graph);
+        let after: HashSet<Cycle> = index.iter_live().map(|(_, c)| c.clone()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn through_pool_enumeration_matches_filtered_bulk() {
+        let g = diamond();
+        for length in 2..=4 {
+            for pool_index in 0..g.pool_count() as u32 {
+                let through: HashSet<Cycle> = cycles_through(&g, p(pool_index), length)
+                    .unwrap()
+                    .into_iter()
+                    .collect();
+                let filtered: HashSet<Cycle> = g
+                    .cycles(length)
+                    .unwrap()
+                    .into_iter()
+                    .filter(|c| c.pools().contains(&p(pool_index)))
+                    .collect();
+                assert_eq!(through, filtered, "pool {pool_index} length {length}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_pool_is_safe() {
+        let g = diamond();
+        let mut index = CycleIndex::build(&g, 3, 3).unwrap();
+        assert!(index.cycles_for_pool(p(99)).is_empty());
+        assert!(index.on_pool_removed(p(99)).is_empty());
+        assert_eq!(
+            index.on_pool_added(&g, p(99)).unwrap_err(),
+            GraphError::UnknownReference
+        );
+    }
+}

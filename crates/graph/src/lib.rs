@@ -38,12 +38,14 @@
 //! ```
 
 pub mod bellman_ford;
+pub mod cycle_index;
 pub mod cycles;
 pub mod error;
 pub mod johnson;
 pub mod tarjan;
 pub mod token_graph;
 
+pub use cycle_index::{CycleId, CycleIndex};
 pub use cycles::Cycle;
 pub use error::GraphError;
-pub use token_graph::TokenGraph;
+pub use token_graph::{SyncOutcome, TokenGraph};

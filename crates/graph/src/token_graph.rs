@@ -16,16 +16,42 @@ pub struct EdgeRef {
     pub pool: PoolId,
 }
 
+/// The outcome of applying a `Sync`-style reserve update to a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The pool was live and its reserves were replaced in place.
+    Updated,
+    /// The new reserves are degenerate (non-positive or non-finite); the
+    /// pool was retired from the adjacency structure. Idempotent: syncing
+    /// an already-retired pool with degenerate reserves reports `Retired`
+    /// again.
+    Retired,
+    /// The pool was retired and valid reserves brought it back; its edges
+    /// were re-added.
+    Revived,
+}
+
 /// The token exchange graph: nodes are tokens, edges are pools.
 ///
 /// Parallel pools between the same token pair are preserved as distinct
 /// edges (a real feature of Uniswap-style DEX state: the paper's snapshot
 /// has 208 pools over 51 tokens).
+///
+/// The graph is updatable in place: [`TokenGraph::apply_sync`] replaces a
+/// pool's reserves (retiring it if they degenerate),
+/// [`TokenGraph::add_pool`] appends a new pool edge, and
+/// [`TokenGraph::remove_pool`] retires one. Pool ids are stable across all
+/// mutations — a retired pool keeps its slot (and its last valid state)
+/// so external id spaces (a chain's pool registry) stay aligned.
 #[derive(Debug, Clone)]
 pub struct TokenGraph {
     pools: Vec<Pool>,
+    /// `live[i]` is false when pool `i` has been retired (degenerate
+    /// reserves or explicit removal); its edges are absent from
+    /// `adjacency` but its slot and last valid state are kept.
+    live: Vec<bool>,
     adjacency: Vec<Vec<EdgeRef>>,
-    token_count: usize,
+    live_count: usize,
 }
 
 impl TokenGraph {
@@ -56,26 +82,144 @@ impl TokenGraph {
                 pool: id,
             });
         }
+        let live_count = pools.len();
         Ok(TokenGraph {
+            live: vec![true; live_count],
             pools,
             adjacency,
-            token_count,
+            live_count,
         })
     }
 
     /// Number of token nodes (including isolated indices below the max id).
     pub fn token_count(&self) -> usize {
-        self.token_count
+        self.adjacency.len()
     }
 
-    /// Number of pool edges.
+    /// Number of pool slots (live and retired), i.e. `1 + max(PoolId)`.
     pub fn pool_count(&self) -> usize {
         self.pools.len()
     }
 
-    /// All pools, indexable by [`PoolId::index`].
+    /// Number of live (non-retired) pools.
+    pub fn live_pool_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// All pool slots, indexable by [`PoolId::index`]. Retired pools are
+    /// still present (holding their last valid state); check
+    /// [`TokenGraph::is_live`] or iterate [`TokenGraph::live_pools`] when
+    /// only active liquidity matters.
     pub fn pools(&self) -> &[Pool] {
         &self.pools
+    }
+
+    /// Whether `id` refers to a live (non-retired) pool.
+    pub fn is_live(&self, id: PoolId) -> bool {
+        self.live.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// The live pools with their ids, in slot order.
+    pub fn live_pools(&self) -> impl Iterator<Item = (PoolId, &Pool)> + '_ {
+        self.pools
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.live[*i])
+            .map(|(i, p)| (PoolId::new(i as u32), p))
+    }
+
+    /// Appends a pool as a new edge, growing the token range if needed.
+    /// Returns the id assigned (always the next slot).
+    pub fn add_pool(&mut self, pool: Pool) -> PoolId {
+        let id = PoolId::new(self.pools.len() as u32);
+        let needed = pool.token_a().index().max(pool.token_b().index()) + 1;
+        if needed > self.adjacency.len() {
+            self.adjacency.resize(needed, Vec::new());
+        }
+        self.add_edges(id, &pool);
+        self.pools.push(pool);
+        self.live.push(true);
+        self.live_count += 1;
+        id
+    }
+
+    /// Retires a pool: its edges leave the adjacency structure (so no new
+    /// cycles traverse it) but its slot is kept for id stability.
+    /// Retiring an already-retired pool is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownReference`] for an out-of-range id.
+    pub fn remove_pool(&mut self, id: PoolId) -> Result<(), GraphError> {
+        if id.index() >= self.pools.len() {
+            return Err(GraphError::UnknownReference);
+        }
+        if self.live[id.index()] {
+            self.remove_edges(id);
+            self.live[id.index()] = false;
+            self.live_count -= 1;
+        }
+        Ok(())
+    }
+
+    /// Applies a Uniswap-style `Sync`: replaces the pool's reserves in
+    /// place. Degenerate reserves (non-positive or non-finite) retire the
+    /// pool instead of failing the stream; valid reserves on a retired
+    /// pool revive it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownReference`] for an out-of-range id.
+    pub fn apply_sync(
+        &mut self,
+        id: PoolId,
+        reserve_a: f64,
+        reserve_b: f64,
+    ) -> Result<SyncOutcome, GraphError> {
+        let index = id.index();
+        if index >= self.pools.len() {
+            return Err(GraphError::UnknownReference);
+        }
+        let was_live = self.live[index];
+        match self.pools[index].set_reserves(reserve_a, reserve_b) {
+            Ok(()) => {
+                if was_live {
+                    Ok(SyncOutcome::Updated)
+                } else {
+                    let pool = self.pools[index];
+                    self.add_edges(id, &pool);
+                    self.live[index] = true;
+                    self.live_count += 1;
+                    Ok(SyncOutcome::Revived)
+                }
+            }
+            Err(_) => {
+                if was_live {
+                    self.remove_edges(id);
+                    self.live[index] = false;
+                    self.live_count -= 1;
+                }
+                Ok(SyncOutcome::Retired)
+            }
+        }
+    }
+
+    fn add_edges(&mut self, id: PoolId, pool: &Pool) {
+        self.adjacency[pool.token_a().index()].push(EdgeRef {
+            to: pool.token_b(),
+            pool: id,
+        });
+        self.adjacency[pool.token_b().index()].push(EdgeRef {
+            to: pool.token_a(),
+            pool: id,
+        });
+    }
+
+    fn remove_edges(&mut self, id: PoolId) {
+        let pool = self.pools[id.index()];
+        for token in [pool.token_a(), pool.token_b()] {
+            self.adjacency[token.index()].retain(|e| e.pool != id);
+        }
     }
 
     /// The pool behind `id`.
@@ -211,6 +355,67 @@ mod tests {
         let g = triangle();
         assert_eq!(
             g.curve(PoolId::new(99), t(0)).unwrap_err(),
+            GraphError::UnknownReference
+        );
+    }
+
+    #[test]
+    fn apply_sync_updates_in_place() {
+        let mut g = triangle();
+        assert_eq!(
+            g.apply_sync(PoolId::new(0), 150.0, 250.0).unwrap(),
+            SyncOutcome::Updated
+        );
+        assert_eq!(g.pool(PoolId::new(0)).unwrap().reserve_a(), 150.0);
+        assert_eq!(g.live_pool_count(), 3);
+    }
+
+    #[test]
+    fn degenerate_sync_retires_and_valid_sync_revives() {
+        let mut g = triangle();
+        assert_eq!(
+            g.apply_sync(PoolId::new(1), 0.0, 10.0).unwrap(),
+            SyncOutcome::Retired
+        );
+        assert!(!g.is_live(PoolId::new(1)));
+        assert_eq!(g.live_pool_count(), 2);
+        assert_eq!(g.neighbors(t(1)).len(), 1, "edge to pool 1 removed");
+        // Retired slots keep id stability and the last valid state.
+        assert_eq!(g.pool_count(), 3);
+        assert_eq!(g.pool(PoolId::new(1)).unwrap().reserve_a(), 300.0);
+        // Idempotent while degenerate.
+        assert_eq!(
+            g.apply_sync(PoolId::new(1), f64::NAN, 10.0).unwrap(),
+            SyncOutcome::Retired
+        );
+        // Valid reserves bring it back.
+        assert_eq!(
+            g.apply_sync(PoolId::new(1), 310.0, 190.0).unwrap(),
+            SyncOutcome::Revived
+        );
+        assert!(g.is_live(PoolId::new(1)));
+        assert_eq!(g.neighbors(t(1)).len(), 2);
+        assert_eq!(g.cycles(3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn add_and_remove_pool_keep_ids_stable() {
+        let fee = FeeRate::UNISWAP_V2;
+        let mut g = triangle();
+        let id = g.add_pool(Pool::new(t(0), t(3), 10.0, 10.0, fee).unwrap());
+        assert_eq!(id, PoolId::new(3));
+        assert_eq!(g.token_count(), 4);
+        assert_eq!(g.live_pool_count(), 4);
+        g.remove_pool(PoolId::new(0)).unwrap();
+        assert_eq!(g.live_pool_count(), 3);
+        assert!(!g.is_live(PoolId::new(0)));
+        // The triangle is broken without pool 0.
+        assert!(g.cycles(3).unwrap().is_empty());
+        // Ids of the survivors are unchanged.
+        let live: Vec<PoolId> = g.live_pools().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![PoolId::new(1), PoolId::new(2), PoolId::new(3)]);
+        assert_eq!(
+            g.remove_pool(PoolId::new(9)).unwrap_err(),
             GraphError::UnknownReference
         );
     }

@@ -75,6 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::sync::Arc::new(arbloops::strategies::MaxMax::default()) as _,
     ]);
     let report = pipeline.run_graph(&graph, &feed)?;
+    println!("engine stats: {}", report.stats);
     let opp = report.best().expect("arbitrage exists");
     let (start, input) = opp.single_entry().expect("maxmax funds one rotation");
     println!(

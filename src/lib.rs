@@ -66,7 +66,7 @@ pub mod prelude {
     };
     pub use arb_bot::{
         sim::{MarketSim, MarketSimConfig},
-        ArbBot, BotConfig, StrategyChoice,
+        ArbBot, BotConfig, ScanMode, StrategyChoice,
     };
     pub use arb_cex::feed::{PriceFeed, PriceTable};
     pub use arb_convex::{Formulation, LoopPlan, LoopProblem, SolverOptions};
@@ -80,15 +80,16 @@ pub mod prelude {
         Strategy, StrategyError, StrategyOutcome,
     };
     pub use arb_dexsim::{
-        chain::Chain,
+        chain::{Chain, EventCursor},
+        events::Event,
         tx::{BundleStep, Transaction},
         units::{to_display, to_raw},
     };
     pub use arb_engine::{
         ArbitrageOpportunity, EngineError, OpportunityPipeline, PipelineConfig, PipelineReport,
-        RankingPolicy,
+        RankingPolicy, StreamReport, StreamStats, StreamingEngine,
     };
-    pub use arb_graph::{Cycle, TokenGraph};
+    pub use arb_graph::{Cycle, CycleId, CycleIndex, SyncOutcome, TokenGraph};
     pub use arb_snapshot::{Generator, Snapshot, SnapshotConfig};
 }
 

@@ -1,0 +1,232 @@
+//! Sharded-runtime soak: multi-domain scale-out vs the single engine.
+//!
+//! The workload is the catalog's `whale-bursts` entry at 600 pools across
+//! 4 execution domains — the ≥600-pool / 4-shard operating point the
+//! roadmap's scale work targets. Two consumers replay the identical
+//! seeded tick stream:
+//!
+//! * **single**: one `StreamingEngine` owning the whole universe (the
+//!   PR-2 path);
+//! * **sharded**: a `ShardedRuntime` with one engine per domain on the
+//!   worker pool, merged per tick.
+//!
+//! Besides wall-clock numbers, the harness runs a soak pass that replays
+//! the full stream through both paths, asserts the final rankings are
+//! bit-identical, and prints a JSON line with per-shard evaluation
+//! counts, merge latency, and end-to-end tick times for the
+//! `BENCH_sharded.json` trend artifact. On machines with ≥ 4 cores the
+//! pass **asserts** the sharded path clears 2× the single-engine tick
+//! throughput; on smaller machines (where a 4-shard worker pool cannot
+//! physically beat one core) the speedup is reported but not gated.
+
+use arb_engine::{
+    ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, ShardedRuntime, StreamingEngine,
+};
+use arb_workloads::{find, Scenario, ScenarioConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+const POOLS: usize = 600;
+const TOKENS: usize = 240;
+const DOMAINS: usize = 4;
+const SHARDS: usize = 4;
+const TICKS: usize = 48;
+
+fn scenario() -> Scenario {
+    find("whale-bursts")
+        .expect("whale-bursts in catalog")
+        .scenario(&ScenarioConfig {
+            seed: 9_001,
+            domains: DOMAINS,
+            num_tokens: TOKENS,
+            num_pools: POOLS,
+            ticks: TICKS,
+            intensity: 2.0,
+        })
+        .expect("soak scenario generates")
+}
+
+/// The per-engine configuration both paths share: execute the best
+/// handful per tick (`top_k` is also where the runtime's cached per-shard
+/// rankings pay off — unchanged shards re-rank nothing), and **serial**
+/// per-engine evaluation so the comparison isolates the sharding
+/// architecture: the sharded path's parallelism comes from one worker per
+/// shard, not from nested fan-out inside each engine. The single engine's
+/// own intra-engine parallel fan-out is reported separately as
+/// `single_parallel_*` for reference (it parallelizes only the strategy
+/// evaluations; candidate preparation, standing-set maintenance, and
+/// ranking stay serial, which is exactly the work sharding distributes).
+fn config(parallel: bool) -> PipelineConfig {
+    PipelineConfig {
+        top_k: Some(16),
+        parallel,
+        ..PipelineConfig::default()
+    }
+}
+
+fn pipeline() -> OpportunityPipeline {
+    OpportunityPipeline::new(config(false))
+}
+
+/// Wall-clock timing for one tick reaction, cycling through the scenario
+/// (whale-bursts emits only absolute `Sync`s and absolute feed moves, so
+/// replaying the stream is state-safe).
+fn bench_tick_reaction(c: &mut Criterion) {
+    let scenario = scenario();
+    let mut group = c.benchmark_group("sharded_soak/tick");
+    group.sample_size(10);
+
+    let mut feed = scenario.feed.clone();
+    let mut single = StreamingEngine::new(pipeline(), scenario.pools.clone()).expect("engine");
+    single.refresh(&feed).expect("cold start");
+    let mut tick = 0usize;
+    group.bench_with_input(BenchmarkId::new("single_engine", POOLS), &(), |b, ()| {
+        b.iter(|| {
+            let batch = &scenario.ticks[tick % TICKS];
+            tick += 1;
+            batch.apply_feed(&mut feed);
+            black_box(
+                single
+                    .apply_events(&batch.events, &feed)
+                    .unwrap()
+                    .opportunities
+                    .len(),
+            )
+        })
+    });
+
+    let mut feed = scenario.feed.clone();
+    let mut runtime =
+        ShardedRuntime::new(pipeline(), scenario.pools.clone(), SHARDS).expect("runtime");
+    runtime.refresh(&feed).expect("cold start");
+    let mut tick = 0usize;
+    group.bench_with_input(BenchmarkId::new("sharded_runtime", POOLS), &(), |b, ()| {
+        b.iter(|| {
+            let batch = &scenario.ticks[tick % TICKS];
+            tick += 1;
+            batch.apply_feed(&mut feed);
+            black_box(
+                runtime
+                    .apply_events(&batch.events, &feed)
+                    .unwrap()
+                    .opportunities
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn assert_identical(merged: &[ArbitrageOpportunity], expected: &[ArbitrageOpportunity]) {
+    assert_eq!(merged.len(), expected.len(), "ranking sizes diverged");
+    for (m, e) in merged.iter().zip(expected) {
+        assert_eq!(m.cycle.tokens(), e.cycle.tokens());
+        assert_eq!(m.cycle.pools(), e.cycle.pools());
+        assert_eq!(m.strategy, e.strategy);
+        assert_eq!(
+            m.net_profit.value().to_bits(),
+            e.net_profit.value().to_bits()
+        );
+    }
+}
+
+/// The asserted soak pass: full replay through both paths, equivalence
+/// check, JSON counters, and the ≥2× throughput gate on ≥4-core hosts.
+/// Replays the full stream through one `StreamingEngine` under `config`,
+/// returning (total ns, final ranking).
+fn replay_single(scenario: &Scenario, config: PipelineConfig) -> (u64, Vec<ArbitrageOpportunity>) {
+    let mut feed = scenario.feed.clone();
+    let mut single = StreamingEngine::new(OpportunityPipeline::new(config), scenario.pools.clone())
+        .expect("engine");
+    single.refresh(&feed).expect("cold start");
+    let start = Instant::now();
+    let mut last = Vec::new();
+    for batch in &scenario.ticks {
+        batch.apply_feed(&mut feed);
+        last = single
+            .apply_events(&batch.events, &feed)
+            .expect("single tick")
+            .opportunities;
+    }
+    (start.elapsed().as_nanos() as u64, last)
+}
+
+fn soak_replay_and_counters(_c: &mut Criterion) {
+    let scenario = scenario();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let (single_total_ns, last_single) = replay_single(&scenario, config(false));
+    let (single_parallel_ns, last_parallel) = replay_single(&scenario, config(true));
+    assert_identical(&last_parallel, &last_single);
+
+    let mut feed = scenario.feed.clone();
+    let mut runtime =
+        ShardedRuntime::new(pipeline(), scenario.pools.clone(), SHARDS).expect("runtime");
+    assert_eq!(runtime.shard_count(), SHARDS, "4 domains must shard 4-way");
+    runtime.refresh(&feed).expect("cold start");
+    let sharded_start = Instant::now();
+    let mut last_sharded = Vec::new();
+    for batch in &scenario.ticks {
+        batch.apply_feed(&mut feed);
+        last_sharded = runtime
+            .apply_events(&batch.events, &feed)
+            .expect("sharded tick")
+            .opportunities;
+    }
+    let sharded_total_ns = sharded_start.elapsed().as_nanos() as u64;
+
+    assert_identical(&last_sharded, &last_single);
+
+    let stats = *runtime.stats();
+    let per_shard_evaluations: Vec<usize> = runtime
+        .shard_stats()
+        .iter()
+        .map(|s| s.cycles_evaluated)
+        .collect();
+    let speedup = single_total_ns as f64 / sharded_total_ns.max(1) as f64;
+    let merge_ns_avg = stats.total_merge_nanos / stats.ticks.max(1) as u64;
+    println!(
+        "{{\"bench\":\"sharded_soak\",\"pools\":{},\"shards\":{},\"cores\":{},\
+         \"ticks\":{},\"live_cycles\":{},\"single_total_ns\":{},\
+         \"single_parallel_total_ns\":{},\
+         \"sharded_total_ns\":{},\"single_tick_ns\":{},\"sharded_tick_ns\":{},\
+         \"speedup\":{:.3},\"per_shard_evaluations\":{:?},\
+         \"merge_ns_avg\":{},\"merge_cache_hits\":{},\"rebuilds\":{},\
+         \"throughput_gate\":\"{}\"}}",
+        POOLS,
+        SHARDS,
+        cores,
+        TICKS,
+        runtime.live_cycles(),
+        single_total_ns,
+        single_parallel_ns,
+        sharded_total_ns,
+        single_total_ns / TICKS as u64,
+        sharded_total_ns / TICKS as u64,
+        speedup,
+        per_shard_evaluations,
+        merge_ns_avg,
+        stats.merge_cache_hits,
+        stats.rebuilds,
+        if cores >= 4 {
+            "asserted>=2x"
+        } else {
+            "reported-only(<4 cores)"
+        },
+    );
+
+    assert!(
+        per_shard_evaluations.iter().all(|&n| n > 0),
+        "every shard must have done real evaluation work: {per_shard_evaluations:?}"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "sharded runtime must clear 2x single-engine tick throughput \
+             on a >=4-core host, measured {speedup:.3}x"
+        );
+    }
+}
+
+criterion_group!(benches, bench_tick_reaction, soak_replay_and_counters);
+criterion_main!(benches);

@@ -9,8 +9,8 @@ use arb_dexsim::chain::{Chain, EventCursor};
 use arb_dexsim::state::AccountId;
 use arb_dexsim::tx::Transaction;
 use arb_engine::{
-    ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, SharedStrategy, StreamStats,
-    StreamingEngine,
+    ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, RuntimeStats, ShardedRuntime,
+    SharedStrategy, StreamStats, StreamingEngine,
 };
 
 use crate::config::{BotConfig, ScanMode, StrategyChoice};
@@ -63,6 +63,14 @@ struct StreamState {
     cursor: EventCursor,
 }
 
+/// The bot's sharded view: a multi-engine runtime plus its position in
+/// the chain's event log.
+#[derive(Debug)]
+struct ShardedState {
+    runtime: ShardedRuntime,
+    cursor: EventCursor,
+}
+
 /// The arbitrage bot: owns an account, a configuration, and the engine
 /// pipeline built from it. In [`ScanMode::Streaming`] it also owns a
 /// [`StreamingEngine`] kept in sync with the chain's event stream.
@@ -72,6 +80,7 @@ pub struct ArbBot {
     config: BotConfig,
     pipeline: OpportunityPipeline,
     stream: Option<StreamState>,
+    sharded: Option<ShardedState>,
 }
 
 impl Clone for ArbBot {
@@ -83,6 +92,7 @@ impl Clone for ArbBot {
             config: self.config,
             pipeline: pipeline_for(&self.config),
             stream: None,
+            sharded: None,
         }
     }
 }
@@ -95,6 +105,7 @@ impl ArbBot {
             pipeline: pipeline_for(&config),
             config,
             stream: None,
+            sharded: None,
         }
     }
 
@@ -114,6 +125,17 @@ impl ArbBot {
         self.stream.as_ref().map(|s| s.engine.stats())
     }
 
+    /// Sharded-runtime counters, once the sharded view is live (`None`
+    /// outside [`ScanMode::Sharded`] and before the first sharded step).
+    pub fn runtime_stats(&self) -> Option<&RuntimeStats> {
+        self.sharded.as_ref().map(|s| s.runtime.stats())
+    }
+
+    /// Realized shard count of the live sharded view, if any.
+    pub fn shard_count(&self) -> Option<usize> {
+        self.sharded.as_ref().map(|s| s.runtime.shard_count())
+    }
+
     /// One decision step: bring the market view current (incrementally in
     /// [`ScanMode::Streaming`], by full rescan in [`ScanMode::Batch`]) and
     /// submit a flash bundle for the best executable opportunity.
@@ -124,7 +146,7 @@ impl ArbBot {
     ///
     /// Fails on discovery errors, not on unprofitable markets (those
     /// yield [`BotAction::Idle`]).
-    pub fn step<F: PriceFeed>(
+    pub fn step<F: PriceFeed + Sync>(
         &mut self,
         chain: &mut Chain,
         feed: &F,
@@ -132,6 +154,7 @@ impl ArbBot {
         let opportunities = match self.config.mode {
             ScanMode::Batch => scanner::discover(chain, &self.pipeline, feed)?.opportunities,
             ScanMode::Streaming => self.streaming_opportunities(chain, feed)?,
+            ScanMode::Sharded => self.sharded_opportunities(chain, feed)?,
         };
         for opportunity in &opportunities {
             let steps = execution::opportunity_bundle(chain, opportunity)?;
@@ -187,6 +210,44 @@ impl ArbBot {
             .map_err(BotError::from)?;
         Ok(StreamState {
             engine,
+            cursor: chain.subscribe(),
+        })
+    }
+
+    /// The sharded path: drain new chain events into the multi-engine
+    /// runtime and return the merged global ranking. Cold start and
+    /// desync fallback mirror [`ArbBot::streaming_opportunities`].
+    fn sharded_opportunities<F: PriceFeed + Sync>(
+        &mut self,
+        chain: &Chain,
+        feed: &F,
+    ) -> Result<Vec<ArbitrageOpportunity>, BotError> {
+        if self.sharded.is_none() {
+            self.sharded = Some(self.build_sharded(chain)?);
+        }
+        let state = self.sharded.as_mut().expect("initialized above");
+        let events = chain.drain_events(&mut state.cursor);
+        match state.runtime.apply_events(&events, feed) {
+            Ok(report) => Ok(report.opportunities),
+            Err(_) => {
+                // Fallback path: drop the stale fleet, serve this block
+                // from a full rescan, rebuild the runtime next step.
+                self.sharded = None;
+                Ok(scanner::discover(chain, &self.pipeline, feed)?.opportunities)
+            }
+        }
+    }
+
+    /// Builds the sharded runtime over the chain's current pool set (the
+    /// same slot-aligned graph the streaming engine mirrors) and
+    /// subscribes at the current end of the event log.
+    fn build_sharded(&self, chain: &Chain) -> Result<ShardedState, BotError> {
+        let graph = scanner::graph_from_chain(chain)?;
+        let runtime =
+            ShardedRuntime::with_graph(pipeline_for(&self.config), graph, self.config.shards)
+                .map_err(BotError::from)?;
+        Ok(ShardedState {
+            runtime,
             cursor: chain.subscribe(),
         })
     }
@@ -343,12 +404,57 @@ mod tests {
         };
         let (streaming_actions, streaming_digest) = run(ScanMode::Streaming);
         let (batch_actions, batch_digest) = run(ScanMode::Batch);
+        let (sharded_actions, sharded_digest) = run(ScanMode::Sharded);
         assert_eq!(streaming_actions, batch_actions);
         assert_eq!(streaming_digest, batch_digest);
+        assert_eq!(sharded_actions, batch_actions);
+        assert_eq!(sharded_digest, batch_digest);
         assert!(
             streaming_actions.iter().any(Option::is_some),
             "perturbations should open executable opportunities"
         );
+    }
+
+    #[test]
+    fn sharded_bot_tracks_events_and_reports_runtime_stats() {
+        let mut chain = paper_chain();
+        // A second, disjoint triangle so the partition has two components.
+        let fee = FeeRate::UNISWAP_V2;
+        for (a, b) in [(3, 4), (4, 5), (5, 3)] {
+            chain
+                .add_pool(t(a), t(b), to_raw(1_000.0), to_raw(1_010.0), fee)
+                .unwrap();
+        }
+        let mut feed = paper_feed();
+        feed.extend((3..6).map(|i| (t(i), 1.0)));
+        let mut bot = ArbBot::new(
+            &mut chain,
+            BotConfig {
+                mode: ScanMode::Sharded,
+                shards: 2,
+                ..BotConfig::default()
+            },
+        );
+        assert!(bot.runtime_stats().is_none());
+        bot.step(&mut chain, &feed).unwrap();
+        chain.mine_block();
+        assert_eq!(bot.shard_count(), Some(2));
+
+        // Whale flow between steps reaches the owning shard as events.
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(50.0));
+        chain.submit(Transaction::Swap {
+            account: whale,
+            pool: arb_amm::pool::PoolId::new(0),
+            token_in: t(0),
+            amount_in: to_raw(5.0),
+            min_out: 0,
+        });
+        chain.mine_block();
+        bot.step(&mut chain, &feed).unwrap();
+        let stats = bot.runtime_stats().unwrap();
+        assert!(stats.ticks >= 2, "{stats}");
+        assert!(stats.events_routed > 0, "{stats}");
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum ScanMode {
     /// scan and re-synchronizes.
     #[default]
     Streaming,
+    /// Event-driven across a fleet: the pool universe is partitioned
+    /// along connected components into [`BotConfig::shards`] shards, one
+    /// streaming engine each on a worker pool, with per-shard rankings
+    /// merged into the same global order streaming mode produces.
+    /// Fallback behavior matches [`ScanMode::Streaming`].
+    Sharded,
     /// Rebuild the graph and re-enumerate every cycle from chain state
     /// on every step — the original full-rescan behavior.
     Batch,
@@ -49,6 +55,10 @@ pub struct BotConfig {
     /// evaluation stage (which uses all available cores); 1 forces the
     /// serial path. The exact value is not a thread-count bound.
     pub workers: usize,
+    /// Shard-count cap for [`ScanMode::Sharded`] (the realized count is
+    /// bounded by the universe's connected components). Ignored in the
+    /// other modes.
+    pub shards: usize,
 }
 
 impl Default for BotConfig {
@@ -61,6 +71,7 @@ impl Default for BotConfig {
             method: Method::ClosedForm,
             convex: SolverOptions::default(),
             workers: 4,
+            shards: 4,
         }
     }
 }
@@ -77,5 +88,6 @@ mod tests {
         assert!(c.min_profit_usd > 0.0);
         assert_eq!(c.strategy, StrategyChoice::MaxMax);
         assert!(c.workers >= 1);
+        assert!(c.shards >= 1);
     }
 }

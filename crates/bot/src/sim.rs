@@ -67,6 +67,27 @@ impl Default for MarketSimConfig {
     }
 }
 
+impl MarketSimConfig {
+    /// A sim config reproducing a catalog workload's shape through the
+    /// chain's own agents: the workload's [`arb_workloads::SimProfile`]
+    /// sets the trader/LP/CEX intensities, everything else keeps the
+    /// defaults. The same named scenarios that drive the engine benches
+    /// therefore also drive full chain-execution runs.
+    pub fn from_workload(spec: &arb_workloads::WorkloadSpec, bot: BotConfig) -> Self {
+        let profile = spec.sim_profile();
+        MarketSimConfig {
+            mispricing_std: profile.mispricing_std,
+            trader_probability: profile.trader_probability,
+            trader_max_fraction: profile.trader_max_fraction,
+            lp_probability: profile.lp_probability,
+            lp_fraction: profile.lp_fraction,
+            cex_volatility: profile.cex_volatility,
+            bot,
+            ..MarketSimConfig::default()
+        }
+    }
+}
+
 /// Summary of one simulation step (two chain blocks: agents, then bot).
 #[derive(Debug, Clone)]
 pub struct StepSummary {
@@ -281,6 +302,29 @@ mod tests {
         .unwrap();
         sim.run_blocks(10).unwrap();
         assert!(sim.bot_pnl().value() >= 0.0);
+    }
+
+    #[test]
+    fn workload_profiles_drive_the_sim() {
+        // Every catalog workload must map onto a runnable market sim, and
+        // the sharded bot must survive whichever shape it gets.
+        for spec in arb_workloads::catalog() {
+            let config = MarketSimConfig::from_workload(
+                spec,
+                BotConfig {
+                    mode: crate::config::ScanMode::Sharded,
+                    min_profit_usd: 0.5,
+                    ..BotConfig::default()
+                },
+            );
+            assert_eq!(
+                config.trader_probability,
+                spec.sim_profile().trader_probability
+            );
+            let mut sim = MarketSim::new(config).expect(spec.name);
+            sim.run_blocks(4).expect(spec.name);
+            assert!(sim.bot_pnl().value() >= 0.0, "{}", spec.name);
+        }
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   graph + persistent cycle index, consumes chain event batches, and
 //!   re-evaluates only the cycles the events touched while keeping a
 //!   standing ranked opportunity set identical to a fresh batch run.
+//! * [`runtime::ShardedRuntime`] — the scale-out layer: partitions the
+//!   universe along connected components, runs one streaming engine per
+//!   shard on a worker pool, routes events to their owning shard, and
+//!   k-way merges the per-shard rankings into one global set that is
+//!   bit-identical to a single engine over the same stream.
 //! * [`opportunity::ArbitrageOpportunity`] — the uniform result: cycle,
 //!   winning strategy, per-hop optimal inputs, gross/net monetized profit.
 //! * [`ranking`] — pluggable execution-priority policies.
@@ -55,6 +60,7 @@ pub mod error;
 pub mod opportunity;
 pub mod pipeline;
 pub mod ranking;
+pub mod runtime;
 pub mod streaming;
 
 pub use error::EngineError;
@@ -64,4 +70,5 @@ pub use pipeline::{
     SnapshotPrices,
 };
 pub use ranking::{RankByGrossProfit, RankByNetProfit, RankByProfitPerHop, RankingPolicy};
+pub use runtime::{RuntimeReport, RuntimeStats, ShardedRuntime};
 pub use streaming::{StreamReport, StreamStats, StreamingEngine};

@@ -184,7 +184,11 @@ impl PriceFeed for SnapshotPrices<'_> {
 /// One pipeline instance owns a strategy set, a ranking policy, and a
 /// config; every run is a pure function of the market state handed in
 /// (pools or snapshot plus a price feed), so instances are reusable across
-/// blocks and shareable across threads.
+/// blocks and shareable across threads. Cloning a pipeline shares the
+/// strategy objects (they are `Arc`s) and duplicates the ranking policy —
+/// a clone ranks bit-identically to its original, which is what lets the
+/// sharded runtime hand one pipeline per shard.
+#[derive(Clone)]
 pub struct OpportunityPipeline {
     strategies: Vec<SharedStrategy>,
     ranking: Box<dyn RankingPolicy>,
@@ -368,20 +372,32 @@ impl OpportunityPipeline {
         }
     }
 
-    /// Sorts opportunities into execution-priority order (policy score
-    /// descending, deterministic tie-break on loop length, token order,
-    /// then pool order) and applies the `top_k` cut. Shared by the batch
-    /// run and the streaming engine so both rank identically.
+    /// The total execution-priority order: policy score descending with
+    /// deterministic tie-breaks (loop length, token order, then pool
+    /// order — two distinct cycles always differ in one of those, so no
+    /// two distinct opportunities ever compare `Equal`). Shared by
+    /// [`OpportunityPipeline::rank`] and the sharded runtime's k-way
+    /// merge so every path orders identically.
+    pub(crate) fn compare(
+        &self,
+        a: &ArbitrageOpportunity,
+        b: &ArbitrageOpportunity,
+    ) -> std::cmp::Ordering {
+        self.ranking
+            .score(b)
+            .partial_cmp(&self.ranking.score(a))
+            .expect("ranking scores are finite")
+            .then_with(|| a.hops().cmp(&b.hops()))
+            .then_with(|| a.cycle.tokens().cmp(b.cycle.tokens()))
+            .then_with(|| a.cycle.pools().cmp(b.cycle.pools()))
+    }
+
+    /// Sorts opportunities into execution-priority order
+    /// ([`OpportunityPipeline::compare`]) and applies the `top_k` cut.
+    /// Shared by the batch run and the streaming engine so both rank
+    /// identically.
     pub(crate) fn rank(&self, opportunities: &mut Vec<ArbitrageOpportunity>) {
-        opportunities.sort_by(|a, b| {
-            self.ranking
-                .score(b)
-                .partial_cmp(&self.ranking.score(a))
-                .expect("ranking scores are finite")
-                .then_with(|| a.hops().cmp(&b.hops()))
-                .then_with(|| a.cycle.tokens().cmp(b.cycle.tokens()))
-                .then_with(|| a.cycle.pools().cmp(b.cycle.pools()))
-        });
+        opportunities.sort_by(|a, b| self.compare(a, b));
         if let Some(k) = self.config.top_k {
             opportunities.truncate(k);
         }
@@ -582,21 +598,48 @@ mod tests {
         assert!(matches!(err, EngineError::Config(_)), "{err:?}");
         assert!(err.to_string().contains("exceeds max_cycle_len"));
 
-        let too_short = PipelineConfig {
-            min_cycle_len: 1,
-            ..PipelineConfig::default()
+        // Every rejection path, with its diagnostic: callers surface
+        // these strings to operators, so each must name the field and the
+        // offending value.
+        let reject = |config: PipelineConfig, needle: &str| {
+            let err = config.validate().unwrap_err();
+            assert!(matches!(err, EngineError::Config(_)), "{err:?}");
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle:?}"
+            );
         };
-        assert!(too_short.validate().is_err());
-        let bad_cost = PipelineConfig {
-            execution_cost_usd: f64::NAN,
-            ..PipelineConfig::default()
-        };
-        assert!(bad_cost.validate().is_err());
-        let nan_floor = PipelineConfig {
-            min_net_profit_usd: f64::NAN,
-            ..PipelineConfig::default()
-        };
-        assert!(nan_floor.validate().is_err());
+        reject(
+            PipelineConfig {
+                min_cycle_len: 1,
+                ..PipelineConfig::default()
+            },
+            "at least 2",
+        );
+        reject(
+            PipelineConfig {
+                min_cycle_len: 0,
+                max_cycle_len: 0,
+                ..PipelineConfig::default()
+            },
+            "at least 2",
+        );
+        for cost in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            reject(
+                PipelineConfig {
+                    execution_cost_usd: cost,
+                    ..PipelineConfig::default()
+                },
+                "execution_cost_usd",
+            );
+        }
+        reject(
+            PipelineConfig {
+                min_net_profit_usd: f64::NAN,
+                ..PipelineConfig::default()
+            },
+            "min_net_profit_usd",
+        );
         // +∞ is the "never trade" sentinel and must stay legal.
         let never_trade = PipelineConfig {
             min_net_profit_usd: f64::INFINITY,

@@ -13,6 +13,16 @@ pub trait RankingPolicy: Send + Sync {
 
     /// The descending sort key.
     fn score(&self, opportunity: &ArbitrageOpportunity) -> f64;
+
+    /// Clones the policy behind the trait object, so pipelines (and the
+    /// sharded runtime's per-shard engine fleet) can be duplicated.
+    fn clone_box(&self) -> Box<dyn RankingPolicy>;
+}
+
+impl Clone for Box<dyn RankingPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Rank by monetized profit net of execution costs (the default — what a
@@ -28,6 +38,10 @@ impl RankingPolicy for RankByNetProfit {
     fn score(&self, opportunity: &ArbitrageOpportunity) -> f64 {
         opportunity.net_profit.value()
     }
+
+    fn clone_box(&self) -> Box<dyn RankingPolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Rank by gross monetized profit, ignoring execution costs.
@@ -41,6 +55,10 @@ impl RankingPolicy for RankByGrossProfit {
 
     fn score(&self, opportunity: &ArbitrageOpportunity) -> f64 {
         opportunity.gross_profit.value()
+    }
+
+    fn clone_box(&self) -> Box<dyn RankingPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -56,5 +74,9 @@ impl RankingPolicy for RankByProfitPerHop {
 
     fn score(&self, opportunity: &ArbitrageOpportunity) -> f64 {
         opportunity.net_profit.value() / opportunity.hops() as f64
+    }
+
+    fn clone_box(&self) -> Box<dyn RankingPolicy> {
+        Box::new(*self)
     }
 }

@@ -126,6 +126,11 @@ pub struct StreamingEngine {
     /// unpriced then). Refreshes diff the feed against this to dirty the
     /// cycles a price move invalidates.
     feed_prices: Vec<Option<f64>>,
+    /// Bumped whenever the standing set may have changed (conservative:
+    /// re-inserting a bitwise-identical evaluation still counts). Lets
+    /// callers cache derived views — the sharded runtime keeps each
+    /// shard's ranked list and re-clones it only when this moves.
+    revision: u64,
     stats: StreamStats,
 }
 
@@ -171,6 +176,7 @@ impl StreamingEngine {
             dirty,
             standing: BTreeMap::new(),
             feed_prices: Vec::new(),
+            revision: 0,
             stats,
         })
     }
@@ -198,6 +204,15 @@ impl StreamingEngine {
     /// Cycles currently awaiting re-evaluation.
     pub fn pending_dirty(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// A monotone counter that moves whenever the standing opportunity
+    /// set may have changed (over-approximate: re-evaluating a cycle to
+    /// the same result still counts). Equal revisions across two calls
+    /// guarantee [`StreamingEngine::ranked`] would return the same list,
+    /// so derived views can be cached against it.
+    pub fn standing_revision(&self) -> u64 {
+        self.revision
     }
 
     /// Marks every live cycle dirty, forcing the next refresh to
@@ -229,10 +244,44 @@ impl StreamingEngine {
         events: &[Event],
         feed: &F,
     ) -> Result<StreamReport, EngineError> {
+        self.advance(events, feed)?;
+        Ok(StreamReport {
+            opportunities: self.ranked(),
+            stats: self.stats,
+        })
+    }
+
+    /// [`StreamingEngine::apply_events`] without materializing the ranked
+    /// report: applies the batch and brings the standing set current, but
+    /// skips the clone + sort of [`StreamingEngine::ranked`]. Callers that
+    /// rank elsewhere (the sharded runtime merges across engines) pair
+    /// this with [`StreamingEngine::standing_revision`] to only re-rank
+    /// when something actually changed.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingEngine::apply_events`].
+    pub fn advance<F: PriceFeed>(&mut self, events: &[Event], feed: &F) -> Result<(), EngineError> {
+        self.ingest(events)?;
+        self.refresh_standing(feed)
+    }
+
+    /// Applies a batch of events to the graph, index, and dirty set
+    /// **without** re-evaluating anything: the first half of
+    /// [`StreamingEngine::advance`]. Callers that need to adjust the
+    /// universe between application and evaluation (the sharded runtime
+    /// retires mirrored non-owned slots there, so no shard evaluates
+    /// cycles it is about to discard) follow up with
+    /// [`StreamingEngine::refresh_standing`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingEngine::apply_events`].
+    pub fn ingest(&mut self, events: &[Event]) -> Result<(), EngineError> {
         for event in events {
             self.apply_event(event)?;
         }
-        self.refresh(feed)
+        Ok(())
     }
 
     /// Re-evaluates the dirty set against `feed` and returns the standing
@@ -249,6 +298,21 @@ impl StreamingEngine {
     /// cycles dirtied by this call's feed diff), so the engine stays
     /// consistent and the refresh can simply be retried.
     pub fn refresh<F: PriceFeed>(&mut self, feed: &F) -> Result<StreamReport, EngineError> {
+        self.refresh_standing(feed)?;
+        Ok(StreamReport {
+            opportunities: self.ranked(),
+            stats: self.stats,
+        })
+    }
+
+    /// [`StreamingEngine::refresh`] minus the report: re-evaluates the
+    /// dirty set and updates the standing map without cloning or ranking
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingEngine::refresh`].
+    pub fn refresh_standing<F: PriceFeed>(&mut self, feed: &F) -> Result<(), EngineError> {
         self.dirty_feed_moves(feed);
 
         // Prepare + evaluate without consuming engine state: any `?`
@@ -295,8 +359,9 @@ impl StreamingEngine {
         self.stats.refreshes += 1;
         self.stats.cycles_evaluated += dirty.len();
         self.stats.evaluations_saved += self.index.live_cycles() - dirty.len();
+        let mut changed = false;
         for id in dropped {
-            self.standing.remove(&id);
+            changed |= self.standing.remove(&id).is_some();
         }
         let floor = self.pipeline.config().min_net_profit_usd;
         for ((id, ..), (opportunity, attempts, _benign)) in candidates.iter().zip(evaluated) {
@@ -304,17 +369,18 @@ impl StreamingEngine {
             match opportunity {
                 Some(opp) if opp.net_profit.value() >= floor => {
                     self.standing.insert(*id, opp);
+                    changed = true;
                 }
                 _ => {
-                    self.standing.remove(id);
+                    changed |= self.standing.remove(id).is_some();
                 }
             }
         }
+        if changed {
+            self.revision += 1;
+        }
 
-        Ok(StreamReport {
-            opportunities: self.ranked(),
-            stats: self.stats,
-        })
+        Ok(())
     }
 
     /// The standing opportunity set in execution-priority order (the
@@ -427,11 +493,34 @@ impl StreamingEngine {
         }
     }
 
+    /// Drops a pool from this engine's universe: retires it in the graph
+    /// and discards its cycles and any standing evaluations on them. The
+    /// slot is kept (id stability), so later events for other pools keep
+    /// decoding against the same id space; a retired slot only comes back
+    /// through a valid `Sync`. The sharded runtime uses this to park pool
+    /// slots a shard does not own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Desync`] for a pool this engine never saw.
+    pub fn retire_pool(&mut self, pool: arb_amm::pool::PoolId) -> Result<(), EngineError> {
+        if pool.index() >= self.graph.pool_count() {
+            return Err(EngineError::Desync("retire for a pool never seen"));
+        }
+        if self.graph.is_live(pool) {
+            self.graph.remove_pool(pool)?;
+            self.retire_pool_cycles(pool);
+        }
+        Ok(())
+    }
+
     fn retire_pool_cycles(&mut self, pool: arb_amm::pool::PoolId) {
         self.stats.pools_retired += 1;
         for id in self.index.on_pool_removed(pool) {
             self.dirty.remove(&id);
-            self.standing.remove(&id);
+            if self.standing.remove(&id).is_some() {
+                self.revision += 1;
+            }
             self.stats.cycles_retired += 1;
         }
     }

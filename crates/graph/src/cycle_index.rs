@@ -455,6 +455,81 @@ mod tests {
     }
 
     #[test]
+    fn freed_slots_recycle_into_unrelated_pools() {
+        // Retire a pool (freeing its cycle ids), then extend the index
+        // with a *different* pool over *different* tokens: the freed ids
+        // must be safely recycled — posting lists may not leak stale
+        // references across the reuse boundary.
+        let fee = FeeRate::UNISWAP_V2;
+        let mut graph = diamond();
+        let mut index = CycleIndex::build(&graph, 2, 4).unwrap();
+
+        graph.remove_pool(p(4)).unwrap();
+        let retired = index.on_pool_removed(p(4));
+        assert_eq!(retired.len(), 4, "the diagonal carried four triangles");
+
+        // New pools over brand-new tokens 5 and 6: a parallel pair that
+        // opens two directed 2-cycles, reusing freed arena slots.
+        let id5 = graph.add_pool(Pool::new(t(5), t(6), 10.0, 10.0, fee).unwrap());
+        index.on_pool_added(&graph, id5).unwrap();
+        let id6 = graph.add_pool(Pool::new(t(5), t(6), 20.0, 21.0, fee).unwrap());
+        let added = index.on_pool_added(&graph, id6).unwrap();
+        assert_eq!(added.len(), 2, "two directed 2-cycles");
+        assert!(
+            added.iter().any(|id| retired.contains(id)),
+            "freed slots should be recycled: {added:?} vs {retired:?}"
+        );
+        assert_matches_full_enumeration(&index, &graph);
+
+        // The recycled ids resolve to the *new* cycles, and the retired
+        // pool's posting list is empty until it revives.
+        for id in &added {
+            let cycle = index.get(*id).expect("live");
+            assert!(cycle.tokens().contains(&t(5)));
+        }
+        assert!(index.cycles_for_pool(p(4)).is_empty());
+
+        // Reviving the diagonal restores its triangles alongside the new
+        // 2-cycles.
+        assert_eq!(
+            graph.apply_sync(p(4), 10.0, 15.0).unwrap(),
+            crate::token_graph::SyncOutcome::Revived
+        );
+        index.on_pool_added(&graph, p(4)).unwrap();
+        assert_matches_full_enumeration(&index, &graph);
+        assert_eq!(index.cycles_for_pool(p(4)).len(), 4);
+    }
+
+    #[test]
+    fn retire_revive_extend_interleavings_hold_the_invariant() {
+        // A longer adversarial sequence: retire two pools, extend through
+        // a third, revive in the opposite order, extend again. After
+        // every hook the index must equal a from-scratch enumeration.
+        let fee = FeeRate::UNISWAP_V2;
+        let mut graph = diamond();
+        let mut index = CycleIndex::build(&graph, 2, 4).unwrap();
+
+        for pool in [p(0), p(2)] {
+            graph.remove_pool(pool).unwrap();
+            index.on_pool_removed(pool);
+            assert_matches_full_enumeration(&index, &graph);
+        }
+
+        let new_pool = graph.add_pool(Pool::new(t(1), t(3), 9.0, 9.0, fee).unwrap());
+        index.on_pool_added(&graph, new_pool).unwrap();
+        assert_matches_full_enumeration(&index, &graph);
+
+        for (pool, a, b) in [(p(2), 10.0, 13.0), (p(0), 10.0, 11.0)] {
+            assert_eq!(
+                graph.apply_sync(pool, a, b).unwrap(),
+                crate::token_graph::SyncOutcome::Revived
+            );
+            index.on_pool_added(&graph, pool).unwrap();
+            assert_matches_full_enumeration(&index, &graph);
+        }
+    }
+
+    #[test]
     fn unknown_pool_is_safe() {
         let g = diamond();
         let mut index = CycleIndex::build(&g, 3, 3).unwrap();

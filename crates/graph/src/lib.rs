@@ -15,7 +15,9 @@
 //!   by McLaughlin et al. (USENIX Sec '23);
 //! * [`bellman_ford`] — Bellman–Ford–Moore negative-cycle detection on
 //!   `−log(rate)` weights, as used by Zhou et al. (S&P '21);
-//! * [`tarjan`] — strongly connected components for search pruning.
+//! * [`tarjan`] — strongly connected components for search pruning;
+//! * [`partition`] — connected-component-aware pool sharding for the
+//!   multi-engine runtime in `arb-engine`.
 //!
 //! # Quickstart
 //!
@@ -42,10 +44,12 @@ pub mod cycle_index;
 pub mod cycles;
 pub mod error;
 pub mod johnson;
+pub mod partition;
 pub mod tarjan;
 pub mod token_graph;
 
 pub use cycle_index::{CycleId, CycleIndex};
 pub use cycles::Cycle;
 pub use error::GraphError;
+pub use partition::Partition;
 pub use token_graph::{SyncOutcome, TokenGraph};

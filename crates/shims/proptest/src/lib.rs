@@ -139,7 +139,7 @@ pub mod collection {
     use super::{Rng, Strategy, TestRng};
     use std::ops::Range;
 
-    /// A length spec for [`vec`]: a fixed size or a size range.
+    /// A length spec for [`vec()`]: a fixed size or a size range.
     pub trait IntoSizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -157,7 +157,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,

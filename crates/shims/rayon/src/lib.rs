@@ -73,12 +73,92 @@ pub mod iter {
         }
     }
 
+    /// A parallel iterator over `&mut [T]`.
+    pub struct ParIterMut<'a, T> {
+        items: &'a mut [T],
+    }
+
+    /// A mapped mutable parallel iterator, ready to collect.
+    pub struct ParMapMut<'a, T, F> {
+        items: &'a mut [T],
+        f: F,
+    }
+
+    impl<'a, T: Send> ParIterMut<'a, T> {
+        /// Maps every element through `f` in parallel, with mutable
+        /// access. One worker owns each contiguous chunk, so `f` never
+        /// observes another worker's element.
+        pub fn map<U: Send, F: Fn(&mut T) -> U + Sync>(self, f: F) -> ParMapMut<'a, T, F> {
+            ParMapMut {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Number of elements.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// Whether the iterator is empty.
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    impl<T: Send, U: Send, F: Fn(&mut T) -> U + Sync> ParMapMut<'_, T, F> {
+        /// Runs the map in parallel and collects, preserving input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            let workers = super::current_num_threads().clamp(1, self.items.len().max(1));
+            if workers == 1 {
+                return self.items.iter_mut().map(&self.f).collect();
+            }
+            let chunk_size = self.items.len().div_ceil(workers);
+            let f = &self.f;
+            let mut chunk_results: Vec<Vec<U>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks_mut(chunk_size)
+                    .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<U>>()))
+                    .collect();
+                chunk_results = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon-shim worker panicked"))
+                    .collect();
+            });
+            chunk_results.into_iter().flatten().collect()
+        }
+    }
+
     /// Types convertible into a parallel iterator by reference.
     pub trait IntoParallelRefIterator<'a> {
         /// Element type.
         type Item: 'a;
         /// Creates the parallel iterator.
         fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    /// Types convertible into a parallel iterator by mutable reference.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Creates the mutable parallel iterator.
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { items: self }
+        }
     }
 
     impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
@@ -98,7 +178,9 @@ pub mod iter {
 
 /// The common imports, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::iter::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParIterMut, ParMap, ParMapMut,
+    };
 }
 
 #[cfg(test)]
@@ -134,6 +216,39 @@ mod tests {
     fn empty_input() {
         let items: Vec<u64> = Vec::new();
         let out: Vec<u64> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_and_preserves_order() {
+        let mut items: Vec<u64> = (0..1_000).collect();
+        let doubled: Vec<u64> = items
+            .par_iter_mut()
+            .map(|x| {
+                *x *= 2;
+                *x
+            })
+            .collect();
+        assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(items, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_collects_results() {
+        let mut items: Vec<u64> = (0..100).collect();
+        let err: Result<Vec<u64>, String> = items
+            .par_iter_mut()
+            .map(|x| {
+                if *x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(*x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+        let mut empty: Vec<u64> = Vec::new();
+        let out: Vec<u64> = empty.par_iter_mut().map(|x| *x).collect();
         assert!(out.is_empty());
     }
 }

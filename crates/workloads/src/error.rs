@@ -1,0 +1,52 @@
+//! Workload error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from scenario generation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The scenario configuration is contradictory.
+    InvalidConfig(&'static str),
+    /// The base-universe snapshot generator failed.
+    Snapshot(arb_snapshot::SnapshotError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig(reason) => {
+                write!(f, "invalid scenario config: {reason}")
+            }
+            WorkloadError::Snapshot(e) => write!(f, "base universe generation failed: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::InvalidConfig(_) => None,
+            WorkloadError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<arb_snapshot::SnapshotError> for WorkloadError {
+    fn from(e: arb_snapshot::SnapshotError) -> Self {
+        WorkloadError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WorkloadError::InvalidConfig("boom");
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_none());
+    }
+}

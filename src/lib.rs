@@ -18,7 +18,8 @@
 //! | [`snapshot`] | `arb-snapshot` | paper-calibrated synthetic Uniswap snapshots |
 //! | [`convex`] | `arb-convex` | the eq. 8 convex program and its solvers |
 //! | [`strategies`] | `arb-core` | Traditional, MaxPrice, MaxMax, ConvexOpt |
-//! | [`engine`] | `arb-engine` | discovery → evaluation → ranking pipeline |
+//! | [`engine`] | `arb-engine` | discovery → evaluation → ranking pipeline, streaming + sharded runtimes |
+//! | [`workloads`] | `arb-workloads` | seeded deterministic scenario catalog (workload generator) |
 //! | [`bot`] | `arb-bot` | engine-driven flash-execute bot + market sim |
 //!
 //! # The paper's §V example, in six lines
@@ -57,6 +58,7 @@ pub use arb_engine as engine;
 pub use arb_graph as graph;
 pub use arb_numerics as numerics;
 pub use arb_snapshot as snapshot;
+pub use arb_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -87,10 +89,12 @@ pub mod prelude {
     };
     pub use arb_engine::{
         ArbitrageOpportunity, EngineError, OpportunityPipeline, PipelineConfig, PipelineReport,
-        RankingPolicy, StreamReport, StreamStats, StreamingEngine,
+        RankingPolicy, RuntimeReport, RuntimeStats, ShardedRuntime, StreamReport, StreamStats,
+        StreamingEngine,
     };
-    pub use arb_graph::{Cycle, CycleId, CycleIndex, SyncOutcome, TokenGraph};
+    pub use arb_graph::{Cycle, CycleId, CycleIndex, Partition, SyncOutcome, TokenGraph};
     pub use arb_snapshot::{Generator, Snapshot, SnapshotConfig};
+    pub use arb_workloads::{Scenario, ScenarioConfig, TickBatch, WorkloadSpec};
 }
 
 #[cfg(test)]

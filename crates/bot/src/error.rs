@@ -19,6 +19,8 @@ pub enum BotError {
     Snapshot(arb_snapshot::SnapshotError),
     /// An engine failure outside the graph/strategy categories.
     Engine(arb_engine::EngineError),
+    /// Durable journaling or recovery failed (journaled mode only).
+    Journal(arb_journal::JournalError),
 }
 
 impl fmt::Display for BotError {
@@ -30,6 +32,7 @@ impl fmt::Display for BotError {
             BotError::MissingPrice => write!(f, "missing cex price for a loop token"),
             BotError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             BotError::Engine(e) => write!(f, "engine error: {e}"),
+            BotError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -42,6 +45,7 @@ impl Error for BotError {
             BotError::Chain(e) => Some(e),
             BotError::Snapshot(e) => Some(e),
             BotError::Engine(e) => Some(e),
+            BotError::Journal(e) => Some(e),
             BotError::MissingPrice => None,
         }
     }
@@ -65,6 +69,15 @@ impl From<arb_engine::EngineError> for BotError {
             arb_engine::EngineError::Graph(g) => BotError::Graph(g),
             arb_engine::EngineError::Strategy(s) => BotError::Strategy(s),
             other => BotError::Engine(other),
+        }
+    }
+}
+
+impl From<arb_journal::JournalError> for BotError {
+    fn from(e: arb_journal::JournalError) -> Self {
+        match e {
+            arb_journal::JournalError::Engine(inner) => BotError::from(inner),
+            other => BotError::Journal(other),
         }
     }
 }

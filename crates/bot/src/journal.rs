@@ -1,0 +1,580 @@
+//! The bot's journaled mode: durable market view, periodic checkpoints,
+//! crash recovery.
+//!
+//! [`JournaledBot`] wraps the sharded scan loop with the `arb-journal`
+//! durability stack:
+//!
+//! * on [`JournaledBot::attach`], the chain's event history is backfilled
+//!   into the journal and a `JournalWriter` is installed as the chain's
+//!   [`arb_dexsim::chain::EventSink`] — every event the chain emits from
+//!   then on is framed, checksummed, and fsynced per block;
+//! * every [`JournaledBot::step`] drains new events into the runtime and,
+//!   every [`JournalSettings::checkpoint_every_events`] events, writes an
+//!   atomic snapshot of the fleet tied to the journal offset, prunes old
+//!   snapshots, and compacts fully-snapshotted segments;
+//! * after a crash, [`JournaledBot::recover`] rebuilds the fleet from the
+//!   newest valid snapshot plus the journal suffix — instead of the cold
+//!   full rescan batch mode would pay — and reports what it did as a
+//!   [`RecoveryStats`] one-liner.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use arb_cex::feed::PriceFeed;
+use arb_dexsim::chain::{Chain, EventCursor};
+use arb_dexsim::state::AccountId;
+use arb_dexsim::tx::Transaction;
+use arb_engine::{RuntimeStats, ShardedRuntime};
+use arb_journal::{
+    JournalConfig, JournalError, JournalWriter, Recovery, RecoveryStats, SnapshotStore,
+};
+
+use crate::bot::{pipeline_for, BotAction};
+use crate::config::BotConfig;
+use crate::error::BotError;
+use crate::execution;
+use crate::scanner;
+
+/// Durability tuning for [`JournaledBot`].
+#[derive(Debug, Clone)]
+pub struct JournalSettings {
+    /// Directory holding segments and snapshots.
+    pub dir: PathBuf,
+    /// Take a checkpoint after this many applied events.
+    pub checkpoint_every_events: usize,
+    /// Segment roll threshold ([`JournalConfig::segment_max_bytes`]).
+    pub segment_max_bytes: u64,
+    /// Snapshots retained after each checkpoint (older ones are pruned).
+    pub keep_snapshots: usize,
+}
+
+impl JournalSettings {
+    /// Settings with production-shaped defaults: checkpoint every 256
+    /// events, 256 KiB segments, 2 retained snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JournalSettings {
+            dir: dir.into(),
+            checkpoint_every_events: 256,
+            segment_max_bytes: 256 * 1024,
+            keep_snapshots: 2,
+        }
+    }
+
+    fn journal_config(&self) -> JournalConfig {
+        JournalConfig {
+            segment_max_bytes: self.segment_max_bytes,
+            sync_on_commit: true,
+        }
+    }
+}
+
+/// An arbitrage bot whose market view survives restarts. See the module
+/// docs for the lifecycle; the scan/execute policy matches
+/// [`crate::ArbBot`] in [`crate::ScanMode::Sharded`].
+#[derive(Debug)]
+pub struct JournaledBot {
+    account: AccountId,
+    config: BotConfig,
+    settings: JournalSettings,
+    runtime: ShardedRuntime,
+    cursor: EventCursor,
+    /// Shared with the chain's sink: the chain records + commits per
+    /// block, the bot checkpoints and compacts.
+    writer: Arc<Mutex<JournalWriter>>,
+    store: SnapshotStore,
+    events_since_checkpoint: usize,
+    checkpoints_taken: usize,
+    recovery: Option<RecoveryStats>,
+}
+
+impl JournaledBot {
+    /// Starts a journaled bot on a live chain: backfills the chain's
+    /// event history into the journal (so recovery can always reach
+    /// genesis), installs the journal as the chain's event sink, and
+    /// builds the sharded runtime from current chain state.
+    ///
+    /// # Errors
+    ///
+    /// Forwards journal I/O failures ([`BotError::Journal`]) and graph /
+    /// engine construction failures.
+    pub fn attach(
+        chain: &mut Chain,
+        config: BotConfig,
+        settings: JournalSettings,
+    ) -> Result<Self, BotError> {
+        let mut writer = JournalWriter::open(&settings.dir, settings.journal_config())
+            .map_err(JournalError::from)?;
+        backfill(&mut writer, chain)?;
+
+        let graph = scanner::graph_from_chain(chain)?;
+        let runtime = ShardedRuntime::with_graph(pipeline_for(&config), graph, config.shards)?;
+        let store = SnapshotStore::new(&settings.dir)?;
+        let cursor = chain.subscribe();
+        let writer = Arc::new(Mutex::new(writer));
+        chain.attach_sink(writer.clone());
+        Ok(JournaledBot {
+            account: chain.create_account(),
+            config,
+            settings,
+            runtime,
+            cursor,
+            writer,
+            store,
+            events_since_checkpoint: 0,
+            checkpoints_taken: 0,
+            recovery: None,
+        })
+    }
+
+    /// Rebuilds a journaled bot after a crash: heals the journal tail,
+    /// backfills any events the chain emitted while the bot was down,
+    /// restores the newest valid snapshot, replays the suffix, and
+    /// re-attaches the sink. [`JournaledBot::recovery_stats`] reports
+    /// what happened — print it, it is the operator's recovery line.
+    ///
+    /// # Errors
+    ///
+    /// See [`JournaledBot::attach`]; additionally fails when recovery
+    /// cannot bootstrap (no snapshot and no genesis `PoolCreated`
+    /// prefix).
+    pub fn recover<F: PriceFeed + Sync>(
+        chain: &mut Chain,
+        feed: &F,
+        config: BotConfig,
+        settings: JournalSettings,
+    ) -> Result<Self, BotError> {
+        Self::recover_impl(chain, feed, config, settings, None)
+    }
+
+    /// [`JournaledBot::recover`], resuming the pre-crash bot's `account`
+    /// instead of registering a fresh one — so the profits the dead
+    /// process banked keep accruing to the same balance sheet. The
+    /// account id is chain state, not journal state; persist it however
+    /// the deployment persists its other operator config.
+    ///
+    /// # Errors
+    ///
+    /// See [`JournaledBot::recover`].
+    pub fn recover_as<F: PriceFeed + Sync>(
+        chain: &mut Chain,
+        feed: &F,
+        config: BotConfig,
+        settings: JournalSettings,
+        account: AccountId,
+    ) -> Result<Self, BotError> {
+        Self::recover_impl(chain, feed, config, settings, Some(account))
+    }
+
+    fn recover_impl<F: PriceFeed + Sync>(
+        chain: &mut Chain,
+        feed: &F,
+        config: BotConfig,
+        settings: JournalSettings,
+        account: Option<AccountId>,
+    ) -> Result<Self, BotError> {
+        let mut writer = JournalWriter::open(&settings.dir, settings.journal_config())
+            .map_err(JournalError::from)?;
+        backfill(&mut writer, chain)?;
+
+        let recovered =
+            Recovery::new(&settings.dir, pipeline_for(&config), config.shards).recover(feed)?;
+        let store = SnapshotStore::new(&settings.dir)?;
+        let cursor = EventCursor::at(recovered.stats.journal_tail as usize);
+        let writer = Arc::new(Mutex::new(writer));
+        chain.attach_sink(writer.clone());
+        Ok(JournaledBot {
+            account: account.unwrap_or_else(|| chain.create_account()),
+            config,
+            settings,
+            runtime: recovered.runtime,
+            cursor,
+            writer,
+            store,
+            events_since_checkpoint: 0,
+            checkpoints_taken: 0,
+            recovery: Some(recovered.stats),
+        })
+    }
+
+    /// The bot's account.
+    pub fn account(&self) -> AccountId {
+        self.account
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BotConfig {
+        &self.config
+    }
+
+    /// The journal directory.
+    pub fn journal_dir(&self) -> &Path {
+        &self.settings.dir
+    }
+
+    /// How the last [`JournaledBot::recover`] went (`None` for a bot
+    /// started via [`JournaledBot::attach`]).
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// Cumulative sharded-runtime counters.
+    pub fn runtime_stats(&self) -> &RuntimeStats {
+        self.runtime.stats()
+    }
+
+    /// Checkpoints written since this process started.
+    pub fn checkpoints_taken(&self) -> usize {
+        self.checkpoints_taken
+    }
+
+    /// One decision step: drain new chain events (already journaled by
+    /// the sink; the commit here only surfaces deferred write errors),
+    /// apply them to the fleet, checkpoint if due, and submit a flash
+    /// bundle for the best executable opportunity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on journal write errors, engine failures, or bundle
+    /// construction failures — not on unprofitable markets
+    /// ([`BotAction::Idle`]).
+    pub fn step<F: PriceFeed + Sync>(
+        &mut self,
+        chain: &mut Chain,
+        feed: &F,
+    ) -> Result<BotAction, BotError> {
+        let events = chain.drain_events(&mut self.cursor);
+        self.writer
+            .lock()
+            .expect("journal writer poisoned")
+            .commit()
+            .map_err(JournalError::from)?;
+        let report = self.runtime.apply_events(&events, feed)?;
+        self.events_since_checkpoint += events.len();
+        if self.events_since_checkpoint >= self.settings.checkpoint_every_events {
+            self.checkpoint()?;
+        }
+
+        for opportunity in &report.opportunities {
+            let steps = execution::opportunity_bundle(chain, opportunity)?;
+            if steps.len() < opportunity.cycle.len() {
+                // Rounding collapsed a hop; try the next-ranked loop.
+                continue;
+            }
+            let expected = opportunity.gross_profit;
+            let hops = steps.len();
+            chain.submit(Transaction::FlashBundle {
+                account: self.account,
+                steps,
+            });
+            return Ok(BotAction::Submitted { expected, hops });
+        }
+        Ok(BotAction::Idle)
+    }
+
+    /// Writes a snapshot of the fleet at the bot's applied offset, prunes
+    /// old snapshots, and compacts journal segments below the **oldest
+    /// retained** snapshot — every kept snapshot stays replayable, so if
+    /// the newest one rots on disk, recovery can genuinely fall back to
+    /// its predecessor. Called automatically by [`JournaledBot::step`];
+    /// public for shutdown hooks that want one final checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BotError::Journal`] on snapshot or compaction failures.
+    pub fn checkpoint(&mut self) -> Result<(), BotError> {
+        let offset = self.cursor.position() as u64;
+        self.store.write(offset, &self.runtime.checkpoint())?;
+        self.store.prune(self.settings.keep_snapshots)?;
+        if let Some(oldest_retained) = self.store.list()?.first().map(|(offset, _)| *offset) {
+            self.writer
+                .lock()
+                .expect("journal writer poisoned")
+                .compact_below(oldest_retained)
+                .map_err(JournalError::from)?;
+        }
+        self.checkpoints_taken += 1;
+        self.events_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// Appends every chain event the journal does not yet hold, so journal
+/// offsets and chain sequence numbers stay the same coordinate space.
+fn backfill(writer: &mut JournalWriter, chain: &Chain) -> Result<(), BotError> {
+    let log = chain.event_log();
+    let from = writer.next_offset() as usize;
+    if from > log.len() {
+        return Err(BotError::Journal(JournalError::Corrupt(format!(
+            "journal tail {} is ahead of the chain log ({} events) — wrong directory?",
+            from,
+            log.len()
+        ))));
+    }
+    for event in log.decode_from(from) {
+        writer.append(&event);
+    }
+    writer.commit().map_err(JournalError::from)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::token::TokenId;
+    use arb_cex::feed::PriceTable;
+    use arb_dexsim::units::to_raw;
+    use std::fs;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("arbloops-jbot-{}-{name}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn paper_chain() -> Chain {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        chain
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+            .unwrap();
+        chain
+    }
+
+    fn paper_feed() -> PriceTable {
+        [(t(0), 2.0), (t(1), 10.2), (t(2), 20.0)]
+            .into_iter()
+            .collect()
+    }
+
+    fn settings(scratch: &Scratch, checkpoint_every: usize) -> JournalSettings {
+        JournalSettings {
+            checkpoint_every_events: checkpoint_every,
+            ..JournalSettings::new(&scratch.0)
+        }
+    }
+
+    /// Drives whale-perturbed blocks (sized by their global block index,
+    /// so a split run perturbs exactly like a continuous one) through a
+    /// stepper, mining the bot's submissions, and returns the decision
+    /// trace.
+    fn drive<S: FnMut(&mut Chain) -> BotAction>(
+        chain: &mut Chain,
+        whale: AccountId,
+        blocks: std::ops::Range<usize>,
+        mut stepper: S,
+    ) -> Vec<Option<(u64, usize)>> {
+        blocks
+            .map(|i| {
+                chain.submit(Transaction::Swap {
+                    account: whale,
+                    pool: arb_amm::pool::PoolId::new(0),
+                    token_in: t(0),
+                    amount_in: to_raw(2.0 + i as f64),
+                    min_out: 0,
+                });
+                chain.mine_block();
+                let action = stepper(chain);
+                chain.mine_block();
+                match action {
+                    BotAction::Idle => None,
+                    BotAction::Submitted { expected, hops } => {
+                        Some((expected.value().to_bits(), hops))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn journaled_bot_survives_a_crash_and_keeps_deciding_identically() {
+        let scratch = Scratch::new("crash");
+        let feed = paper_feed();
+
+        // The never-crashed oracle: one bot across all 8 blocks.
+        let mut oracle_chain = paper_chain();
+        let whale = oracle_chain.create_account();
+        oracle_chain.mint(whale, t(0), to_raw(1_000.0));
+        let oracle_scratch = Scratch::new("crash-oracle");
+        let mut oracle = JournaledBot::attach(
+            &mut oracle_chain,
+            BotConfig::default(),
+            settings(&oracle_scratch, 4),
+        )
+        .unwrap();
+        let oracle_actions = drive(&mut oracle_chain, whale, 0..8, |chain| {
+            oracle.step(chain, &feed).unwrap()
+        });
+
+        // The crashing run: same chain history, bot dies after block 4.
+        let mut chain = paper_chain();
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(1_000.0));
+        let mut bot =
+            JournaledBot::attach(&mut chain, BotConfig::default(), settings(&scratch, 4)).unwrap();
+        assert!(bot.recovery_stats().is_none());
+        let mut first_half = drive(&mut chain, whale, 0..4, |chain| {
+            bot.step(chain, &feed).unwrap()
+        });
+        assert!(bot.checkpoints_taken() > 0, "checkpoints were due");
+        let pre_crash_account = bot.account();
+        drop(bot); // 💥 the chain keeps its sink and keeps journaling
+
+        let mut bot = JournaledBot::recover_as(
+            &mut chain,
+            &feed,
+            BotConfig::default(),
+            settings(&scratch, 4),
+            pre_crash_account,
+        )
+        .unwrap();
+        assert_eq!(
+            bot.account(),
+            pre_crash_account,
+            "recovery resumes the balance sheet, not a fresh account"
+        );
+        let stats = *bot.recovery_stats().expect("recovered");
+        assert!(stats.snapshot_offset.is_some(), "{stats}");
+        assert!(
+            stats.events_replayed < stats.journal_tail as usize,
+            "snapshot recovery must replay strictly fewer events than \
+             genesis: {stats}"
+        );
+        let line = stats.to_string();
+        assert!(line.contains("snapshot@"), "{line}");
+        assert!(line.contains("events replayed"), "{line}");
+        assert!(!line.contains('\n'), "one-liner style: {line}");
+
+        let second_half = drive(&mut chain, whale, 4..8, |chain| {
+            bot.step(chain, &feed).unwrap()
+        });
+        first_half.extend(second_half);
+        assert_eq!(
+            first_half, oracle_actions,
+            "crash + recovery must not change a single decision"
+        );
+        assert!(
+            first_half.iter().any(Option::is_some),
+            "perturbations should open executable opportunities"
+        );
+        assert_eq!(chain.state().digest(), oracle_chain.state().digest());
+    }
+
+    #[test]
+    fn checkpoints_compact_the_journal() {
+        let scratch = Scratch::new("compact");
+        let feed = paper_feed();
+        let mut chain = paper_chain();
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(1_000.0));
+        let mut bot = JournaledBot::attach(
+            &mut chain,
+            BotConfig::default(),
+            JournalSettings {
+                checkpoint_every_events: 2,
+                segment_max_bytes: 64, // force frequent segment rolls
+                keep_snapshots: 2,
+                ..JournalSettings::new(&scratch.0)
+            },
+        )
+        .unwrap();
+        drive(&mut chain, whale, 0..6, |chain| {
+            bot.step(chain, &feed).unwrap()
+        });
+        assert!(bot.checkpoints_taken() >= 2);
+
+        let snapshots = fs::read_dir(&scratch.0)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("snapshot-")
+            })
+            .count();
+        assert!(
+            snapshots <= 2,
+            "pruning keeps the newest 2, saw {snapshots}"
+        );
+
+        // Compaction dropped segments below the *oldest retained*
+        // snapshot — nothing below what any kept snapshot needs.
+        let reader = arb_journal::JournalReader::open(&scratch.0).unwrap();
+        assert!(
+            reader.base_offset() > 0,
+            "fully-snapshotted segments should be gone"
+        );
+        let oldest_retained = SnapshotStore::new(&scratch.0)
+            .unwrap()
+            .list()
+            .unwrap()
+            .first()
+            .map(|(offset, _)| *offset)
+            .expect("snapshots retained");
+        assert!(
+            reader.base_offset() <= oldest_retained,
+            "compaction must not strand a retained snapshot (base {} > \
+             oldest snapshot {oldest_retained})",
+            reader.base_offset()
+        );
+        // And recovery still works over the compacted journal…
+        let recovered = Recovery::new(&scratch.0, pipeline_for(&BotConfig::default()), 4)
+            .recover(&feed)
+            .unwrap();
+        let newest = recovered.stats.snapshot_offset.expect("snapshot used");
+        // …including when the newest snapshot rots: the retained older
+        // one must be genuinely usable, not stranded past compaction.
+        fs::remove_file(scratch.0.join(format!("snapshot-{newest:020}.ckpt"))).unwrap();
+        let fallback = Recovery::new(&scratch.0, pipeline_for(&BotConfig::default()), 4)
+            .recover(&feed)
+            .unwrap();
+        assert_eq!(fallback.stats.snapshot_offset, Some(oldest_retained));
+    }
+
+    #[test]
+    fn attach_rejects_a_foreign_longer_journal() {
+        let scratch = Scratch::new("foreign");
+        let feed = paper_feed();
+        // Journal a long history…
+        let mut chain = paper_chain();
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(1_000.0));
+        let mut bot =
+            JournaledBot::attach(&mut chain, BotConfig::default(), settings(&scratch, 100))
+                .unwrap();
+        drive(&mut chain, whale, 0..3, |chain| {
+            bot.step(chain, &feed).unwrap()
+        });
+        drop(bot);
+        // …then attach a *fresh* chain to the same directory: the journal
+        // is ahead of the chain log, which is a mis-wiring, not a state
+        // to silently adopt.
+        let mut fresh = paper_chain();
+        let err = JournaledBot::attach(&mut fresh, BotConfig::default(), settings(&scratch, 100))
+            .unwrap_err();
+        assert!(matches!(err, BotError::Journal(_)), "{err:?}");
+        assert!(err.to_string().contains("ahead of the chain log"), "{err}");
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`scanner`] — chain state → token graph → engine discovery run;
 //! * [`execution`] — engine opportunity → integer-exact flash bundle;
 //! * [`bot`] — the per-block policy over ranked engine opportunities;
+//! * [`journal`] — the durable mode: chain events journaled to disk,
+//!   periodic fleet checkpoints, crash recovery via `arb-journal`;
 //! * [`pnl`] — balance accounting and monetized PnL series;
 //! * [`sim`] — a deterministic market harness (noise traders + LPs + CEX
 //!   price drift + the bot) used by examples, tests, and benches.
@@ -40,6 +42,7 @@ pub mod bot;
 pub mod config;
 pub mod error;
 pub mod execution;
+pub mod journal;
 pub mod pnl;
 pub mod scanner;
 pub mod sim;
@@ -47,3 +50,4 @@ pub mod sim;
 pub use bot::{pipeline_for, ArbBot};
 pub use config::{BotConfig, ScanMode, StrategyChoice};
 pub use error::BotError;
+pub use journal::{JournalSettings, JournaledBot};

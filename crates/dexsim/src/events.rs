@@ -263,6 +263,21 @@ impl EventLog {
         self.buffer.len()
     }
 
+    /// Decodes the single event at sequence number `offset` (0-based).
+    /// Returns `None` when `offset` is at or past the end — callers
+    /// replaying the log (the `arb-journal` backfill path, tests) get a
+    /// bounds-checked lookup instead of indexing raw vectors.
+    pub fn get(&self, offset: usize) -> Option<Event> {
+        let start = *self.offsets.get(offset)?;
+        let end = self
+            .offsets
+            .get(offset + 1)
+            .copied()
+            .unwrap_or(self.buffer.len());
+        let mut bytes = Bytes::copy_from_slice(&self.buffer[start..end]);
+        Event::decode(&mut bytes)
+    }
+
     /// Decodes the full log back into events.
     pub fn decode_all(&self) -> Vec<Event> {
         self.decode_from(0)
@@ -379,6 +394,21 @@ mod tests {
             assert_eq!(log.decode_from(from), events[from..], "from={from}");
         }
         assert_eq!(log.decode_from(events.len() + 10), vec![]);
+    }
+
+    #[test]
+    fn get_is_bounds_checked_random_access() {
+        let mut log = EventLog::new();
+        let events = sample_events();
+        for e in &events {
+            log.push(*e);
+        }
+        for (offset, expected) in events.iter().enumerate() {
+            assert_eq!(log.get(offset), Some(*expected), "offset={offset}");
+        }
+        assert_eq!(log.get(events.len()), None);
+        assert_eq!(log.get(usize::MAX), None);
+        assert_eq!(EventLog::new().get(0), None);
     }
 
     /// Builds the event variant selected by `tag` from raw field material.

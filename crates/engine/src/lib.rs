@@ -56,6 +56,7 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod error;
 pub mod opportunity;
 pub mod pipeline;
@@ -63,6 +64,7 @@ pub mod ranking;
 pub mod runtime;
 pub mod streaming;
 
+pub use checkpoint::{EngineCheckpoint, PoolSlot, RuntimeCheckpoint};
 pub use error::EngineError;
 pub use opportunity::ArbitrageOpportunity;
 pub use pipeline::{

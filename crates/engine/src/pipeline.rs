@@ -90,6 +90,15 @@ impl PipelineConfig {
                 self.min_cycle_len, self.max_cycle_len
             )));
         }
+        // NaN gets its own diagnostic for both cost fields: "must be
+        // finite, got NaN" buries the real defect (an uninitialized or
+        // 0.0/0.0 computation upstream), which reads very differently
+        // from an operator typing ±inf.
+        if self.execution_cost_usd.is_nan() {
+            return Err(EngineError::Config(
+                "execution_cost_usd must not be NaN".to_string(),
+            ));
+        }
         if !self.execution_cost_usd.is_finite() {
             return Err(EngineError::Config(format!(
                 "execution_cost_usd must be finite, got {}",
@@ -633,6 +642,39 @@ mod tests {
                 "execution_cost_usd",
             );
         }
+        // NaN costs get their own diagnostic, distinct from the ±inf one:
+        // NaN means a broken upstream computation, not an operator limit.
+        for field in ["execution_cost_usd", "min_net_profit_usd"] {
+            let config = if field == "execution_cost_usd" {
+                PipelineConfig {
+                    execution_cost_usd: f64::NAN,
+                    ..PipelineConfig::default()
+                }
+            } else {
+                PipelineConfig {
+                    min_net_profit_usd: f64::NAN,
+                    ..PipelineConfig::default()
+                }
+            };
+            let err = config.validate().unwrap_err();
+            assert!(matches!(err, EngineError::Config(_)), "{err:?}");
+            let message = err.to_string();
+            assert!(
+                message.contains(field) && message.contains("must not be NaN"),
+                "{message} should carry the dedicated NaN diagnostic for {field}"
+            );
+        }
+        let inf_message = PipelineConfig {
+            execution_cost_usd: f64::INFINITY,
+            ..PipelineConfig::default()
+        }
+        .validate()
+        .unwrap_err()
+        .to_string();
+        assert!(
+            inf_message.contains("must be finite") && !inf_message.contains("NaN"),
+            "{inf_message}: ±inf keeps the finiteness diagnostic"
+        );
         reject(
             PipelineConfig {
                 min_net_profit_usd: f64::NAN,

@@ -49,6 +49,7 @@ use arb_dexsim::units::to_display;
 use arb_graph::{Partition, TokenGraph};
 use rayon::prelude::*;
 
+use crate::checkpoint::RuntimeCheckpoint;
 use crate::error::EngineError;
 use crate::opportunity::ArbitrageOpportunity;
 use crate::pipeline::OpportunityPipeline;
@@ -471,6 +472,94 @@ impl ShardedRuntime {
         Ok(())
     }
 
+    /// Captures the whole fleet's durable state: the per-slot shard
+    /// assignment plus one [`crate::EngineCheckpoint`] per shard. Call
+    /// between ticks (every public entry point leaves the queues
+    /// drained); the capture is pure and cheap relative to a tick.
+    pub fn checkpoint(&self) -> RuntimeCheckpoint {
+        debug_assert!(
+            self.pending_retires.is_empty() && self.shards.iter().all(|s| s.queue.is_empty()),
+            "checkpoint between ticks only"
+        );
+        RuntimeCheckpoint {
+            max_shards: self.max_shards,
+            owners: (0..self.pool_slots)
+                .map(|index| {
+                    self.partition
+                        .shard_of_pool(PoolId::new(index as u32))
+                        .expect("every slot is owned") as u32
+                })
+                .collect(),
+            shards: self.shards.iter().map(|s| s.engine.checkpoint()).collect(),
+        }
+    }
+
+    /// Rebuilds a runtime from a checkpoint: each shard engine is
+    /// restored exactly ([`StreamingEngine::restore`]) and the partition
+    /// is reconstructed from the recorded assignment, so routing,
+    /// rebuild triggers, and future revives behave exactly as they would
+    /// have in the checkpointed process. Cumulative [`RuntimeStats`]
+    /// restart from zero; the first refresh reproduces the checkpointed
+    /// merged ranking bit-for-bit under the same feed.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Config`] — invalid pipeline config, or a
+    ///   checkpoint whose shard shapes are inconsistent.
+    /// * [`EngineError::Graph`] — a shard checkpoint fails validation
+    ///   ([`arb_graph::GraphError::InvalidCheckpoint`]).
+    pub fn restore(
+        pipeline: OpportunityPipeline,
+        checkpoint: &RuntimeCheckpoint,
+    ) -> Result<Self, EngineError> {
+        pipeline.config().validate()?;
+        if checkpoint.shards.is_empty() {
+            return Err(EngineError::Config(
+                "runtime checkpoint has no shards".to_string(),
+            ));
+        }
+        let pool_slots = checkpoint.owners.len();
+        if checkpoint
+            .shards
+            .iter()
+            .any(|shard| shard.slots.len() != pool_slots)
+        {
+            return Err(EngineError::Config(
+                "runtime checkpoint shards disagree on the slot count".to_string(),
+            ));
+        }
+        let shards = checkpoint
+            .shards
+            .iter()
+            .map(|state| {
+                let engine = StreamingEngine::restore(pipeline.clone(), state)?;
+                let revision = engine.standing_revision();
+                Ok(Shard {
+                    engine,
+                    queue: Vec::new(),
+                    ranked: Vec::new(),
+                    revision,
+                })
+            })
+            .collect::<Result<Vec<Shard>, EngineError>>()?;
+        let owners: Vec<usize> = checkpoint.owners.iter().map(|&o| o as usize).collect();
+        let partition = Partition::from_assignments(
+            shards[0].engine.graph(),
+            &owners,
+            checkpoint.shards.len(),
+        )?;
+        Ok(ShardedRuntime {
+            pipeline,
+            shards,
+            partition,
+            pool_slots,
+            max_shards: checkpoint.max_shards,
+            pending_retires: Vec::new(),
+            evaluations_before_rebuilds: 0,
+            stats: RuntimeStats::default(),
+        })
+    }
+
     fn least_loaded_shard(&self) -> usize {
         (0..self.shards.len())
             .min_by_key(|&s| (self.partition.members(s).len(), s))
@@ -777,6 +866,88 @@ mod tests {
         let err =
             ShardedRuntime::new(OpportunityPipeline::new(config), island_pools(), 2).unwrap_err();
         assert!(matches!(err, EngineError::Config(_)), "{err:?}");
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_merged_ranking() {
+        let feed = island_feed();
+        let mut runtime =
+            ShardedRuntime::new(OpportunityPipeline::default(), island_pools(), 3).unwrap();
+        runtime.refresh(&feed).unwrap();
+        // Mutate: routed syncs, a broadcast PoolCreated, a retire.
+        runtime
+            .apply_events(
+                &[
+                    sync(3, 1_000.0, 1_060.0),
+                    Event::PoolCreated {
+                        pool: p(7),
+                        token_a: t(0),
+                        token_b: t(1),
+                        reserve_a: to_raw(150.0),
+                        reserve_b: to_raw(250.0),
+                        fee: FeeRate::UNISWAP_V2,
+                    },
+                    Event::Sync {
+                        pool: p(6),
+                        reserve_a: 0,
+                        reserve_b: 0,
+                    },
+                ],
+                &feed,
+            )
+            .unwrap();
+        let live = runtime.refresh(&feed).unwrap();
+
+        let checkpoint = runtime.checkpoint();
+        let mut restored =
+            ShardedRuntime::restore(OpportunityPipeline::default(), &checkpoint).unwrap();
+        assert_eq!(restored.shard_count(), runtime.shard_count());
+        assert_eq!(restored.partition(), runtime.partition());
+        let back = restored.refresh(&feed).unwrap();
+        assert_eq!(back.opportunities.len(), live.opportunities.len());
+        assert!(!back.opportunities.is_empty(), "non-vacuous");
+        for (a, b) in live.opportunities.iter().zip(&back.opportunities) {
+            assert_eq!(a.cycle.tokens(), b.cycle.tokens());
+            assert_eq!(a.cycle.pools(), b.cycle.pools());
+            assert_eq!(
+                a.net_profit.value().to_bits(),
+                b.net_profit.value().to_bits()
+            );
+        }
+
+        // The restored fleet keeps routing and reviving identically.
+        let follow_up = [sync(6, 490.0, 510.0), sync(0, 101.0, 199.0)];
+        let a = runtime.apply_events(&follow_up, &feed).unwrap();
+        let b = restored.apply_events(&follow_up, &feed).unwrap();
+        assert_eq!(a.opportunities.len(), b.opportunities.len());
+        for (x, y) in a.opportunities.iter().zip(&b.opportunities) {
+            assert_eq!(
+                x.net_profit.value().to_bits(),
+                y.net_profit.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_checkpoints() {
+        let runtime =
+            ShardedRuntime::new(OpportunityPipeline::default(), island_pools(), 3).unwrap();
+        let good = runtime.checkpoint();
+
+        let mut empty = good.clone();
+        empty.shards.clear();
+        let err = ShardedRuntime::restore(OpportunityPipeline::default(), &empty).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err:?}");
+
+        let mut ragged = good.clone();
+        ragged.shards[0].slots.pop();
+        let err = ShardedRuntime::restore(OpportunityPipeline::default(), &ragged).unwrap_err();
+        assert!(err.to_string().contains("slot count"), "{err}");
+
+        let mut bad_owner = good;
+        bad_owner.owners[0] = 99;
+        let err = ShardedRuntime::restore(OpportunityPipeline::default(), &bad_owner).unwrap_err();
+        assert!(matches!(err, EngineError::Graph(_)), "{err:?}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ use arb_dexsim::units::to_display;
 use arb_graph::{Cycle, CycleId, CycleIndex, SyncOutcome, TokenGraph};
 use rayon::prelude::*;
 
+use crate::checkpoint::{EngineCheckpoint, PoolSlot};
 use crate::error::EngineError;
 use crate::opportunity::ArbitrageOpportunity;
 use crate::pipeline::{CycleCandidate, OpportunityPipeline};
@@ -390,6 +391,84 @@ impl StreamingEngine {
             self.standing.values().cloned().collect();
         self.pipeline.rank(&mut opportunities);
         opportunities
+    }
+
+    /// Captures this engine's durable state as plain data: every pool
+    /// slot, the cycle-index arena, and the standing revision. The
+    /// standing opportunity values are not captured —
+    /// [`StreamingEngine::restore`] recomputes them bit-identically on
+    /// its first refresh, because evaluation is a pure function of
+    /// (reserves, feed).
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let (min_cycle_len, max_cycle_len) = self.index.length_bounds();
+        let (arena, free) = self.index.to_parts();
+        EngineCheckpoint {
+            min_cycle_len,
+            max_cycle_len,
+            slots: (0..self.graph.pool_count())
+                .map(|i| PoolSlot::capture(&self.graph, arb_amm::pool::PoolId::new(i as u32)))
+                .collect(),
+            arena,
+            free,
+            standing_revision: self.revision,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint: same graph (including
+    /// retired slots), same cycle index (same `CycleId`s, same future
+    /// slot recycling), restored standing revision. Every live cycle
+    /// starts dirty and the standing set empty, so the first refresh
+    /// reproduces the checkpointed ranking bit-for-bit under the same
+    /// feed; cumulative [`StreamStats`] restart from zero.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Config`] — invalid pipeline config, or cycle
+    ///   length bounds that contradict the checkpoint's.
+    /// * [`EngineError::Graph`] — the checkpoint's slots or arena are
+    ///   internally inconsistent
+    ///   ([`arb_graph::GraphError::InvalidCheckpoint`]).
+    pub fn restore(
+        pipeline: OpportunityPipeline,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<Self, EngineError> {
+        let config = *pipeline.config();
+        config.validate()?;
+        if (config.min_cycle_len, config.max_cycle_len)
+            != (checkpoint.min_cycle_len, checkpoint.max_cycle_len)
+        {
+            return Err(EngineError::Config(format!(
+                "checkpoint cycle bounds {}..={} do not match pipeline config {}..={}",
+                checkpoint.min_cycle_len,
+                checkpoint.max_cycle_len,
+                config.min_cycle_len,
+                config.max_cycle_len
+            )));
+        }
+        let graph = checkpoint.build_graph()?;
+        let index = CycleIndex::from_parts(
+            &graph,
+            checkpoint.min_cycle_len,
+            checkpoint.max_cycle_len,
+            checkpoint.arena.clone(),
+            checkpoint.free.clone(),
+        )?;
+        let dirty: BTreeSet<CycleId> = index.iter_live().map(|(id, _)| id).collect();
+        let stats = StreamStats {
+            cycles_added: dirty.len(),
+            cycles_dirtied: dirty.len(),
+            ..StreamStats::default()
+        };
+        Ok(StreamingEngine {
+            pipeline,
+            graph,
+            index,
+            dirty,
+            standing: BTreeMap::new(),
+            feed_prices: Vec::new(),
+            revision: checkpoint.standing_revision,
+            stats,
+        })
     }
 
     fn apply_event(&mut self, event: &Event) -> Result<(), EngineError> {
@@ -805,6 +884,91 @@ mod tests {
         assert!(line.contains("events"), "{line}");
         assert!(line.contains("evaluations saved"), "{line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_ranking_bit_for_bit() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine.refresh(&feed).unwrap();
+        // Mutate past the cold start: a sync, a retire (tombstones +
+        // free-list entries), and a new pool.
+        engine
+            .apply_events(
+                &[
+                    sync(0, 101.0, 199.0),
+                    Event::PoolCreated {
+                        pool: p(3),
+                        token_a: t(0),
+                        token_b: t(1),
+                        reserve_a: to_raw(150.0),
+                        reserve_b: to_raw(250.0),
+                        fee: FeeRate::UNISWAP_V2,
+                    },
+                    Event::Sync {
+                        pool: p(1),
+                        reserve_a: 0,
+                        reserve_b: 0,
+                    },
+                    sync(1, 300.0, 200.0),
+                ],
+                &feed,
+            )
+            .unwrap();
+
+        let checkpoint = engine.checkpoint();
+        let mut restored =
+            StreamingEngine::restore(OpportunityPipeline::default(), &checkpoint).unwrap();
+        assert_eq!(restored.standing_revision(), engine.standing_revision());
+        assert_eq!(
+            restored.pending_dirty(),
+            restored.index().live_cycles(),
+            "restore starts with everything dirty"
+        );
+        restored.refresh(&feed).unwrap();
+
+        let live = engine.ranked();
+        let back = restored.ranked();
+        assert_eq!(live.len(), back.len());
+        assert!(!live.is_empty(), "non-vacuous");
+        for (a, b) in live.iter().zip(&back) {
+            assert_eq!(a.cycle.tokens(), b.cycle.tokens());
+            assert_eq!(a.cycle.pools(), b.cycle.pools());
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(
+                a.net_profit.value().to_bits(),
+                b.net_profit.value().to_bits()
+            );
+        }
+
+        // Both copies keep agreeing on subsequent events (same CycleIds,
+        // same slot recycling, same revive behavior).
+        for batch in [vec![sync(3, 160.0, 240.0)], vec![sync(1, 290.0, 210.0)]] {
+            let a = engine.apply_events(&batch, &feed).unwrap();
+            let b = restored.apply_events(&batch, &feed).unwrap();
+            assert_eq!(a.opportunities.len(), b.opportunities.len());
+            for (x, y) in a.opportunities.iter().zip(&b.opportunities) {
+                assert_eq!(
+                    x.net_profit.value().to_bits(),
+                    y.net_profit.value().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_cycle_bounds() {
+        let engine = StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        let checkpoint = engine.checkpoint();
+        let config = PipelineConfig {
+            max_cycle_len: 4,
+            ..PipelineConfig::default()
+        };
+        let err =
+            StreamingEngine::restore(OpportunityPipeline::new(config), &checkpoint).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("cycle bounds"), "{err}");
     }
 
     #[test]

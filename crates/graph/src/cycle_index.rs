@@ -161,6 +161,101 @@ impl CycleIndex {
         retired
     }
 
+    /// Exports the arena for checkpointing: the cycle slots (`None` marks
+    /// a tombstoned slot) and the free list, in recycling order. Together
+    /// with the graph the index was built over, [`CycleIndex::from_parts`]
+    /// reconstructs an identical index — same `CycleId` assignment, same
+    /// future slot-recycling behavior — without re-running the
+    /// exponential cycle enumeration.
+    pub fn to_parts(&self) -> (Vec<Option<Cycle>>, Vec<u32>) {
+        (self.cycles.clone(), self.free.clone())
+    }
+
+    /// Rebuilds an index from checkpointed parts ([`CycleIndex::to_parts`])
+    /// against `graph`, re-deriving the posting lists. Every live arena
+    /// cycle is validated against the graph, and the free list must name
+    /// exactly the tombstoned slots.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::CycleTooShort`] / [`GraphError::DisconnectedCycle`]
+    ///   for invalid length bounds (mirroring [`CycleIndex::build`]).
+    /// * [`GraphError::InvalidCheckpoint`] when the free list and arena
+    ///   disagree, or a cycle's length falls outside the bounds.
+    /// * [`GraphError::UnknownReference`] / [`GraphError::DisconnectedCycle`]
+    ///   when an arena cycle does not exist in `graph`.
+    pub fn from_parts(
+        graph: &TokenGraph,
+        min_len: usize,
+        max_len: usize,
+        cycles: Vec<Option<Cycle>>,
+        free: Vec<u32>,
+    ) -> Result<Self, GraphError> {
+        if min_len < 2 {
+            return Err(GraphError::CycleTooShort);
+        }
+        if min_len > max_len {
+            return Err(GraphError::DisconnectedCycle);
+        }
+        let mut free_slots = vec![false; cycles.len()];
+        for &slot in &free {
+            match free_slots.get_mut(slot as usize) {
+                Some(seen @ false) if cycles[slot as usize].is_none() => *seen = true,
+                Some(false) => {
+                    return Err(GraphError::InvalidCheckpoint(
+                        "free list names a live arena slot",
+                    ))
+                }
+                Some(true) => {
+                    return Err(GraphError::InvalidCheckpoint(
+                        "free list names a slot twice",
+                    ))
+                }
+                None => {
+                    return Err(GraphError::InvalidCheckpoint(
+                        "free list points past the arena",
+                    ))
+                }
+            }
+        }
+        let mut by_pool = vec![Vec::new(); graph.pool_count()];
+        let mut live = 0usize;
+        for (slot, entry) in cycles.iter().enumerate() {
+            let Some(cycle) = entry else {
+                if !free_slots[slot] {
+                    return Err(GraphError::InvalidCheckpoint(
+                        "tombstoned arena slot missing from the free list",
+                    ));
+                }
+                continue;
+            };
+            if cycle.len() < min_len || cycle.len() > max_len {
+                return Err(GraphError::InvalidCheckpoint(
+                    "arena cycle length outside the index bounds",
+                ));
+            }
+            cycle.validate(graph)?;
+            let id = CycleId(slot as u32);
+            for &pool in cycle.pools() {
+                if !graph.is_live(pool) {
+                    return Err(GraphError::InvalidCheckpoint(
+                        "arena cycle traverses a retired pool",
+                    ));
+                }
+                by_pool[pool.index()].push(id);
+            }
+            live += 1;
+        }
+        Ok(CycleIndex {
+            min_len,
+            max_len,
+            cycles,
+            by_pool,
+            free,
+            live,
+        })
+    }
+
     fn insert(&mut self, cycle: Cycle) -> CycleId {
         let id = match self.free.pop() {
             Some(slot) => {
@@ -527,6 +622,101 @@ mod tests {
             index.on_pool_added(&graph, pool).unwrap();
             assert_matches_full_enumeration(&index, &graph);
         }
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_ids_and_recycling() {
+        // Retire a pool so the arena has tombstones and a free list, then
+        // export/import: the rebuilt index must expose the same live
+        // cycles under the same ids and recycle slots identically.
+        let mut graph = diamond();
+        let mut index = CycleIndex::build(&graph, 2, 4).unwrap();
+        graph.remove_pool(p(4)).unwrap();
+        index.on_pool_removed(p(4));
+
+        let (arena, free) = index.to_parts();
+        let mut restored = CycleIndex::from_parts(&graph, 2, 4, arena, free).unwrap();
+        assert_eq!(restored.live_cycles(), index.live_cycles());
+        assert_eq!(restored.length_bounds(), index.length_bounds());
+        let live: Vec<(CycleId, Cycle)> = index.iter_live().map(|(i, c)| (i, c.clone())).collect();
+        let restored_live: Vec<(CycleId, Cycle)> =
+            restored.iter_live().map(|(i, c)| (i, c.clone())).collect();
+        assert_eq!(live, restored_live, "ids and cycles survive the trip");
+        assert_matches_full_enumeration(&restored, &graph);
+
+        // Both copies must recycle the same freed slot for the next
+        // insertion (same future behavior, not just same present state).
+        let mut graph2 = graph.clone();
+        let fee = FeeRate::UNISWAP_V2;
+        let id = graph2.add_pool(Pool::new(t(5), t(6), 10.0, 10.0, fee).unwrap());
+        let _ = graph2.add_pool(Pool::new(t(5), t(6), 20.0, 21.0, fee).unwrap());
+        let a = index.on_pool_added(&graph2, PoolId::new(id.index() as u32 + 1));
+        let b = restored.on_pool_added(&graph2, PoolId::new(id.index() as u32 + 1));
+        assert_eq!(a.unwrap(), b.unwrap());
+    }
+
+    #[test]
+    fn inconsistent_parts_rejected() {
+        let graph = diamond();
+        let index = CycleIndex::build(&graph, 3, 3).unwrap();
+        let (arena, free) = index.to_parts();
+        assert!(free.is_empty());
+
+        // Free list naming a live slot.
+        let err = CycleIndex::from_parts(&graph, 3, 3, arena.clone(), vec![0]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidCheckpoint("free list names a live arena slot")
+        );
+
+        // Tombstone missing from the free list.
+        let mut holed = arena.clone();
+        holed[1] = None;
+        let err = CycleIndex::from_parts(&graph, 3, 3, holed.clone(), vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidCheckpoint("tombstoned arena slot missing from the free list")
+        );
+        // …and consistent tombstones are accepted.
+        let ok = CycleIndex::from_parts(&graph, 3, 3, holed.clone(), vec![1]).unwrap();
+        assert_eq!(ok.live_cycles(), index.live_cycles() - 1);
+        // Duplicate and out-of-range free entries.
+        let err = CycleIndex::from_parts(&graph, 3, 3, holed.clone(), vec![1, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidCheckpoint("free list names a slot twice")
+        );
+        let err = CycleIndex::from_parts(&graph, 3, 3, holed, vec![1, 99]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidCheckpoint("free list points past the arena")
+        );
+
+        // Length bounds must bracket every arena cycle.
+        let err = CycleIndex::from_parts(&graph, 4, 4, arena.clone(), vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidCheckpoint("arena cycle length outside the index bounds")
+        );
+
+        // A cycle through a pool that is retired in the restore-target
+        // graph is rejected (the arena invariant is live-pools-only).
+        let mut smaller = graph.clone();
+        smaller.remove_pool(p(4)).unwrap();
+        assert_eq!(
+            CycleIndex::from_parts(&smaller, 3, 3, arena, vec![]).unwrap_err(),
+            GraphError::InvalidCheckpoint("arena cycle traverses a retired pool")
+        );
+
+        // The bound checks mirror `build`.
+        assert_eq!(
+            CycleIndex::from_parts(&graph, 1, 3, vec![], vec![]).unwrap_err(),
+            GraphError::CycleTooShort
+        );
+        assert_eq!(
+            CycleIndex::from_parts(&graph, 4, 3, vec![], vec![]).unwrap_err(),
+            GraphError::DisconnectedCycle
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub enum GraphError {
     DisconnectedCycle,
     /// Pool construction failed (forwarded from `arb-amm`).
     Amm(arb_amm::AmmError),
+    /// Checkpointed state (a cycle-index arena or a partition assignment)
+    /// is internally inconsistent with the graph it is being restored
+    /// against.
+    InvalidCheckpoint(&'static str),
 }
 
 impl fmt::Display for GraphError {
@@ -27,6 +31,9 @@ impl fmt::Display for GraphError {
             GraphError::UnknownReference => write!(f, "unknown token or pool reference"),
             GraphError::DisconnectedCycle => write!(f, "cycle hops do not form a loop"),
             GraphError::Amm(e) => write!(f, "amm error: {e}"),
+            GraphError::InvalidCheckpoint(reason) => {
+                write!(f, "invalid checkpoint state: {reason}")
+            }
         }
     }
 }

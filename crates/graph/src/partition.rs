@@ -118,6 +118,54 @@ impl Partition {
         }
     }
 
+    /// Reconstructs a partition from a checkpointed per-slot shard
+    /// assignment (`owners[p]` = shard owning pool slot `p`). Token
+    /// ownership and member lists are re-derived by claiming both tokens
+    /// of every slot in slot order — exactly how [`Partition::new`] and
+    /// [`Partition::register_pool`] built them originally, so a
+    /// checkpoint → restore round trip reproduces the partition
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::InvalidCheckpoint`] when the
+    /// assignment does not cover `graph`'s slots exactly, names a shard
+    /// at or beyond `shard_count`, or `shard_count` is zero.
+    pub fn from_assignments(
+        graph: &TokenGraph,
+        owners: &[usize],
+        shard_count: usize,
+    ) -> Result<Self, crate::GraphError> {
+        if shard_count == 0 {
+            return Err(crate::GraphError::InvalidCheckpoint(
+                "partition needs at least one shard",
+            ));
+        }
+        if owners.len() != graph.pool_count() {
+            return Err(crate::GraphError::InvalidCheckpoint(
+                "partition assignment does not cover every pool slot",
+            ));
+        }
+        let mut members: Vec<Vec<PoolId>> = vec![Vec::new(); shard_count];
+        let mut shard_of_token = vec![None; graph.token_count()];
+        for (index, &shard) in owners.iter().enumerate() {
+            if shard >= shard_count {
+                return Err(crate::GraphError::InvalidCheckpoint(
+                    "partition assignment names an unknown shard",
+                ));
+            }
+            let pool = &graph.pools()[index];
+            members[shard].push(PoolId::new(index as u32));
+            shard_of_token[pool.token_a().index()] = Some(shard);
+            shard_of_token[pool.token_b().index()] = Some(shard);
+        }
+        Ok(Partition {
+            shard_of_pool: owners.to_vec(),
+            shard_of_token,
+            members,
+        })
+    }
+
     /// Number of shards actually produced.
     pub fn shard_count(&self) -> usize {
         self.members.len()
@@ -280,6 +328,45 @@ mod tests {
             partition.shard_of_token(t(2)),
             partition.shard_of_pool(p(1))
         );
+    }
+
+    #[test]
+    fn assignments_round_trip_bit_for_bit() {
+        let graph = three_islands();
+        let mut partition = Partition::new(&graph, 3);
+        // Exercise the append path too, so the round trip covers state no
+        // fresh `Partition::new` would produce.
+        let shard = partition.shard_of_token(t(6)).unwrap();
+        let mut graph = graph;
+        graph.add_pool(Pool::new(t(6), t(9), 5.0, 5.0, FeeRate::UNISWAP_V2).unwrap());
+        partition.register_pool(p(7), t(6), t(9), shard);
+
+        let owners: Vec<usize> = (0..graph.pool_count())
+            .map(|i| partition.shard_of_pool(p(i as u32)).unwrap())
+            .collect();
+        let restored =
+            Partition::from_assignments(&graph, &owners, partition.shard_count()).unwrap();
+        assert_eq!(restored, partition);
+    }
+
+    #[test]
+    fn invalid_assignments_rejected() {
+        let graph = three_islands();
+        let owners = vec![0usize; graph.pool_count()];
+        assert!(matches!(
+            Partition::from_assignments(&graph, &owners, 0),
+            Err(crate::GraphError::InvalidCheckpoint(_))
+        ));
+        assert!(matches!(
+            Partition::from_assignments(&graph, &owners[1..], 1),
+            Err(crate::GraphError::InvalidCheckpoint(_))
+        ));
+        let bad = vec![5usize; graph.pool_count()];
+        assert!(matches!(
+            Partition::from_assignments(&graph, &bad, 2),
+            Err(crate::GraphError::InvalidCheckpoint(_))
+        ));
+        assert!(Partition::from_assignments(&graph, &owners, 1).is_ok());
     }
 
     #[test]

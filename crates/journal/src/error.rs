@@ -1,0 +1,86 @@
+//! Journal error type.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from journal I/O, snapshot handling, and recovery.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// On-disk bytes failed validation (bad magic, bad checksum, a frame
+    /// that does not decode, …). Tail corruption is *not* reported this
+    /// way — the journal truncates at the first bad record instead; this
+    /// surfaces only for damage that cannot be healed by truncation.
+    Corrupt(String),
+    /// A read or replay was requested past the journal's durable tail
+    /// (e.g. a snapshot referencing events that were never fsynced).
+    OffsetPastTail {
+        /// The requested offset.
+        offset: u64,
+        /// The journal's durable tail.
+        tail: u64,
+    },
+    /// Recovery found no usable snapshot and no way to bootstrap from
+    /// genesis (no genesis pools and a journal that does not start with
+    /// `PoolCreated`).
+    NoBootstrap(&'static str),
+    /// Restoring or replaying through the engine failed.
+    Engine(arb_engine::EngineError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::Corrupt(reason) => write!(f, "journal corrupt: {reason}"),
+            JournalError::OffsetPastTail { offset, tail } => {
+                write!(f, "offset {offset} is past the journal tail {tail}")
+            }
+            JournalError::NoBootstrap(reason) => {
+                write!(f, "recovery cannot bootstrap: {reason}")
+            }
+            JournalError::Engine(e) => write!(f, "engine error during recovery: {e}"),
+        }
+    }
+}
+
+impl Error for JournalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<arb_engine::EngineError> for JournalError {
+    fn from(e: arb_engine::EngineError) -> Self {
+        JournalError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = JournalError::Io(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("io"));
+        assert!(e.source().is_some());
+        let e = JournalError::OffsetPastTail { offset: 9, tail: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.source().is_none());
+        assert!(JournalError::NoBootstrap("x").to_string().contains('x'));
+    }
+}

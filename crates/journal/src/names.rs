@@ -1,0 +1,61 @@
+//! Fixed-width numbered file names, shared by segments and snapshots.
+//!
+//! Both on-disk artifact kinds use the same scheme —
+//! `{prefix}{n:020}{suffix}` — so lexicographic file-name order equals
+//! numeric order and a plain directory listing reads chronologically.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Digits in the zero-padded number field.
+const WIDTH: usize = 20;
+
+/// Formats `{prefix}{n:020}{suffix}`.
+pub(crate) fn file_name(prefix: &str, n: u64, suffix: &str) -> String {
+    format!("{prefix}{n:0WIDTH$}{suffix}")
+}
+
+/// Parses a name produced by [`file_name`] back into its number.
+/// Rejects non-matching prefixes/suffixes and non-fixed-width digits.
+pub(crate) fn parse(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.len() != WIDTH || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Lists `dir`'s matching files sorted by number, ignoring foreign
+/// names (including in-flight `.tmp` files).
+pub(crate) fn list(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(n) = name.to_str().and_then(|name| parse(name, prefix, suffix)) {
+            found.push((n, entry.path()));
+        }
+    }
+    found.sort_by_key(|(n, _)| *n);
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_rejections() {
+        let name = file_name("segment-", 57, ".seg");
+        assert_eq!(name, "segment-00000000000000000057.seg");
+        assert_eq!(parse(&name, "segment-", ".seg"), Some(57));
+        assert_eq!(parse(&name, "snapshot-", ".ckpt"), None);
+        assert_eq!(parse("segment-57.seg", "segment-", ".seg"), None);
+        assert_eq!(parse("segment-xyz.seg", "segment-", ".seg"), None);
+        assert_eq!(
+            parse("snapshot-00000000000000000003.ckpt", "snapshot-", ".ckpt"),
+            Some(3)
+        );
+    }
+}

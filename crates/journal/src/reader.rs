@@ -1,0 +1,176 @@
+//! The read side: offset-addressed cursors over the durable journal.
+
+use std::path::{Path, PathBuf};
+
+use arb_dexsim::events::Event;
+
+use crate::error::JournalError;
+use crate::segment;
+
+/// A reader's position in the journal, mirroring
+/// [`arb_dexsim::chain::EventCursor`]: `position` is the global offset of
+/// the next event it will yield.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalCursor {
+    next: u64,
+}
+
+impl JournalCursor {
+    /// A cursor that replays the journal from its very first record.
+    pub const fn genesis() -> Self {
+        JournalCursor { next: 0 }
+    }
+
+    /// A cursor positioned at an explicit offset (e.g. a snapshot's).
+    pub const fn at(position: u64) -> Self {
+        JournalCursor { next: position }
+    }
+
+    /// The offset of the next event this cursor will yield.
+    pub const fn position(self) -> u64 {
+        self.next
+    }
+}
+
+/// One scanned segment: its first offset, valid record count, and path.
+#[derive(Debug, Clone)]
+struct Segment {
+    first: u64,
+    records: u64,
+    path: PathBuf,
+}
+
+/// A snapshot-in-time view of the journal directory.
+///
+/// Opening scans every segment and establishes the durable tail with the
+/// same truncate-at-first-bad-record rule the writer uses — but without
+/// modifying any file, so a reader can safely inspect a journal another
+/// process owns. Reads past the established tail (a snapshot that
+/// references never-fsynced events, a cursor from a longer-lived log)
+/// fail with [`JournalError::OffsetPastTail`] rather than serving
+/// garbage.
+#[derive(Debug)]
+pub struct JournalReader {
+    segments: Vec<Segment>,
+    /// First offset covered by the oldest retained segment (> 0 after
+    /// compaction).
+    base: u64,
+    tail: u64,
+}
+
+impl JournalReader {
+    /// Opens and scans the journal in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on filesystem failures (a missing
+    /// directory included — an empty journal is a directory with no
+    /// segments, not an absent one).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let listed = segment::list_segments(dir.as_ref()).map_err(JournalError::from)?;
+        let mut segments = Vec::with_capacity(listed.len());
+        let mut expected_first = listed.first().map_or(0, |(first, _)| *first);
+        let base = expected_first;
+        for (first, path) in listed {
+            if first != expected_first {
+                // A gap: everything from here on is unreachable.
+                break;
+            }
+            let scan = segment::scan_segment(&path).map_err(JournalError::from)?;
+            segments.push(Segment {
+                first,
+                records: scan.records,
+                path,
+            });
+            expected_first = first + scan.records;
+            if !scan.clean {
+                break;
+            }
+        }
+        let tail = segments
+            .last()
+            .map_or(base, |segment| segment.first + segment.records);
+        Ok(JournalReader {
+            segments,
+            base,
+            tail,
+        })
+    }
+
+    /// The durable tail: offsets in `[base, tail)` are readable.
+    pub fn tail_offset(&self) -> u64 {
+        self.tail
+    }
+
+    /// The oldest readable offset (> 0 once compaction has removed
+    /// fully-snapshotted segments).
+    pub fn base_offset(&self) -> u64 {
+        self.base
+    }
+
+    /// Whether the journal holds no readable events.
+    pub fn is_empty(&self) -> bool {
+        self.base == self.tail
+    }
+
+    /// Decodes every event in `[offset, tail)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`JournalError::OffsetPastTail`] — `offset` exceeds the durable
+    ///   tail.
+    /// * [`JournalError::Corrupt`] — `offset` predates the oldest
+    ///   retained segment (compacted away).
+    pub fn read_from(&self, offset: u64) -> Result<Vec<Event>, JournalError> {
+        if offset > self.tail {
+            return Err(JournalError::OffsetPastTail {
+                offset,
+                tail: self.tail,
+            });
+        }
+        if offset < self.base {
+            return Err(JournalError::Corrupt(format!(
+                "offset {offset} predates the oldest retained segment ({})",
+                self.base
+            )));
+        }
+        let mut events = Vec::new();
+        for segment in &self.segments {
+            let end = segment.first + segment.records;
+            if end <= offset {
+                continue;
+            }
+            let skip = offset.saturating_sub(segment.first);
+            let mut chunk =
+                segment::read_segment_events(&segment.path, skip).map_err(JournalError::from)?;
+            // The file may have grown since the scan; serve only what the
+            // scan established as durable.
+            chunk.truncate((segment.records - skip) as usize);
+            events.extend(chunk);
+        }
+        Ok(events)
+    }
+
+    /// Drains every event the cursor has not yet seen, advancing it to
+    /// the tail — the journal-side mirror of
+    /// [`arb_dexsim::chain::Chain::drain_events`].
+    ///
+    /// # Errors
+    ///
+    /// See [`JournalReader::read_from`].
+    pub fn drain(&self, cursor: &mut JournalCursor) -> Result<Vec<Event>, JournalError> {
+        let events = self.read_from(cursor.next)?;
+        cursor.next = self.tail;
+        Ok(events)
+    }
+}
+
+/// Convenience: the durable tail of the journal in `dir` without keeping
+/// a reader around.
+///
+/// # Errors
+///
+/// See [`JournalReader::open`].
+pub fn tail_offset(dir: impl AsRef<Path>) -> Result<u64, JournalError> {
+    Ok(JournalReader::open(dir)?.tail_offset())
+}

@@ -1,0 +1,215 @@
+//! Crash recovery: newest valid snapshot + journal suffix replay.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use arb_amm::pool::Pool;
+use arb_cex::feed::PriceFeed;
+use arb_dexsim::events::Event;
+use arb_dexsim::units::to_display;
+use arb_engine::{OpportunityPipeline, ShardedRuntime};
+
+use crate::error::JournalError;
+use crate::reader::JournalReader;
+use crate::snapshot::SnapshotStore;
+
+/// What one recovery did: where it restarted from, how much it replayed,
+/// and how long it took. Formatted as a one-line operator log via
+/// [`fmt::Display`], in the same style as the engine's `StreamStats` /
+/// `PipelineStats` lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Journal offset of the snapshot restored (`None` = genesis replay,
+    /// no usable snapshot).
+    pub snapshot_offset: Option<u64>,
+    /// Events replayed through the engine after the restore point.
+    pub events_replayed: usize,
+    /// The journal's durable tail at recovery time.
+    pub journal_tail: u64,
+    /// Wall-clock time of restore + replay.
+    pub wall: Duration,
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.snapshot_offset {
+            Some(offset) => write!(
+                f,
+                "recovered from snapshot@{offset}, {} events replayed to tail {}, {:.3}ms wall",
+                self.events_replayed,
+                self.journal_tail,
+                self.wall.as_secs_f64() * 1e3
+            ),
+            None => write!(
+                f,
+                "recovered from genesis, {} events replayed to tail {}, {:.3}ms wall",
+                self.events_replayed,
+                self.journal_tail,
+                self.wall.as_secs_f64() * 1e3
+            ),
+        }
+    }
+}
+
+/// The result of a successful recovery: a runtime brought current to the
+/// journal's durable tail, plus the stats describing how it got there.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The restored fleet, standing set refreshed under the recovery
+    /// feed — ranked output is bit-identical to a process that never
+    /// crashed (given the same feed).
+    pub runtime: ShardedRuntime,
+    /// What the recovery did.
+    pub stats: RecoveryStats,
+}
+
+/// The recovery driver: restores the newest valid snapshot from a
+/// journal directory and replays the journal suffix through the engine.
+///
+/// Selection rules (each step falls back to the next):
+///
+/// 1. the newest snapshot that validates (magic/version/CRC) **and**
+///    whose offset is at or below the journal's durable tail;
+/// 2. any older snapshot meeting the same conditions;
+/// 3. genesis: an engine built from the configured genesis pools (or,
+///    when none are given, from the journal's leading `PoolCreated`
+///    prefix) with the entire journal replayed.
+///
+/// Replay applies the suffix as one batch and refreshes under the
+/// caller's feed, so the recovered standing ranking is bit-identical to
+/// an uninterrupted engine at the same (state, feed) point — evaluation
+/// is a pure function of reserves and prices.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    dir: PathBuf,
+    pipeline: OpportunityPipeline,
+    max_shards: usize,
+    genesis_pools: Vec<Pool>,
+}
+
+impl Recovery {
+    /// A driver over the journal in `dir`, restoring engines configured
+    /// like `pipeline` with at most `max_shards` shards (used only for
+    /// the genesis path; a snapshot carries its own shard layout).
+    pub fn new(dir: impl Into<PathBuf>, pipeline: OpportunityPipeline, max_shards: usize) -> Self {
+        Recovery {
+            dir: dir.into(),
+            pipeline,
+            max_shards,
+            genesis_pools: Vec::new(),
+        }
+    }
+
+    /// Sets the initial pool universe for the genesis fallback — the
+    /// pools that existed before the journal's first event (a journal
+    /// attached from chain genesis needs none: its leading
+    /// `PoolCreated` events carry the universe).
+    #[must_use]
+    pub fn with_genesis_pools(mut self, pools: Vec<Pool>) -> Self {
+        self.genesis_pools = pools;
+        self
+    }
+
+    /// Runs the recovery: restore, replay, refresh under `feed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`JournalError::Io`] / [`JournalError::Corrupt`] — the journal
+    ///   itself cannot be read (tail corruption is healed by truncation,
+    ///   not reported).
+    /// * [`JournalError::NoBootstrap`] — no usable snapshot, no genesis
+    ///   pools, and no leading `PoolCreated` prefix to build from.
+    /// * [`JournalError::Engine`] — restore or replay failed in the
+    ///   engine.
+    pub fn recover<F: PriceFeed + Sync>(&self, feed: &F) -> Result<Recovered, JournalError> {
+        let start = Instant::now();
+        let reader = JournalReader::open(&self.dir)?;
+        let tail = reader.tail_offset();
+        let store = SnapshotStore::new(&self.dir)?;
+
+        let (mut runtime, snapshot_offset, events) =
+            match store.newest_valid(reader.base_offset(), tail)? {
+                Some((offset, checkpoint)) => {
+                    let runtime = ShardedRuntime::restore(self.pipeline.clone(), &checkpoint)?;
+                    (runtime, Some(offset), reader.read_from(offset)?)
+                }
+                None => {
+                    if reader.base_offset() > 0 {
+                        // Compaction removed the genesis prefix, which is only
+                        // sound while a snapshot covers it — with every
+                        // snapshot unusable, a partial replay would produce
+                        // silently wrong state.
+                        return Err(JournalError::NoBootstrap(
+                            "no usable snapshot and the journal's genesis prefix \
+                         was compacted away",
+                        ));
+                    }
+                    let events = reader.read_from(0)?;
+                    let (runtime, events) = self.bootstrap_genesis(events)?;
+                    (runtime, None, events)
+                }
+            };
+
+        let events_replayed = events.len();
+        runtime.apply_events(&events, feed)?;
+        Ok(Recovered {
+            runtime,
+            stats: RecoveryStats {
+                snapshot_offset,
+                events_replayed,
+                journal_tail: tail,
+                wall: start.elapsed(),
+            },
+        })
+    }
+
+    /// Builds a cold runtime for the genesis path: from the configured
+    /// genesis pools, or from the journal's leading `PoolCreated` prefix
+    /// when none were configured. Returns the runtime plus the events
+    /// still to replay through it.
+    fn bootstrap_genesis(
+        &self,
+        mut events: Vec<Event>,
+    ) -> Result<(ShardedRuntime, Vec<Event>), JournalError> {
+        let pools = if self.genesis_pools.is_empty() {
+            let prefix = events
+                .iter()
+                .take_while(|event| matches!(event, Event::PoolCreated { .. }))
+                .count();
+            if prefix == 0 {
+                return Err(JournalError::NoBootstrap(
+                    "no snapshot, no genesis pools, and the journal does not \
+                     start with PoolCreated events",
+                ));
+            }
+            let pools = events[..prefix]
+                .iter()
+                .map(|event| match *event {
+                    Event::PoolCreated {
+                        token_a,
+                        token_b,
+                        reserve_a,
+                        reserve_b,
+                        fee,
+                        ..
+                    } => Pool::new(
+                        token_a,
+                        token_b,
+                        to_display(reserve_a),
+                        to_display(reserve_b),
+                        fee,
+                    )
+                    .map_err(|e| JournalError::Corrupt(format!("genesis pool invalid: {e}"))),
+                    _ => unreachable!("prefix holds only PoolCreated events"),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            events.drain(..prefix);
+            pools
+        } else {
+            self.genesis_pools.clone()
+        };
+        let runtime = ShardedRuntime::new(self.pipeline.clone(), pools, self.max_shards)?;
+        Ok((runtime, events))
+    }
+}

@@ -1,0 +1,215 @@
+//! Segment files and the on-disk record frame.
+//!
+//! A journal directory holds an ordered series of append-only segment
+//! files, each named by the global offset (event sequence number) of its
+//! first record:
+//!
+//! ```text
+//! segment-00000000000000000000.seg     events [0, n₀)
+//! segment-00000000000000000057.seg     events [57, n₁)   ← n₀ = 57
+//! ```
+//!
+//! Every record is length-prefixed and checksummed:
+//!
+//! ```text
+//! ┌────────────┬────────────┬───────────────────────┐
+//! │ len: u32LE │ crc32: u32 │ payload (event frame) │
+//! └────────────┴────────────┴───────────────────────┘
+//! ```
+//!
+//! where the payload is exactly one [`Event`]'s binary codec frame (the
+//! same codec `dexsim::EventLog` uses in memory) and the checksum covers
+//! the payload. Scanning stops at the first record that is truncated,
+//! fails its checksum, or does not decode — everything before it is the
+//! valid prefix, everything after is tail garbage from an interrupted
+//! write.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use arb_dexsim::events::Event;
+use bytes::{Bytes, BytesMut};
+
+use crate::crc::crc32;
+
+/// Bytes of frame header before the payload: length + checksum.
+pub(crate) const RECORD_HEADER: usize = 8;
+
+/// Upper bound on a single record's payload. Event frames are tens of
+/// bytes; anything larger is a corrupt length prefix, not a record.
+pub(crate) const MAX_PAYLOAD: u32 = 1 << 20;
+
+const PREFIX: &str = "segment-";
+const SUFFIX: &str = ".seg";
+
+/// The file name of the segment whose first record has `first_offset`.
+pub(crate) fn segment_file_name(first_offset: u64) -> String {
+    crate::names::file_name(PREFIX, first_offset, SUFFIX)
+}
+
+/// Lists the directory's segment files, sorted by first offset. Files
+/// that do not match the naming scheme are ignored.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    crate::names::list(dir, PREFIX, SUFFIX)
+}
+
+/// Appends one framed record (header + event payload) to `out`.
+pub(crate) fn encode_record(out: &mut Vec<u8>, event: &Event) {
+    let mut payload = BytesMut::new();
+    event.encode(&mut payload);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// The outcome of scanning one segment's bytes for its valid prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SegmentScan {
+    /// Records in the valid prefix.
+    pub records: u64,
+    /// Length of the valid prefix in bytes.
+    pub valid_bytes: u64,
+    /// Whether the whole file was valid (no trailing garbage).
+    pub clean: bool,
+}
+
+/// Decodes the record starting at `data[at..]`. Returns the event and the
+/// total frame length, or `None` if the record is truncated, oversized,
+/// fails its checksum, or does not decode to exactly one event.
+fn decode_record(data: &[u8], at: usize) -> Option<(Event, usize)> {
+    let header = data.get(at..at + RECORD_HEADER)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    if len as u32 > MAX_PAYLOAD {
+        return None;
+    }
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let payload = data.get(at + RECORD_HEADER..at + RECORD_HEADER + len)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let mut bytes = Bytes::copy_from_slice(payload);
+    let event = Event::decode(&mut bytes)?;
+    if !bytes.is_empty() {
+        return None;
+    }
+    Some((event, RECORD_HEADER + len))
+}
+
+/// Scans `data` (one segment's contents) for its valid record prefix.
+pub(crate) fn scan_bytes(data: &[u8]) -> SegmentScan {
+    let mut at = 0usize;
+    let mut records = 0u64;
+    while at < data.len() {
+        match decode_record(data, at) {
+            Some((_, frame)) => {
+                at += frame;
+                records += 1;
+            }
+            None => {
+                return SegmentScan {
+                    records,
+                    valid_bytes: at as u64,
+                    clean: false,
+                }
+            }
+        }
+    }
+    SegmentScan {
+        records,
+        valid_bytes: at as u64,
+        clean: true,
+    }
+}
+
+/// Reads and scans one segment file.
+pub(crate) fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    Ok(scan_bytes(&fs::read(path)?))
+}
+
+/// Decodes the events in one segment file's valid prefix, skipping the
+/// first `skip` records. Stops silently at the first bad record (tail
+/// truncation semantics).
+pub(crate) fn read_segment_events(path: &Path, skip: u64) -> io::Result<Vec<Event>> {
+    let data = fs::read(path)?;
+    let mut at = 0usize;
+    let mut seen = 0u64;
+    let mut events = Vec::new();
+    while at < data.len() {
+        let Some((event, frame)) = decode_record(&data, at) else {
+            break;
+        };
+        if seen >= skip {
+            events.push(event);
+        }
+        seen += 1;
+        at += frame;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::pool::PoolId;
+
+    fn sync(pool: u32, a: u128, b: u128) -> Event {
+        Event::Sync {
+            pool: PoolId::new(pool),
+            reserve_a: a,
+            reserve_b: b,
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let name = segment_file_name(57);
+        assert_eq!(name, "segment-00000000000000000057.seg");
+        assert_eq!(crate::names::parse(&name, PREFIX, SUFFIX), Some(57));
+    }
+
+    #[test]
+    fn records_round_trip_and_scan_clean() {
+        let events = [sync(0, 1, 2), sync(1, u128::MAX, 0), sync(2, 5, 5)];
+        let mut data = Vec::new();
+        for e in &events {
+            encode_record(&mut data, e);
+        }
+        let scan = scan_bytes(&data);
+        assert_eq!(scan.records, 3);
+        assert_eq!(scan.valid_bytes, data.len() as u64);
+        assert!(scan.clean);
+    }
+
+    #[test]
+    fn scan_truncates_at_bad_record() {
+        let mut data = Vec::new();
+        encode_record(&mut data, &sync(0, 1, 2));
+        let clean_len = data.len();
+        encode_record(&mut data, &sync(1, 3, 4));
+        // Flip one payload bit of the second record.
+        data[clean_len + RECORD_HEADER + 2] ^= 0x40;
+        let scan = scan_bytes(&data);
+        assert_eq!(scan.records, 1);
+        assert_eq!(scan.valid_bytes, clean_len as u64);
+        assert!(!scan.clean);
+
+        // A truncated header is tail garbage too.
+        let mut data = Vec::new();
+        encode_record(&mut data, &sync(0, 1, 2));
+        let clean_len = data.len();
+        data.extend_from_slice(&[0x07, 0x00]);
+        let scan = scan_bytes(&data);
+        assert_eq!(scan.records, 1);
+        assert_eq!(scan.valid_bytes, clean_len as u64);
+        assert!(!scan.clean);
+
+        // An absurd length prefix never allocates; it is corruption.
+        let mut data = Vec::new();
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.extend_from_slice(&[0u8; 12]);
+        let scan = scan_bytes(&data);
+        assert_eq!(scan.records, 0);
+        assert!(!scan.clean);
+    }
+}

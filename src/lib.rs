@@ -19,6 +19,7 @@
 //! | [`convex`] | `arb-convex` | the eq. 8 convex program and its solvers |
 //! | [`strategies`] | `arb-core` | Traditional, MaxPrice, MaxMax, ConvexOpt |
 //! | [`engine`] | `arb-engine` | discovery → evaluation → ranking pipeline, streaming + sharded runtimes |
+//! | [`journal`] | `arb-journal` | durable event journal, engine snapshots, crash recovery |
 //! | [`workloads`] | `arb-workloads` | seeded deterministic scenario catalog (workload generator) |
 //! | [`bot`] | `arb-bot` | engine-driven flash-execute bot + market sim |
 //!
@@ -56,6 +57,7 @@ pub use arb_core as strategies;
 pub use arb_dexsim as dexsim;
 pub use arb_engine as engine;
 pub use arb_graph as graph;
+pub use arb_journal as journal;
 pub use arb_numerics as numerics;
 pub use arb_snapshot as snapshot;
 pub use arb_workloads as workloads;
@@ -68,7 +70,7 @@ pub mod prelude {
     };
     pub use arb_bot::{
         sim::{MarketSim, MarketSimConfig},
-        ArbBot, BotConfig, ScanMode, StrategyChoice,
+        ArbBot, BotConfig, JournalSettings, JournaledBot, ScanMode, StrategyChoice,
     };
     pub use arb_cex::feed::{PriceFeed, PriceTable};
     pub use arb_convex::{Formulation, LoopPlan, LoopProblem, SolverOptions};
@@ -88,11 +90,15 @@ pub mod prelude {
         units::{to_display, to_raw},
     };
     pub use arb_engine::{
-        ArbitrageOpportunity, EngineError, OpportunityPipeline, PipelineConfig, PipelineReport,
-        RankingPolicy, RuntimeReport, RuntimeStats, ShardedRuntime, StreamReport, StreamStats,
-        StreamingEngine,
+        ArbitrageOpportunity, EngineCheckpoint, EngineError, OpportunityPipeline, PipelineConfig,
+        PipelineReport, RankingPolicy, RuntimeCheckpoint, RuntimeReport, RuntimeStats,
+        ShardedRuntime, StreamReport, StreamStats, StreamingEngine,
     };
     pub use arb_graph::{Cycle, CycleId, CycleIndex, Partition, SyncOutcome, TokenGraph};
+    pub use arb_journal::{
+        JournalConfig, JournalCursor, JournalError, JournalReader, JournalWriter, Recovered,
+        Recovery, RecoveryStats, SnapshotStore,
+    };
     pub use arb_snapshot::{Generator, Snapshot, SnapshotConfig};
     pub use arb_workloads::{Scenario, ScenarioConfig, TickBatch, WorkloadSpec};
 }

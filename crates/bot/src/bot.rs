@@ -37,6 +37,7 @@ pub fn pipeline_for(config: &BotConfig) -> OpportunityPipeline {
         min_net_profit_usd: config.min_profit_usd,
         parallel: config.workers > 1,
         top_k: None,
+        ..PipelineConfig::default()
     })
     .with_strategies(vec![strategy])
 }

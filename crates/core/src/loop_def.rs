@@ -33,6 +33,37 @@ impl ArbLoop {
         Ok(ArbLoop { hops, tokens })
     }
 
+    /// An empty scratch loop for buffer-reusing call sites (the streaming
+    /// engine's zero-allocation refresh). A scratch loop violates the
+    /// ≥ 2-hop invariant until [`ArbLoop::rebuild`] fills it — do not
+    /// hand one to a strategy before that.
+    pub fn scratch() -> Self {
+        ArbLoop {
+            hops: Vec::new(),
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Refills this loop in place from borrowed slices, reusing the inner
+    /// buffers' capacity — the steady-state path performs no heap
+    /// allocation once the buffers have grown to their high-water mark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidLoop`] for fewer than 2 hops or
+    /// mismatched lengths (the same validation as [`ArbLoop::new`]); the
+    /// loop is left empty in that case.
+    pub fn rebuild(&mut self, hops: &[SwapCurve], tokens: &[TokenId]) -> Result<(), StrategyError> {
+        self.hops.clear();
+        self.tokens.clear();
+        if hops.len() < 2 || hops.len() != tokens.len() {
+            return Err(StrategyError::InvalidLoop);
+        }
+        self.hops.extend_from_slice(hops);
+        self.tokens.extend_from_slice(tokens);
+        Ok(())
+    }
+
     /// Number of hops (= number of tokens).
     pub fn len(&self) -> usize {
         self.hops.len()
@@ -84,10 +115,34 @@ impl ArbLoop {
     where
         F: Fn(TokenId) -> Option<f64>,
     {
-        self.tokens
-            .iter()
-            .map(|&t| lookup(t).ok_or(StrategyError::MissingPrice(t)))
-            .collect()
+        let mut prices = Vec::with_capacity(self.tokens.len());
+        self.resolve_prices_into(lookup, &mut prices)?;
+        Ok(prices)
+    }
+
+    /// [`ArbLoop::resolve_prices`] into a caller-owned buffer: appends
+    /// this loop's prices to `out` (for flat span-indexed batching). On a
+    /// missing price, `out` is truncated back to its incoming length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::MissingPrice`] naming the first unpriced
+    /// token.
+    pub fn resolve_prices_into<F>(&self, lookup: F, out: &mut Vec<f64>) -> Result<(), StrategyError>
+    where
+        F: Fn(TokenId) -> Option<f64>,
+    {
+        let start = out.len();
+        for &token in &self.tokens {
+            match lookup(token) {
+                Some(price) => out.push(price),
+                None => {
+                    out.truncate(start);
+                    return Err(StrategyError::MissingPrice(token));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -57,11 +57,13 @@
 //! ```
 
 pub mod checkpoint;
+mod dirty;
 pub mod error;
 pub mod opportunity;
 pub mod pipeline;
 pub mod ranking;
 pub mod runtime;
+mod scratch;
 pub mod streaming;
 
 pub use checkpoint::{EngineCheckpoint, PoolSlot, RuntimeCheckpoint};
@@ -72,5 +74,5 @@ pub use pipeline::{
     SnapshotPrices,
 };
 pub use ranking::{RankByGrossProfit, RankByNetProfit, RankByProfitPerHop, RankingPolicy};
-pub use runtime::{RuntimeReport, RuntimeStats, ShardedRuntime};
+pub use runtime::{RuntimeReport, RuntimeStats, ScreenTotals, ShardedRuntime};
 pub use streaming::{StreamReport, StreamStats, StreamingEngine};

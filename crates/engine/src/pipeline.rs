@@ -22,16 +22,22 @@ pub type SharedStrategy = Arc<dyn Strategy + Send + Sync>;
 /// Outcome of the shared per-cycle discovery step
 /// ([`OpportunityPipeline::prepare_candidate`]).
 pub(crate) enum CycleCandidate {
-    /// Round-trip rate ≤ 1 (or unratable): not an arbitrage loop.
+    /// Round-trip rate ≤ 1: not an arbitrage loop.
     NotArbitrage,
+    /// A hop's fee-adjusted rate degenerated (`Σ log p = -∞`): the cycle
+    /// cannot trade, and is counted separately from ordinary
+    /// non-arbitrage cycles instead of being conflated with them.
+    Degenerate,
     /// A loop, but some token has no USD price in the feed.
     Unpriced,
     /// Ready for strategy evaluation.
     Ready {
         /// The assembled analysis loop.
         loop_: ArbLoop,
-        /// USD prices aligned with the loop's token order.
-        prices: Vec<f64>,
+        /// `(offset, len)` span of this candidate's USD prices in the
+        /// caller's flat price buffer, aligned with the loop's token
+        /// order.
+        prices: (usize, usize),
     },
 }
 
@@ -52,6 +58,14 @@ pub struct PipelineConfig {
     pub parallel: bool,
     /// Keep only the best `top_k` opportunities after ranking.
     pub top_k: Option<usize>,
+    /// Consult the incremental log-space profitability screen before
+    /// evaluating dirty cycles in the streaming engine: cycles whose
+    /// maintained `Σ log p` is provably ≤ 0, or whose profit upper bound
+    /// provably cannot clear the net-profit floor, skip preparation and
+    /// strategy evaluation entirely. The screen is **sound** — output is
+    /// bit-identical with it on or off (`tests/screen_equivalence.rs`) —
+    /// so disabling it only serves baseline comparisons.
+    pub screen: bool,
 }
 
 impl Default for PipelineConfig {
@@ -63,6 +77,7 @@ impl Default for PipelineConfig {
             min_net_profit_usd: 0.0,
             parallel: true,
             top_k: None,
+            screen: true,
         }
     }
 }
@@ -124,6 +139,10 @@ pub struct PipelineStats {
     pub pools: usize,
     /// Cycles with round-trip rate > 1 discovered across all lengths.
     pub cycles_discovered: usize,
+    /// Cycles skipped because a hop's fee-adjusted rate degenerated
+    /// (`Σ log p = -∞`, e.g. a rate underflowing to zero) — previously
+    /// conflated with ordinary non-arbitrage cycles.
+    pub cycles_degenerate: usize,
     /// Cycles dropped because a loop token had no CEX price.
     pub cycles_unpriced: usize,
     /// Strategy evaluations attempted (cycles × strategies).
@@ -140,12 +159,13 @@ impl fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} tokens, {} pools, {} cycles ({} unpriced), \
+            "{} tokens, {} pools, {} cycles ({} unpriced, {} degenerate), \
              {} evaluations ({} benign failures), {} below floor",
             self.tokens,
             self.pools,
             self.cycles_discovered,
             self.cycles_unpriced,
+            self.cycles_degenerate,
             self.evaluations,
             self.evaluation_failures,
             self.below_floor
@@ -304,11 +324,15 @@ impl OpportunityPipeline {
 
         // Discovery: profitable cycles at every configured length, with
         // prices resolved up front so the evaluation stage is pure CPU.
-        let mut candidates: Vec<(Cycle, ArbLoop, Vec<f64>)> = Vec::new();
+        // Prices live in one flat buffer shared by every candidate —
+        // `(offset, len)` spans instead of a fresh `Vec<f64>` per cycle.
+        let mut price_buf: Vec<f64> = Vec::new();
+        let mut candidates: Vec<(Cycle, ArbLoop, (usize, usize))> = Vec::new();
         for len in self.config.min_cycle_len..=self.config.max_cycle_len {
             for cycle in graph.cycles(len)? {
-                match self.prepare_candidate(graph, &cycle, feed)? {
+                match self.prepare_candidate(graph, &cycle, feed, &mut price_buf)? {
                     CycleCandidate::NotArbitrage => {}
+                    CycleCandidate::Degenerate => stats.cycles_degenerate += 1,
                     CycleCandidate::Unpriced => {
                         stats.cycles_discovered += 1;
                         stats.cycles_unpriced += 1;
@@ -322,8 +346,12 @@ impl OpportunityPipeline {
         }
 
         // Evaluation: every strategy on every cycle, best sizing wins.
-        let evaluate = |(cycle, loop_, prices): &(Cycle, ArbLoop, Vec<f64>)| {
-            self.evaluate_cycle(cycle, loop_, prices)
+        // The flat price buffer is shared read-only across the fan-out;
+        // the parallel path is order-preserving, so sequential and
+        // parallel runs stay bit-identical.
+        let price_buf = &price_buf;
+        let evaluate = |(cycle, loop_, span): &(Cycle, ArbLoop, (usize, usize))| {
+            self.evaluate_cycle(cycle, loop_, &price_buf[span.0..span.0 + span.1])
         };
         let evaluated: Result<Vec<(Option<ArbitrageOpportunity>, usize, usize)>, EngineError> =
             if self.config.parallel && candidates.len() > 1 {
@@ -353,30 +381,48 @@ impl OpportunityPipeline {
         })
     }
 
-    /// Classifies one cycle for evaluation: the shared discovery step of
-    /// the batch run and the streaming engine, so the arbitrage filter
-    /// (`Σ log p > 0`, with rate errors treated as "not a loop") and
-    /// price resolution can never drift between the two paths.
+    /// Classifies one cycle for evaluation: the batch pipeline's
+    /// discovery step, mirrored hop-for-hop by the streaming engine's
+    /// scratch-arena preparation (`StreamingEngine::refresh_standing`) so
+    /// the arbitrage filter and price resolution can never drift between
+    /// the two paths. The filter reads the graph's **cached** per-slot
+    /// log rates ([`TokenGraph::cycle_log_rate`]) — bit-identical to
+    /// summing fresh `spot_rate().ln()` values, minus the per-hop curve
+    /// construction. A `-∞` sum (degenerate hop rate) is classified
+    /// [`CycleCandidate::Degenerate`] rather than silently folded into
+    /// "not an arbitrage", and structural errors now propagate instead of
+    /// being swallowed by the old `unwrap_or(NEG_INFINITY)`.
+    ///
+    /// Ready candidates push their prices onto `price_buf` and return the
+    /// `(offset, len)` span.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Graph`]/[`EngineError::Strategy`] if the
-    /// cycle's curves or loop cannot be assembled — a structural defect,
-    /// not a market condition.
+    /// cycle references unknown pools or its curves/loop cannot be
+    /// assembled — a structural defect, not a market condition.
     pub(crate) fn prepare_candidate<F: PriceFeed>(
         &self,
         graph: &TokenGraph,
         cycle: &Cycle,
         feed: &F,
+        price_buf: &mut Vec<f64>,
     ) -> Result<CycleCandidate, EngineError> {
-        let is_loop = cycle.log_rate(graph).unwrap_or(f64::NEG_INFINITY) > 0.0;
-        if !is_loop {
+        let log_rate = graph.cycle_log_rate(cycle)?;
+        if log_rate == f64::NEG_INFINITY {
+            return Ok(CycleCandidate::Degenerate);
+        }
+        if log_rate.is_nan() || log_rate <= 0.0 {
             return Ok(CycleCandidate::NotArbitrage);
         }
         let hops = graph.curves_for(cycle)?;
         let loop_ = ArbLoop::new(hops, cycle.tokens().to_vec())?;
-        match loop_.resolve_prices(|t| feed.usd_price(t)) {
-            Ok(prices) => Ok(CycleCandidate::Ready { loop_, prices }),
+        let offset = price_buf.len();
+        match loop_.resolve_prices_into(|t| feed.usd_price(t), price_buf) {
+            Ok(()) => Ok(CycleCandidate::Ready {
+                loop_,
+                prices: (offset, cycle.len()),
+            }),
             Err(_) => Ok(CycleCandidate::Unpriced),
         }
     }

@@ -103,6 +103,54 @@ impl fmt::Display for RuntimeStats {
     }
 }
 
+/// The fleet-wide profitability-screen counters, summed across every
+/// shard engine **and** across rebuilds (a repartition replaces the
+/// engines, so their counters are banked first — these totals are
+/// cumulative for the runtime's lifetime, like
+/// [`ShardedRuntime::cycles_evaluated`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenTotals {
+    /// Dirty cycles dropped by the incremental log-sum screen.
+    pub cycles_screened_out: usize,
+    /// Dirty cycles dropped by the feed-priced profit-floor bound.
+    pub cycles_floor_screened: usize,
+    /// Dirty cycles skipped for degenerate (`-∞`) log rates.
+    pub cycles_degenerate_skipped: usize,
+    /// O(1) delta updates applied to per-cycle log-sums.
+    pub screen_delta_updates: usize,
+    /// Exact resummations (drift control / non-finite rates).
+    pub screen_resummations: usize,
+    /// Strategy evaluation attempts actually performed.
+    pub strategy_evaluations: usize,
+}
+
+impl ScreenTotals {
+    fn add_stats(&mut self, stats: &StreamStats) {
+        self.cycles_screened_out += stats.cycles_screened_out;
+        self.cycles_floor_screened += stats.cycles_floor_screened;
+        self.cycles_degenerate_skipped += stats.cycles_degenerate_skipped;
+        self.screen_delta_updates += stats.screen_delta_updates;
+        self.screen_resummations += stats.screen_resummations;
+        self.strategy_evaluations += stats.strategy_evaluations;
+    }
+}
+
+impl fmt::Display for ScreenTotals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} screened, {} floor-screened, {} degenerate, \
+             {} strategy evaluations (screen {}Δ/{}Σ)",
+            self.cycles_screened_out,
+            self.cycles_floor_screened,
+            self.cycles_degenerate_skipped,
+            self.strategy_evaluations,
+            self.screen_delta_updates,
+            self.screen_resummations
+        )
+    }
+}
+
 /// The merged, globally ranked output of one runtime tick.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -166,6 +214,9 @@ pub struct ShardedRuntime {
     /// since replaced, so [`ShardedRuntime::cycles_evaluated`] stays
     /// cumulative across repartitions.
     evaluations_before_rebuilds: usize,
+    /// Screen counters banked from replaced fleets, mirroring
+    /// `evaluations_before_rebuilds`.
+    screen_before_rebuilds: ScreenTotals,
     stats: RuntimeStats,
 }
 
@@ -212,6 +263,7 @@ impl ShardedRuntime {
             max_shards,
             pending_retires: Vec::new(),
             evaluations_before_rebuilds: 0,
+            screen_before_rebuilds: ScreenTotals::default(),
             stats: RuntimeStats::default(),
         })
     }
@@ -285,6 +337,16 @@ impl ShardedRuntime {
                 .iter()
                 .map(|s| s.engine.stats().cycles_evaluated)
                 .sum::<usize>()
+    }
+
+    /// Fleet-wide profitability-screen counters since construction,
+    /// cumulative across rebuilds (see [`ScreenTotals`]).
+    pub fn screen_totals(&self) -> ScreenTotals {
+        let mut totals = self.screen_before_rebuilds;
+        for shard in &self.shards {
+            totals.add_stats(shard.engine.stats());
+        }
+        totals
     }
 
     /// Routes a batch of chain events to their owning shards, flushes
@@ -459,13 +521,17 @@ impl ShardedRuntime {
         for id in dead {
             graph.remove_pool(id)?;
         }
-        // The fleet is replaced wholesale; bank its evaluation counters
-        // so the cumulative totals survive the repartition.
+        // The fleet is replaced wholesale; bank its evaluation and
+        // screen counters so the cumulative totals survive the
+        // repartition.
         self.evaluations_before_rebuilds += self
             .shards
             .iter()
             .map(|s| s.engine.stats().cycles_evaluated)
             .sum::<usize>();
+        for shard in &self.shards {
+            self.screen_before_rebuilds.add_stats(shard.engine.stats());
+        }
         self.partition = Partition::new(&graph, self.max_shards);
         self.shards = Self::build_shards(&self.pipeline, &graph, &self.partition)?;
         self.pool_slots = graph.pool_count();
@@ -556,6 +622,7 @@ impl ShardedRuntime {
             max_shards: checkpoint.max_shards,
             pending_retires: Vec::new(),
             evaluations_before_rebuilds: 0,
+            screen_before_rebuilds: ScreenTotals::default(),
             stats: RuntimeStats::default(),
         })
     }

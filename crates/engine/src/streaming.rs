@@ -31,22 +31,51 @@
 //! dirties the cycles touching any token whose USD price changed, so the
 //! standing set stays batch-identical even under a drifting CEX feed —
 //! while a universe whose prices *didn't* move pays nothing.
+//!
+//! # The profitability screen and the zero-allocation hot path
+//!
+//! Re-evaluation itself is screened: before a dirty cycle pays for curve
+//! assembly, price resolution, and the strategy fan-out (the convex
+//! solver dominates), the engine consults the [`CycleIndex`]'s
+//! incrementally maintained log-sum. A cycle whose running `Σ log p` sits
+//! at or below `-`[`CycleIndex::SCREEN_DRIFT_MARGIN`] is provably not an
+//! arbitrage loop — the full path would classify it `NotArbitrage` and
+//! drop it — so the engine drops it directly and counts it in
+//! [`StreamStats::cycles_screened_out`]. When the effective gross floor
+//! (`execution_cost_usd + min_net_profit_usd`) is positive, a second
+//! sound screen applies: no trading plan can extract more USD from a
+//! cycle's pools than `Σ_pools (√(Pa·x) − √(Pb·y))²` (each pool's value
+//! at feed prices never drops below its `2√(k·Pa·Pb)` alignment minimum,
+//! and with fees `k` never decreases), so cycles whose bound cannot clear
+//! the floor skip strategy evaluation too
+//! ([`StreamStats::cycles_floor_screened`]). Both screens are
+//! conservative — borderline cycles fall through to the exact path — so
+//! output stays bit-identical with the screen on or off
+//! (`tests/screen_equivalence.rs`).
+//!
+//! Survivors are prepared into a reusable scratch arena (flat
+//! structure-of-arrays buffers for curves/tokens/prices, span-indexed
+//! evaluation slots with per-slot reusable `ArbLoop`s) and evaluated by
+//! an in-place `for_each` fan-out: in the steady state the refresh
+//! performs **zero heap allocation** in this scratch path
+//! ([`StreamStats::scratch_grow_events`] stays flat once warm).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use arb_amm::pool::Pool;
 use arb_cex::feed::PriceFeed;
-use arb_core::loop_def::ArbLoop;
 use arb_dexsim::events::Event;
 use arb_dexsim::units::to_display;
 use arb_graph::{Cycle, CycleId, CycleIndex, SyncOutcome, TokenGraph};
 use rayon::prelude::*;
 
 use crate::checkpoint::{EngineCheckpoint, PoolSlot};
+use crate::dirty::DirtyCycleSet;
 use crate::error::EngineError;
 use crate::opportunity::ArbitrageOpportunity;
-use crate::pipeline::{CycleCandidate, OpportunityPipeline};
+use crate::pipeline::OpportunityPipeline;
+use crate::scratch::{EvalSlot, ScratchArena};
 
 /// Cumulative counters for one streaming engine's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,24 +105,55 @@ pub struct StreamStats {
     pub evaluations_saved: usize,
     /// Refresh passes run.
     pub refreshes: usize,
+    /// Dirty cycles the incremental log-sum screen dropped without
+    /// preparation or strategy evaluation (provably `Σ log p ≤ 0`).
+    pub cycles_screened_out: usize,
+    /// Dirty cycles dropped because their sound profit upper bound could
+    /// not clear the effective gross floor (execution cost + net-profit
+    /// floor) at current feed prices.
+    pub cycles_floor_screened: usize,
+    /// Dirty cycles skipped because a hop's fee-adjusted rate degenerated
+    /// (`Σ log p = -∞`) — counted separately from ordinary non-arbitrage
+    /// cycles instead of being conflated with them.
+    pub cycles_degenerate_skipped: usize,
+    /// O(1) `new − old` delta updates applied to per-cycle log-sums.
+    pub screen_delta_updates: usize,
+    /// Exact log-sum resummations (periodic drift control, or a
+    /// non-finite rate passing through).
+    pub screen_resummations: usize,
+    /// Scratch-arena capacity-growth episodes; flat once warm ⇔ the
+    /// refresh fan-out scratch path is allocation-free.
+    pub scratch_grow_events: usize,
+    /// Arena slots tracked by the generation-stamped dense dirty bitset
+    /// (which replaced the old `BTreeSet<CycleId>` dirty set).
+    pub dirty_bitset_capacity: usize,
 }
 
 impl fmt::Display for StreamStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} events ({} syncs), {} cycles dirtied, {} evaluated, \
+            "{} events ({} syncs), {} cycles dirtied, {} evaluated \
+             ({} screened, {} floor-screened, {} degenerate), \
              {} evaluations saved over {} refreshes \
-             (+{} pools, -{} pools, {} revived)",
+             (+{} pools, -{} pools, {} revived; screen {}Δ/{}Σ, \
+             bitset {} slots, {} scratch grows)",
             self.events_applied,
             self.syncs_applied,
             self.cycles_dirtied,
             self.cycles_evaluated,
+            self.cycles_screened_out,
+            self.cycles_floor_screened,
+            self.cycles_degenerate_skipped,
             self.evaluations_saved,
             self.refreshes,
             self.pools_added,
             self.pools_retired,
-            self.pools_revived
+            self.pools_revived,
+            self.screen_delta_updates,
+            self.screen_resummations,
+            self.dirty_bitset_capacity,
+            self.scratch_grow_events
         )
     }
 }
@@ -121,7 +181,10 @@ pub struct StreamingEngine {
     pipeline: OpportunityPipeline,
     graph: TokenGraph,
     index: CycleIndex,
-    dirty: BTreeSet<CycleId>,
+    dirty: DirtyCycleSet,
+    /// Reusable flat buffers + evaluation slots for the refresh hot
+    /// path; grows to a high-water mark, then never allocates again.
+    scratch: ScratchArena,
     standing: BTreeMap<CycleId, ArbitrageOpportunity>,
     /// USD price per token index as of the last refresh (`None` =
     /// unpriced then). Refreshes diff the feed against this to dirty the
@@ -164,10 +227,14 @@ impl StreamingEngine {
         let config = *pipeline.config();
         config.validate()?;
         let index = CycleIndex::build(&graph, config.min_cycle_len, config.max_cycle_len)?;
-        let dirty: BTreeSet<CycleId> = index.iter_live().map(|(id, _)| id).collect();
+        let mut dirty = DirtyCycleSet::new();
+        for (id, _) in index.iter_live() {
+            dirty.insert(id);
+        }
         let stats = StreamStats {
             cycles_added: dirty.len(),
             cycles_dirtied: dirty.len(),
+            dirty_bitset_capacity: dirty.capacity(),
             ..StreamStats::default()
         };
         Ok(StreamingEngine {
@@ -175,6 +242,7 @@ impl StreamingEngine {
             graph,
             index,
             dirty,
+            scratch: ScratchArena::default(),
             standing: BTreeMap::new(),
             feed_prices: Vec::new(),
             revision: 0,
@@ -310,87 +378,204 @@ impl StreamingEngine {
     /// dirty set and updates the standing map without cloning or ranking
     /// it.
     ///
+    /// The pass is screen-first and allocation-free in the steady state:
+    /// dirty cycles whose incremental log-sum (or feed-priced profit
+    /// bound) proves the full evaluation would drop them are dropped
+    /// directly; survivors are prepared into the engine's reusable
+    /// scratch arena and evaluated by an in-place fan-out. See the
+    /// module docs for the soundness argument.
+    ///
     /// # Errors
     ///
-    /// See [`StreamingEngine::refresh`].
+    /// See [`StreamingEngine::refresh`]. A failed refresh leaves the
+    /// standing ranking and evaluation counters untouched and keeps
+    /// every pending cycle dirty (including cycles dirtied by this
+    /// call's feed diff), so the engine stays consistent and the refresh
+    /// can simply be retried.
     pub fn refresh_standing<F: PriceFeed>(&mut self, feed: &F) -> Result<(), EngineError> {
         self.dirty_feed_moves(feed);
 
-        // Prepare + evaluate without consuming engine state: any `?`
-        // below leaves the dirty set, standing ranking, and evaluation
-        // counters as they were (feed-diffed cycles stay dirty — a
-        // conservative over-approximation a retry re-evaluates).
-        let dirty: Vec<CycleId> = self.dirty.iter().copied().collect();
-        let mut dropped: Vec<CycleId> = Vec::new();
-        let mut candidates: Vec<(CycleId, Cycle, ArbLoop, Vec<f64>)> = Vec::new();
-        for &id in &dirty {
-            let cycle = self
-                .index
-                .get(id)
-                .expect("dirty set only holds live cycles")
-                .clone();
-            // The pipeline's own discovery step: identical arbitrage
-            // filter and price resolution as the batch path.
-            match self.pipeline.prepare_candidate(&self.graph, &cycle, feed)? {
-                CycleCandidate::NotArbitrage | CycleCandidate::Unpriced => dropped.push(id),
-                CycleCandidate::Ready { loop_, prices } => {
-                    candidates.push((id, cycle, loop_, prices));
+        let StreamingEngine {
+            pipeline,
+            graph,
+            index,
+            dirty,
+            scratch,
+            standing,
+            revision,
+            stats,
+            ..
+        } = self;
+        let config = pipeline.config();
+        let screen = config.screen;
+        // A standing entry needs `gross > 0` and `gross − cost ≥ floor`;
+        // when the combined requirement is positive, a sound gross upper
+        // bound can discharge cycles without evaluating them.
+        let required_gross = config.execution_cost_usd + config.min_net_profit_usd;
+        let floor_screen = screen && required_gross > 0.0;
+
+        // Phase 1 — screen + prepare. Nothing engine-visible mutates
+        // here (counter deltas are committed only after evaluation
+        // succeeds), so any `?` leaves the engine retryable.
+        scratch.begin_refresh();
+        let mut screened_out = 0usize;
+        let mut floor_screened = 0usize;
+        let mut degenerate_skipped = 0usize;
+        for id in dirty.iter() {
+            let cycle = index.get(id).expect("dirty set only holds live cycles");
+            if screen {
+                let log_sum = index.screen_log_sum(id).expect("live cycles are screened");
+                if log_sum <= -CycleIndex::SCREEN_DRIFT_MARGIN {
+                    // Sound: the exact Σ log p is certainly ≤ 0, so the
+                    // full path would classify this NotArbitrage (or
+                    // Degenerate) and drop it — identical outcome,
+                    // without curves, prices, or strategies.
+                    scratch.dropped.push(id);
+                    screened_out += 1;
+                    continue;
+                }
+            }
+            // Exact classification, mirroring the batch pipeline's
+            // `prepare_candidate` step for step (the equivalence tests
+            // hold the two paths together).
+            let log_rate = graph.cycle_log_rate(cycle)?;
+            if log_rate == f64::NEG_INFINITY {
+                scratch.dropped.push(id);
+                degenerate_skipped += 1;
+                continue;
+            }
+            if log_rate.is_nan() || log_rate <= 0.0 {
+                scratch.dropped.push(id);
+                continue;
+            }
+            if floor_screen {
+                if let Some(bound) = cycle_profit_bound(graph, cycle, feed) {
+                    // Relative safety margin over the analytic bound so
+                    // strategy-side rounding can never flip a borderline
+                    // keep into a screened drop.
+                    if bound + FLOOR_SCREEN_MARGIN * (1.0 + bound) < required_gross {
+                        scratch.dropped.push(id);
+                        floor_screened += 1;
+                        continue;
+                    }
+                }
+            }
+            // Prepare into the flat buffers: the same validation, curve
+            // construction, and price resolution as
+            // `prepare_candidate`, minus its allocations.
+            cycle.validate(graph)?;
+            let offset = scratch.hops.len();
+            for (&pool, &token_in) in cycle.pools().iter().zip(cycle.tokens()) {
+                scratch.hops.push(graph.curve(pool, token_in)?);
+            }
+            scratch.tokens.extend_from_slice(cycle.tokens());
+            let mut unpriced = false;
+            for &token in cycle.tokens() {
+                match feed.usd_price(token) {
+                    Some(price) => scratch.prices.push(price),
+                    None => {
+                        unpriced = true;
+                        break;
+                    }
+                }
+            }
+            if unpriced {
+                scratch.hops.truncate(offset);
+                scratch.tokens.truncate(offset);
+                scratch.prices.truncate(offset);
+                scratch.dropped.push(id);
+                continue;
+            }
+            scratch.push_candidate(id, offset, cycle.len());
+        }
+        scratch.end_prepare();
+
+        // Phase 2 — the strategy fan-out, in place over the scratch
+        // slots: every worker writes into its own slot, nothing is
+        // collected, nothing allocates.
+        {
+            let (hops, tokens, prices, slots) = scratch.split_for_eval();
+            let evaluate = |slot: &mut EvalSlot| {
+                let span = slot.offset..slot.offset + slot.len;
+                let cycle = index.get(slot.id).expect("slots hold live cycles");
+                let outcome = slot
+                    .loop_
+                    .rebuild(&hops[span.clone()], &tokens[span.clone()])
+                    .map_err(EngineError::from)
+                    .and_then(|()| pipeline.evaluate_cycle(cycle, &slot.loop_, &prices[span]));
+                slot.outcome = Some(outcome);
+            };
+            if config.parallel && slots.len() > 1 {
+                slots.par_iter_mut().for_each(evaluate);
+            } else {
+                slots.iter_mut().for_each(evaluate);
+            }
+        }
+        if scratch
+            .slots()
+            .iter()
+            .any(|slot| matches!(slot.outcome, Some(Err(_))))
+        {
+            for slot in scratch.slots_mut() {
+                if let Some(Err(error)) = slot.outcome.take() {
+                    return Err(error);
                 }
             }
         }
 
-        // Evaluation: the pipeline's own per-cycle strategy fan-out.
-        let evaluate = |(_, cycle, loop_, prices): &(CycleId, Cycle, ArbLoop, Vec<f64>)| {
-            self.pipeline.evaluate_cycle(cycle, loop_, prices)
-        };
-        let evaluated: Vec<_> = if self.pipeline.config().parallel && candidates.len() > 1 {
-            candidates
-                .par_iter()
-                .map(evaluate)
-                .collect::<Result<_, EngineError>>()?
-        } else {
-            candidates
-                .iter()
-                .map(evaluate)
-                .collect::<Result<_, EngineError>>()?
-        };
-
-        // Commit phase — infallible from here on.
-        self.dirty.clear();
-        self.stats.refreshes += 1;
-        self.stats.cycles_evaluated += dirty.len();
-        self.stats.evaluations_saved += self.index.live_cycles() - dirty.len();
+        // Phase 3 — commit. Infallible from here on.
+        let dirty_count = dirty.len();
+        dirty.clear();
+        stats.refreshes += 1;
+        stats.cycles_evaluated += dirty_count;
+        stats.evaluations_saved += index.live_cycles() - dirty_count;
+        stats.cycles_screened_out += screened_out;
+        stats.cycles_floor_screened += floor_screened;
+        stats.cycles_degenerate_skipped += degenerate_skipped;
+        stats.scratch_grow_events = scratch.grow_events();
+        stats.dirty_bitset_capacity = dirty.capacity();
         let mut changed = false;
-        for id in dropped {
-            changed |= self.standing.remove(&id).is_some();
+        for &id in &scratch.dropped {
+            changed |= standing.remove(&id).is_some();
         }
-        let floor = self.pipeline.config().min_net_profit_usd;
-        for ((id, ..), (opportunity, attempts, _benign)) in candidates.iter().zip(evaluated) {
-            self.stats.strategy_evaluations += attempts;
+        let floor = config.min_net_profit_usd;
+        for slot in scratch.slots_mut() {
+            let (opportunity, attempts, _benign) = slot
+                .outcome
+                .take()
+                .expect("fan-out filled every slot")
+                .expect("errors were drained above");
+            stats.strategy_evaluations += attempts;
             match opportunity {
                 Some(opp) if opp.net_profit.value() >= floor => {
-                    self.standing.insert(*id, opp);
+                    standing.insert(slot.id, opp);
                     changed = true;
                 }
                 _ => {
-                    changed |= self.standing.remove(id).is_some();
+                    changed |= standing.remove(&slot.id).is_some();
                 }
             }
         }
         if changed {
-            self.revision += 1;
+            *revision += 1;
         }
 
         Ok(())
     }
 
     /// The standing opportunity set in execution-priority order (the
-    /// pipeline's ranking policy, tie-breaks, and `top_k` cut).
+    /// pipeline's ranking policy, tie-breaks, and `top_k` cut). Sorts
+    /// references and deep-clones only the survivors of the `top_k`
+    /// cut — with hundreds of standing opportunities and a small
+    /// `top_k`, the old clone-everything-then-sort path dominated quiet
+    /// ticks.
     pub fn ranked(&self) -> Vec<ArbitrageOpportunity> {
-        let mut opportunities: Vec<ArbitrageOpportunity> =
-            self.standing.values().cloned().collect();
-        self.pipeline.rank(&mut opportunities);
-        opportunities
+        let mut refs: Vec<&ArbitrageOpportunity> = self.standing.values().collect();
+        refs.sort_by(|a, b| self.pipeline.compare(a, b));
+        if let Some(k) = self.pipeline.config().top_k {
+            refs.truncate(k);
+        }
+        refs.into_iter().cloned().collect()
     }
 
     /// Captures this engine's durable state as plain data: every pool
@@ -453,10 +638,14 @@ impl StreamingEngine {
             checkpoint.arena.clone(),
             checkpoint.free.clone(),
         )?;
-        let dirty: BTreeSet<CycleId> = index.iter_live().map(|(id, _)| id).collect();
+        let mut dirty = DirtyCycleSet::new();
+        for (id, _) in index.iter_live() {
+            dirty.insert(id);
+        }
         let stats = StreamStats {
             cycles_added: dirty.len(),
             cycles_dirtied: dirty.len(),
+            dirty_bitset_capacity: dirty.capacity(),
             ..StreamStats::default()
         };
         Ok(StreamingEngine {
@@ -464,6 +653,7 @@ impl StreamingEngine {
             graph,
             index,
             dirty,
+            scratch: ScratchArena::default(),
             standing: BTreeMap::new(),
             feed_prices: Vec::new(),
             revision: checkpoint.standing_revision,
@@ -484,11 +674,20 @@ impl StreamingEngine {
                 }
                 self.stats.syncs_applied += 1;
                 let was_live = self.graph.is_live(pool);
+                // Capture the pre-sync cached log rates: a live→live
+                // update feeds the screen an O(1) delta per containing
+                // cycle instead of a recompute.
+                let old_log_rates = self.graph.pool_log_rates(pool);
                 match self
                     .graph
                     .apply_sync(pool, to_display(reserve_a), to_display(reserve_b))?
                 {
-                    SyncOutcome::Updated => self.mark_pool_dirty(pool),
+                    SyncOutcome::Updated => {
+                        let update = self.index.on_pool_synced(&self.graph, pool, old_log_rates);
+                        self.stats.screen_delta_updates += update.deltas;
+                        self.stats.screen_resummations += update.resummations;
+                        self.mark_pool_dirty(pool);
+                    }
                     // `Retired` is idempotent at the graph layer; only a
                     // live → retired transition has cycles to drop (and
                     // counts as a retirement).
@@ -550,23 +749,28 @@ impl StreamingEngine {
         if self.feed_prices.len() < tokens {
             self.feed_prices.resize(tokens, None);
         }
-        let mut moved_pools: Vec<arb_amm::pool::PoolId> = Vec::new();
+        self.scratch.moved_pools.clear();
         for index in 0..tokens {
             let token = arb_amm::token::TokenId::new(index as u32);
             let now = feed.usd_price(token);
             if self.feed_prices[index].map(f64::to_bits) != now.map(f64::to_bits) {
                 self.feed_prices[index] = now;
-                moved_pools.extend(self.graph.neighbors(token).iter().map(|e| e.pool));
+                self.scratch
+                    .moved_pools
+                    .extend(self.graph.neighbors(token).iter().map(|e| e.pool));
             }
         }
-        for pool in moved_pools {
+        // Indexed loop: `mark_pool_dirty` needs `&mut self`, so the
+        // reused buffer cannot stay borrowed across it.
+        for position in 0..self.scratch.moved_pools.len() {
+            let pool = self.scratch.moved_pools[position];
             self.mark_pool_dirty(pool);
         }
     }
 
     fn mark_pool_dirty(&mut self, pool: arb_amm::pool::PoolId) {
-        for &id in self.index.cycles_for_pool(pool) {
-            if self.dirty.insert(id) {
+        for entry in self.index.cycles_for_pool(pool) {
+            if self.dirty.insert(entry.cycle) {
                 self.stats.cycles_dirtied += 1;
             }
         }
@@ -596,7 +800,7 @@ impl StreamingEngine {
     fn retire_pool_cycles(&mut self, pool: arb_amm::pool::PoolId) {
         self.stats.pools_retired += 1;
         for id in self.index.on_pool_removed(pool) {
-            self.dirty.remove(&id);
+            self.dirty.remove(id);
             if self.standing.remove(&id).is_some() {
                 self.revision += 1;
             }
@@ -613,6 +817,41 @@ impl StreamingEngine {
         }
         Ok(())
     }
+}
+
+/// Relative safety margin applied over [`cycle_profit_bound`] before a
+/// cycle is floor-screened, so strategy-side floating-point rounding can
+/// never flip a kept opportunity into a screened drop. The analytic
+/// bound's real-world slack is orders of magnitude larger than this.
+const FLOOR_SCREEN_MARGIN: f64 = 1e-6;
+
+/// A sound upper bound, in USD at current feed prices, on the monetized
+/// gross profit *any* trading plan can extract from a cycle's pools.
+///
+/// Per pool with reserves `(x, y)` and token prices `(Pa, Pb)`: the
+/// pool's holdings are worth `Pa·x + Pb·y ≥ 2√(Pa·Pb·x·y)` (AM–GM), the
+/// product `x·y` never decreases under fee-charging swaps, and every
+/// token the trader nets is a token some pool lost — so the total value
+/// extracted cannot exceed `Σ_pools (√(Pa·x) − √(Pb·y))²` (zero exactly
+/// when every pool is already price-aligned; this is the pools'
+/// arbitrage potential in the sense of Milionis et al.'s LVR).
+///
+/// Returns `None` when a pool token is unpriced or a price is not a
+/// positive finite number — the caller then falls through to the exact
+/// path, which classifies the cycle itself.
+fn cycle_profit_bound<F: PriceFeed>(graph: &TokenGraph, cycle: &Cycle, feed: &F) -> Option<f64> {
+    let mut bound = 0.0;
+    for &pool in cycle.pools() {
+        let p = graph.pool(pool).ok()?;
+        let price_a = feed.usd_price(p.token_a())?;
+        let price_b = feed.usd_price(p.token_b())?;
+        if !(price_a.is_finite() && price_a > 0.0 && price_b.is_finite() && price_b > 0.0) {
+            return None;
+        }
+        let gap = (price_a * p.reserve_a()).sqrt() - (price_b * p.reserve_b()).sqrt();
+        bound += gap * gap;
+    }
+    bound.is_finite().then_some(bound)
 }
 
 #[cfg(test)]
@@ -870,6 +1109,182 @@ mod tests {
         let before = engine.stats().cycles_evaluated;
         engine.refresh(&feed).unwrap();
         assert_eq!(engine.stats().cycles_evaluated, before);
+    }
+
+    #[test]
+    fn screen_drops_non_arb_cycles_without_preparing_them() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine.refresh(&feed).unwrap();
+        // The cold start re-examined both directed triangle cycles; the
+        // unprofitable direction (exact Σ log p < −fee drag) was screened
+        // out by the incremental sum without curve/price preparation.
+        assert_eq!(engine.stats().cycles_screened_out, 1, "{}", engine.stats());
+
+        // A sync keeps the screen maintained by O(1) deltas and screens
+        // the losing direction again on the next refresh.
+        engine
+            .apply_events(&[sync(0, 101.0, 199.0)], &feed)
+            .unwrap();
+        assert!(engine.stats().screen_delta_updates > 0);
+        assert_eq!(engine.stats().cycles_screened_out, 2);
+        assert_matches_batch(&engine, &feed);
+    }
+
+    #[test]
+    fn unscreened_config_matches_screened_bit_for_bit() {
+        let feed = paper_feed();
+        let screened = StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        let config = PipelineConfig {
+            screen: false,
+            ..PipelineConfig::default()
+        };
+        let unscreened =
+            StreamingEngine::new(OpportunityPipeline::new(config), paper_pools()).unwrap();
+        let mut engines = [screened, unscreened];
+        for engine in &mut engines {
+            engine.refresh(&feed).unwrap();
+        }
+        for batch in [vec![sync(0, 101.0, 199.0)], vec![sync(1, 290.0, 210.0)]] {
+            let [a, b] = &mut engines;
+            let ra = a.apply_events(&batch, &feed).unwrap();
+            let rb = b.apply_events(&batch, &feed).unwrap();
+            assert_eq!(ra.opportunities.len(), rb.opportunities.len());
+            for (x, y) in ra.opportunities.iter().zip(&rb.opportunities) {
+                assert_eq!(
+                    x.net_profit.value().to_bits(),
+                    y.net_profit.value().to_bits()
+                );
+            }
+        }
+        assert_eq!(engines[1].stats().cycles_screened_out, 0);
+        assert!(engines[0].stats().cycles_screened_out > 0);
+    }
+
+    #[test]
+    fn floor_screen_skips_strategy_work_only_below_the_bound() {
+        let feed = paper_feed();
+        // The paper triangle's pool-potential bound is ≈ $2247; a floor
+        // far above it screens the profitable direction without ever
+        // running a strategy, a floor below it does not.
+        let screened_out = |floor: f64| {
+            let config = PipelineConfig {
+                min_net_profit_usd: floor,
+                ..PipelineConfig::default()
+            };
+            let mut engine =
+                StreamingEngine::new(OpportunityPipeline::new(config), paper_pools()).unwrap();
+            engine.refresh(&feed).unwrap();
+            assert_matches_batch(&engine, &feed);
+            (
+                engine.stats().cycles_floor_screened,
+                engine.stats().strategy_evaluations,
+            )
+        };
+        let (floored_high, evals_high) = screened_out(10_000.0);
+        assert_eq!(floored_high, 1, "profitable direction provably < floor");
+        assert_eq!(evals_high, 0, "no strategy ran at all");
+        let (floored_low, evals_low) = screened_out(100.0);
+        assert_eq!(floored_low, 0, "bound cannot discharge a reachable floor");
+        assert!(evals_low > 0);
+    }
+
+    #[test]
+    fn steady_state_refreshes_stop_growing_the_scratch_arena() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine.refresh(&feed).unwrap();
+        let mut flip = false;
+        for _ in 0..3 {
+            // Alternate between two reserve states so every refresh does
+            // real re-evaluation work of identical shape.
+            flip = !flip;
+            let (a, b) = if flip { (101.0, 199.0) } else { (100.0, 200.0) };
+            engine.apply_events(&[sync(0, a, b)], &feed).unwrap();
+        }
+        let warm = engine.stats().scratch_grow_events;
+        for _ in 0..16 {
+            flip = !flip;
+            let (a, b) = if flip { (101.0, 199.0) } else { (100.0, 200.0) };
+            engine.apply_events(&[sync(0, a, b)], &feed).unwrap();
+        }
+        assert_eq!(
+            engine.stats().scratch_grow_events,
+            warm,
+            "warm refreshes must not allocate in the scratch path: {}",
+            engine.stats()
+        );
+        assert_matches_batch(&engine, &feed);
+    }
+
+    #[test]
+    fn degenerate_rates_are_counted_alike_in_batch_and_streaming() {
+        let fee = FeeRate::UNISWAP_V2;
+        // A live pool whose 1→2 rate underflows to zero: reserves are
+        // valid so nothing retires, but every cycle through it is
+        // untradeable and must be skipped — and *counted* — identically
+        // by the batch pipeline and the streaming engine.
+        let pools = vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 1e300, 1e-300, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ];
+        let feed = paper_feed();
+
+        let batch = OpportunityPipeline::default()
+            .run(pools.clone(), &feed)
+            .unwrap();
+        // One direction sums to -inf (degenerate); the reverse sums to
+        // +inf and evaluates like any other loop candidate.
+        assert_eq!(batch.stats.cycles_degenerate, 1, "{}", batch.stats);
+
+        // Screened streaming: the -inf sum is caught by the log-sum
+        // screen, so the dedicated degenerate counter only moves when
+        // the screen is off — but the *output* is identical either way.
+        let unscreened_config = PipelineConfig {
+            screen: false,
+            ..PipelineConfig::default()
+        };
+        let mut unscreened =
+            StreamingEngine::new(OpportunityPipeline::new(unscreened_config), pools.clone())
+                .unwrap();
+        unscreened.refresh(&feed).unwrap();
+        assert_eq!(
+            unscreened.stats().cycles_degenerate_skipped,
+            1,
+            "{}",
+            unscreened.stats()
+        );
+        let mut screened =
+            StreamingEngine::new(OpportunityPipeline::default(), pools.clone()).unwrap();
+        screened.refresh(&feed).unwrap();
+        assert_eq!(
+            screened.stats().cycles_screened_out + screened.stats().cycles_degenerate_skipped,
+            1,
+            "{}",
+            screened.stats()
+        );
+        assert_matches_batch(&screened, &feed);
+        assert_matches_batch(&unscreened, &feed);
+
+        // NaN-sync and zero-reserve syncs retire the pool in streaming;
+        // the batch run over the remaining live pools must agree.
+        let mut engine = StreamingEngine::new(OpportunityPipeline::default(), pools).unwrap();
+        engine.refresh(&feed).unwrap();
+        engine
+            .apply_events(
+                &[Event::Sync {
+                    pool: p(1),
+                    reserve_a: 0,
+                    reserve_b: 0,
+                }],
+                &feed,
+            )
+            .unwrap();
+        assert_eq!(engine.stats().pools_retired, 1);
+        assert_matches_batch(&engine, &feed);
     }
 
     #[test]

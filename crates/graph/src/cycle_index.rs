@@ -17,6 +17,24 @@
 //! those; when a pool degenerates, its posting list names every cycle to
 //! retire. The streaming engine in `arb-engine` drives these hooks from
 //! chain events.
+//!
+//! # The incremental profitability screen
+//!
+//! Besides membership, the index maintains each live cycle's **running
+//! log-sum** `Σ_j ln p_j` — the paper's arbitrage indicator — from the
+//! per-slot directional log rates the [`TokenGraph`] caches. Posting
+//! entries record which direction a cycle traverses its pool in
+//! ([`PoolCycleRef`]), so when that pool syncs the cycle's sum takes an
+//! O(1) `new_log − old_log` delta ([`CycleIndex::on_pool_synced`])
+//! instead of an O(hops) recompute. Floating-point drift from repeated
+//! deltas is bounded by an exact resummation every
+//! [`CycleIndex::RESUM_INTERVAL`] updates (and immediately whenever a
+//! non-finite rate passes through — `-∞ − -∞` must never poison a sum
+//! with NaN), which keeps every incremental sum within
+//! [`CycleIndex::SCREEN_DRIFT_MARGIN`] of the exact value. A consumer may
+//! therefore *soundly* skip any cycle whose incremental sum is at most
+//! `−SCREEN_DRIFT_MARGIN`: its exact log-rate is certainly ≤ 0, so a full
+//! evaluation would discard it as "not an arbitrage" anyway.
 
 use arb_amm::pool::PoolId;
 use arb_amm::token::TokenId;
@@ -35,6 +53,14 @@ impl CycleId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A cycle id from a raw arena slot (the inverse of
+    /// [`CycleId::index`]) — for dense slot-keyed side tables like the
+    /// engine's dirty bitset. Forged ids simply resolve to `None` in
+    /// [`CycleIndex::get`].
+    pub const fn from_index(index: usize) -> Self {
+        CycleId(index as u32)
+    }
 }
 
 impl std::fmt::Display for CycleId {
@@ -43,22 +69,70 @@ impl std::fmt::Display for CycleId {
     }
 }
 
+/// One posting-list entry: a live cycle through a pool, plus the
+/// direction the cycle enters that pool in (a simple cycle's tokens are
+/// distinct, so it traverses each of its pools exactly once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCycleRef {
+    /// The cycle traversing the pool.
+    pub cycle: CycleId,
+    /// `true` when the cycle's hop enters the pool with `token_a` (its
+    /// log-rate is the slot's direction-0 cached value).
+    pub enters_with_token_a: bool,
+}
+
+/// Counters describing one screen-maintenance call: how many per-cycle
+/// log-sums took an O(1) delta, and how many fell back to an exact
+/// resummation (periodic drift control, or a non-finite rate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenUpdate {
+    /// Log-sums updated with a `new − old` delta.
+    pub deltas: usize,
+    /// Log-sums recomputed exactly from the graph's cached rates.
+    pub resummations: usize,
+}
+
+/// Per-cycle screen state, parallel to the cycle arena.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScreenSlot {
+    /// Running `Σ ln p_j`, delta-maintained between resummations.
+    log_sum: f64,
+    /// Delta updates applied since the last exact resummation.
+    updates_since_resum: u32,
+}
+
 /// The persistent cycle index: every directed simple cycle with
-/// `min_len..=max_len` hops, plus the pool → cycles inverted index.
+/// `min_len..=max_len` hops, plus the pool → cycles inverted index and
+/// the per-cycle log-sum profitability screen.
 #[derive(Debug, Clone)]
 pub struct CycleIndex {
     min_len: usize,
     max_len: usize,
     /// Cycle arena; `None` marks a retired slot.
     cycles: Vec<Option<Cycle>>,
-    /// Posting lists: pool slot → live cycle ids through that pool.
-    by_pool: Vec<Vec<CycleId>>,
+    /// Screen state, parallel to `cycles` (stale for retired slots).
+    screen: Vec<ScreenSlot>,
+    /// Posting lists: pool slot → live cycles through that pool, with
+    /// traversal direction.
+    by_pool: Vec<Vec<PoolCycleRef>>,
     /// Retired slots available for reuse.
     free: Vec<u32>,
     live: usize,
 }
 
 impl CycleIndex {
+    /// Exact resummation cadence: a cycle's running log-sum is recomputed
+    /// from the graph's cached rates after this many delta updates. With
+    /// IEEE-754 doubles, 32 additions of values bounded by the `f64`
+    /// exponent range accumulate well under 1e-11 of error — two orders
+    /// of magnitude inside [`CycleIndex::SCREEN_DRIFT_MARGIN`].
+    pub const RESUM_INTERVAL: u32 = 32;
+
+    /// Guaranteed bound on `|incremental − exact|` for every live
+    /// cycle's log-sum. A cycle whose incremental sum is
+    /// `≤ −SCREEN_DRIFT_MARGIN` certainly has exact `Σ ln p ≤ 0`.
+    pub const SCREEN_DRIFT_MARGIN: f64 = 1e-9;
+
     /// Enumerates all cycles of `min_len..=max_len` hops once and builds
     /// the inverted index.
     ///
@@ -77,13 +151,14 @@ impl CycleIndex {
             min_len,
             max_len,
             cycles: Vec::new(),
+            screen: Vec::new(),
             by_pool: vec![Vec::new(); graph.pool_count()],
             free: Vec::new(),
             live: 0,
         };
         for len in min_len..=max_len {
             for cycle in graph.cycles(len)? {
-                index.insert(cycle);
+                index.insert(graph, cycle);
             }
         }
         Ok(index)
@@ -104,9 +179,65 @@ impl CycleIndex {
         self.cycles.get(id.index()).and_then(Option::as_ref)
     }
 
-    /// Live cycle ids through `pool` (empty for unknown/edge-less pools).
-    pub fn cycles_for_pool(&self, pool: PoolId) -> &[CycleId] {
+    /// Live cycles through `pool` with their traversal directions (empty
+    /// for unknown/edge-less pools).
+    pub fn cycles_for_pool(&self, pool: PoolId) -> &[PoolCycleRef] {
         self.by_pool.get(pool.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The incrementally maintained `Σ ln p_j` of a live cycle, within
+    /// [`CycleIndex::SCREEN_DRIFT_MARGIN`] of the exact sum (`None` for
+    /// retired slots). `-∞` marks a cycle through a degenerate rate.
+    pub fn screen_log_sum(&self, id: CycleId) -> Option<f64> {
+        self.cycles
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .map(|_| self.screen[id.index()].log_sum)
+    }
+
+    /// Applies a reserve move on `pool` to every containing cycle's
+    /// running log-sum: an O(1) `new − old` delta per cycle, with an
+    /// exact resummation every [`CycleIndex::RESUM_INTERVAL`] updates to
+    /// bound drift — and *immediately* whenever either endpoint of the
+    /// delta is non-finite (a degenerate `-∞` rate passing through would
+    /// otherwise turn the sum into NaN).
+    ///
+    /// `old_log_rates` is the slot's [`TokenGraph::pool_log_rates`]
+    /// captured **before** the sync was applied; `graph` holds the
+    /// post-sync state. Call only for live→live updates (retire/revive
+    /// flow through [`CycleIndex::on_pool_removed`] /
+    /// [`CycleIndex::on_pool_added`], which rebuild sums exactly).
+    pub fn on_pool_synced(
+        &mut self,
+        graph: &TokenGraph,
+        pool: PoolId,
+        old_log_rates: [f64; 2],
+    ) -> ScreenUpdate {
+        let mut update = ScreenUpdate::default();
+        if pool.index() >= self.by_pool.len() {
+            return update;
+        }
+        let new_log_rates = graph.pool_log_rates(pool);
+        let postings = std::mem::take(&mut self.by_pool[pool.index()]);
+        for entry in &postings {
+            let dir = usize::from(!entry.enters_with_token_a);
+            let (old, new) = (old_log_rates[dir], new_log_rates[dir]);
+            let slot = &mut self.screen[entry.cycle.index()];
+            if old.is_finite() && new.is_finite() && slot.updates_since_resum < Self::RESUM_INTERVAL
+            {
+                slot.log_sum += new - old;
+                slot.updates_since_resum += 1;
+                update.deltas += 1;
+            } else {
+                let cycle = self.cycles[entry.cycle.index()]
+                    .as_ref()
+                    .expect("posting lists only reference live cycles");
+                *slot = exact_screen_slot(graph, cycle);
+                update.resummations += 1;
+            }
+        }
+        self.by_pool[pool.index()] = postings;
+        update
     }
 
     /// All live cycles with their ids, in slot order.
@@ -132,7 +263,7 @@ impl CycleIndex {
         let mut added = Vec::new();
         for len in self.min_len..=self.max_len {
             for cycle in cycles_through(graph, pool, len)? {
-                added.push(self.insert(cycle));
+                added.push(self.insert(graph, cycle));
             }
         }
         Ok(added)
@@ -145,7 +276,10 @@ impl CycleIndex {
         if pool.index() >= self.by_pool.len() {
             return Vec::new();
         }
-        let retired = std::mem::take(&mut self.by_pool[pool.index()]);
+        let retired: Vec<CycleId> = std::mem::take(&mut self.by_pool[pool.index()])
+            .into_iter()
+            .map(|entry| entry.cycle)
+            .collect();
         for &id in &retired {
             let cycle = self.cycles[id.index()]
                 .take()
@@ -154,7 +288,7 @@ impl CycleIndex {
             self.free.push(id.0);
             for &other in cycle.pools() {
                 if other != pool {
-                    self.by_pool[other.index()].retain(|&c| c != id);
+                    self.by_pool[other.index()].retain(|e| e.cycle != id);
                 }
             }
         }
@@ -219,6 +353,7 @@ impl CycleIndex {
             }
         }
         let mut by_pool = vec![Vec::new(); graph.pool_count()];
+        let mut screen = vec![ScreenSlot::default(); cycles.len()];
         let mut live = 0usize;
         for (slot, entry) in cycles.iter().enumerate() {
             let Some(cycle) = entry else {
@@ -236,27 +371,36 @@ impl CycleIndex {
             }
             cycle.validate(graph)?;
             let id = CycleId(slot as u32);
-            for &pool in cycle.pools() {
+            for (&pool, &token_in) in cycle.pools().iter().zip(cycle.tokens()) {
                 if !graph.is_live(pool) {
                     return Err(GraphError::InvalidCheckpoint(
                         "arena cycle traverses a retired pool",
                     ));
                 }
-                by_pool[pool.index()].push(id);
+                by_pool[pool.index()].push(PoolCycleRef {
+                    cycle: id,
+                    enters_with_token_a: graph.pool(pool)?.token_a() == token_in,
+                });
             }
+            // Checkpoints do not carry the running log-sums; they are
+            // rebuilt deterministically from the restored graph's cached
+            // rates (exact, drift-free — a restored index never screens
+            // *more* than the live one did).
+            screen[slot] = exact_screen_slot(graph, cycle);
             live += 1;
         }
         Ok(CycleIndex {
             min_len,
             max_len,
             cycles,
+            screen,
             by_pool,
             free,
             live,
         })
     }
 
-    fn insert(&mut self, cycle: Cycle) -> CycleId {
+    fn insert(&mut self, graph: &TokenGraph, cycle: Cycle) -> CycleId {
         let id = match self.free.pop() {
             Some(slot) => {
                 self.cycles[slot as usize] = Some(cycle);
@@ -264,6 +408,7 @@ impl CycleIndex {
             }
             None => {
                 self.cycles.push(Some(cycle));
+                self.screen.push(ScreenSlot::default());
                 CycleId((self.cycles.len() - 1) as u32)
             }
         };
@@ -277,11 +422,30 @@ impl CycleIndex {
         if max_pool > self.by_pool.len() {
             self.by_pool.resize(max_pool, Vec::new());
         }
-        for &pool in cycle.pools() {
-            self.by_pool[pool.index()].push(id);
+        for (&pool, &token_in) in cycle.pools().iter().zip(cycle.tokens()) {
+            let enters_with_token_a = graph
+                .pool(pool)
+                .map(|p| p.token_a() == token_in)
+                .unwrap_or(true);
+            self.by_pool[pool.index()].push(PoolCycleRef {
+                cycle: id,
+                enters_with_token_a,
+            });
         }
+        self.screen[id.index()] = exact_screen_slot(graph, cycle);
         self.live += 1;
         id
+    }
+}
+
+/// A freshly resummed screen slot: the exact log-sum from the graph's
+/// cached per-slot rates (bit-identical to [`Cycle::log_rate`]), with the
+/// drift counter reset. A structurally broken cycle (impossible through
+/// the maintained hooks) degrades to NaN, which never screens anything.
+fn exact_screen_slot(graph: &TokenGraph, cycle: &Cycle) -> ScreenSlot {
+    ScreenSlot {
+        log_sum: graph.cycle_log_rate(cycle).unwrap_or(f64::NAN),
+        updates_since_resum: 0,
     }
 }
 
@@ -424,6 +588,17 @@ mod tests {
         let actual: HashSet<Cycle> = index.iter_live().map(|(_, c)| c.clone()).collect();
         assert_eq!(actual, expected);
         assert_eq!(index.live_cycles(), expected.len());
+        // The screen invariant rides along: every live cycle's running
+        // log-sum stays within the guaranteed drift margin of exact.
+        for (id, cycle) in index.iter_live() {
+            let exact = graph.cycle_log_rate(cycle).unwrap();
+            let incremental = index.screen_log_sum(id).expect("live cycle screened");
+            assert!(
+                (incremental - exact).abs() <= CycleIndex::SCREEN_DRIFT_MARGIN
+                    || (incremental == exact),
+                "screen drift on {id}: incremental {incremental} vs exact {exact}"
+            );
+        }
     }
 
     #[test]
@@ -453,10 +628,16 @@ mod tests {
         let g = diamond();
         let index = CycleIndex::build(&g, 3, 4).unwrap();
         for (id, cycle) in index.iter_live() {
-            for pool in cycle.pools() {
-                assert!(
-                    index.cycles_for_pool(*pool).contains(&id),
-                    "cycle {id} missing from posting list of {pool}"
+            for (pool, token_in) in cycle.pools().iter().zip(cycle.tokens()) {
+                let entry = index
+                    .cycles_for_pool(*pool)
+                    .iter()
+                    .find(|e| e.cycle == id)
+                    .unwrap_or_else(|| panic!("cycle {id} missing from posting list of {pool}"));
+                assert_eq!(
+                    entry.enters_with_token_a,
+                    g.pool(*pool).unwrap().token_a() == *token_in,
+                    "direction bit of {id} through {pool}"
                 );
             }
         }
@@ -720,11 +901,126 @@ mod tests {
     }
 
     #[test]
+    fn build_screen_sums_are_bit_identical_to_exact() {
+        let g = diamond();
+        let index = CycleIndex::build(&g, 2, 4).unwrap();
+        for (id, cycle) in index.iter_live() {
+            assert_eq!(
+                index.screen_log_sum(id).unwrap().to_bits(),
+                g.cycle_log_rate(cycle).unwrap().to_bits(),
+                "freshly built sums are exact, not merely close"
+            );
+        }
+        assert!(index.screen_log_sum(CycleId(99)).is_none());
+    }
+
+    #[test]
+    fn synced_pool_deltas_stay_within_drift_margin_and_resum() {
+        let mut graph = diamond();
+        let mut index = CycleIndex::build(&graph, 2, 4).unwrap();
+        let mut total = ScreenUpdate::default();
+        for step in 0..200u32 {
+            let pool = p(step % 5);
+            let old = graph.pool_log_rates(pool);
+            let a = 10.0 + f64::from(step % 13) * 0.37;
+            let b = 11.0 + f64::from(step % 17) * 0.53;
+            assert_eq!(
+                graph.apply_sync(pool, a, b).unwrap(),
+                crate::token_graph::SyncOutcome::Updated
+            );
+            let update = index.on_pool_synced(&graph, pool, old);
+            total.deltas += update.deltas;
+            total.resummations += update.resummations;
+            assert_matches_full_enumeration(&index, &graph);
+        }
+        assert!(total.deltas > 0, "O(1) deltas must carry the steady state");
+        assert!(
+            total.resummations > 0,
+            "200 syncs × {} cycles must cross the {}-update resum cadence",
+            index.live_cycles(),
+            CycleIndex::RESUM_INTERVAL
+        );
+    }
+
+    #[test]
+    fn non_finite_rates_resum_instead_of_poisoning_sums() {
+        let mut graph = diamond();
+        let mut index = CycleIndex::build(&graph, 3, 4).unwrap();
+        // Underflow the diagonal's 0→2 rate to zero while the pool stays
+        // live: affected sums must become -inf (or ±inf), never NaN via
+        // a -inf − -inf delta, and recover exactly on the way back.
+        let before: Vec<(CycleId, f64)> = index
+            .iter_live()
+            .map(|(id, _)| (id, index.screen_log_sum(id).unwrap()))
+            .collect();
+        let old = graph.pool_log_rates(p(4));
+        assert_eq!(
+            graph.apply_sync(p(4), 1e300, 1e-300).unwrap(),
+            crate::token_graph::SyncOutcome::Updated
+        );
+        let update = index.on_pool_synced(&graph, p(4), old);
+        assert_eq!(update.deltas, 0, "non-finite endpoints force resums");
+        assert_eq!(update.resummations, 4, "all four triangles resummed");
+        for (id, _) in index.iter_live() {
+            assert!(!index.screen_log_sum(id).unwrap().is_nan());
+        }
+        // A second degenerate-to-degenerate sync still must not NaN.
+        let old = graph.pool_log_rates(p(4));
+        graph.apply_sync(p(4), 1e305, 1e-305).unwrap();
+        index.on_pool_synced(&graph, p(4), old);
+        for (id, _) in index.iter_live() {
+            assert!(!index.screen_log_sum(id).unwrap().is_nan());
+        }
+        // Recovery: valid rates restore exact finite sums.
+        let old = graph.pool_log_rates(p(4));
+        graph.apply_sync(p(4), 10.0, 15.0).unwrap();
+        index.on_pool_synced(&graph, p(4), old);
+        let after: Vec<(CycleId, f64)> = index
+            .iter_live()
+            .map(|(id, _)| (id, index.screen_log_sum(id).unwrap()))
+            .collect();
+        assert_eq!(before, after, "resummation is exact, so the round trip is");
+        assert_matches_full_enumeration(&index, &graph);
+    }
+
+    #[test]
+    fn restored_index_rebuilds_screen_sums_deterministically() {
+        let mut graph = diamond();
+        let mut index = CycleIndex::build(&graph, 2, 4).unwrap();
+        // Drift the live index a little, then retire a pool for
+        // tombstones.
+        for step in 0..40u32 {
+            let pool = p(step % 4);
+            let old = graph.pool_log_rates(pool);
+            graph
+                .apply_sync(pool, 10.0 + f64::from(step) * 0.01, 12.0)
+                .unwrap();
+            index.on_pool_synced(&graph, pool, old);
+        }
+        graph.remove_pool(p(4)).unwrap();
+        index.on_pool_removed(p(4));
+
+        let (arena, free) = index.to_parts();
+        let restored = CycleIndex::from_parts(&graph, 2, 4, arena, free).unwrap();
+        for (id, cycle) in restored.iter_live() {
+            assert_eq!(
+                restored.screen_log_sum(id).unwrap().to_bits(),
+                graph.cycle_log_rate(cycle).unwrap().to_bits(),
+                "restored sums are exact resummations"
+            );
+        }
+    }
+
+    #[test]
     fn unknown_pool_is_safe() {
         let g = diamond();
         let mut index = CycleIndex::build(&g, 3, 3).unwrap();
         assert!(index.cycles_for_pool(p(99)).is_empty());
         assert!(index.on_pool_removed(p(99)).is_empty());
+        assert_eq!(
+            index.on_pool_synced(&g, p(99), [0.0, 0.0]),
+            ScreenUpdate::default()
+        );
         assert_eq!(
             index.on_pool_added(&g, p(99)).unwrap_err(),
             GraphError::UnknownReference

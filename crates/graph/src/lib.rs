@@ -48,8 +48,8 @@ pub mod partition;
 pub mod tarjan;
 pub mod token_graph;
 
-pub use cycle_index::{CycleId, CycleIndex};
+pub use cycle_index::{CycleId, CycleIndex, PoolCycleRef, ScreenUpdate};
 pub use cycles::Cycle;
 pub use error::GraphError;
 pub use partition::Partition;
-pub use token_graph::{SyncOutcome, TokenGraph};
+pub use token_graph::{LoopScan, SyncOutcome, TokenGraph};

@@ -31,6 +31,23 @@ pub enum SyncOutcome {
     Revived,
 }
 
+/// The outcome of scanning a graph for arbitrage loops, separating the
+/// profitable loops from the cycles skipped because a hop's fee-adjusted
+/// rate degenerated (underflowed to zero, or the slot is retired).
+///
+/// The old `arbitrage_loops` path folded every failure into "not an
+/// arbitrage" via `unwrap_or(NEG_INFINITY)`; this type keeps the
+/// degenerate skips visible while structural errors (a cycle referencing
+/// a pool the graph never had) still propagate as [`GraphError`].
+#[derive(Debug, Clone, Default)]
+pub struct LoopScan {
+    /// Cycles whose round-trip rate is strictly above 1 (`Σ log p > 0`).
+    pub loops: Vec<Cycle>,
+    /// Cycles skipped because a hop's cached log-rate is `-∞`
+    /// (degenerate rate or retired slot) — distinct from errors.
+    pub degenerate_skipped: usize,
+}
+
 /// The token exchange graph: nodes are tokens, edges are pools.
 ///
 /// Parallel pools between the same token pair are preserved as distinct
@@ -43,6 +60,14 @@ pub enum SyncOutcome {
 /// [`TokenGraph::remove_pool`] retires one. Pool ids are stable across all
 /// mutations — a retired pool keeps its slot (and its last valid state)
 /// so external id spaces (a chain's pool registry) stay aligned.
+///
+/// Every mutation also maintains a per-slot cache of the two directional
+/// fee-adjusted log rates `ln(γ·r_out/r_in)` ([`TokenGraph::pool_log_rates`]),
+/// the paper's `log p_ij` terms. Summing the cached values along a cycle
+/// ([`TokenGraph::cycle_log_rate`]) is bit-identical to
+/// [`Cycle::log_rate`] — same formula, same operand values, same order —
+/// but skips the per-hop curve construction and `ln`, which is what makes
+/// an incremental `Σ log p > 0` profitability screen cheap.
 #[derive(Debug, Clone)]
 pub struct TokenGraph {
     pools: Vec<Pool>,
@@ -52,6 +77,10 @@ pub struct TokenGraph {
     live: Vec<bool>,
     adjacency: Vec<Vec<EdgeRef>>,
     live_count: usize,
+    /// `log_rates[i]` = cached `[ln spot_rate(enter with token_a),
+    /// ln spot_rate(enter with token_b)]` for pool `i`; both entries are
+    /// `NEG_INFINITY` while the slot is retired.
+    log_rates: Vec<[f64; 2]>,
 }
 
 impl TokenGraph {
@@ -83,11 +112,13 @@ impl TokenGraph {
             });
         }
         let live_count = pools.len();
+        let log_rates = pools.iter().map(directional_log_rates).collect();
         Ok(TokenGraph {
             live: vec![true; live_count],
             pools,
             adjacency,
             live_count,
+            log_rates,
         })
     }
 
@@ -137,6 +168,7 @@ impl TokenGraph {
             self.adjacency.resize(needed, Vec::new());
         }
         self.add_edges(id, &pool);
+        self.log_rates.push(directional_log_rates(&pool));
         self.pools.push(pool);
         self.live.push(true);
         self.live_count += 1;
@@ -158,6 +190,7 @@ impl TokenGraph {
             self.remove_edges(id);
             self.live[id.index()] = false;
             self.live_count -= 1;
+            self.log_rates[id.index()] = [f64::NEG_INFINITY; 2];
         }
         Ok(())
     }
@@ -183,6 +216,7 @@ impl TokenGraph {
         let was_live = self.live[index];
         match self.pools[index].set_reserves(reserve_a, reserve_b) {
             Ok(()) => {
+                self.log_rates[index] = directional_log_rates(&self.pools[index]);
                 if was_live {
                     Ok(SyncOutcome::Updated)
                 } else {
@@ -198,6 +232,7 @@ impl TokenGraph {
                     self.remove_edges(id);
                     self.live[index] = false;
                     self.live_count -= 1;
+                    self.log_rates[index] = [f64::NEG_INFINITY; 2];
                 }
                 Ok(SyncOutcome::Retired)
             }
@@ -283,19 +318,91 @@ impl TokenGraph {
         cycles::enumerate(self, length)
     }
 
+    /// The cached directional fee-adjusted log rates of a pool slot:
+    /// `[ln spot_rate(enter with token_a), ln spot_rate(enter with
+    /// token_b)]`. Retired slots report `[-∞, -∞]`. Out-of-range ids also
+    /// report `[-∞, -∞]` — callers that must distinguish go through
+    /// [`TokenGraph::pool`].
+    pub fn pool_log_rates(&self, id: PoolId) -> [f64; 2] {
+        self.log_rates
+            .get(id.index())
+            .copied()
+            .unwrap_or([f64::NEG_INFINITY; 2])
+    }
+
+    /// The paper's arbitrage indicator `Σ_j log p_j` for a cycle, summed
+    /// from the cached per-slot log rates in hop order — bit-identical to
+    /// [`Cycle::log_rate`] when every hop's slot is live, `-∞` when any
+    /// hop's rate degenerated or its slot is retired.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownReference`] for a hop pool the graph never
+    ///   had (a structural defect, **not** folded into `-∞`).
+    /// * [`GraphError::DisconnectedCycle`] when a hop's token is not in
+    ///   its pool.
+    pub fn cycle_log_rate(&self, cycle: &Cycle) -> Result<f64, GraphError> {
+        let mut sum = 0.0;
+        for (pool, token_in) in cycle.pools().iter().zip(cycle.tokens()) {
+            let p = self.pool(*pool)?;
+            let dir = if *token_in == p.token_a() {
+                0
+            } else if *token_in == p.token_b() {
+                1
+            } else {
+                return Err(GraphError::DisconnectedCycle);
+            };
+            sum += self.log_rates[pool.index()][dir];
+        }
+        Ok(sum)
+    }
+
     /// The subset of [`TokenGraph::cycles`] that are arbitrage loops:
     /// round-trip rate strictly above 1 (paper's `Σ log p > 0` condition).
     ///
     /// # Errors
     ///
-    /// See [`TokenGraph::cycles`].
+    /// See [`TokenGraph::scan_arbitrage_loops`].
     pub fn arbitrage_loops(&self, length: usize) -> Result<Vec<Cycle>, GraphError> {
-        Ok(self
-            .cycles(length)?
-            .into_iter()
-            .filter(|c| c.log_rate(self).unwrap_or(f64::NEG_INFINITY) > 0.0)
-            .collect())
+        Ok(self.scan_arbitrage_loops(length)?.loops)
     }
+
+    /// [`TokenGraph::arbitrage_loops`] with the degenerate skips counted
+    /// instead of silently conflated: a cycle whose cached log-rate is
+    /// `-∞` (a hop's rate underflowed to zero, or its slot retired
+    /// between enumeration and scan) is reported in
+    /// [`LoopScan::degenerate_skipped`], while structural errors — a hop
+    /// referencing a pool this graph never had — propagate as
+    /// [`GraphError`] rather than being swallowed.
+    ///
+    /// # Errors
+    ///
+    /// See [`TokenGraph::cycles`] and [`TokenGraph::cycle_log_rate`].
+    pub fn scan_arbitrage_loops(&self, length: usize) -> Result<LoopScan, GraphError> {
+        let mut scan = LoopScan::default();
+        for cycle in self.cycles(length)? {
+            let log_rate = self.cycle_log_rate(&cycle)?;
+            if log_rate == f64::NEG_INFINITY {
+                scan.degenerate_skipped += 1;
+            } else if log_rate > 0.0 {
+                scan.loops.push(cycle);
+            }
+        }
+        Ok(scan)
+    }
+}
+
+/// The two directional `ln spot_rate` values of a live pool, computed
+/// through the exact code path [`Cycle::log_rate`] uses
+/// (`curve(token_in).spot_rate().ln()`) so cached sums stay bit-identical
+/// to fresh ones. A pool whose curve cannot be built (impossible for a
+/// validated live pool, but kept total) caches `-∞`.
+fn directional_log_rates(pool: &Pool) -> [f64; 2] {
+    let log = |token_in| {
+        pool.curve(token_in)
+            .map_or(f64::NEG_INFINITY, |c: SwapCurve| c.spot_rate().ln())
+    };
+    [log(pool.token_a()), log(pool.token_b())]
 }
 
 #[cfg(test)]
@@ -418,6 +525,85 @@ mod tests {
             g.remove_pool(PoolId::new(9)).unwrap_err(),
             GraphError::UnknownReference
         );
+    }
+
+    #[test]
+    fn cached_log_rates_track_every_mutation() {
+        let fee = FeeRate::UNISWAP_V2;
+        let mut g = triangle();
+        let fresh = |g: &TokenGraph, id: u32| {
+            let p = g.pool(PoolId::new(id)).unwrap();
+            [
+                p.curve(p.token_a()).unwrap().spot_rate().ln(),
+                p.curve(p.token_b()).unwrap().spot_rate().ln(),
+            ]
+        };
+        for id in 0..3 {
+            assert_eq!(g.pool_log_rates(PoolId::new(id)), fresh(&g, id));
+        }
+        // Sync updates the cache in place, bit-for-bit.
+        g.apply_sync(PoolId::new(0), 151.0, 249.0).unwrap();
+        assert_eq!(g.pool_log_rates(PoolId::new(0)), fresh(&g, 0));
+        // Retired slots (degenerate sync or explicit removal) cache -inf.
+        g.apply_sync(PoolId::new(1), 0.0, 1.0).unwrap();
+        assert_eq!(g.pool_log_rates(PoolId::new(1)), [f64::NEG_INFINITY; 2]);
+        g.remove_pool(PoolId::new(2)).unwrap();
+        assert_eq!(g.pool_log_rates(PoolId::new(2)), [f64::NEG_INFINITY; 2]);
+        // Revival and appends recompute.
+        g.apply_sync(PoolId::new(1), 310.0, 190.0).unwrap();
+        assert_eq!(g.pool_log_rates(PoolId::new(1)), fresh(&g, 1));
+        let id = g.add_pool(Pool::new(t(0), t(3), 10.0, 30.0, fee).unwrap());
+        assert_eq!(g.pool_log_rates(id), fresh(&g, id.index() as u32));
+        // Out-of-range ids degrade to -inf rather than panicking.
+        assert_eq!(g.pool_log_rates(PoolId::new(99)), [f64::NEG_INFINITY; 2]);
+    }
+
+    #[test]
+    fn cycle_log_rate_is_bit_identical_to_fresh_computation() {
+        let g = triangle();
+        for cycle in g.cycles(3).unwrap() {
+            assert_eq!(
+                g.cycle_log_rate(&cycle).unwrap().to_bits(),
+                cycle.log_rate(&g).unwrap().to_bits()
+            );
+        }
+        // Structural errors propagate instead of degrading to -inf.
+        let bogus = Cycle::new(vec![t(0), t(1)], vec![PoolId::new(0), PoolId::new(99)]).unwrap();
+        assert_eq!(
+            g.cycle_log_rate(&bogus).unwrap_err(),
+            GraphError::UnknownReference
+        );
+        let disconnected =
+            Cycle::new(vec![t(7), t(8)], vec![PoolId::new(0), PoolId::new(1)]).unwrap();
+        assert_eq!(
+            g.cycle_log_rate(&disconnected).unwrap_err(),
+            GraphError::DisconnectedCycle
+        );
+    }
+
+    #[test]
+    fn scan_counts_degenerate_skips_separately() {
+        let fee = FeeRate::UNISWAP_V2;
+        // A triangle whose (1,2) edge has a rate that underflows to zero
+        // in one direction: reserves are valid (positive, finite) so the
+        // pool stays live, but ln(0) = -inf marks its cycles degenerate.
+        let g = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 1e300, 1e-300, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap();
+        let scan = g.scan_arbitrage_loops(3).unwrap();
+        // Direction 1→2 underflows (rate 0); the reverse overflows to
+        // +inf, whose cycle sums to +inf and is a (nonsensical but
+        // non-degenerate) loop — exactly what the old filter kept.
+        assert_eq!(scan.degenerate_skipped, 1);
+        assert_eq!(g.arbitrage_loops(3).unwrap().len(), scan.loops.len());
+
+        // A healthy triangle has no degenerate skips.
+        let healthy = triangle().scan_arbitrage_loops(3).unwrap();
+        assert_eq!(healthy.degenerate_skipped, 0);
+        assert_eq!(healthy.loops.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Property tests for the incremental profitability screen.
+//!
+//! Two invariants, exercised across randomized interleavings of the
+//! exact hooks the streaming engine drives (`apply_sync` deltas,
+//! degenerate retire, revive, explicit remove, pool append):
+//!
+//! 1. **Drift** — every live cycle's incrementally maintained log-sum
+//!    stays within [`CycleIndex::SCREEN_DRIFT_MARGIN`] (1e-9) of an
+//!    exact resummation over the graph's cached rates.
+//! 2. **Soundness** — no cycle the full evaluation would rank is ever
+//!    screened out: whenever the incremental sum is at or below
+//!    `−SCREEN_DRIFT_MARGIN`, the *freshly computed* `Cycle::log_rate`
+//!    (what the unscreened path tests against zero) is certainly ≤ 0.
+
+use arb_amm::fee::FeeRate;
+use arb_amm::pool::{Pool, PoolId};
+use arb_amm::token::TokenId;
+use arb_graph::{CycleIndex, SyncOutcome, TokenGraph};
+use proptest::prelude::*;
+
+const TOKENS: u32 = 5;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Valid reserves: a live pool takes an O(1) screen delta, a retired
+    /// one revives and re-enumerates its cycles.
+    Sync(usize, f64, f64),
+    /// Degenerate reserves: retires the pool and its cycles.
+    Kill(usize),
+    /// Valid-but-extreme reserves whose rate underflows/overflows: the
+    /// pool stays live with a non-finite log rate (the explicit `-∞`
+    /// handling path).
+    Extreme(usize),
+    /// Explicit removal.
+    Remove(usize),
+    /// Appends a parallel pool on a random token pair.
+    Add(u32, u32, f64, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0usize..12, 1.0..1e6f64, 1.0..1e6f64).prop_map(|(p, a, b)| Op::Sync(p, a, b)),
+        1 => (0usize..12).prop_map(Op::Kill),
+        1 => (0usize..12).prop_map(Op::Extreme),
+        1 => (0usize..12).prop_map(Op::Remove),
+        2 => (0u32..TOKENS, 0u32..TOKENS, 1.0..1e6f64, 1.0..1e6f64)
+            .prop_map(|(a, b, ra, rb)| Op::Add(a, b, ra, rb)),
+    ]
+}
+
+/// Mirrors the streaming engine's maintenance: graph mutation first, then
+/// the matching index hook.
+fn apply(graph: &mut TokenGraph, index: &mut CycleIndex, op: &Op) {
+    let fee = FeeRate::UNISWAP_V2;
+    match *op {
+        Op::Sync(slot, a, b) if slot < graph.pool_count() => sync(graph, index, slot, a, b),
+        Op::Extreme(slot) if slot < graph.pool_count() => {
+            sync(graph, index, slot, 1e300, 1e-300);
+        }
+        Op::Kill(slot) if slot < graph.pool_count() => {
+            let pool = PoolId::new(slot as u32);
+            let was_live = graph.is_live(pool);
+            if let SyncOutcome::Retired = graph.apply_sync(pool, 0.0, 1.0).expect("in range") {
+                if was_live {
+                    index.on_pool_removed(pool);
+                }
+            }
+        }
+        Op::Remove(slot) if slot < graph.pool_count() => {
+            let pool = PoolId::new(slot as u32);
+            if graph.is_live(pool) {
+                graph.remove_pool(pool).expect("in range");
+                index.on_pool_removed(pool);
+            }
+        }
+        Op::Add(a, b, ra, rb) => {
+            let (a, b) = (a % TOKENS, b % TOKENS);
+            if a == b {
+                return;
+            }
+            let pool = Pool::new(TokenId::new(a), TokenId::new(b), ra, rb, fee).expect("valid");
+            let id = graph.add_pool(pool);
+            index.on_pool_added(graph, id).expect("append extends");
+        }
+        _ => {}
+    }
+}
+
+/// One sync through the engine-mirroring maintenance sequence.
+fn sync(graph: &mut TokenGraph, index: &mut CycleIndex, slot: usize, a: f64, b: f64) {
+    let pool = PoolId::new(slot as u32);
+    let was_live = graph.is_live(pool);
+    let old = graph.pool_log_rates(pool);
+    match graph.apply_sync(pool, a, b).expect("slot in range") {
+        SyncOutcome::Updated => {
+            index.on_pool_synced(graph, pool, old);
+        }
+        SyncOutcome::Retired if was_live => {
+            index.on_pool_removed(pool);
+        }
+        SyncOutcome::Retired => {}
+        SyncOutcome::Revived => {
+            index.on_pool_added(graph, pool).expect("revive extends");
+        }
+    }
+}
+
+fn check_invariants(graph: &TokenGraph, index: &CycleIndex) -> Result<(), TestCaseError> {
+    for (id, cycle) in index.iter_live() {
+        let incremental = index.screen_log_sum(id).expect("live cycle screened");
+        let exact = graph.cycle_log_rate(cycle).expect("live cycles resolve");
+        // Drift: within the guaranteed margin (or bitwise agreement for
+        // the non-finite cases, where subtraction is meaningless).
+        let close = (incremental - exact).abs() <= CycleIndex::SCREEN_DRIFT_MARGIN
+            || incremental.to_bits() == exact.to_bits();
+        prop_assert!(
+            close,
+            "drift on {id}: incremental {incremental} vs exact {exact}"
+        );
+        // Soundness: a screened-out sum implies the freshly computed
+        // log-rate — the unscreened path's test — cannot be positive.
+        if incremental <= -CycleIndex::SCREEN_DRIFT_MARGIN {
+            let fresh = cycle.log_rate(graph).expect("live cycles resolve");
+            prop_assert!(
+                fresh.is_nan() || fresh <= 0.0,
+                "unsound screen on {id}: incremental {incremental} but fresh {fresh}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_log_sums_stay_tight_and_sound(
+        seed_reserves in proptest::collection::vec((1.0..1e6f64, 1.0..1e6f64), 8),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        // A ring over 5 tokens plus parallel edges: plenty of 2- and
+        // 3-cycles, all profitability decided by the random reserves.
+        let fee = FeeRate::UNISWAP_V2;
+        let t = TokenId::new;
+        let mut pools = Vec::new();
+        for (i, (ra, rb)) in seed_reserves.iter().enumerate() {
+            let a = (i as u32) % TOKENS;
+            let b = (a + 1) % TOKENS;
+            pools.push(Pool::new(t(a), t(b), *ra, *rb, fee).expect("valid"));
+        }
+        let mut graph = TokenGraph::new(pools).expect("non-empty");
+        let mut index = CycleIndex::build(&graph, 2, 3).expect("bounds ok");
+        check_invariants(&graph, &index)?;
+        for op in &ops {
+            apply(&mut graph, &mut index, op);
+            check_invariants(&graph, &index)?;
+        }
+    }
+
+    #[test]
+    fn long_delta_chains_cross_the_resummation_cadence(
+        moves in proptest::collection::vec((0usize..8, 1.0..1e6f64, 1.0..1e6f64), 80..160),
+    ) {
+        // Pure live→live sync chains: the worst case for drift, long
+        // past RESUM_INTERVAL, on a fixed diamond topology.
+        let fee = FeeRate::UNISWAP_V2;
+        let t = TokenId::new;
+        let mut graph = TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 10.0, 11.0, fee).expect("valid"),
+            Pool::new(t(1), t(2), 10.0, 12.0, fee).expect("valid"),
+            Pool::new(t(2), t(3), 10.0, 13.0, fee).expect("valid"),
+            Pool::new(t(3), t(0), 10.0, 14.0, fee).expect("valid"),
+            Pool::new(t(0), t(2), 10.0, 15.0, fee).expect("valid"),
+            Pool::new(t(0), t(2), 20.0, 25.0, fee).expect("valid"),
+        ]).expect("non-empty");
+        let mut index = CycleIndex::build(&graph, 2, 4).expect("bounds ok");
+        let mut resummations = 0usize;
+        for (slot, a, b) in &moves {
+            let pool = PoolId::new((*slot % graph.pool_count()) as u32);
+            let old = graph.pool_log_rates(pool);
+            prop_assert_eq!(
+                graph.apply_sync(pool, *a, *b).expect("in range"),
+                SyncOutcome::Updated
+            );
+            resummations += index.on_pool_synced(&graph, pool, old).resummations;
+            check_invariants(&graph, &index)?;
+        }
+        prop_assert!(
+            resummations > 0,
+            "{} moves over {} cycles must trigger periodic resummation",
+            moves.len(),
+            index.live_cycles()
+        );
+    }
+}

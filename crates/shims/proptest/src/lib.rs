@@ -61,6 +61,79 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// A weighted union of same-valued strategies (the engine behind
+/// [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union drawing each arm with probability `weight / Σ weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty or every weight is zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total = arms.iter().map(|(weight, _)| *weight).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strategy) in &self.arms {
+            if pick < *weight {
+                return strategy.sample(rng);
+            }
+            pick -= *weight;
+        }
+        unreachable!("pick is bounded by the weight total")
+    }
+}
+
+/// Boxes a strategy for storage in a [`Union`] (lets [`prop_oneof!`]
+/// unify differently typed arms without type ascription).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Chooses between strategies, optionally weighted — the upstream
+/// `prop_oneof![w1 => s1, w2 => s2, ...]` / `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((($weight) as u32, $crate::boxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strategy))),+])
+    };
 }
 
 macro_rules! impl_strategy_for_range {
@@ -181,8 +254,8 @@ pub mod collection {
 /// The common imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -297,6 +370,26 @@ mod tests {
         fn assume_skips(n in 0u32..10) {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_transforms(n in (0u32..5).prop_map(|x| x * 10)) {
+            prop_assert_eq!(n % 10, 0);
+            prop_assert!(n < 50);
+        }
+
+        #[test]
+        fn prop_oneof_draws_every_weighted_arm(
+            picks in crate::collection::vec(
+                prop_oneof![
+                    3 => (0u32..1).prop_map(|_| "heavy"),
+                    1 => (0u32..1).prop_map(|_| "light"),
+                ],
+                64,
+            )
+        ) {
+            prop_assert!(picks.contains(&"heavy"));
+            prop_assert!(picks.iter().all(|&p| p == "heavy" || p == "light"));
         }
     }
 

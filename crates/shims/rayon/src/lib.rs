@@ -95,6 +95,25 @@ pub mod iter {
             }
         }
 
+        /// Runs `f` on every element in parallel **in place**, without
+        /// collecting anything — the fan-out shape for callers that write
+        /// results into the elements themselves (e.g. a scratch arena's
+        /// evaluation slots) and must not allocate per-item output.
+        pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+            let workers = super::current_num_threads().clamp(1, self.items.len().max(1));
+            if workers == 1 {
+                self.items.iter_mut().for_each(f);
+                return;
+            }
+            let chunk_size = self.items.len().div_ceil(workers);
+            let f = &f;
+            std::thread::scope(|scope| {
+                for chunk in self.items.chunks_mut(chunk_size) {
+                    scope.spawn(move || chunk.iter_mut().for_each(f));
+                }
+            });
+        }
+
         /// Number of elements.
         pub fn len(&self) -> usize {
             self.items.len()
@@ -231,6 +250,16 @@ mod tests {
             .collect();
         assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(items, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_mutates_in_place() {
+        let mut items: Vec<u64> = (0..1_000).collect();
+        items.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(items, (0..1_000).map(|x| x * 3).collect::<Vec<_>>());
+        let mut empty: Vec<u64> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -43,8 +43,6 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use std::time::Instant;
 
 const POOLS: usize = 600;
-const TOKENS: usize = 240;
-const DOMAINS: usize = 4;
 const TICKS: usize = 48;
 /// Ticks treated as warmup before the scratch arena must stop growing.
 const WARMUP_TICKS: usize = 8;
@@ -54,11 +52,9 @@ fn scenario(workload: &str, seed: u64) -> Scenario {
         .expect("workload in catalog")
         .scenario(&ScenarioConfig {
             seed,
-            domains: DOMAINS,
-            num_tokens: TOKENS,
-            num_pools: POOLS,
             ticks: TICKS,
             intensity: 2.0,
+            ..ScenarioConfig::sized(POOLS)
         })
         .expect("scenario generates")
 }

@@ -27,8 +27,6 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use std::time::Instant;
 
 const POOLS: usize = 600;
-const TOKENS: usize = 240;
-const DOMAINS: usize = 4;
 const SHARDS: usize = 4;
 const TICKS: usize = 48;
 
@@ -37,11 +35,9 @@ fn scenario() -> Scenario {
         .expect("whale-bursts in catalog")
         .scenario(&ScenarioConfig {
             seed: 9_001,
-            domains: DOMAINS,
-            num_tokens: TOKENS,
-            num_pools: POOLS,
             ticks: TICKS,
             intensity: 2.0,
+            ..ScenarioConfig::sized(POOLS)
         })
         .expect("soak scenario generates")
 }

@@ -9,8 +9,8 @@ use arb_dexsim::chain::{Chain, EventCursor};
 use arb_dexsim::state::AccountId;
 use arb_dexsim::tx::Transaction;
 use arb_engine::{
-    ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, RuntimeStats, ShardedRuntime,
-    SharedStrategy, StreamStats, StreamingEngine,
+    ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, RuntimeStats, ScreenTotals,
+    ShardLoads, ShardedRuntime, SharedStrategy, StreamStats, StreamingEngine,
 };
 
 use crate::config::{BotConfig, ScanMode, StrategyChoice};
@@ -135,6 +135,30 @@ impl ArbBot {
     /// Realized shard count of the live sharded view, if any.
     pub fn shard_count(&self) -> Option<usize> {
         self.sharded.as_ref().map(|s| s.runtime.shard_count())
+    }
+
+    /// Cumulative screen-discharge totals of the live market view: the
+    /// sharded fleet's rebuild-surviving totals in [`ScanMode::Sharded`],
+    /// or the streaming engine's own counters in [`ScanMode::Streaming`],
+    /// in one [`ScreenTotals`] `Display` line. `None` in batch mode and
+    /// before the first step.
+    pub fn screen_totals(&self) -> Option<ScreenTotals> {
+        if let Some(state) = &self.sharded {
+            return Some(state.runtime.screen_totals());
+        }
+        self.stream.as_ref().map(|state| {
+            let mut totals = ScreenTotals::default();
+            totals.add_stats(state.engine.stats());
+            totals
+        })
+    }
+
+    /// Per-shard load picture of the live sharded view — routed events in
+    /// the current observation window, cumulative evaluations, and the
+    /// rebalance count — as one [`ShardLoads`] `Display` line. `None`
+    /// outside [`ScanMode::Sharded`] and before the first sharded step.
+    pub fn shard_loads(&self) -> Option<ShardLoads> {
+        self.sharded.as_ref().map(|s| s.runtime.shard_loads())
     }
 
     /// One decision step: bring the market view current (incrementally in
@@ -456,6 +480,31 @@ mod tests {
         let stats = bot.runtime_stats().unwrap();
         assert!(stats.ticks >= 2, "{stats}");
         assert!(stats.events_routed > 0, "{stats}");
+
+        // Telemetry one-liners: screen totals and the per-shard loads.
+        let totals = bot.screen_totals().unwrap();
+        let line = totals.to_string();
+        assert!(line.contains("screened"), "{line}");
+        assert!(!line.contains('\n'));
+        let loads = bot.shard_loads().unwrap();
+        assert_eq!(loads.window_events.len(), 2);
+        assert!(loads.window_events.iter().sum::<u64>() > 0, "{loads}");
+        assert_eq!(loads.rebalances, 0);
+        assert!(!loads.to_string().contains('\n'));
+    }
+
+    #[test]
+    fn telemetry_is_none_before_first_step() {
+        let mut chain = paper_chain();
+        let mut bot = ArbBot::new(&mut chain, BotConfig::default());
+        assert!(bot.screen_totals().is_none());
+        assert!(bot.shard_loads().is_none());
+        // The default mode is streaming: after a step the screen totals
+        // surface through the same accessor, loads stay sharded-only.
+        bot.step(&mut chain, &paper_feed()).unwrap();
+        assert!(bot.stream_stats().is_some());
+        assert!(bot.screen_totals().is_some());
+        assert!(bot.shard_loads().is_none());
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Sound feed-priced upper bounds on cycle profit.
+//!
+//! Both screens that discharge cycles without evaluating them — the
+//! streaming engine's floor screen and the batch pipeline's cold-start
+//! screen — share these bounds. Each bound is a *sound* over-estimate of
+//! the monetized gross profit any trading plan can extract from a
+//! cycle's hops, so screening on it never changes output, only skips
+//! provably-dead work.
+//!
+//! Two complementary bounds are maintained:
+//!
+//! * **Pool potential** ([`cycle_profit_bound`]): `Σ_pools
+//!   (√(Pa·x) − √(Pb·y))²` — the pools' total displacement from their
+//!   price-aligned value minimum. Tight for near-aligned universes, but
+//!   it blows up for whale-displaced pools: a pool knocked far off the
+//!   feed price holds a large *book* potential even when fees make the
+//!   marginal trade unprofitable.
+//! * **Per-hop fee-aware** ([`cycle_hop_profit_bound`]): for each hop,
+//!   the closed-form unconstrained maximum of the hop's standalone
+//!   profit `P_out·F(Δ) − P_in·Δ`, summed along the cycle. Because it is
+//!   driven by marginal (fee-adjusted spot) rates rather than reserve
+//!   displacement, it discharges exactly the marginal whale-displaced
+//!   loops the pool-potential bound cannot.
+//!
+//! A cycle is floor-screened when *either* bound (plus a conservative
+//! relative margin) cannot clear the effective gross floor.
+
+use arb_cex::feed::PriceFeed;
+use arb_graph::{Cycle, TokenGraph};
+
+/// Relative safety margin applied over either bound before a cycle is
+/// floor-screened, so strategy-side floating-point rounding can never
+/// flip a kept opportunity into a screened drop. The analytic bounds'
+/// real-world slack is orders of magnitude larger than this.
+pub(crate) const FLOOR_SCREEN_MARGIN: f64 = 1e-6;
+
+/// Why (or whether) the floor screen discharged a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FloorVerdict {
+    /// Neither bound could prove the cycle dead; evaluate it.
+    Keep,
+    /// The pool-potential bound discharged it.
+    PoolBound,
+    /// Only the per-hop fee-aware bound discharged it (the
+    /// whale-displaced case the pool-potential bound cannot reach).
+    HopBound,
+}
+
+/// Runs both floor screens against `required_gross`, cheapest first.
+pub(crate) fn floor_verdict<F: PriceFeed>(
+    graph: &TokenGraph,
+    cycle: &Cycle,
+    feed: &F,
+    required_gross: f64,
+) -> FloorVerdict {
+    let below = |bound: f64| bound + FLOOR_SCREEN_MARGIN * (1.0 + bound) < required_gross;
+    if cycle_profit_bound(graph, cycle, feed).is_some_and(below) {
+        FloorVerdict::PoolBound
+    } else if cycle_hop_profit_bound(graph, cycle, feed).is_some_and(below) {
+        FloorVerdict::HopBound
+    } else {
+        FloorVerdict::Keep
+    }
+}
+
+/// A sound upper bound, in USD at current feed prices, on the monetized
+/// gross profit *any* trading plan can extract from a cycle's pools.
+///
+/// Per pool with reserves `(x, y)` and token prices `(Pa, Pb)`: the
+/// pool's holdings are worth `Pa·x + Pb·y ≥ 2√(Pa·Pb·x·y)` (AM–GM), the
+/// product `x·y` never decreases under fee-charging swaps, and every
+/// token the trader nets is a token some pool lost — so the total value
+/// extracted cannot exceed `Σ_pools (√(Pa·x) − √(Pb·y))²` (zero exactly
+/// when every pool is already price-aligned; this is the pools'
+/// arbitrage potential in the sense of Milionis et al.'s LVR).
+///
+/// Returns `None` when a pool token is unpriced or a price is not a
+/// positive finite number — the caller then falls through to the exact
+/// path, which classifies the cycle itself.
+pub(crate) fn cycle_profit_bound<F: PriceFeed>(
+    graph: &TokenGraph,
+    cycle: &Cycle,
+    feed: &F,
+) -> Option<f64> {
+    let mut bound = 0.0;
+    for &pool in cycle.pools() {
+        let p = graph.pool(pool).ok()?;
+        let price_a = feed.usd_price(p.token_a())?;
+        let price_b = feed.usd_price(p.token_b())?;
+        if !(price_a.is_finite() && price_a > 0.0 && price_b.is_finite() && price_b > 0.0) {
+            return None;
+        }
+        let gap = (price_a * p.reserve_a()).sqrt() - (price_b * p.reserve_b()).sqrt();
+        bound += gap * gap;
+    }
+    bound.is_finite().then_some(bound)
+}
+
+/// The per-hop directional fee-aware profit bound: a sound USD upper
+/// bound on the gross profit of any flow routed along a cycle's hops.
+///
+/// A loop's monetized profit telescopes into per-hop terms: valuing
+/// every hop's input and output at feed prices, the intermediate legs
+/// cancel and the total is exactly `Σ_hops (P_out·F_h(Δ_h) − P_in·Δ_h)`
+/// — for the coordinated loop flow *or* any other flow assignment. Each
+/// term is a concave function of `Δ_h` whose unconstrained maximum over
+/// `Δ ≥ 0` has the closed form (for the CPMM hop `F(Δ) = γ·y·Δ/(x+γΔ)`)
+///
+/// ```text
+/// max(0, √(P_out·y) − √(P_in·x/γ))²
+/// ```
+///
+/// zero when the hop's fee-adjusted spot rate is already unprofitable
+/// (`P_out·γ·y/x ≤ P_in`). Summing the independent per-hop maxima
+/// therefore over-estimates any realizable loop profit. The reserve
+/// ingredients `[√y, √(x/γ)]` come pre-cached per slot and direction
+/// from [`TokenGraph::pool_bound_terms`], so each hop costs two price
+/// square roots and a multiply-add.
+///
+/// Returns `None` when a hop token is unpriced, a price is not a
+/// positive finite number, a hop's slot is retired (NaN terms), or the
+/// cycle's hop directions cannot be resolved.
+pub(crate) fn cycle_hop_profit_bound<F: PriceFeed>(
+    graph: &TokenGraph,
+    cycle: &Cycle,
+    feed: &F,
+) -> Option<f64> {
+    let tokens = cycle.tokens();
+    let n = tokens.len();
+    let mut bound = 0.0;
+    for (j, (&pool, &token_in)) in cycle.pools().iter().zip(tokens).enumerate() {
+        let token_out = tokens[(j + 1) % n];
+        let p = graph.pool(pool).ok()?;
+        let dir = if token_in == p.token_a() {
+            0
+        } else if token_in == p.token_b() {
+            1
+        } else {
+            return None;
+        };
+        let [sqrt_out, sqrt_in_over_gamma] = graph.pool_bound_terms(pool)[dir];
+        let price_in = feed.usd_price(token_in)?;
+        let price_out = feed.usd_price(token_out)?;
+        if !(price_in.is_finite() && price_in > 0.0 && price_out.is_finite() && price_out > 0.0) {
+            return None;
+        }
+        let gap = price_out.sqrt() * sqrt_out - price_in.sqrt() * sqrt_in_over_gamma;
+        if gap.is_nan() {
+            return None;
+        }
+        if gap > 0.0 {
+            bound += gap * gap;
+        }
+    }
+    bound.is_finite().then_some(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{OpportunityPipeline, PipelineConfig};
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::Pool;
+    use arb_amm::token::TokenId;
+    use arb_cex::feed::PriceTable;
+    use proptest::prelude::*;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    fn paper_graph() -> TokenGraph {
+        let fee = FeeRate::UNISWAP_V2;
+        TokenGraph::new(vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn paper_feed() -> PriceTable {
+        [(t(0), 2.0), (t(1), 10.2), (t(2), 20.0)]
+            .into_iter()
+            .collect()
+    }
+
+    /// The closed form `(√(P_out·y) − √(P_in·x/γ))²` really is the
+    /// maximum of `P_out·F(Δ) − P_in·Δ`: a grid probe never beats it.
+    #[test]
+    fn hop_closed_form_dominates_grid_probe() {
+        let fee = FeeRate::UNISWAP_V2;
+        let (x, y) = (100.0, 200.0);
+        let (p_in, p_out) = (2.0, 10.2);
+        let pool = Pool::new(t(0), t(1), x, y, fee).unwrap();
+        let curve = pool.curve(t(0)).unwrap();
+        let gap = (p_out * y).sqrt() - (p_in * x / fee.gamma()).sqrt();
+        let closed = gap * gap;
+        let mut best = 0.0f64;
+        for k in 0..10_000 {
+            let delta = k as f64 * 0.1;
+            best = best.max(p_out * curve.amount_out(delta) - p_in * delta);
+        }
+        assert!(closed >= best, "closed {closed} < probed {best}");
+        assert!(closed <= best * 1.001, "closed form should be attained");
+    }
+
+    #[test]
+    fn hop_bound_covers_every_evaluated_cycle_on_the_paper_triangle() {
+        let graph = paper_graph();
+        let feed = paper_feed();
+        let pipeline = OpportunityPipeline::new(PipelineConfig {
+            max_cycle_len: 3,
+            screen: false,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline
+            .run(graph.pools().to_vec(), &feed)
+            .expect("pipeline runs");
+        assert!(!report.opportunities.is_empty(), "non-vacuous");
+        for opp in &report.opportunities {
+            let hop = cycle_hop_profit_bound(&graph, &opp.cycle, &feed).expect("priced");
+            let pool = cycle_profit_bound(&graph, &opp.cycle, &feed).expect("priced");
+            let gross = opp.gross_profit.value();
+            assert!(hop >= gross, "hop bound {hop} < realized {gross}");
+            assert!(pool >= gross, "pool bound {pool} < realized {gross}");
+        }
+    }
+
+    #[test]
+    fn retired_slots_poison_the_hop_bound() {
+        let mut graph = paper_graph();
+        let feed = paper_feed();
+        let cycle = graph.cycles(3).unwrap().into_iter().next().unwrap();
+        assert!(cycle_hop_profit_bound(&graph, &cycle, &feed).is_some());
+        graph.remove_pool(cycle.pools()[0]).unwrap();
+        assert_eq!(cycle_hop_profit_bound(&graph, &cycle, &feed), None);
+    }
+
+    #[test]
+    fn unpriced_tokens_disable_both_bounds() {
+        let graph = paper_graph();
+        let feed: PriceTable = [(t(0), 2.0), (t(1), 10.2)].into_iter().collect();
+        let cycle = graph.cycles(3).unwrap().into_iter().next().unwrap();
+        assert_eq!(cycle_profit_bound(&graph, &cycle, &feed), None);
+        assert_eq!(cycle_hop_profit_bound(&graph, &cycle, &feed), None);
+    }
+
+    /// Builds a 3-token triangle with the given reserve/fee regime,
+    /// evaluates every cycle unscreened, and checks both bounds cover
+    /// each realized gross profit. Used directly by the proptest below.
+    fn assert_bounds_sound(
+        reserves: &[(f64, f64); 3],
+        fees: &[FeeRate; 3],
+        prices: &[f64],
+    ) -> Result<(), TestCaseError> {
+        let pools = vec![
+            Pool::new(t(0), t(1), reserves[0].0, reserves[0].1, fees[0]).unwrap(),
+            Pool::new(t(1), t(2), reserves[1].0, reserves[1].1, fees[1]).unwrap(),
+            Pool::new(t(2), t(0), reserves[2].0, reserves[2].1, fees[2]).unwrap(),
+        ];
+        let graph = TokenGraph::new(pools.clone()).unwrap();
+        let feed: PriceTable = [(t(0), prices[0]), (t(1), prices[1]), (t(2), prices[2])]
+            .into_iter()
+            .collect();
+        let pipeline = OpportunityPipeline::new(PipelineConfig {
+            screen: false,
+            parallel: false,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(pools, &feed).expect("pipeline runs");
+        for opp in &report.opportunities {
+            let gross = opp.gross_profit.value();
+            // Tolerance matching the floor screen's own safety margin.
+            let slack = |b: f64| b + FLOOR_SCREEN_MARGIN * (1.0 + b);
+            if let Some(hop) = cycle_hop_profit_bound(&graph, &opp.cycle, &feed) {
+                prop_assert!(
+                    slack(hop) >= gross,
+                    "hop bound {hop} < realized {gross} (cycle {:?})",
+                    opp.cycle.tokens()
+                );
+            }
+            if let Some(pool) = cycle_profit_bound(&graph, &opp.cycle, &feed) {
+                prop_assert!(
+                    slack(pool) >= gross,
+                    "pool bound {pool} < realized {gross} (cycle {:?})",
+                    opp.cycle.tokens()
+                );
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Soundness under randomized reserves, prices, and fee regimes
+        /// (the Milionis et al. tiers plus V2): neither bound ever
+        /// under-estimates a realized optimal gross profit.
+        #[test]
+        fn bounds_cover_realized_profit_under_random_fee_regimes(
+            r in proptest::collection::vec(1e2..1e7f64, 6),
+            p in proptest::collection::vec(1e-2..1e4f64, 3),
+            f in proptest::collection::vec(0..4usize, 3),
+        ) {
+            // The Milionis et al. tiers (5 / 30 / 100 bps) plus V2.
+            let tiers = [
+                FeeRate::UNISWAP_V2,
+                FeeRate::from_ppm(500).unwrap(),
+                FeeRate::from_ppm(3_000).unwrap(),
+                FeeRate::from_ppm(10_000).unwrap(),
+            ];
+            let reserves = [(r[0], r[1]), (r[2], r[3]), (r[4], r[5])];
+            let fees = [tiers[f[0]], tiers[f[1]], tiers[f[2]]];
+            assert_bounds_sound(&reserves, &fees, &p)?;
+        }
+
+        /// Dynamic-fee drift (Alexander & Fritz): the same universe
+        /// re-synced through a sequence of fee regimes — the cached
+        /// bound ingredients must stay sound after every mutation, not
+        /// just at construction.
+        #[test]
+        fn bounds_stay_sound_under_dynamic_fee_drift(
+            r in proptest::collection::vec(1e2..1e6f64, 6),
+            p in proptest::collection::vec(1e-1..1e3f64, 3),
+            drift in proptest::collection::vec((0..3usize, 0.8..1.25f64), 1..6),
+        ) {
+            let reserves = [(r[0], r[1]), (r[2], r[3]), (r[4], r[5])];
+            let fees = [
+                FeeRate::from_ppm(500).unwrap(),
+                FeeRate::from_ppm(3_000).unwrap(),
+                FeeRate::from_ppm(10_000).unwrap(),
+            ];
+            let pools = vec![
+                Pool::new(t(0), t(1), reserves[0].0, reserves[0].1, fees[0]).unwrap(),
+                Pool::new(t(1), t(2), reserves[1].0, reserves[1].1, fees[1]).unwrap(),
+                Pool::new(t(2), t(0), reserves[2].0, reserves[2].1, fees[2]).unwrap(),
+            ];
+            let mut graph = TokenGraph::new(pools).unwrap();
+            let feed: PriceTable = [(t(0), p[0]), (t(1), p[1]), (t(2), p[2])]
+                .into_iter()
+                .collect();
+            let pipeline = OpportunityPipeline::new(PipelineConfig {
+                screen: false,
+                parallel: false,
+                ..PipelineConfig::default()
+            });
+            for &(slot, scale) in &drift {
+                let pool = *graph.pool(arb_amm::pool::PoolId::new(slot as u32)).unwrap();
+                graph
+                    .apply_sync(
+                        arb_amm::pool::PoolId::new(slot as u32),
+                        pool.reserve_a() * scale,
+                        pool.reserve_b() / scale,
+                    )
+                    .unwrap();
+                let live: Vec<Pool> = graph.live_pools().map(|(_, p)| *p).collect();
+                let report = pipeline.run(live, &feed).expect("pipeline runs");
+                for opp in &report.opportunities {
+                    let gross = opp.gross_profit.value();
+                    let slack = |b: f64| b + FLOOR_SCREEN_MARGIN * (1.0 + b);
+                    if let Some(hop) = cycle_hop_profit_bound(&graph, &opp.cycle, &feed) {
+                        prop_assert!(
+                            slack(hop) >= gross,
+                            "hop bound {hop} < realized {gross} after drift"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

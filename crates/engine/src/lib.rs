@@ -56,6 +56,7 @@
 //! # }
 //! ```
 
+mod bounds;
 pub mod checkpoint;
 mod dirty;
 pub mod error;
@@ -74,5 +75,7 @@ pub use pipeline::{
     SnapshotPrices,
 };
 pub use ranking::{RankByGrossProfit, RankByNetProfit, RankByProfitPerHop, RankingPolicy};
-pub use runtime::{RuntimeReport, RuntimeStats, ScreenTotals, ShardedRuntime};
+pub use runtime::{
+    RebalanceConfig, RuntimeReport, RuntimeStats, ScreenTotals, ShardLoads, ShardedRuntime,
+};
 pub use streaming::{StreamReport, StreamStats, StreamingEngine};

@@ -12,6 +12,7 @@ use arb_graph::{Cycle, TokenGraph};
 use arb_snapshot::Snapshot;
 use rayon::prelude::*;
 
+use crate::bounds::{floor_verdict, FloorVerdict};
 use crate::error::EngineError;
 use crate::opportunity::ArbitrageOpportunity;
 use crate::ranking::{RankByNetProfit, RankingPolicy};
@@ -58,13 +59,17 @@ pub struct PipelineConfig {
     pub parallel: bool,
     /// Keep only the best `top_k` opportunities after ranking.
     pub top_k: Option<usize>,
-    /// Consult the incremental log-space profitability screen before
-    /// evaluating dirty cycles in the streaming engine: cycles whose
-    /// maintained `Σ log p` is provably ≤ 0, or whose profit upper bound
-    /// provably cannot clear the net-profit floor, skip preparation and
-    /// strategy evaluation entirely. The screen is **sound** — output is
-    /// bit-identical with it on or off (`tests/screen_equivalence.rs`) —
-    /// so disabling it only serves baseline comparisons.
+    /// Consult the log-space profitability screen before preparing
+    /// cycles: cycles whose `Σ log p` is provably ≤ 0, or whose profit
+    /// upper bounds (the pool-value and per-hop fee-aware bounds in
+    /// `crate::bounds`) provably cannot clear the
+    /// net-profit floor, skip preparation and strategy evaluation
+    /// entirely. Applies both to the streaming engine's incremental
+    /// refresh (dirty cycles) and to batch cold starts through
+    /// [`OpportunityPipeline::run_graph`] (every enumerated cycle). The
+    /// screen is **sound** — output is bit-identical with it on or off
+    /// (`tests/screen_equivalence.rs`) — so disabling it only serves
+    /// baseline comparisons.
     pub screen: bool,
 }
 
@@ -145,6 +150,25 @@ pub struct PipelineStats {
     pub cycles_degenerate: usize,
     /// Cycles dropped because a loop token had no CEX price.
     pub cycles_unpriced: usize,
+    /// Cycles that went through full classification
+    /// (`prepare_candidate`: curve assembly, loop
+    /// construction, price resolution). With the screen off this counts
+    /// every enumerated cycle; with it on, only screen survivors — the
+    /// cold-start cost the batch screen exists to cut.
+    pub cycles_classified: usize,
+    /// Enumerated cycles the batch log-sum screen discharged before
+    /// classification (`Σ log p` provably not positive, including the
+    /// degenerate `-∞` ones, which are *also* counted in
+    /// [`PipelineStats::cycles_degenerate`] for parity with unscreened
+    /// runs).
+    pub cycles_screened_out: usize,
+    /// Profitable cycles discharged before classification because a
+    /// profit upper bound provably cannot clear the effective gross
+    /// floor (`execution_cost_usd + min_net_profit_usd`).
+    pub cycles_floor_screened: usize,
+    /// The subset of [`PipelineStats::cycles_floor_screened`] only the
+    /// per-hop fee-aware bound could discharge.
+    pub cycles_hop_screened: usize,
     /// Strategy evaluations attempted (cycles × strategies).
     pub evaluations: usize,
     /// Evaluations skipped for benign infeasibility (near-breakeven loops
@@ -160,12 +184,17 @@ impl fmt::Display for PipelineStats {
         write!(
             f,
             "{} tokens, {} pools, {} cycles ({} unpriced, {} degenerate), \
+             {} classified ({} screened, {} floor-screened ({} by hop bound)), \
              {} evaluations ({} benign failures), {} below floor",
             self.tokens,
             self.pools,
             self.cycles_discovered,
             self.cycles_unpriced,
             self.cycles_degenerate,
+            self.cycles_classified,
+            self.cycles_screened_out,
+            self.cycles_floor_screened,
+            self.cycles_hop_screened,
             self.evaluations,
             self.evaluation_failures,
             self.below_floor
@@ -326,10 +355,48 @@ impl OpportunityPipeline {
         // prices resolved up front so the evaluation stage is pure CPU.
         // Prices live in one flat buffer shared by every candidate —
         // `(offset, len)` spans instead of a fresh `Vec<f64>` per cycle.
+        //
+        // With the screen on, each enumerated cycle first passes the
+        // cheap cached checks — the log-sum sign and, when a gross floor
+        // is configured, the profit upper bounds of [`crate::bounds`] —
+        // so cold starts, recovery refreshes, and shard rebuilds stop
+        // classifying provably-dead cycles. The checks reuse exactly the
+        // classification criteria of `prepare_candidate` (same cached
+        // log rates, sound bounds), so the surviving opportunity set is
+        // bit-identical to an unscreened run.
+        let screen = self.config.screen;
+        let required_gross = self.config.execution_cost_usd + self.config.min_net_profit_usd;
+        let floor_screen = screen && required_gross > 0.0;
         let mut price_buf: Vec<f64> = Vec::new();
         let mut candidates: Vec<(Cycle, ArbLoop, (usize, usize))> = Vec::new();
         for len in self.config.min_cycle_len..=self.config.max_cycle_len {
             for cycle in graph.cycles(len)? {
+                if screen {
+                    let log_rate = graph.cycle_log_rate(&cycle)?;
+                    if log_rate == f64::NEG_INFINITY {
+                        stats.cycles_degenerate += 1;
+                        stats.cycles_screened_out += 1;
+                        continue;
+                    }
+                    if log_rate.is_nan() || log_rate <= 0.0 {
+                        stats.cycles_screened_out += 1;
+                        continue;
+                    }
+                    if floor_screen {
+                        match floor_verdict(graph, &cycle, feed, required_gross) {
+                            FloorVerdict::Keep => {}
+                            verdict => {
+                                stats.cycles_discovered += 1;
+                                stats.cycles_floor_screened += 1;
+                                if verdict == FloorVerdict::HopBound {
+                                    stats.cycles_hop_screened += 1;
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+                stats.cycles_classified += 1;
                 match self.prepare_candidate(graph, &cycle, feed, &mut price_buf)? {
                     CycleCandidate::NotArbitrage => {}
                     CycleCandidate::Degenerate => stats.cycles_degenerate += 1,
@@ -735,6 +802,95 @@ mod tests {
         };
         assert!(never_trade.validate().is_ok());
         assert!(PipelineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn batch_screen_matches_unscreened_bit_for_bit() {
+        let mut pools = paper_pools();
+        let fee = FeeRate::UNISWAP_V2;
+        // A second triangle: mild (below a steep floor) and a balanced
+        // pair that is pure screen fodder.
+        pools.push(Pool::new(t(3), t(4), 1_000.0, 1_050.0, fee).unwrap());
+        pools.push(Pool::new(t(4), t(5), 1_000.0, 1_000.0, fee).unwrap());
+        pools.push(Pool::new(t(5), t(3), 1_000.0, 1_000.0, fee).unwrap());
+        let mut feed = paper_feed();
+        feed.extend([(t(3), 1.0), (t(4), 1.0), (t(5), 1.0)]);
+
+        for (cost, floor) in [(0.0, 0.0), (3.0, 1.0), (50.0, 10.0)] {
+            let config = |screen| PipelineConfig {
+                execution_cost_usd: cost,
+                min_net_profit_usd: floor,
+                screen,
+                ..PipelineConfig::default()
+            };
+            let screened = OpportunityPipeline::new(config(true))
+                .run(pools.clone(), &feed)
+                .unwrap();
+            let unscreened = OpportunityPipeline::new(config(false))
+                .run(pools.clone(), &feed)
+                .unwrap();
+            assert_eq!(
+                screened.opportunities.len(),
+                unscreened.opportunities.len(),
+                "cost {cost} floor {floor}"
+            );
+            for (a, b) in screened.opportunities.iter().zip(&unscreened.opportunities) {
+                assert_eq!(a.cycle.tokens(), b.cycle.tokens());
+                assert_eq!(a.strategy, b.strategy);
+                assert_eq!(
+                    a.gross_profit.value().to_bits(),
+                    b.gross_profit.value().to_bits()
+                );
+                assert_eq!(
+                    a.net_profit.value().to_bits(),
+                    b.net_profit.value().to_bits()
+                );
+            }
+            // Shared classification criteria keep the discovery counters
+            // aligned even though the screened run classifies less.
+            assert_eq!(
+                screened.stats.cycles_discovered,
+                unscreened.stats.cycles_discovered
+            );
+            assert_eq!(
+                screened.stats.cycles_degenerate,
+                unscreened.stats.cycles_degenerate
+            );
+            assert!(
+                screened.stats.cycles_classified < unscreened.stats.cycles_classified,
+                "screen must cut classifications: {} vs {}",
+                screened.stats,
+                unscreened.stats
+            );
+            assert_eq!(unscreened.stats.cycles_screened_out, 0);
+            assert_eq!(unscreened.stats.cycles_floor_screened, 0);
+        }
+    }
+
+    #[test]
+    fn batch_floor_screen_skips_classification_and_evaluation() {
+        // With a floor far above the paper triangle's ~$206 gross, the
+        // screened cold start discharges it before curve assembly.
+        let config = |screen| PipelineConfig {
+            execution_cost_usd: 9_000.0,
+            min_net_profit_usd: 1_000.0,
+            screen,
+            ..PipelineConfig::default()
+        };
+        let screened = OpportunityPipeline::new(config(true))
+            .run(paper_pools(), &paper_feed())
+            .unwrap();
+        assert!(screened.opportunities.is_empty());
+        assert_eq!(screened.stats.cycles_floor_screened, 1);
+        assert_eq!(screened.stats.cycles_classified, 0);
+        assert_eq!(screened.stats.evaluations, 0);
+
+        let unscreened = OpportunityPipeline::new(config(false))
+            .run(paper_pools(), &paper_feed())
+            .unwrap();
+        assert!(unscreened.opportunities.is_empty());
+        assert_eq!(unscreened.stats.evaluations, 2);
+        assert_eq!(unscreened.stats.below_floor, 1);
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub struct RuntimeStats {
     pub broadcasts: usize,
     /// Full repartitions triggered by cross-shard bridge pools.
     pub rebuilds: usize,
+    /// Adaptive repartitions triggered by dirty-load skew
+    /// ([`RebalanceConfig`]).
+    pub rebalances: usize,
     /// Per-shard refresh passes run (ticks × shards, plus rebuild flushes).
     pub shard_refreshes: usize,
     /// Shard ranked-list clones skipped because the shard's standing
@@ -87,13 +90,14 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ticks ({} events routed, {} broadcasts, {} rebuilds), \
-             {} shard refreshes, {} merge cache hits, {} standing \
-             opportunities, last tick {}ns (merge {}ns)",
+            "{} ticks ({} events routed, {} broadcasts, {} rebuilds, \
+             {} rebalances), {} shard refreshes, {} merge cache hits, \
+             {} standing opportunities, last tick {}ns (merge {}ns)",
             self.ticks,
             self.events_routed,
             self.broadcasts,
             self.rebuilds,
+            self.rebalances,
             self.shard_refreshes,
             self.merge_cache_hits,
             self.merged_opportunities,
@@ -114,6 +118,9 @@ pub struct ScreenTotals {
     pub cycles_screened_out: usize,
     /// Dirty cycles dropped by the feed-priced profit-floor bound.
     pub cycles_floor_screened: usize,
+    /// The subset of [`ScreenTotals::cycles_floor_screened`] only the
+    /// per-hop fee-aware bound could discharge.
+    pub cycles_hop_screened: usize,
     /// Dirty cycles skipped for degenerate (`-∞`) log rates.
     pub cycles_degenerate_skipped: usize,
     /// O(1) delta updates applied to per-cycle log-sums.
@@ -125,9 +132,13 @@ pub struct ScreenTotals {
 }
 
 impl ScreenTotals {
-    fn add_stats(&mut self, stats: &StreamStats) {
+    /// Accumulates one engine's screen counters into the totals (used by
+    /// the runtime across its fleet, and by telemetry consumers to view a
+    /// single [`StreamingEngine`]'s counters in the same shape).
+    pub fn add_stats(&mut self, stats: &StreamStats) {
         self.cycles_screened_out += stats.cycles_screened_out;
         self.cycles_floor_screened += stats.cycles_floor_screened;
+        self.cycles_hop_screened += stats.cycles_hop_screened;
         self.cycles_degenerate_skipped += stats.cycles_degenerate_skipped;
         self.screen_delta_updates += stats.screen_delta_updates;
         self.screen_resummations += stats.screen_resummations;
@@ -139,14 +150,107 @@ impl fmt::Display for ScreenTotals {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} screened, {} floor-screened, {} degenerate, \
+            "{} screened, {} floor-screened ({} by hop bound), {} degenerate, \
              {} strategy evaluations (screen {}Δ/{}Σ)",
             self.cycles_screened_out,
             self.cycles_floor_screened,
+            self.cycles_hop_screened,
             self.cycles_degenerate_skipped,
             self.strategy_evaluations,
             self.screen_delta_updates,
             self.screen_resummations
+        )
+    }
+}
+
+/// Tuning for adaptive hot-shard rebalancing.
+///
+/// The runtime accumulates per-pool and per-shard routed-event counts
+/// over a rolling window of `interval_ticks` ticks. At each window
+/// boundary, if the busiest shard's window load exceeds
+/// `skew_threshold ×` the mean (or a single engine is serving a
+/// universe that `max_shards` could split), the runtime flushes,
+/// repartitions with [`Partition::new_weighted`] — weighting components
+/// by observed load and splitting the dominant component along bridge
+/// boundaries — and rebuilds the fleet. Every input to the decision is
+/// derived from the journaled event stream (never wall-clock), so a
+/// replay of the same events reproduces the same rebalances, and the
+/// rebuild re-evaluates from reserves + feed alone, so the merged output
+/// stays bit-identical to a single engine whether or not a rebalance
+/// fired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Master switch; disabled keeps the static construction-time
+    /// partition for the runtime's lifetime.
+    pub enabled: bool,
+    /// Window length in ticks between skew checks (0 behaves as 1).
+    pub interval_ticks: usize,
+    /// Rebalance when the busiest shard's window events exceed this
+    /// multiple of the mean shard's.
+    pub skew_threshold: f64,
+    /// Minimum routed events in a window before skew is trusted — keeps
+    /// near-idle fleets from thrashing on noise.
+    pub min_window_events: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            enabled: false,
+            interval_ticks: 8,
+            skew_threshold: 1.5,
+            min_window_events: 32,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// An enabled config with the default window and threshold.
+    pub fn enabled() -> Self {
+        RebalanceConfig {
+            enabled: true,
+            ..RebalanceConfig::default()
+        }
+    }
+}
+
+/// Per-shard load telemetry: the dirty-load window driving rebalance
+/// decisions plus the current fleet's evaluation counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardLoads {
+    /// Pool-keyed events routed to each shard in the current rebalance
+    /// window.
+    pub window_events: Vec<u64>,
+    /// Dirty-cycle evaluations per shard (current fleet; rebuilds and
+    /// rebalances reset these, see [`ShardedRuntime::shard_stats`]).
+    pub evaluations: Vec<usize>,
+    /// Lifetime adaptive rebalances ([`RuntimeStats::rebalances`]).
+    pub rebalances: usize,
+}
+
+impl ShardLoads {
+    /// Busiest ÷ mean window load (1.0 for an empty or single-shard
+    /// window) — the number the rebalance threshold is compared against.
+    pub fn skew(&self) -> f64 {
+        let total: u64 = self.window_events.iter().sum();
+        if total == 0 || self.window_events.is_empty() {
+            return 1.0;
+        }
+        let max = *self.window_events.iter().max().expect("non-empty") as f64;
+        max / (total as f64 / self.window_events.len() as f64)
+    }
+}
+
+impl fmt::Display for ShardLoads {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shards, window events {:?} (skew {:.2}x), evaluations {:?}, {} rebalances",
+            self.window_events.len(),
+            self.window_events,
+            self.skew(),
+            self.evaluations,
+            self.rebalances
         )
     }
 }
@@ -217,6 +321,16 @@ pub struct ShardedRuntime {
     /// Screen counters banked from replaced fleets, mirroring
     /// `evaluations_before_rebuilds`.
     screen_before_rebuilds: ScreenTotals,
+    /// Adaptive rebalancing tuning (off by default).
+    rebalance: RebalanceConfig,
+    /// Routed events per pool slot in the current rebalance window —
+    /// the weights handed to [`Partition::new_weighted`]. Derived purely
+    /// from the event stream, so replays rebalance identically.
+    pool_weights: Vec<u64>,
+    /// Routed events per shard in the current rebalance window.
+    shard_window_events: Vec<u64>,
+    /// Ticks elapsed in the current rebalance window.
+    window_ticks: usize,
     stats: RuntimeStats,
 }
 
@@ -257,15 +371,27 @@ impl ShardedRuntime {
         let shards = Self::build_shards(&pipeline, &graph, &partition)?;
         Ok(ShardedRuntime {
             pipeline,
-            shards,
             pool_slots: graph.pool_count(),
             partition,
             max_shards,
             pending_retires: Vec::new(),
             evaluations_before_rebuilds: 0,
             screen_before_rebuilds: ScreenTotals::default(),
+            rebalance: RebalanceConfig::default(),
+            pool_weights: vec![0; graph.pool_count()],
+            shard_window_events: vec![0; shards.len()],
+            window_ticks: 0,
+            shards,
             stats: RuntimeStats::default(),
         })
+    }
+
+    /// Sets the adaptive-rebalancing policy (builder style; the default
+    /// is disabled). Safe to call on a freshly restored runtime too —
+    /// rebalance bookkeeping always starts from an empty window.
+    pub fn with_rebalance(mut self, config: RebalanceConfig) -> Self {
+        self.rebalance = config;
+        self
     }
 
     fn build_shards(
@@ -372,6 +498,7 @@ impl ShardedRuntime {
             self.route(event, feed)?;
         }
         self.flush(feed)?;
+        self.maybe_rebalance(feed)?;
         Ok(self.merge(tick_start))
     }
 
@@ -417,6 +544,8 @@ impl ShardedRuntime {
                         self.partition.register_pool(pool, token_a, token_b, owner);
                         self.pending_retires.push((pool, owner));
                         self.pool_slots += 1;
+                        self.pool_weights.push(1);
+                        self.shard_window_events[owner] += 1;
                     }
                 }
             }
@@ -428,6 +557,8 @@ impl ShardedRuntime {
                     return Err(EngineError::Desync("event for a pool no shard owns"));
                 };
                 self.stats.events_routed += 1;
+                self.pool_weights[pool.index()] += 1;
+                self.shard_window_events[shard] += 1;
                 self.shards[shard].queue.push(*event);
             }
             // `Event` is non-exhaustive; unknown variants carry no pool
@@ -492,7 +623,31 @@ impl ShardedRuntime {
         else {
             unreachable!("rebuild_with is only called for PoolCreated");
         };
-        let mut pools = Vec::with_capacity(self.pool_slots + 1);
+        debug_assert_eq!(pool.index(), self.pool_slots);
+        let mut graph = self.merged_graph()?;
+        graph.add_pool(
+            Pool::new(
+                token_a,
+                token_b,
+                to_display(reserve_a),
+                to_display(reserve_b),
+                fee,
+            )
+            .map_err(arb_graph::GraphError::from)?,
+        );
+        self.bank_shard_counters();
+        self.partition = Partition::new(&graph, self.max_shards);
+        self.shards = Self::build_shards(&self.pipeline, &graph, &self.partition)?;
+        self.pool_slots = graph.pool_count();
+        self.reset_window();
+        Ok(())
+    }
+
+    /// Reassembles the single-engine view of the fleet's live state: one
+    /// graph holding every slot (owners are authoritative for reserves
+    /// and liveness). Queues must be drained first.
+    fn merged_graph(&self) -> Result<TokenGraph, EngineError> {
+        let mut pools = Vec::with_capacity(self.pool_slots);
         let mut dead = Vec::new();
         for index in 0..self.pool_slots {
             let id = PoolId::new(index as u32);
@@ -506,24 +661,16 @@ impl ShardedRuntime {
                 dead.push(id);
             }
         }
-        pools.push(
-            Pool::new(
-                token_a,
-                token_b,
-                to_display(reserve_a),
-                to_display(reserve_b),
-                fee,
-            )
-            .map_err(arb_graph::GraphError::from)?,
-        );
-        debug_assert_eq!(pool.index(), self.pool_slots);
         let mut graph = TokenGraph::new(pools)?;
         for id in dead {
             graph.remove_pool(id)?;
         }
-        // The fleet is replaced wholesale; bank its evaluation and
-        // screen counters so the cumulative totals survive the
-        // repartition.
+        Ok(graph)
+    }
+
+    /// The fleet is about to be replaced wholesale; bank its evaluation
+    /// and screen counters so the cumulative totals survive.
+    fn bank_shard_counters(&mut self) {
         self.evaluations_before_rebuilds += self
             .shards
             .iter()
@@ -532,10 +679,80 @@ impl ShardedRuntime {
         for shard in &self.shards {
             self.screen_before_rebuilds.add_stats(shard.engine.stats());
         }
-        self.partition = Partition::new(&graph, self.max_shards);
-        self.shards = Self::build_shards(&self.pipeline, &graph, &self.partition)?;
-        self.pool_slots = graph.pool_count();
+    }
+
+    /// Clears the rolling load window (after a rebuild, rebalance, or
+    /// completed observation interval).
+    fn reset_window(&mut self) {
+        self.pool_weights.clear();
+        self.pool_weights.resize(self.pool_slots, 0);
+        self.shard_window_events.clear();
+        self.shard_window_events.resize(self.shards.len(), 0);
+        self.window_ticks = 0;
+    }
+
+    /// End-of-tick adaptive rebalance check. Purely a function of the
+    /// journaled event stream — per-pool routed-event counts over the
+    /// last `interval_ticks` ticks — so replaying the same events always
+    /// yields the same split/steal decisions, and because every shard
+    /// re-evaluates from reserves + feed after a repartition the merged
+    /// ranking is bit-identical whether or not (and whenever) a
+    /// rebalance fires.
+    fn maybe_rebalance<F: PriceFeed + Sync>(&mut self, feed: &F) -> Result<(), EngineError> {
+        if !self.rebalance.enabled {
+            return Ok(());
+        }
+        self.window_ticks += 1;
+        if self.window_ticks < self.rebalance.interval_ticks.max(1) {
+            return Ok(());
+        }
+        let total: u64 = self.shard_window_events.iter().sum();
+        let max = self.shard_window_events.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / self.shard_window_events.len().max(1) as f64;
+        // One shard hogging the fleet (a dominant component pinned to a
+        // single engine) or a measurably skewed spread both trigger; a
+        // quiet window never does.
+        let saturated = self.shards.len() == 1 && self.max_shards > 1;
+        let skewed = self.shards.len() > 1 && max as f64 > self.rebalance.skew_threshold * mean;
+        if total >= self.rebalance.min_window_events && (saturated || skewed) {
+            self.rebalance_now(feed)?;
+        }
+        self.reset_window();
         Ok(())
+    }
+
+    /// Repartitions around the merged live state using the window's
+    /// per-pool event counts as weights and splitting the dominant
+    /// component along bridge boundaries. A no-op (and not counted) when
+    /// the weighted partition matches the current one.
+    fn rebalance_now<F: PriceFeed + Sync>(&mut self, feed: &F) -> Result<(), EngineError> {
+        let graph = self.merged_graph()?;
+        let candidate = Partition::new_weighted(&graph, self.max_shards, &self.pool_weights, true);
+        if candidate == self.partition {
+            return Ok(());
+        }
+        self.bank_shard_counters();
+        self.partition = candidate;
+        self.shards = Self::build_shards(&self.pipeline, &graph, &self.partition)?;
+        self.stats.rebalances += 1;
+        // Cold-refresh the new fleet: queues are empty, so this is pure
+        // re-evaluation of standing cycles against current reserves.
+        self.flush(feed)
+    }
+
+    /// Per-shard load picture for the current observation window:
+    /// routed events and cumulative evaluations per shard, plus the
+    /// lifetime rebalance count.
+    pub fn shard_loads(&self) -> ShardLoads {
+        ShardLoads {
+            window_events: self.shard_window_events.clone(),
+            evaluations: self
+                .shards
+                .iter()
+                .map(|s| s.engine.stats().cycles_evaluated)
+                .collect(),
+            rebalances: self.stats.rebalances,
+        }
     }
 
     /// Captures the whole fleet's durable state: the per-slot shard
@@ -616,13 +833,17 @@ impl ShardedRuntime {
         )?;
         Ok(ShardedRuntime {
             pipeline,
-            shards,
             partition,
             pool_slots,
             max_shards: checkpoint.max_shards,
             pending_retires: Vec::new(),
             evaluations_before_rebuilds: 0,
             screen_before_rebuilds: ScreenTotals::default(),
+            rebalance: RebalanceConfig::default(),
+            pool_weights: vec![0; pool_slots],
+            shard_window_events: vec![0; shards.len()],
+            window_ticks: 0,
+            shards,
             stats: RuntimeStats::default(),
         })
     }
@@ -1015,6 +1236,143 @@ mod tests {
         bad_owner.owners[0] = 99;
         let err = ShardedRuntime::restore(OpportunityPipeline::default(), &bad_owner).unwrap_err();
         assert!(matches!(err, EngineError::Graph(_)), "{err:?}");
+    }
+
+    /// Two triangles joined by a bridge pool: one connected component,
+    /// so [`Partition::new`] pins everything to a single shard until an
+    /// adaptive rebalance splits it at the bridge.
+    fn dumbbell_pools() -> Vec<Pool> {
+        let fee = FeeRate::UNISWAP_V2;
+        vec![
+            Pool::new(t(0), t(1), 100.0, 200.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 300.0, 200.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 200.0, 400.0, fee).unwrap(),
+            Pool::new(t(2), t(3), 500.0, 500.0, fee).unwrap(),
+            Pool::new(t(3), t(4), 1_000.0, 1_080.0, fee).unwrap(),
+            Pool::new(t(4), t(5), 1_000.0, 1_000.0, fee).unwrap(),
+            Pool::new(t(5), t(3), 1_000.0, 1_000.0, fee).unwrap(),
+        ]
+    }
+
+    /// A hot stream concentrated on the paper triangle's side of the
+    /// dumbbell, enough to trip any window threshold.
+    fn dumbbell_hot_stream() -> Vec<Vec<Event>> {
+        (0..4)
+            .map(|tick| {
+                vec![
+                    sync(0, 100.0 + tick as f64, 200.0 - tick as f64),
+                    sync(1, 300.0 - tick as f64, 200.0 + tick as f64),
+                    sync(4, 1_000.0, 1_080.0 + tick as f64),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebalance_splits_saturated_component_and_stays_equivalent() {
+        let feed = island_feed();
+        let config = RebalanceConfig {
+            interval_ticks: 1,
+            min_window_events: 1,
+            ..RebalanceConfig::enabled()
+        };
+        let mut runtime = ShardedRuntime::new(OpportunityPipeline::default(), dumbbell_pools(), 3)
+            .unwrap()
+            .with_rebalance(config);
+        let mut single =
+            StreamingEngine::new(OpportunityPipeline::default(), dumbbell_pools()).unwrap();
+        assert_eq!(runtime.shard_count(), 1, "one component pins one shard");
+
+        single.refresh(&feed).unwrap();
+        runtime.refresh(&feed).unwrap();
+        let mut last = Vec::new();
+        for batch in dumbbell_hot_stream() {
+            single.apply_events(&batch, &feed).unwrap();
+            last = runtime.apply_events(&batch, &feed).unwrap().opportunities;
+            assert_matches_single(&runtime, &single, &last);
+        }
+        assert!(runtime.stats().rebalances >= 1, "{}", runtime.stats());
+        assert_eq!(runtime.shard_count(), 2, "split at the bridge pool");
+        assert_eq!(
+            runtime.partition().shard_of_pool(p(0)),
+            runtime.partition().shard_of_pool(p(3)),
+            "the bridge rides with its token_a block"
+        );
+        assert_ne!(
+            runtime.partition().shard_of_pool(p(0)),
+            runtime.partition().shard_of_pool(p(4))
+        );
+        assert_eq!(last.len(), 2, "both triangles still arb");
+    }
+
+    #[test]
+    fn rebalance_disabled_by_default() {
+        let feed = island_feed();
+        let mut runtime =
+            ShardedRuntime::new(OpportunityPipeline::default(), dumbbell_pools(), 3).unwrap();
+        runtime.refresh(&feed).unwrap();
+        for batch in dumbbell_hot_stream() {
+            runtime.apply_events(&batch, &feed).unwrap();
+        }
+        assert_eq!(runtime.stats().rebalances, 0);
+        assert_eq!(runtime.shard_count(), 1);
+    }
+
+    #[test]
+    fn rebalance_decisions_are_deterministic_across_reruns() {
+        let feed = island_feed();
+        let config = RebalanceConfig {
+            interval_ticks: 2,
+            min_window_events: 4,
+            ..RebalanceConfig::enabled()
+        };
+        let run = || {
+            let mut runtime =
+                ShardedRuntime::new(OpportunityPipeline::default(), dumbbell_pools(), 3)
+                    .unwrap()
+                    .with_rebalance(config);
+            runtime.refresh(&feed).unwrap();
+            let mut last = Vec::new();
+            for batch in dumbbell_hot_stream() {
+                last = runtime.apply_events(&batch, &feed).unwrap().opportunities;
+            }
+            let owners: Vec<usize> = (0..runtime.pool_slots)
+                .map(|i| runtime.partition().shard_of_pool(p(i as u32)).unwrap())
+                .collect();
+            (runtime.stats().rebalances, owners, last)
+        };
+        let (rebalances_a, owners_a, ranked_a) = run();
+        let (rebalances_b, owners_b, ranked_b) = run();
+        assert_eq!(rebalances_a, rebalances_b);
+        assert_eq!(owners_a, owners_b);
+        assert_eq!(ranked_a.len(), ranked_b.len());
+        for (x, y) in ranked_a.iter().zip(&ranked_b) {
+            assert_eq!(
+                x.net_profit.value().to_bits(),
+                y.net_profit.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_loads_reports_window_and_display_one_liner() {
+        let feed = island_feed();
+        let mut runtime =
+            ShardedRuntime::new(OpportunityPipeline::default(), island_pools(), 3).unwrap();
+        runtime.refresh(&feed).unwrap();
+        runtime
+            .apply_events(&[sync(0, 101.0, 199.0), sync(1, 299.0, 201.0)], &feed)
+            .unwrap();
+        let loads = runtime.shard_loads();
+        assert_eq!(loads.window_events.len(), 3);
+        assert_eq!(loads.window_events.iter().sum::<u64>(), 2);
+        assert_eq!(loads.rebalances, 0);
+        assert!(loads.evaluations.iter().sum::<usize>() > 0);
+        assert!(loads.skew() >= 1.0);
+        let line = loads.to_string();
+        assert!(line.contains("shards"), "{line}");
+        assert!(line.contains("skew"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -67,9 +67,10 @@ use arb_amm::pool::Pool;
 use arb_cex::feed::PriceFeed;
 use arb_dexsim::events::Event;
 use arb_dexsim::units::to_display;
-use arb_graph::{Cycle, CycleId, CycleIndex, SyncOutcome, TokenGraph};
+use arb_graph::{CycleId, CycleIndex, SyncOutcome, TokenGraph};
 use rayon::prelude::*;
 
+use crate::bounds::{floor_verdict, FloorVerdict};
 use crate::checkpoint::{EngineCheckpoint, PoolSlot};
 use crate::dirty::DirtyCycleSet;
 use crate::error::EngineError;
@@ -108,10 +109,17 @@ pub struct StreamStats {
     /// Dirty cycles the incremental log-sum screen dropped without
     /// preparation or strategy evaluation (provably `Σ log p ≤ 0`).
     pub cycles_screened_out: usize,
-    /// Dirty cycles dropped because their sound profit upper bound could
+    /// Dirty cycles dropped because a sound profit upper bound could
     /// not clear the effective gross floor (execution cost + net-profit
-    /// floor) at current feed prices.
+    /// floor) at current feed prices — by either the pool-potential or
+    /// the per-hop fee-aware bound.
     pub cycles_floor_screened: usize,
+    /// The subset of [`StreamStats::cycles_floor_screened`] only the
+    /// per-hop fee-aware bound could discharge — marginal
+    /// whale-displaced loops whose book displacement (pool-potential
+    /// bound) looks huge but whose fee-adjusted marginal rates cannot
+    /// clear the floor.
+    pub cycles_hop_screened: usize,
     /// Dirty cycles skipped because a hop's fee-adjusted rate degenerated
     /// (`Σ log p = -∞`) — counted separately from ordinary non-arbitrage
     /// cycles instead of being conflated with them.
@@ -134,8 +142,8 @@ impl fmt::Display for StreamStats {
         write!(
             f,
             "{} events ({} syncs), {} cycles dirtied, {} evaluated \
-             ({} screened, {} floor-screened, {} degenerate), \
-             {} evaluations saved over {} refreshes \
+             ({} screened, {} floor-screened ({} by hop bound), \
+             {} degenerate), {} evaluations saved over {} refreshes \
              (+{} pools, -{} pools, {} revived; screen {}Δ/{}Σ, \
              bitset {} slots, {} scratch grows)",
             self.events_applied,
@@ -144,6 +152,7 @@ impl fmt::Display for StreamStats {
             self.cycles_evaluated,
             self.cycles_screened_out,
             self.cycles_floor_screened,
+            self.cycles_hop_screened,
             self.cycles_degenerate_skipped,
             self.evaluations_saved,
             self.refreshes,
@@ -420,6 +429,7 @@ impl StreamingEngine {
         scratch.begin_refresh();
         let mut screened_out = 0usize;
         let mut floor_screened = 0usize;
+        let mut hop_screened = 0usize;
         let mut degenerate_skipped = 0usize;
         for id in dirty.iter() {
             let cycle = index.get(id).expect("dirty set only holds live cycles");
@@ -449,13 +459,19 @@ impl StreamingEngine {
                 continue;
             }
             if floor_screen {
-                if let Some(bound) = cycle_profit_bound(graph, cycle, feed) {
-                    // Relative safety margin over the analytic bound so
-                    // strategy-side rounding can never flip a borderline
-                    // keep into a screened drop.
-                    if bound + FLOOR_SCREEN_MARGIN * (1.0 + bound) < required_gross {
+                // Either sound gross bound (pool-potential, or the
+                // per-hop fee-aware bound for whale-displaced loops)
+                // may discharge the cycle; both carry a relative safety
+                // margin so strategy-side rounding can never flip a
+                // borderline keep into a screened drop.
+                match floor_verdict(graph, cycle, feed, required_gross) {
+                    FloorVerdict::Keep => {}
+                    verdict => {
                         scratch.dropped.push(id);
                         floor_screened += 1;
+                        if verdict == FloorVerdict::HopBound {
+                            hop_screened += 1;
+                        }
                         continue;
                     }
                 }
@@ -531,6 +547,7 @@ impl StreamingEngine {
         stats.evaluations_saved += index.live_cycles() - dirty_count;
         stats.cycles_screened_out += screened_out;
         stats.cycles_floor_screened += floor_screened;
+        stats.cycles_hop_screened += hop_screened;
         stats.cycles_degenerate_skipped += degenerate_skipped;
         stats.scratch_grow_events = scratch.grow_events();
         stats.dirty_bitset_capacity = dirty.capacity();
@@ -817,41 +834,6 @@ impl StreamingEngine {
         }
         Ok(())
     }
-}
-
-/// Relative safety margin applied over [`cycle_profit_bound`] before a
-/// cycle is floor-screened, so strategy-side floating-point rounding can
-/// never flip a kept opportunity into a screened drop. The analytic
-/// bound's real-world slack is orders of magnitude larger than this.
-const FLOOR_SCREEN_MARGIN: f64 = 1e-6;
-
-/// A sound upper bound, in USD at current feed prices, on the monetized
-/// gross profit *any* trading plan can extract from a cycle's pools.
-///
-/// Per pool with reserves `(x, y)` and token prices `(Pa, Pb)`: the
-/// pool's holdings are worth `Pa·x + Pb·y ≥ 2√(Pa·Pb·x·y)` (AM–GM), the
-/// product `x·y` never decreases under fee-charging swaps, and every
-/// token the trader nets is a token some pool lost — so the total value
-/// extracted cannot exceed `Σ_pools (√(Pa·x) − √(Pb·y))²` (zero exactly
-/// when every pool is already price-aligned; this is the pools'
-/// arbitrage potential in the sense of Milionis et al.'s LVR).
-///
-/// Returns `None` when a pool token is unpriced or a price is not a
-/// positive finite number — the caller then falls through to the exact
-/// path, which classifies the cycle itself.
-fn cycle_profit_bound<F: PriceFeed>(graph: &TokenGraph, cycle: &Cycle, feed: &F) -> Option<f64> {
-    let mut bound = 0.0;
-    for &pool in cycle.pools() {
-        let p = graph.pool(pool).ok()?;
-        let price_a = feed.usd_price(p.token_a())?;
-        let price_b = feed.usd_price(p.token_b())?;
-        if !(price_a.is_finite() && price_a > 0.0 && price_b.is_finite() && price_b > 0.0) {
-            return None;
-        }
-        let gap = (price_a * p.reserve_a()).sqrt() - (price_b * p.reserve_b()).sqrt();
-        bound += gap * gap;
-    }
-    bound.is_finite().then_some(bound)
 }
 
 #[cfg(test)]
@@ -1188,6 +1170,58 @@ mod tests {
         let (floored_low, evals_low) = screened_out(100.0);
         assert_eq!(floored_low, 0, "bound cannot discharge a reachable floor");
         assert!(evals_low > 0);
+    }
+
+    #[test]
+    fn hop_bound_discharges_marginal_loops_the_pool_bound_cannot() {
+        // A high-fee triangle whose loop edge is barely positive: every
+        // pool sits ~4% off mid (inside what the 3.5% fee band leaves as
+        // a ~1% loop edge), so the realizable profit is cents — but the
+        // fee-blind pool-potential bound still sees ~$4 of book
+        // displacement per pool and cannot discharge a $5 gross floor.
+        // The per-hop fee-aware bound can.
+        let fee = FeeRate::from_ppm(35_000).unwrap();
+        let pools = vec![
+            Pool::new(t(0), t(1), 10_000.0, 10_400.0, fee).unwrap(),
+            Pool::new(t(1), t(2), 10_000.0, 10_400.0, fee).unwrap(),
+            Pool::new(t(2), t(0), 10_000.0, 10_400.0, fee).unwrap(),
+        ];
+        let feed: PriceTable = [(t(0), 1.0), (t(1), 1.0), (t(2), 1.0)]
+            .into_iter()
+            .collect();
+        let config = PipelineConfig {
+            execution_cost_usd: 4.0,
+            min_net_profit_usd: 1.0,
+            ..PipelineConfig::default()
+        };
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::new(config), pools.clone()).unwrap();
+        engine.refresh(&feed).unwrap();
+        assert_eq!(
+            engine.stats().cycles_hop_screened,
+            1,
+            "the marginal direction must fall to the hop bound: {}",
+            engine.stats()
+        );
+        assert_eq!(
+            engine.stats().strategy_evaluations,
+            0,
+            "no strategy work on a fully screened universe: {}",
+            engine.stats()
+        );
+        assert_matches_batch(&engine, &feed);
+
+        // Control: without the hop bound's reach (no gross floor), the
+        // same universe evaluates normally and ranks nothing above $1.
+        let mut unfloored = StreamingEngine::new(OpportunityPipeline::default(), pools).unwrap();
+        let report = unfloored.refresh(&feed).unwrap();
+        assert_eq!(unfloored.stats().cycles_hop_screened, 0);
+        for opp in &report.opportunities {
+            assert!(
+                opp.gross_profit.value() < 5.0,
+                "loop was genuinely marginal"
+            );
+        }
     }
 
     #[test]

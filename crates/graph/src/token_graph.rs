@@ -81,6 +81,11 @@ pub struct TokenGraph {
     /// ln spot_rate(enter with token_b)]` for pool `i`; both entries are
     /// `NEG_INFINITY` while the slot is retired.
     log_rates: Vec<[f64; 2]>,
+    /// `bound_terms[i][d]` = cached `[√r_out, √(r_in/γ)]` for entering
+    /// pool `i` in direction `d` (0 = enter with `token_a`) — the
+    /// reserve-side ingredients of the per-hop fee-aware profit bound
+    /// (see [`TokenGraph::pool_bound_terms`]). NaN while retired.
+    bound_terms: Vec<[[f64; 2]; 2]>,
 }
 
 impl TokenGraph {
@@ -113,12 +118,14 @@ impl TokenGraph {
         }
         let live_count = pools.len();
         let log_rates = pools.iter().map(directional_log_rates).collect();
+        let bound_terms = pools.iter().map(directional_bound_terms).collect();
         Ok(TokenGraph {
             live: vec![true; live_count],
             pools,
             adjacency,
             live_count,
             log_rates,
+            bound_terms,
         })
     }
 
@@ -169,6 +176,7 @@ impl TokenGraph {
         }
         self.add_edges(id, &pool);
         self.log_rates.push(directional_log_rates(&pool));
+        self.bound_terms.push(directional_bound_terms(&pool));
         self.pools.push(pool);
         self.live.push(true);
         self.live_count += 1;
@@ -191,6 +199,7 @@ impl TokenGraph {
             self.live[id.index()] = false;
             self.live_count -= 1;
             self.log_rates[id.index()] = [f64::NEG_INFINITY; 2];
+            self.bound_terms[id.index()] = [[f64::NAN; 2]; 2];
         }
         Ok(())
     }
@@ -217,6 +226,7 @@ impl TokenGraph {
         match self.pools[index].set_reserves(reserve_a, reserve_b) {
             Ok(()) => {
                 self.log_rates[index] = directional_log_rates(&self.pools[index]);
+                self.bound_terms[index] = directional_bound_terms(&self.pools[index]);
                 if was_live {
                     Ok(SyncOutcome::Updated)
                 } else {
@@ -233,6 +243,7 @@ impl TokenGraph {
                     self.live[index] = false;
                     self.live_count -= 1;
                     self.log_rates[index] = [f64::NEG_INFINITY; 2];
+                    self.bound_terms[index] = [[f64::NAN; 2]; 2];
                 }
                 Ok(SyncOutcome::Retired)
             }
@@ -330,6 +341,35 @@ impl TokenGraph {
             .unwrap_or([f64::NEG_INFINITY; 2])
     }
 
+    /// The cached per-hop profit-bound ingredients of a pool slot:
+    /// `terms[d] = [√r_out, √(r_in/γ)]` for entry direction `d` (0 =
+    /// enter with `token_a`, 1 = enter with `token_b`).
+    ///
+    /// For a constant-product hop with input reserve `x`, output reserve
+    /// `y`, fee multiplier `γ`, and USD prices `P_in`/`P_out`, the
+    /// unconstrained maximum of the hop's standalone profit
+    /// `P_out·F(Δ) − P_in·Δ` over `Δ ≥ 0` has the closed form
+    ///
+    /// ```text
+    /// max(0, √(P_out·y) − √(P_in·x/γ))²
+    ///     = max(0, √P_out·terms[d][0] − √P_in·terms[d][1])²
+    /// ```
+    ///
+    /// (stationary point of the concave objective; zero when the spot
+    /// rate is already unprofitable). Summed along a cycle, the per-hop
+    /// maxima upper-bound any coordinated loop profit, because the loop's
+    /// USD profit telescopes into exactly these per-hop terms.
+    ///
+    /// Retired and out-of-range slots report NaN terms, which poison any
+    /// bound computed from them — callers must treat a non-finite bound
+    /// as "no bound available".
+    pub fn pool_bound_terms(&self, id: PoolId) -> [[f64; 2]; 2] {
+        self.bound_terms
+            .get(id.index())
+            .copied()
+            .unwrap_or([[f64::NAN; 2]; 2])
+    }
+
     /// The paper's arbitrage indicator `Σ_j log p_j` for a cycle, summed
     /// from the cached per-slot log rates in hop order — bit-identical to
     /// [`Cycle::log_rate`] when every hop's slot is live, `-∞` when any
@@ -403,6 +443,19 @@ fn directional_log_rates(pool: &Pool) -> [f64; 2] {
             .map_or(f64::NEG_INFINITY, |c: SwapCurve| c.spot_rate().ln())
     };
     [log(pool.token_a()), log(pool.token_b())]
+}
+
+/// The two directional `[√r_out, √(r_in/γ)]` ingredient pairs of the
+/// per-hop profit bound (see [`TokenGraph::pool_bound_terms`]). A pool
+/// whose curve cannot be built caches NaN, which poisons — rather than
+/// silently zeroes — any bound summed from it.
+fn directional_bound_terms(pool: &Pool) -> [[f64; 2]; 2] {
+    let terms = |token_in| {
+        pool.curve(token_in).map_or([f64::NAN; 2], |c: SwapCurve| {
+            [c.reserve_out().sqrt(), (c.reserve_in() / c.gamma()).sqrt()]
+        })
+    };
+    [terms(pool.token_a()), terms(pool.token_b())]
 }
 
 #[cfg(test)]
@@ -556,6 +609,38 @@ mod tests {
         assert_eq!(g.pool_log_rates(id), fresh(&g, id.index() as u32));
         // Out-of-range ids degrade to -inf rather than panicking.
         assert_eq!(g.pool_log_rates(PoolId::new(99)), [f64::NEG_INFINITY; 2]);
+    }
+
+    #[test]
+    fn cached_bound_terms_track_every_mutation() {
+        let fee = FeeRate::UNISWAP_V2;
+        let mut g = triangle();
+        let fresh = |g: &TokenGraph, id: u32| {
+            let p = g.pool(PoolId::new(id)).unwrap();
+            let terms = |token_in| {
+                let c = p.curve(token_in).unwrap();
+                [c.reserve_out().sqrt(), (c.reserve_in() / c.gamma()).sqrt()]
+            };
+            [terms(p.token_a()), terms(p.token_b())]
+        };
+        for id in 0..3 {
+            assert_eq!(g.pool_bound_terms(PoolId::new(id)), fresh(&g, id));
+        }
+        // Sync updates the cache in place, bit-for-bit.
+        g.apply_sync(PoolId::new(0), 151.0, 249.0).unwrap();
+        assert_eq!(g.pool_bound_terms(PoolId::new(0)), fresh(&g, 0));
+        // Retired slots (degenerate sync or explicit removal) cache NaN.
+        g.apply_sync(PoolId::new(1), 0.0, 1.0).unwrap();
+        assert!(g.pool_bound_terms(PoolId::new(1))[0][0].is_nan());
+        g.remove_pool(PoolId::new(2)).unwrap();
+        assert!(g.pool_bound_terms(PoolId::new(2))[1][1].is_nan());
+        // Revival and appends recompute.
+        g.apply_sync(PoolId::new(1), 310.0, 190.0).unwrap();
+        assert_eq!(g.pool_bound_terms(PoolId::new(1)), fresh(&g, 1));
+        let id = g.add_pool(Pool::new(t(0), t(3), 10.0, 30.0, fee).unwrap());
+        assert_eq!(g.pool_bound_terms(id), fresh(&g, id.index() as u32));
+        // Out-of-range ids degrade to NaN rather than panicking.
+        assert!(g.pool_bound_terms(PoolId::new(99))[0][0].is_nan());
     }
 
     #[test]

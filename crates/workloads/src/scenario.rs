@@ -48,6 +48,34 @@ impl Default for ScenarioConfig {
 }
 
 impl ScenarioConfig {
+    /// Sizing preset keyed on the pool count alone — the one knob tests,
+    /// benches, and soaks share. Keeps the default 4 execution domains
+    /// and the default config's 5:2 pool:token shape, scaling from the
+    /// 48-pool default through the 600-pool bench universes up to the
+    /// 10k–100k-pool soak range. Seed, tick count, and intensity stay at
+    /// their defaults; override them with struct-update syntax:
+    ///
+    /// ```
+    /// use arb_workloads::ScenarioConfig;
+    ///
+    /// let config = ScenarioConfig {
+    ///     seed: 9_001,
+    ///     ticks: 48,
+    ///     ..ScenarioConfig::sized(10_000)
+    /// };
+    /// assert!(config.validate().is_ok());
+    /// assert_eq!(config.num_pools, 10_000);
+    /// ```
+    pub fn sized(num_pools: usize) -> Self {
+        let defaults = ScenarioConfig::default();
+        let num_tokens = (num_pools * 2 / 5).max(3 * defaults.domains);
+        ScenarioConfig {
+            num_tokens,
+            num_pools: num_pools.max(num_tokens),
+            ..defaults
+        }
+    }
+
     /// Checks the sizing for contradictions.
     ///
     /// # Errors
@@ -551,6 +579,22 @@ mod tests {
             ticks: 20,
             intensity: 1.0,
         }
+    }
+
+    #[test]
+    fn sized_presets_validate_across_the_soak_range() {
+        for pools in [48, 600, 10_000, 100_000] {
+            let config = ScenarioConfig::sized(pools);
+            config.validate().expect("sized preset validates");
+            assert_eq!(config.num_pools, pools);
+        }
+        // The 600-pool preset reproduces the bench universes' shape.
+        let bench = ScenarioConfig::sized(600);
+        assert_eq!((bench.domains, bench.num_tokens), (4, 240));
+        // Tiny requests are rounded up to a universe that can hold cycles.
+        let tiny = ScenarioConfig::sized(1);
+        tiny.validate().expect("rounded-up preset validates");
+        assert_eq!(tiny.num_pools, tiny.num_tokens);
     }
 
     #[test]

@@ -91,8 +91,9 @@ pub mod prelude {
     };
     pub use arb_engine::{
         ArbitrageOpportunity, EngineCheckpoint, EngineError, OpportunityPipeline, PipelineConfig,
-        PipelineReport, RankingPolicy, RuntimeCheckpoint, RuntimeReport, RuntimeStats,
-        ShardedRuntime, StreamReport, StreamStats, StreamingEngine,
+        PipelineReport, RankingPolicy, RebalanceConfig, RuntimeCheckpoint, RuntimeReport,
+        RuntimeStats, ScreenTotals, ShardLoads, ShardedRuntime, StreamReport, StreamStats,
+        StreamingEngine,
     };
     pub use arb_graph::{Cycle, CycleId, CycleIndex, Partition, SyncOutcome, TokenGraph};
     pub use arb_journal::{

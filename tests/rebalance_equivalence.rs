@@ -1,0 +1,200 @@
+//! The adaptive rebalancer's correctness oracle.
+//!
+//! Adaptive hot-shard rebalancing (weighted repartitioning + bridge
+//! splitting of the dominant component) is an *execution* policy: it may
+//! move work between engines, but it may never change a bit of merged
+//! output, and its split/steal decisions must be a pure function of the
+//! journaled event stream. For every workload in the catalog this file
+//! replays one seeded stream three ways —
+//!
+//! * a single [`StreamingEngine`] (the never-rebalanced oracle),
+//! * a [`ShardedRuntime`] with an aggressive [`RebalanceConfig`],
+//! * the same runtime checkpointed mid-stream and restored into a fresh
+//!   fleet (whose load window restarts empty, so its rebalance *timing*
+//!   may legitimately differ),
+//!
+//! — and demands bit-identical rankings after every tick. A separate
+//! property replays the rebalanced runtime twice and demands identical
+//! decisions: same rebalance count, same final shard count, same
+//! slot-by-slot owner assignment.
+
+use arbloops::prelude::*;
+use arbloops::workloads::ScenarioConfig;
+
+/// Tight thresholds so mild inter-domain skew already triggers the
+/// adaptive path; correctness must hold at *any* setting.
+fn aggressive() -> RebalanceConfig {
+    RebalanceConfig {
+        interval_ticks: 2,
+        skew_threshold: 1.05,
+        min_window_events: 4,
+        ..RebalanceConfig::enabled()
+    }
+}
+
+fn small_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        domains: 4,
+        num_tokens: 20,
+        num_pools: 40,
+        ticks: 24,
+        intensity: 1.0,
+    }
+}
+
+fn assert_identical(
+    workload: &str,
+    tick: usize,
+    label: &str,
+    got: &[ArbitrageOpportunity],
+    expected: &[ArbitrageOpportunity],
+) {
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "{workload} tick {tick} ({label}): opportunity counts diverged"
+    );
+    for (position, (g, e)) in got.iter().zip(expected).enumerate() {
+        let context = format!("{workload} tick {tick} position {position} ({label})");
+        assert_eq!(g.cycle.tokens(), e.cycle.tokens(), "{context}: tokens");
+        assert_eq!(g.cycle.pools(), e.cycle.pools(), "{context}: pools");
+        assert_eq!(g.strategy, e.strategy, "{context}: strategy");
+        assert_eq!(
+            g.net_profit.value().to_bits(),
+            e.net_profit.value().to_bits(),
+            "{context}: net profit"
+        );
+    }
+}
+
+/// Replays one workload into the single-engine oracle and a rebalanced
+/// runtime (checkpoint/restoring the runtime at mid-stream), comparing
+/// both sharded views against the oracle after every tick.
+fn replay(workload: &'static str, config: &ScenarioConfig) {
+    let spec = arbloops::workloads::find(workload).expect("workload in catalog");
+    let scenario = spec.scenario(config).expect("scenario generates");
+    let mut feed = scenario.feed.clone();
+    let halfway = scenario.ticks.len() / 2;
+
+    let mut single = StreamingEngine::new(OpportunityPipeline::default(), scenario.pools.clone())
+        .expect("single engine");
+    let mut runtime =
+        ShardedRuntime::new(OpportunityPipeline::default(), scenario.pools.clone(), 4)
+            .expect("sharded runtime")
+            .with_rebalance(aggressive());
+
+    single.refresh(&feed).expect("single cold start");
+    runtime.refresh(&feed).expect("sharded cold start");
+    let mut restored: Option<ShardedRuntime> = None;
+    let mut nonempty_ticks = 0usize;
+
+    for (tick, batch) in scenario.ticks.iter().enumerate() {
+        if tick == halfway {
+            let checkpoint = runtime.checkpoint();
+            let fresh = ShardedRuntime::restore(OpportunityPipeline::default(), &checkpoint)
+                .expect("restore")
+                .with_rebalance(aggressive());
+            restored = Some(fresh);
+        }
+        batch.apply_feed(&mut feed);
+        let expected = single
+            .apply_events(&batch.events, &feed)
+            .expect("single tick");
+        let merged = runtime
+            .apply_events(&batch.events, &feed)
+            .expect("rebalanced tick");
+        assert_identical(
+            workload,
+            tick,
+            "live",
+            &merged.opportunities,
+            &expected.opportunities,
+        );
+        if let Some(fresh) = restored.as_mut() {
+            let back = fresh
+                .apply_events(&batch.events, &feed)
+                .expect("restored tick");
+            assert_identical(
+                workload,
+                tick,
+                "restored",
+                &back.opportunities,
+                &expected.opportunities,
+            );
+        }
+        if !merged.opportunities.is_empty() {
+            nonempty_ticks += 1;
+        }
+    }
+    assert!(
+        nonempty_ticks > 0,
+        "{workload}: the scenario never produced an opportunity — the \
+         equivalence would be vacuous"
+    );
+}
+
+#[test]
+fn steady_sparse_rebalanced_is_bit_identical() {
+    replay("steady-sparse", &small_config(711));
+}
+
+#[test]
+fn whale_bursts_rebalanced_is_bit_identical() {
+    replay("whale-bursts", &small_config(722));
+}
+
+#[test]
+fn fee_regime_shift_rebalanced_is_bit_identical() {
+    replay("fee-regime-shift", &small_config(733));
+}
+
+#[test]
+fn pool_churn_rebalanced_is_bit_identical_through_rebuilds() {
+    replay("pool-churn", &small_config(744));
+}
+
+#[test]
+fn degenerate_flood_rebalanced_is_bit_identical() {
+    replay("degenerate-flood", &small_config(755));
+}
+
+/// Replays one workload through a rebalanced runtime and returns the
+/// decision trace: rebalance count, final shard count, and the final
+/// slot-by-slot owner assignment.
+fn decision_trace(workload: &str, config: &ScenarioConfig) -> (usize, usize, Vec<Vec<PoolId>>) {
+    let spec = arbloops::workloads::find(workload).expect("workload in catalog");
+    let scenario = spec.scenario(config).expect("scenario generates");
+    let mut feed = scenario.feed.clone();
+    let mut runtime =
+        ShardedRuntime::new(OpportunityPipeline::default(), scenario.pools.clone(), 4)
+            .expect("sharded runtime")
+            .with_rebalance(aggressive());
+    runtime.refresh(&feed).expect("cold start");
+    for batch in &scenario.ticks {
+        batch.apply_feed(&mut feed);
+        runtime.apply_events(&batch.events, &feed).expect("tick");
+    }
+    let partition = runtime.partition();
+    let members: Vec<Vec<PoolId>> = (0..partition.shard_count())
+        .map(|shard| partition.members(shard).to_vec())
+        .collect();
+    (runtime.stats().rebalances, runtime.shard_count(), members)
+}
+
+#[test]
+fn rebalance_decisions_are_deterministic_across_reruns() {
+    let mut fired_anywhere = 0usize;
+    for spec in arbloops::workloads::catalog() {
+        let config = small_config(766);
+        let a = decision_trace(spec.name, &config);
+        let b = decision_trace(spec.name, &config);
+        assert_eq!(a, b, "{}: split/steal decisions must replay", spec.name);
+        fired_anywhere += a.0;
+    }
+    assert!(
+        fired_anywhere > 0,
+        "no workload ever tripped the aggressive thresholds — the \
+         determinism property is vacuous"
+    );
+}

@@ -37,6 +37,7 @@
 //! fails the build when the screened median dirty-refresh latency
 //! regresses more than 20% against the committed baseline speedup.
 
+use arb_bench::json::JsonLine;
 use arb_engine::{ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, StreamingEngine};
 use arb_workloads::{find, Scenario, ScenarioConfig};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -163,30 +164,23 @@ fn effectiveness(workload: &'static str, seed: u64, gate: bool) {
     let eval_reduction =
         1.0 - screened.strategy_evaluations as f64 / unscreened.strategy_evaluations.max(1) as f64;
 
-    println!(
-        "{{\"bench\":\"screen_effectiveness\",\"workload\":\"{}\",\"pools\":{},\
-         \"ticks\":{},\"median_dirty_refresh_ns_screened\":{},\
-         \"median_dirty_refresh_ns_unscreened\":{},\"speedup\":{:.3},\
-         \"evals_avoided\":{},\"screened_out\":{},\"floor_screened\":{},\
-         \"screen_updates\":{},\"screen_resummations\":{},\
-         \"strategy_evals_screened\":{},\"strategy_evals_unscreened\":{},\
-         \"eval_reduction\":{:.4},\"scratch_grows_after_warmup\":{}}}",
-        workload,
-        POOLS,
-        TICKS,
-        median_screened,
-        median_unscreened,
-        speedup,
-        evals_avoided,
-        screened.screened_out,
-        screened.floor_screened,
-        screened.screen_delta_updates,
-        screened.screen_resummations,
-        screened.strategy_evaluations,
-        unscreened.strategy_evaluations,
-        eval_reduction,
-        screened.scratch_grows_warm,
-    );
+    JsonLine::bench("screen_effectiveness")
+        .text("workload", workload)
+        .count("pools", POOLS)
+        .count("ticks", TICKS)
+        .int("median_dirty_refresh_ns_screened", median_screened)
+        .int("median_dirty_refresh_ns_unscreened", median_unscreened)
+        .fixed("speedup", speedup, 3)
+        .count("evals_avoided", evals_avoided)
+        .count("screened_out", screened.screened_out)
+        .count("floor_screened", screened.floor_screened)
+        .count("screen_updates", screened.screen_delta_updates)
+        .count("screen_resummations", screened.screen_resummations)
+        .count("strategy_evals_screened", screened.strategy_evaluations)
+        .count("strategy_evals_unscreened", unscreened.strategy_evaluations)
+        .fixed("eval_reduction", eval_reduction, 4)
+        .count("scratch_grows_after_warmup", screened.scratch_grows_warm)
+        .emit();
 
     if !gate {
         assert_eq!(

@@ -19,6 +19,7 @@
 //! throughput; on smaller machines (where a 4-shard worker pool cannot
 //! physically beat one core) the speedup is reported but not gated.
 
+use arb_bench::json::JsonLine;
 use arb_engine::{
     ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, ShardedRuntime, StreamingEngine,
 };
@@ -181,35 +182,31 @@ fn soak_replay_and_counters(_c: &mut Criterion) {
         .collect();
     let speedup = single_total_ns as f64 / sharded_total_ns.max(1) as f64;
     let merge_ns_avg = stats.total_merge_nanos / stats.ticks.max(1) as u64;
-    println!(
-        "{{\"bench\":\"sharded_soak\",\"pools\":{},\"shards\":{},\"cores\":{},\
-         \"ticks\":{},\"live_cycles\":{},\"single_total_ns\":{},\
-         \"single_parallel_total_ns\":{},\
-         \"sharded_total_ns\":{},\"single_tick_ns\":{},\"sharded_tick_ns\":{},\
-         \"speedup\":{:.3},\"per_shard_evaluations\":{:?},\
-         \"merge_ns_avg\":{},\"merge_cache_hits\":{},\"rebuilds\":{},\
-         \"throughput_gate\":\"{}\"}}",
-        POOLS,
-        SHARDS,
-        cores,
-        TICKS,
-        runtime.live_cycles(),
-        single_total_ns,
-        single_parallel_ns,
-        sharded_total_ns,
-        single_total_ns / TICKS as u64,
-        sharded_total_ns / TICKS as u64,
-        speedup,
-        per_shard_evaluations,
-        merge_ns_avg,
-        stats.merge_cache_hits,
-        stats.rebuilds,
-        if cores >= 4 {
-            "asserted>=2x"
-        } else {
-            "reported-only(<4 cores)"
-        },
-    );
+    JsonLine::bench("sharded_soak")
+        .count("pools", POOLS)
+        .count("shards", SHARDS)
+        .count("cores", cores)
+        .count("ticks", TICKS)
+        .count("live_cycles", runtime.live_cycles())
+        .int("single_total_ns", single_total_ns)
+        .int("single_parallel_total_ns", single_parallel_ns)
+        .int("sharded_total_ns", sharded_total_ns)
+        .int("single_tick_ns", single_total_ns / TICKS as u64)
+        .int("sharded_tick_ns", sharded_total_ns / TICKS as u64)
+        .fixed("speedup", speedup, 3)
+        .counts("per_shard_evaluations", &per_shard_evaluations)
+        .int("merge_ns_avg", merge_ns_avg)
+        .count("merge_cache_hits", stats.merge_cache_hits)
+        .count("rebuilds", stats.rebuilds)
+        .text(
+            "throughput_gate",
+            if cores >= 4 {
+                "asserted>=2x"
+            } else {
+                "reported-only(<4 cores)"
+            },
+        )
+        .emit();
 
     assert!(
         per_shard_evaluations.iter().all(|&n| n > 0),

@@ -18,6 +18,7 @@
 //!
 //! The JSON line goes to `BENCH_soak.json` via the workflow's tee+grep.
 
+use arb_bench::json::JsonLine;
 use arb_engine::{
     ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, RebalanceConfig, ShardedRuntime,
     StreamingEngine,
@@ -156,38 +157,32 @@ fn soak(_c: &mut Criterion) {
     let screen = runtime.screen_totals();
     let tick_p99_ns = percentile_ns(&tick_ns, 0.99);
     let tick_median_ns = percentile_ns(&tick_ns, 0.50);
-    println!(
-        "{{\"bench\":\"soak_10k\",\"pools\":{},\"ticks\":{},\"max_shards\":{},\
-         \"tick_p99_ns\":{},\"tick_median_ns\":{},\"single_total_ns\":{},\
-         \"sharded_total_ns\":{},\"cold_start_ns_screened\":{},\
-         \"cold_start_ns_unscreened\":{},\"cold_classified_screened\":{},\
-         \"cold_classified_unscreened\":{},\"classification_reduction\":{:.4},\
-         \"cold_screened_out\":{},\"cold_floor_screened\":{},\
-         \"cold_hop_screened\":{},\"stream_screened_out\":{},\
-         \"stream_floor_screened\":{},\"stream_hop_screened\":{},\
-         \"rebalances\":{},\"shards_final\":{},\"load_skew\":{:.3}}}",
-        POOLS,
-        TICKS,
-        MAX_SHARDS,
-        tick_p99_ns,
-        tick_median_ns,
-        single_total_ns,
-        tick_ns.iter().sum::<u64>(),
-        cold_screened_ns,
-        cold_unscreened_ns,
-        screened.stats.cycles_classified,
-        unscreened.stats.cycles_classified,
-        classification_reduction,
-        screened.stats.cycles_screened_out,
-        screened.stats.cycles_floor_screened,
-        screened.stats.cycles_hop_screened,
-        screen.cycles_screened_out,
-        screen.cycles_floor_screened,
-        screen.cycles_hop_screened,
-        stats.rebalances,
-        runtime.shard_count(),
-        loads.skew(),
-    );
+    JsonLine::bench("soak_10k")
+        .count("pools", POOLS)
+        .count("ticks", TICKS)
+        .count("max_shards", MAX_SHARDS)
+        .int("tick_p99_ns", tick_p99_ns)
+        .int("tick_median_ns", tick_median_ns)
+        .int("single_total_ns", single_total_ns)
+        .int("sharded_total_ns", tick_ns.iter().sum::<u64>())
+        .int("cold_start_ns_screened", cold_screened_ns)
+        .int("cold_start_ns_unscreened", cold_unscreened_ns)
+        .count("cold_classified_screened", screened.stats.cycles_classified)
+        .count(
+            "cold_classified_unscreened",
+            unscreened.stats.cycles_classified,
+        )
+        .fixed("classification_reduction", classification_reduction, 4)
+        .count("cold_screened_out", screened.stats.cycles_screened_out)
+        .count("cold_floor_screened", screened.stats.cycles_floor_screened)
+        .count("cold_hop_screened", screened.stats.cycles_hop_screened)
+        .count("stream_screened_out", screen.cycles_screened_out)
+        .count("stream_floor_screened", screen.cycles_floor_screened)
+        .count("stream_hop_screened", screen.cycles_hop_screened)
+        .count("rebalances", stats.rebalances)
+        .count("shards_final", runtime.shard_count())
+        .fixed("load_skew", loads.skew(), 3)
+        .emit();
 
     assert!(
         classification_reduction >= 0.50,

@@ -1,0 +1,137 @@
+//! One-line JSON emission for the soak/bench trend artifacts.
+//!
+//! Every asserted bench pass prints exactly one `{"bench":...}` line
+//! that CI tees into a `BENCH_*.json` artifact and gates against a
+//! committed baseline. The benches used to hand-roll these lines with
+//! escaped `println!` format strings — easy to typo, painful to extend.
+//! [`JsonLine`] centralizes the formatting while preserving the exact
+//! byte shape the committed baselines and trend gates already parse:
+//! fields appear in insertion order, integers print bare, floats print
+//! with a fixed precision, and arrays use Rust's `Debug` form (which
+//! for integer slices *is* valid JSON).
+//!
+//! Keys and string values are emitted verbatim: callers pass literal
+//! identifiers and labels, never untrusted data, so no escaping layer
+//! is needed (a debug assertion enforces it).
+
+use std::fmt::Write as _;
+
+/// An ordered single-line JSON object builder, opened with the
+/// conventional leading `"bench"` field.
+#[derive(Debug)]
+pub struct JsonLine {
+    buf: String,
+}
+
+/// `true` when `s` can be embedded in a JSON string without escaping.
+fn plain(s: &str) -> bool {
+    s.chars().all(|c| c != '"' && c != '\\' && !c.is_control())
+}
+
+impl JsonLine {
+    /// Opens a line whose first field is `"bench":"<name>"`.
+    #[must_use]
+    pub fn bench(name: &str) -> Self {
+        debug_assert!(plain(name), "bench name must not need escaping");
+        let mut buf = String::with_capacity(256);
+        buf.push_str("{\"bench\":\"");
+        buf.push_str(name);
+        buf.push('"');
+        Self { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        debug_assert!(plain(key), "JSON key must not need escaping");
+        self.buf.push_str(",\"");
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+    }
+
+    /// An unsigned integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        write!(self.buf, "{value}").expect("write to String");
+        self
+    }
+
+    /// A `usize` counter field (avoids `as` casts at every call site).
+    #[must_use]
+    pub fn count(self, key: &str, value: usize) -> Self {
+        self.int(key, value as u64)
+    }
+
+    /// A float field printed with exactly `decimals` fraction digits —
+    /// the stable shape trend gates diff against.
+    #[must_use]
+    pub fn fixed(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.key(key);
+        write!(self.buf, "{value:.decimals$}").expect("write to String");
+        self
+    }
+
+    /// A literal string field (labels and gate verdicts; no escaping).
+    #[must_use]
+    pub fn text(mut self, key: &str, value: &str) -> Self {
+        debug_assert!(plain(value), "JSON string must not need escaping");
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(value);
+        self.buf.push('"');
+        self
+    }
+
+    /// An integer array field via `Debug` (`[1, 2, 3]` is valid JSON).
+    #[must_use]
+    pub fn counts(mut self, key: &str, values: &[usize]) -> Self {
+        self.key(key);
+        write!(self.buf, "{values:?}").expect("write to String");
+        self
+    }
+
+    /// The finished line.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+
+    /// Prints the finished line to stdout, where the CI workflow's
+    /// `tee` + `grep '^{'` picks it up.
+    pub fn emit(self) {
+        println!("{}", self.finish());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_field_order_and_formats() {
+        let line = JsonLine::bench("soak")
+            .count("pools", 600)
+            .int("tick_p99_ns", 12_345)
+            .fixed("speedup", 2.0, 3)
+            .fixed("reduction", 0.98765, 4)
+            .counts("per_shard", &[3, 1, 4])
+            .text("gate", "asserted>=2x")
+            .finish();
+        assert_eq!(
+            line,
+            "{\"bench\":\"soak\",\"pools\":600,\"tick_p99_ns\":12345,\
+             \"speedup\":2.000,\"reduction\":0.9877,\"per_shard\":[3, 1, 4],\
+             \"gate\":\"asserted>=2x\"}"
+        );
+    }
+
+    #[test]
+    fn line_is_machine_parseable() {
+        // The committed baselines are read back by python's json.loads;
+        // spot-check the grammar with a hand parser of the shapes used.
+        let line = JsonLine::bench("x").int("a", 1).fixed("b", 1.5, 3).finish();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('{').count(), 1);
+        assert_eq!(line.matches(':').count(), 3);
+    }
+}

@@ -27,6 +27,7 @@ pub mod csvout;
 pub mod empirical;
 pub mod figures;
 pub mod gap;
+pub mod json;
 pub mod paper;
 pub mod timing;
 

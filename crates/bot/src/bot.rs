@@ -12,6 +12,9 @@ use arb_engine::{
     ArbitrageOpportunity, OpportunityPipeline, PipelineConfig, RuntimeStats, ScreenTotals,
     ShardLoads, ShardedRuntime, SharedStrategy, StreamStats, StreamingEngine,
 };
+use arb_serve::{
+    ClientClass, GovernorConfig, GovernorStats, PublishStats, Publisher, ServeHandle, Subscription,
+};
 
 use crate::config::{BotConfig, ScanMode, StrategyChoice};
 use crate::error::BotError;
@@ -82,19 +85,48 @@ pub struct ArbBot {
     pipeline: OpportunityPipeline,
     stream: Option<StreamState>,
     sharded: Option<ShardedState>,
+    serving: Option<Publisher>,
 }
 
 impl Clone for ArbBot {
     fn clone(&self) -> Self {
         // The pipeline is a pure function of the config; rebuild it. The
-        // streaming view re-synchronizes lazily on the clone's first step.
+        // streaming view re-synchronizes lazily on the clone's first
+        // step. The serving side-car is not cloned — readers attach to
+        // one publisher, and a clone must opt back in.
         ArbBot {
             account: self.account,
             config: self.config,
             pipeline: pipeline_for(&self.config),
             stream: None,
             sharded: None,
+            serving: None,
         }
+    }
+}
+
+/// One-line serving telemetry: publish + admission counters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeTelemetry {
+    /// Serve revision of the currently published snapshot.
+    pub revision: u64,
+    /// Publisher counters.
+    pub publish: PublishStats,
+    /// Admission counters.
+    pub governor: GovernorStats,
+}
+
+impl std::fmt::Display for ServeTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serve: revision={} publishes={} skipped={} noop_deltas={} {}",
+            self.revision,
+            self.publish.publishes,
+            self.publish.skipped,
+            self.publish.noop_deltas,
+            self.governor
+        )
     }
 }
 
@@ -107,7 +139,38 @@ impl ArbBot {
             config,
             stream: None,
             sharded: None,
+            serving: None,
         }
+    }
+
+    /// Turns on the serving side-car: every subsequent step publishes
+    /// the ranking it acted on as an immutable snapshot readers attach
+    /// to via [`ArbBot::serve_handle`] / [`ArbBot::serve_subscribe`].
+    /// Idempotent; a second call keeps existing readers attached.
+    pub fn enable_serving(&mut self, governor: GovernorConfig) {
+        if self.serving.is_none() {
+            self.serving = Some(Publisher::new(governor));
+        }
+    }
+
+    /// A wait-free reader handle in `class` (`None` until
+    /// [`ArbBot::enable_serving`]).
+    pub fn serve_handle(&self, class: ClientClass) -> Option<ServeHandle> {
+        self.serving.as_ref().map(|p| p.handle(class))
+    }
+
+    /// A ranking-delta subscription (`None` until serving is enabled).
+    pub fn serve_subscribe(&self) -> Option<Subscription> {
+        self.serving.as_ref().map(Publisher::subscribe)
+    }
+
+    /// Serving telemetry one-liner (`None` until serving is enabled).
+    pub fn serve_stats(&self) -> Option<ServeTelemetry> {
+        self.serving.as_ref().map(|p| ServeTelemetry {
+            revision: p.revision(),
+            publish: p.stats(),
+            governor: p.governor_stats(),
+        })
     }
 
     /// The bot's account.
@@ -181,6 +244,7 @@ impl ArbBot {
             ScanMode::Streaming => self.streaming_opportunities(chain, feed)?,
             ScanMode::Sharded => self.sharded_opportunities(chain, feed)?,
         };
+        self.publish(&opportunities);
         for opportunity in &opportunities {
             let steps = execution::opportunity_bundle(chain, opportunity)?;
             if steps.len() < opportunity.cycle.len() {
@@ -197,6 +261,31 @@ impl ArbBot {
             return Ok(BotAction::Submitted { expected, hops });
         }
         Ok(BotAction::Idle)
+    }
+
+    /// Publishes the ranking this step acted on, when serving is
+    /// enabled. Incremental views key the publish on their standing
+    /// revision so quiet steps skip; batch scans (including the desync
+    /// fallback, which drops the incremental view) have no revision to
+    /// anchor on and re-publish unconditionally.
+    fn publish(&mut self, opportunities: &[ArbitrageOpportunity]) {
+        let Some(publisher) = self.serving.as_mut() else {
+            return;
+        };
+        let source = match self.config.mode {
+            ScanMode::Sharded => self.sharded.as_ref().map(|s| s.runtime.standing_revision()),
+            ScanMode::Streaming => self.stream.as_ref().map(|s| s.engine.standing_revision()),
+            ScanMode::Batch => None,
+        };
+        match source {
+            Some(revision) => {
+                publisher.publish_if_changed(revision, opportunities);
+            }
+            None => {
+                publisher.reanchor();
+                publisher.publish(opportunities.to_vec());
+            }
+        }
     }
 
     /// The event-driven path: drain new chain events into the streaming
@@ -491,6 +580,46 @@ mod tests {
         assert!(loads.window_events.iter().sum::<u64>() > 0, "{loads}");
         assert_eq!(loads.rebalances, 0);
         assert!(!loads.to_string().contains('\n'));
+    }
+
+    #[test]
+    fn serving_bot_publishes_the_ranking_it_acts_on() {
+        let mut chain = paper_chain();
+        let mut bot = ArbBot::new(
+            &mut chain,
+            BotConfig {
+                mode: ScanMode::Sharded,
+                ..BotConfig::default()
+            },
+        );
+        assert!(bot.serve_handle(ClientClass::Interactive).is_none());
+        assert!(bot.serve_stats().is_none());
+        bot.enable_serving(GovernorConfig::default());
+        let handle = bot.serve_handle(ClientClass::Interactive).unwrap();
+        assert_eq!(handle.load().revision(), 0, "nothing published yet");
+
+        bot.step(&mut chain, &paper_feed()).unwrap();
+        let published = handle.load();
+        assert_eq!(published.revision(), 1);
+        assert_eq!(published.len(), 1, "the paper triangle ranks once");
+        // Bit-identical to what the engine would rank right now.
+        let guard = handle.query().unwrap();
+        assert_eq!(
+            guard.top_k(1)[0].net_profit.value().to_bits(),
+            published.entries()[0].net_profit.value().to_bits()
+        );
+        drop(guard);
+
+        // A quiet step (the bundle is pending, not mined, so no chain
+        // events arrive) publishes nothing new.
+        bot.step(&mut chain, &paper_feed()).unwrap();
+        let stats = bot.serve_stats().unwrap();
+        assert_eq!(stats.revision, 1, "{stats}");
+        assert_eq!(stats.publish.skipped, 1);
+        assert!(stats.governor.admitted[0] >= 1);
+        let line = stats.to_string();
+        assert!(line.contains("serve:"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

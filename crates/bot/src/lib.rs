@@ -47,7 +47,7 @@ pub mod pnl;
 pub mod scanner;
 pub mod sim;
 
-pub use bot::{pipeline_for, ArbBot};
+pub use bot::{pipeline_for, ArbBot, ServeTelemetry};
 pub use config::{BotConfig, ScanMode, StrategyChoice};
 pub use error::BotError;
 pub use journal::{JournalSettings, JournaledBot};

@@ -331,6 +331,9 @@ pub struct ShardedRuntime {
     shard_window_events: Vec<u64>,
     /// Ticks elapsed in the current rebalance window.
     window_ticks: usize,
+    /// Bumped whenever a merge found at least one shard whose standing
+    /// set moved (see [`ShardedRuntime::standing_revision`]).
+    revision: u64,
     stats: RuntimeStats,
 }
 
@@ -381,6 +384,7 @@ impl ShardedRuntime {
             pool_weights: vec![0; graph.pool_count()],
             shard_window_events: vec![0; shards.len()],
             window_ticks: 0,
+            revision: 0,
             shards,
             stats: RuntimeStats::default(),
         })
@@ -436,6 +440,16 @@ impl ShardedRuntime {
     /// Cumulative runtime counters.
     pub fn stats(&self) -> &RuntimeStats {
         &self.stats
+    }
+
+    /// Monotone revision of the merged standing set. Bumped exactly when
+    /// a merge pass observed at least one shard whose standing ranking
+    /// moved, so two calls returning the same value bracket a window in
+    /// which [`ShardedRuntime::apply_events`] rankings were unchanged.
+    /// Restored runtimes restart at zero; serving layers that survive a
+    /// restore must re-anchor rather than compare across the gap.
+    pub fn standing_revision(&self) -> u64 {
+        self.revision
     }
 
     /// Per-shard engine counters, indexed by shard. Counters cover the
@@ -843,6 +857,7 @@ impl ShardedRuntime {
             pool_weights: vec![0; pool_slots],
             shard_window_events: vec![0; shards.len()],
             window_ticks: 0,
+            revision: 0,
             shards,
             stats: RuntimeStats::default(),
         })
@@ -859,10 +874,16 @@ impl ShardedRuntime {
     /// pipeline's total order, stopping at `top_k` when configured.
     fn merge(&mut self, tick_start: Instant) -> RuntimeReport {
         let merge_start = Instant::now();
+        let mut moved = false;
         for shard in &mut self.shards {
             if shard.refresh_cache() {
                 self.stats.merge_cache_hits += 1;
+            } else {
+                moved = true;
             }
+        }
+        if moved {
+            self.revision += 1;
         }
         let cap = self.pipeline.config().top_k.unwrap_or(usize::MAX);
         let total: usize = self.shards.iter().map(|s| s.ranked.len()).sum();

@@ -62,6 +62,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use arb_amm::pool::Pool;
 use arb_cex::feed::PriceFeed;
@@ -204,6 +206,12 @@ pub struct StreamingEngine {
     /// callers cache derived views — the sharded runtime keeps each
     /// shard's ranked list and re-clones it only when this moves.
     revision: u64,
+    /// Ranked view memoized per revision: `ranked()` at an unchanged
+    /// revision re-clones this instead of re-sorting the standing set.
+    /// Interior mutability because ranking is logically a read.
+    rank_cache: Mutex<Option<(u64, Vec<ArbitrageOpportunity>)>>,
+    /// How many times `ranked()` actually sorted (cache misses).
+    rank_sorts: AtomicUsize,
     stats: StreamStats,
 }
 
@@ -255,6 +263,8 @@ impl StreamingEngine {
             standing: BTreeMap::new(),
             feed_prices: Vec::new(),
             revision: 0,
+            rank_cache: Mutex::new(None),
+            rank_sorts: AtomicUsize::new(0),
             stats,
         })
     }
@@ -583,16 +593,35 @@ impl StreamingEngine {
     /// The standing opportunity set in execution-priority order (the
     /// pipeline's ranking policy, tie-breaks, and `top_k` cut). Sorts
     /// references and deep-clones only the survivors of the `top_k`
-    /// cut — with hundreds of standing opportunities and a small
+    /// cut, memoized per [`StreamingEngine::standing_revision`]: repeat
+    /// calls at an unchanged revision skip the sort and re-clone the
+    /// cached list — with hundreds of standing opportunities and a small
     /// `top_k`, the old clone-everything-then-sort path dominated quiet
     /// ticks.
     pub fn ranked(&self) -> Vec<ArbitrageOpportunity> {
+        let mut cache = self.rank_cache.lock().expect("rank cache lock");
+        if let Some((revision, ranked)) = cache.as_ref() {
+            if *revision == self.revision {
+                return ranked.clone();
+            }
+        }
+        self.rank_sorts.fetch_add(1, Ordering::Relaxed);
         let mut refs: Vec<&ArbitrageOpportunity> = self.standing.values().collect();
         refs.sort_by(|a, b| self.pipeline.compare(a, b));
         if let Some(k) = self.pipeline.config().top_k {
             refs.truncate(k);
         }
-        refs.into_iter().cloned().collect()
+        let ranked: Vec<ArbitrageOpportunity> = refs.into_iter().cloned().collect();
+        *cache = Some((self.revision, ranked.clone()));
+        ranked
+    }
+
+    /// How many [`StreamingEngine::ranked`] calls fell through the
+    /// per-revision cache and re-sorted the standing set. Repeated
+    /// `ranked()` calls at an unchanged [`StreamingEngine::standing_revision`]
+    /// leave this flat.
+    pub fn rank_sorts(&self) -> usize {
+        self.rank_sorts.load(Ordering::Relaxed)
     }
 
     /// Captures this engine's durable state as plain data: every pool
@@ -674,6 +703,8 @@ impl StreamingEngine {
             standing: BTreeMap::new(),
             feed_prices: Vec::new(),
             revision: checkpoint.standing_revision,
+            rank_cache: Mutex::new(None),
+            rank_sorts: AtomicUsize::new(0),
             stats,
         })
     }
@@ -908,6 +939,45 @@ mod tests {
         assert_eq!(report.opportunities.len(), 1);
         assert_eq!(report.best().unwrap().strategy, "convex");
         assert_matches_batch(&engine, &paper_feed());
+    }
+
+    #[test]
+    fn ranked_caches_per_revision() {
+        let feed = paper_feed();
+        let mut engine =
+            StreamingEngine::new(OpportunityPipeline::default(), paper_pools()).unwrap();
+        engine.refresh(&feed).unwrap();
+        let sorts_after_refresh = engine.rank_sorts();
+        let first = engine.ranked();
+        let revision = engine.standing_revision();
+        // Repeat calls at an unchanged revision must not re-sort.
+        for _ in 0..5 {
+            let again = engine.ranked();
+            assert_eq!(again.len(), first.len());
+            for (a, b) in again.iter().zip(&first) {
+                assert_eq!(a.cycle.pools(), b.cycle.pools());
+                assert_eq!(
+                    a.net_profit.value().to_bits(),
+                    b.net_profit.value().to_bits()
+                );
+            }
+        }
+        assert_eq!(engine.standing_revision(), revision);
+        assert_eq!(
+            engine.rank_sorts(),
+            sorts_after_refresh,
+            "repeat ranked() calls at an unchanged revision re-sorted"
+        );
+        // Moving the standing set invalidates the cache exactly once:
+        // apply_events ranks its report, repeat calls hit the cache.
+        engine
+            .apply_events(&[sync(0, 120.0, 180.0)], &feed)
+            .unwrap();
+        assert!(engine.standing_revision() > revision);
+        engine.ranked();
+        engine.ranked();
+        assert_eq!(engine.rank_sorts(), sorts_after_refresh + 1);
+        assert_matches_batch(&engine, &feed);
     }
 
     #[test]

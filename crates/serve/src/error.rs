@@ -1,0 +1,37 @@
+//! Serving-layer errors: admission denials with actionable hints.
+
+use crate::governor::ClientClass;
+
+/// Why a query was not admitted. Denials are cheap and immediate —
+/// the governor never blocks a caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The caller's class bucket is dry; retry after the hinted delay.
+    RateLimited {
+        /// The class whose envelope was exceeded.
+        class: ClientClass,
+        /// Nanoseconds until one token accrues at the sustained rate.
+        retry_nanos: u64,
+    },
+    /// The global in-flight budget is exhausted.
+    Saturated {
+        /// The configured concurrency ceiling.
+        max_concurrent: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RateLimited { class, retry_nanos } => write!(
+                f,
+                "rate limited: {class} class dry, retry in {retry_nanos}ns"
+            ),
+            Self::Saturated { max_concurrent } => {
+                write!(f, "saturated: {max_concurrent} queries already in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,485 @@
+//! Admission control: per-class token buckets + a global concurrency
+//! budget, all lock-free.
+//!
+//! The serving path must never let a read storm starve the event path,
+//! so every query passes two gates before touching a snapshot:
+//!
+//! 1. a **token bucket** for the caller's [`ClientClass`] — sustained
+//!    rate plus a bounded burst, refilled lazily from a monotonic
+//!    clock on each attempt (no refill thread);
+//! 2. a **global concurrency budget** — a saturating in-flight gauge
+//!    released by RAII [`Permit`] drop.
+//!
+//! Both gates are single atomic read-modify-write operations in the
+//! admit path; denial returns immediately with a retry hint instead of
+//! blocking, so a well-behaved reader sleeps in its own thread and the
+//! engine never waits on a reader.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::ServeError;
+
+/// Micro-tokens per admission token: buckets account in millionths so
+/// fractional per-nanosecond refill never rounds to zero.
+const MICRO: i64 = 1_000_000;
+
+/// A monotonic nanosecond source the buckets refill from. Injectable so
+/// tests drive time deterministically.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall-clock time from [`Instant`], anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic governor tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances time by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+/// Reader classes with independent rate envelopes, priority-ordered:
+/// interactive dashboards, analytical scans, bulk exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientClass {
+    /// Latency-sensitive point queries (`top_k`, single-token lookups).
+    Interactive,
+    /// Medium-rate scanning (profit-floor sweeps, per-pool audits).
+    Analytics,
+    /// Best-effort full-ranking pulls.
+    Bulk,
+}
+
+impl ClientClass {
+    /// All classes, index-aligned with the governor's bucket array.
+    pub const ALL: [ClientClass; 3] = [
+        ClientClass::Interactive,
+        ClientClass::Analytics,
+        ClientClass::Bulk,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            ClientClass::Interactive => 0,
+            ClientClass::Analytics => 1,
+            ClientClass::Bulk => 2,
+        }
+    }
+
+    /// Stable lowercase label (telemetry keys, bench JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientClass::Interactive => "interactive",
+            ClientClass::Analytics => "analytics",
+            ClientClass::Bulk => "bulk",
+        }
+    }
+}
+
+impl std::fmt::Display for ClientClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One class's rate envelope.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassLimit {
+    /// Sustained admissions per second.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how far ahead of the sustained rate a burst may
+    /// run.
+    pub burst: f64,
+}
+
+/// Governor-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GovernorConfig {
+    /// Envelopes indexed by [`ClientClass::ALL`].
+    pub limits: [ClassLimit; 3],
+    /// Global in-flight query budget across every class.
+    pub max_concurrent: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self {
+            limits: [
+                ClassLimit {
+                    rate_per_sec: 100_000.0,
+                    burst: 1_000.0,
+                },
+                ClassLimit {
+                    rate_per_sec: 20_000.0,
+                    burst: 200.0,
+                },
+                ClassLimit {
+                    rate_per_sec: 5_000.0,
+                    burst: 50.0,
+                },
+            ],
+            max_concurrent: 1_024,
+        }
+    }
+}
+
+/// Lazy-refill token bucket in micro-token atomics.
+#[derive(Debug)]
+struct TokenBucket {
+    /// Available micro-tokens; may transiently dip negative between a
+    /// speculative take and its rollback.
+    micro: AtomicI64,
+    /// Clock reading of the last refill that was accounted.
+    refilled_at: AtomicU64,
+    /// Micro-tokens added per second of elapsed clock.
+    rate_micro_per_sec: u64,
+    /// Capacity in micro-tokens.
+    burst_micro: i64,
+}
+
+impl TokenBucket {
+    fn new(limit: ClassLimit) -> Self {
+        let burst_micro = ((limit.burst.max(1.0)) * MICRO as f64) as i64;
+        Self {
+            micro: AtomicI64::new(burst_micro),
+            refilled_at: AtomicU64::new(0),
+            rate_micro_per_sec: (limit.rate_per_sec.max(0.0) * MICRO as f64) as u64,
+            burst_micro,
+        }
+    }
+
+    /// Credits elapsed time exactly once per interval: whichever thread
+    /// wins the CAS on `refilled_at` owns that interval's credit.
+    fn refill(&self, now: u64) {
+        let last = self.refilled_at.load(Ordering::SeqCst);
+        if now <= last {
+            return;
+        }
+        if self
+            .refilled_at
+            .compare_exchange(last, now, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let credit =
+            ((now - last) as u128 * self.rate_micro_per_sec as u128 / 1_000_000_000) as i64;
+        if credit == 0 {
+            return;
+        }
+        let _ = self
+            .micro
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |m| {
+                Some((m + credit).min(self.burst_micro))
+            });
+    }
+
+    /// Takes one token, or reports how long until one accrues.
+    fn try_take(&self, now: u64) -> Result<(), u64> {
+        self.refill(now);
+        let before = self.micro.fetch_sub(MICRO, Ordering::SeqCst);
+        if before >= MICRO {
+            return Ok(());
+        }
+        self.micro.fetch_add(MICRO, Ordering::SeqCst);
+        let deficit_micro = (MICRO - before.max(0)) as u128;
+        let retry_nanos = if self.rate_micro_per_sec == 0 {
+            u64::MAX
+        } else {
+            (deficit_micro * 1_000_000_000 / self.rate_micro_per_sec as u128) as u64
+        };
+        Err(retry_nanos.max(1))
+    }
+}
+
+/// Admission counters, per class plus global.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Queries admitted, indexed by [`ClientClass::ALL`].
+    pub admitted: [u64; 3],
+    /// Queries denied by the class rate limit.
+    pub denied_rate: [u64; 3],
+    /// Queries denied by the global concurrency budget.
+    pub denied_saturated: u64,
+}
+
+impl GovernorStats {
+    /// Total admissions across classes.
+    #[must_use]
+    pub fn total_admitted(&self) -> u64 {
+        self.admitted.iter().sum()
+    }
+
+    /// Total rate denials across classes.
+    #[must_use]
+    pub fn total_denied_rate(&self) -> u64 {
+        self.denied_rate.iter().sum()
+    }
+}
+
+impl std::fmt::Display for GovernorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admitted={} (interactive={} analytics={} bulk={}) denied_rate={} denied_saturated={}",
+            self.total_admitted(),
+            self.admitted[0],
+            self.admitted[1],
+            self.admitted[2],
+            self.total_denied_rate(),
+            self.denied_saturated
+        )
+    }
+}
+
+/// The admission controller. One per publisher; shared by every handle.
+#[derive(Debug)]
+pub struct Governor {
+    buckets: [TokenBucket; 3],
+    inflight: AtomicUsize,
+    max_concurrent: usize,
+    clock: Arc<dyn Clock>,
+    admitted: [AtomicU64; 3],
+    denied_rate: [AtomicU64; 3],
+    denied_saturated: AtomicU64,
+}
+
+impl std::fmt::Debug for dyn Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Clock")
+    }
+}
+
+impl Governor {
+    /// Builds a governor on the real monotonic clock.
+    #[must_use]
+    pub fn new(config: GovernorConfig) -> Self {
+        Self::with_clock(config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Builds a governor on an injected clock (deterministic tests).
+    #[must_use]
+    pub fn with_clock(config: GovernorConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            buckets: config.limits.map(TokenBucket::new),
+            inflight: AtomicUsize::new(0),
+            max_concurrent: config.max_concurrent.max(1),
+            clock,
+            admitted: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            denied_rate: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            denied_saturated: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits one query for `class` or explains the denial. The
+    /// returned [`Permit`] releases the concurrency budget on drop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::RateLimited`] with a retry hint when the class
+    /// bucket is dry; [`ServeError::Saturated`] when the global
+    /// in-flight budget is exhausted.
+    pub fn admit(self: &Arc<Self>, class: ClientClass) -> Result<Permit, ServeError> {
+        let idx = class.index();
+        if let Err(retry_nanos) = self.buckets[idx].try_take(self.clock.now_nanos()) {
+            self.denied_rate[idx].fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::RateLimited { class, retry_nanos });
+        }
+        if self.inflight.fetch_add(1, Ordering::SeqCst) >= self.max_concurrent {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.denied_saturated.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Saturated {
+                max_concurrent: self.max_concurrent,
+            });
+        }
+        self.admitted[idx].fetch_add(1, Ordering::Relaxed);
+        Ok(Permit {
+            governor: Arc::clone(self),
+        })
+    }
+
+    /// Queries currently in flight.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// A consistent-enough copy of the counters (relaxed reads; exact
+    /// once concurrent readers quiesce).
+    #[must_use]
+    pub fn stats(&self) -> GovernorStats {
+        let load = |xs: &[AtomicU64; 3]| {
+            [
+                xs[0].load(Ordering::Relaxed),
+                xs[1].load(Ordering::Relaxed),
+                xs[2].load(Ordering::Relaxed),
+            ]
+        };
+        GovernorStats {
+            admitted: load(&self.admitted),
+            denied_rate: load(&self.denied_rate),
+            denied_saturated: self.denied_saturated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII share of the global concurrency budget.
+#[derive(Debug)]
+pub struct Permit {
+    governor: Arc<Governor>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.governor.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn governor(
+        limits: [ClassLimit; 3],
+        max_concurrent: usize,
+    ) -> (Arc<Governor>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let governor = Arc::new(Governor::with_clock(
+            GovernorConfig {
+                limits,
+                max_concurrent,
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        (governor, clock)
+    }
+
+    fn tight() -> [ClassLimit; 3] {
+        [
+            ClassLimit {
+                rate_per_sec: 10.0,
+                burst: 2.0,
+            },
+            ClassLimit {
+                rate_per_sec: 1.0,
+                burst: 1.0,
+            },
+            ClassLimit {
+                rate_per_sec: 1.0,
+                burst: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn burst_then_rate_limited_then_refilled() {
+        let (governor, clock) = governor(tight(), 8);
+        assert!(governor.admit(ClientClass::Interactive).is_ok());
+        assert!(governor.admit(ClientClass::Interactive).is_ok());
+        let denied = governor.admit(ClientClass::Interactive);
+        let Err(ServeError::RateLimited { retry_nanos, .. }) = denied else {
+            panic!("expected rate denial, got {denied:?}");
+        };
+        // 10/s → one token per 100ms; the hint must not overshoot it.
+        assert!(retry_nanos <= 100_000_000, "retry hint {retry_nanos}");
+        clock.advance(100_000_000);
+        assert!(governor.admit(ClientClass::Interactive).is_ok());
+        let stats = governor.stats();
+        assert_eq!(stats.admitted[0], 3);
+        assert_eq!(stats.denied_rate[0], 1);
+    }
+
+    #[test]
+    fn classes_meter_independently() {
+        let (governor, _clock) = governor(tight(), 8);
+        assert!(governor.admit(ClientClass::Bulk).is_ok());
+        assert!(matches!(
+            governor.admit(ClientClass::Bulk),
+            Err(ServeError::RateLimited {
+                class: ClientClass::Bulk,
+                ..
+            })
+        ));
+        // Interactive's bucket is untouched by bulk exhaustion.
+        assert!(governor.admit(ClientClass::Interactive).is_ok());
+    }
+
+    #[test]
+    fn concurrency_budget_releases_on_drop() {
+        let (governor, clock) = governor(
+            [ClassLimit {
+                rate_per_sec: 1_000_000.0,
+                burst: 1_000_000.0,
+            }; 3],
+            2,
+        );
+        let a = governor.admit(ClientClass::Interactive).unwrap();
+        let _b = governor.admit(ClientClass::Analytics).unwrap();
+        assert!(matches!(
+            governor.admit(ClientClass::Bulk),
+            Err(ServeError::Saturated { max_concurrent: 2 })
+        ));
+        assert_eq!(governor.inflight(), 2);
+        drop(a);
+        clock.advance(1);
+        assert!(governor.admit(ClientClass::Bulk).is_ok());
+        assert_eq!(governor.stats().denied_saturated, 1);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let (governor, clock) = governor(tight(), 8);
+        clock.advance(60_000_000_000); // a minute of idle credit
+        let mut admitted = 0;
+        while governor.admit(ClientClass::Interactive).is_ok() {
+            admitted += 1;
+        }
+        assert_eq!(admitted, 2, "burst capacity bounds idle accrual");
+    }
+}

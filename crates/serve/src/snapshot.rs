@@ -1,0 +1,199 @@
+//! Immutable ranked snapshots: the unit of publication.
+//!
+//! A [`RankedSnapshot`] freezes one merged ranking (the exact
+//! `Vec<ArbitrageOpportunity>` the runtime produced at a
+//! `standing_revision`) together with every secondary index a reader
+//! might want — by token, by pool, and by net-profit floor — all built
+//! **once** at publish time. Readers then answer point queries with
+//! slice walks over immutable data: no sorting, no hashing, no
+//! allocation beyond the caller's own collection.
+
+use std::collections::BTreeMap;
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+use arb_engine::ArbitrageOpportunity;
+
+/// An immutable ranking at a single serve revision, plus query indexes.
+///
+/// `entries` is stored in execution-priority order — bit-identical to
+/// what [`arb_engine::ShardedRuntime::apply_events`] returned — so every
+/// query is a view over the oracle ranking, never a recomputation.
+#[derive(Debug)]
+pub struct RankedSnapshot {
+    revision: u64,
+    entries: Vec<ArbitrageOpportunity>,
+    /// Rank indexes of every entry whose cycle touches the token,
+    /// ascending (i.e. best-first).
+    by_token: BTreeMap<TokenId, Vec<u32>>,
+    /// Rank indexes of every entry whose cycle crosses the pool,
+    /// ascending.
+    by_pool: BTreeMap<PoolId, Vec<u32>>,
+    /// Entry indexes ordered by descending net profit (rank breaks
+    /// ties), so any profit floor selects a prefix.
+    net_desc: Vec<u32>,
+}
+
+impl RankedSnapshot {
+    /// Freezes a ranking and builds its indexes. `entries` must already
+    /// be in execution-priority order; the snapshot never reorders it.
+    #[must_use]
+    pub fn build(revision: u64, entries: Vec<ArbitrageOpportunity>) -> Self {
+        let mut by_token: BTreeMap<TokenId, Vec<u32>> = BTreeMap::new();
+        let mut by_pool: BTreeMap<PoolId, Vec<u32>> = BTreeMap::new();
+        for (rank, opp) in entries.iter().enumerate() {
+            let rank = rank as u32;
+            for &token in opp.cycle.tokens() {
+                let ranks = by_token.entry(token).or_default();
+                // A cycle visits each token once, but stay safe if that
+                // invariant ever relaxes: ranks must be strictly
+                // ascending for the best-first guarantee.
+                if ranks.last() != Some(&rank) {
+                    ranks.push(rank);
+                }
+            }
+            for &pool in opp.cycle.pools() {
+                let ranks = by_pool.entry(pool).or_default();
+                if ranks.last() != Some(&rank) {
+                    ranks.push(rank);
+                }
+            }
+        }
+        let mut net_desc: Vec<u32> = (0..entries.len() as u32).collect();
+        net_desc.sort_by(|&a, &b| {
+            entries[b as usize]
+                .net_profit
+                .value()
+                .total_cmp(&entries[a as usize].net_profit.value())
+                .then(a.cmp(&b))
+        });
+        Self {
+            revision,
+            entries,
+            by_token,
+            by_pool,
+            net_desc,
+        }
+    }
+
+    /// The zero-entry snapshot published before the first refresh.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::build(0, Vec::new())
+    }
+
+    /// The serve-side revision this ranking was published at (monotone
+    /// across the publisher's lifetime, including checkpoint/restore).
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Number of ranked opportunities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ranking is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The full ranking in execution-priority order.
+    #[must_use]
+    pub fn entries(&self) -> &[ArbitrageOpportunity] {
+        &self.entries
+    }
+
+    /// The best `k` opportunities (the whole ranking when `k` exceeds
+    /// it) — a prefix slice, zero copies.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> &[ArbitrageOpportunity] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// Every ranked opportunity whose cycle trades through `token`,
+    /// best-first.
+    pub fn by_token(&self, token: TokenId) -> impl Iterator<Item = &ArbitrageOpportunity> + '_ {
+        self.by_token
+            .get(&token)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .map(|&rank| &self.entries[rank as usize])
+    }
+
+    /// Every ranked opportunity whose cycle crosses `pool`, best-first.
+    pub fn by_pool(&self, pool: PoolId) -> impl Iterator<Item = &ArbitrageOpportunity> + '_ {
+        self.by_pool
+            .get(&pool)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .map(|&rank| &self.entries[rank as usize])
+    }
+
+    /// Every ranked opportunity clearing the net-profit floor, in
+    /// descending net profit. A prefix walk of the prebuilt profit
+    /// index: `O(log n)` to locate the cut, `O(matches)` to yield.
+    pub fn min_net_profit(
+        &self,
+        floor_usd: f64,
+    ) -> impl Iterator<Item = &ArbitrageOpportunity> + '_ {
+        let cut = self
+            .net_desc
+            .partition_point(|&rank| self.entries[rank as usize].net_profit.value() >= floor_usd);
+        self.net_desc[..cut]
+            .iter()
+            .map(|&rank| &self.entries[rank as usize])
+    }
+
+    /// Panics unless every index is coherent with `entries` (ascending
+    /// rank lists covering exactly the cycles that reference each key;
+    /// `net_desc` a permutation in descending net order). Test support —
+    /// the serving path never needs it.
+    pub fn assert_coherent(&self) {
+        for (token, ranks) in &self.by_token {
+            assert!(
+                ranks.windows(2).all(|w| w[0] < w[1]),
+                "by_token ranks not strictly ascending"
+            );
+            for &rank in ranks {
+                assert!(
+                    self.entries[rank as usize].cycle.tokens().contains(token),
+                    "by_token index points at a cycle missing the token"
+                );
+            }
+        }
+        for (pool, ranks) in &self.by_pool {
+            assert!(
+                ranks.windows(2).all(|w| w[0] < w[1]),
+                "by_pool ranks not strictly ascending"
+            );
+            for &rank in ranks {
+                assert!(
+                    self.entries[rank as usize].cycle.pools().contains(pool),
+                    "by_pool index points at a cycle missing the pool"
+                );
+            }
+        }
+        assert_eq!(self.net_desc.len(), self.entries.len());
+        let mut seen = vec![false; self.entries.len()];
+        for w in self.net_desc.windows(2) {
+            let (a, b) = (
+                self.entries[w[0] as usize].net_profit.value(),
+                self.entries[w[1] as usize].net_profit.value(),
+            );
+            assert!(
+                a > b || (a.total_cmp(&b).is_eq() && w[0] < w[1]),
+                "net_desc out of order"
+            );
+        }
+        for &rank in &self.net_desc {
+            assert!(!seen[rank as usize], "net_desc repeats a rank");
+            seen[rank as usize] = true;
+        }
+    }
+}

@@ -42,7 +42,9 @@
 pub mod catalog;
 pub mod error;
 pub mod scenario;
+pub mod storm;
 
 pub use catalog::{catalog, find, SimProfile, WorkloadKind, WorkloadSpec};
 pub use error::WorkloadError;
 pub use scenario::{Scenario, ScenarioConfig, TickBatch};
+pub use storm::{QueryOp, ReadStormProfile, ReaderPlan};

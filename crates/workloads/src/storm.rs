@@ -1,0 +1,153 @@
+//! Read-storm profiles: deterministic query plans for serving benches.
+//!
+//! The serving layer is exercised by *readers* — threads firing point
+//! queries at published snapshots while a market workload streams
+//! underneath. Like every other shape in this crate, the storm must be
+//! a pure function of its config so two runs (or a bench and the test
+//! re-checking it) issue bit-identical query sequences. A
+//! [`ReadStormProfile`] expands into one [`ReaderPlan`] per reader
+//! thread: a client class plus a seeded cycle of [`QueryOp`]s drawn
+//! from the scenario's token/pool universe.
+//!
+//! This crate deliberately does not depend on `arb-serve`: the class is
+//! carried as an index into the serving layer's priority-ordered class
+//! list (`arb_serve::ClientClass::ALL`), keeping the workload catalog
+//! at the bottom of the dependency stack.
+
+use arb_amm::pool::PoolId;
+use arb_amm::token::TokenId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One point query against a published snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryOp {
+    /// The best `k` opportunities.
+    TopK(usize),
+    /// Every ranked opportunity trading through the token.
+    ByToken(TokenId),
+    /// Every ranked opportunity crossing the pool.
+    ByPool(PoolId),
+    /// Every ranked opportunity clearing a net-profit floor (USD).
+    MinNetProfit(f64),
+}
+
+/// Sizing and seeding for one read storm.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadStormProfile {
+    /// RNG seed; plans are a pure function of the profile + universe.
+    pub seed: u64,
+    /// Reader threads to plan for.
+    pub readers: usize,
+    /// Distinct queries in each reader's cycle (readers loop it).
+    pub ops_per_reader: usize,
+    /// Net-profit floors sampled by `MinNetProfit` ops (USD).
+    pub profit_floor_range: (f64, f64),
+    /// Largest `k` sampled by `TopK` ops.
+    pub max_top_k: usize,
+}
+
+impl Default for ReadStormProfile {
+    fn default() -> Self {
+        Self {
+            seed: 0x5702_3341,
+            readers: 4,
+            ops_per_reader: 256,
+            profit_floor_range: (1.0, 500.0),
+            max_top_k: 16,
+        }
+    }
+}
+
+/// One reader thread's deterministic work: its class and query cycle.
+#[derive(Debug, Clone)]
+pub struct ReaderPlan {
+    /// Index into the serving layer's priority-ordered class list
+    /// (0 = interactive, 1 = analytics, 2 = bulk).
+    pub class_index: usize,
+    /// The query cycle, issued round-robin for the storm's duration.
+    pub ops: Vec<QueryOp>,
+}
+
+impl ReadStormProfile {
+    /// Expands the profile against a scenario universe of `num_tokens`
+    /// tokens and `num_pools` pools. Classes round-robin across readers
+    /// (reader 0 interactive, 1 analytics, 2 bulk, 3 interactive, …) so
+    /// every class is represented whenever `readers >= 3`.
+    #[must_use]
+    pub fn plans(&self, num_tokens: usize, num_pools: usize) -> Vec<ReaderPlan> {
+        (0..self.readers)
+            .map(|reader| {
+                let mut rng = StdRng::seed_from_u64(self.seed ^ (0x00d5_0000 + reader as u64) << 8);
+                let ops = (0..self.ops_per_reader.max(1))
+                    .map(|_| self.op(&mut rng, num_tokens, num_pools))
+                    .collect();
+                ReaderPlan {
+                    class_index: reader % 3,
+                    ops,
+                }
+            })
+            .collect()
+    }
+
+    fn op(&self, rng: &mut StdRng, num_tokens: usize, num_pools: usize) -> QueryOp {
+        let (floor_lo, floor_hi) = self.profit_floor_range;
+        match rng.gen_range(0u32..4) {
+            0 => QueryOp::TopK(rng.gen_range(1..=self.max_top_k.max(1))),
+            1 if num_tokens > 0 => {
+                QueryOp::ByToken(TokenId::new(rng.gen_range(0..num_tokens as u32)))
+            }
+            2 if num_pools > 0 => QueryOp::ByPool(PoolId::new(rng.gen_range(0..num_pools as u32))),
+            _ => QueryOp::MinNetProfit(rng.gen_range(floor_lo..=floor_hi)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let profile = ReadStormProfile::default();
+        let a = profile.plans(24, 48);
+        let b = profile.plans(24, 48);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.class_index, y.class_index);
+            assert_eq!(x.ops, y.ops);
+        }
+    }
+
+    #[test]
+    fn readers_diverge_and_classes_rotate() {
+        let profile = ReadStormProfile {
+            readers: 6,
+            ..ReadStormProfile::default()
+        };
+        let plans = profile.plans(24, 48);
+        assert_eq!(
+            plans.iter().map(|p| p.class_index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+        assert_ne!(plans[0].ops, plans[3].ops, "same class, distinct plan");
+    }
+
+    #[test]
+    fn ops_respect_the_universe() {
+        let profile = ReadStormProfile {
+            ops_per_reader: 512,
+            ..ReadStormProfile::default()
+        };
+        for plan in profile.plans(10, 20) {
+            for op in &plan.ops {
+                match *op {
+                    QueryOp::TopK(k) => assert!((1..=16).contains(&k)),
+                    QueryOp::ByToken(token) => assert!(token.index() < 10),
+                    QueryOp::ByPool(pool) => assert!(pool.index() < 20),
+                    QueryOp::MinNetProfit(floor) => assert!((1.0..=500.0).contains(&floor)),
+                }
+            }
+        }
+    }
+}

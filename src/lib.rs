@@ -21,6 +21,7 @@
 //! | [`engine`] | `arb-engine` | discovery → evaluation → ranking pipeline, streaming + sharded runtimes |
 //! | [`journal`] | `arb-journal` | durable event journal, engine snapshots, crash recovery |
 //! | [`workloads`] | `arb-workloads` | seeded deterministic scenario catalog (workload generator) |
+//! | [`serve`] | `arb-serve` | lock-free ranked-snapshot serving: wait-free queries, delta streams, admission control |
 //! | [`bot`] | `arb-bot` | engine-driven flash-execute bot + market sim |
 //!
 //! # The paper's §V example, in six lines
@@ -59,6 +60,7 @@ pub use arb_engine as engine;
 pub use arb_graph as graph;
 pub use arb_journal as journal;
 pub use arb_numerics as numerics;
+pub use arb_serve as serve;
 pub use arb_snapshot as snapshot;
 pub use arb_workloads as workloads;
 
@@ -99,6 +101,10 @@ pub mod prelude {
     pub use arb_journal::{
         JournalConfig, JournalCursor, JournalError, JournalReader, JournalWriter, Recovered,
         Recovery, RecoveryStats, SnapshotStore,
+    };
+    pub use arb_serve::{
+        ClientClass, GovernorConfig, Publisher, RankedSnapshot, RankingDelta, ServeError,
+        ServeHandle, ServeRuntime, Subscription, SubscriptionUpdate,
     };
     pub use arb_snapshot::{Generator, Snapshot, SnapshotConfig};
     pub use arb_workloads::{Scenario, ScenarioConfig, TickBatch, WorkloadSpec};

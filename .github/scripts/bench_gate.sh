@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Bench trend gate: compare one metric of one row in a current
+# BENCH_*.json against the committed baseline and fail the build on a
+# regression beyond the tolerance. Replaces the per-gate python heredocs
+# that used to be copy-pasted through ci.yml.
+#
+# Usage:
+#   bench_gate.sh CURRENT BASELINE BENCH METRIC DIRECTION TOLERANCE_PCT [KEY=VALUE...]
+#
+#   CURRENT        the BENCH_*.json this run produced
+#   BASELINE       the committed .github/bench-baselines/BENCH_*.json
+#   BENCH          value of the "bench" field selecting the row
+#   METRIC         numeric field to compare
+#   DIRECTION      min -> bigger is better; fail when current < base*(1-tol)
+#                  max -> smaller is better; fail when current > base*(1+tol)
+#   TOLERANCE_PCT  allowed regression, in percent (e.g. 20)
+#   KEY=VALUE      extra row filters (e.g. workload=degenerate-flood)
+#
+# Refresh a baseline (copy the run's BENCH_*.json over the committed
+# file) whenever the runner hardware class changes.
+set -euo pipefail
+exec python3 - "$@" <<'EOF'
+import json
+import sys
+
+if len(sys.argv) < 7:
+    sys.exit("bench_gate: usage: CURRENT BASELINE BENCH METRIC "
+             "min|max TOLERANCE_PCT [KEY=VALUE...]")
+current_path, baseline_path, bench, metric, direction, tolerance_pct = sys.argv[1:7]
+filters = dict(arg.split("=", 1) for arg in sys.argv[7:])
+tolerance = float(tolerance_pct) / 100.0
+if direction not in ("min", "max"):
+    sys.exit(f"bench_gate: direction must be min or max, got {direction!r}")
+
+def pick(path):
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("bench") != bench:
+                continue
+            if all(str(row.get(key)) == value for key, value in filters.items()):
+                return row
+    return None
+
+label = " ".join([bench] + [f"{key}={value}" for key, value in filters.items()])
+base_row = pick(baseline_path)
+if base_row is None:
+    sys.exit(f"bench_gate: no {label} row in baseline {baseline_path}")
+got_row = pick(current_path)
+if got_row is None:
+    sys.exit(f"bench_gate: no {label} row in {current_path}")
+try:
+    base = float(base_row[metric])
+    got = float(got_row[metric])
+except KeyError as missing:
+    sys.exit(f"bench_gate: {label} row lacks metric {missing}")
+
+if direction == "min":
+    bound = base * (1.0 - tolerance)
+    ok = got >= bound
+    bound_name = "floor"
+else:
+    bound = base * (1.0 + tolerance)
+    ok = got <= bound
+    bound_name = "ceiling"
+print(f"{label} {metric}: baseline {base:g}, current {got:g}, "
+      f"{bound_name} {bound:g}")
+if not ok:
+    sys.exit(f"{label}: {metric} regressed more than {tolerance_pct}%: "
+             f"current {got:g} breached the {bound_name} {bound:g} "
+             f"(baseline {base:g})")
+EOF

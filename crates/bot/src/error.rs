@@ -21,6 +21,8 @@ pub enum BotError {
     Engine(arb_engine::EngineError),
     /// Durable journaling or recovery failed (journaled mode only).
     Journal(arb_journal::JournalError),
+    /// The ingestion front-end failed (ingest mode only).
+    Ingest(arb_ingest::IngestError),
 }
 
 impl fmt::Display for BotError {
@@ -33,6 +35,7 @@ impl fmt::Display for BotError {
             BotError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             BotError::Engine(e) => write!(f, "engine error: {e}"),
             BotError::Journal(e) => write!(f, "journal error: {e}"),
+            BotError::Ingest(e) => write!(f, "ingest error: {e}"),
         }
     }
 }
@@ -46,6 +49,7 @@ impl Error for BotError {
             BotError::Snapshot(e) => Some(e),
             BotError::Engine(e) => Some(e),
             BotError::Journal(e) => Some(e),
+            BotError::Ingest(e) => Some(e),
             BotError::MissingPrice => None,
         }
     }
@@ -78,6 +82,18 @@ impl From<arb_journal::JournalError> for BotError {
         match e {
             arb_journal::JournalError::Engine(inner) => BotError::from(inner),
             other => BotError::Journal(other),
+        }
+    }
+}
+
+impl From<arb_ingest::IngestError> for BotError {
+    fn from(e: arb_ingest::IngestError) -> Self {
+        // Unwrap into the established categories so callers match on one
+        // variant per failure domain regardless of the delivery path.
+        match e {
+            arb_ingest::IngestError::Journal(j) => BotError::from(j),
+            arb_ingest::IngestError::Engine(en) => BotError::from(en),
+            other => BotError::Ingest(other),
         }
     }
 }

@@ -1,0 +1,588 @@
+//! The bot's ingest-fronted mode: one journaled multiplexed stream for
+//! chain events **and** CEX price moves.
+//!
+//! [`IngestBot`] replaces [`crate::JournaledBot`]'s "journal the chain,
+//! hope the feed is reproducible" split with the `arb-ingest` front-end:
+//!
+//! * every block, the CEX feed's price moves and the chain's new events
+//!   are staged on separate [`arb_ingest::Ingestor`] sources, sealed
+//!   into one deterministically ordered block, journaled **raw**, then
+//!   coalesced and applied through an [`arb_ingest::IngestDriver`];
+//! * checkpoints embed the price table and the per-source stream
+//!   positions, so [`IngestBot::recover`] rebuilds the fleet *and* the
+//!   feed from disk alone — no live price feed is needed to resume,
+//!   closing the recovery gap the journaled mode had;
+//! * the scan/execute policy is unchanged from [`crate::JournaledBot`]:
+//!   best executable opportunity per block, flash-bundle submission.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use arb_amm::token::TokenId;
+use arb_cex::feed::PriceTable;
+use arb_dexsim::chain::{Chain, EventCursor};
+use arb_dexsim::state::AccountId;
+use arb_dexsim::tx::Transaction;
+use arb_ingest::{IngestConfig, IngestDriver, IngestStats, Ingestor, SourceId};
+use arb_journal::{
+    JournalConfig, JournalError, JournalWriter, Recovery, RecoveryStats, SnapshotStore,
+};
+
+use crate::bot::{pipeline_for, BotAction};
+use crate::config::BotConfig;
+use crate::error::BotError;
+use crate::execution;
+use crate::journal::JournalSettings;
+use crate::scanner;
+
+/// An arbitrage bot fed through the `arb-ingest` front-end. See the
+/// module docs for how it differs from [`crate::JournaledBot`].
+#[derive(Debug)]
+pub struct IngestBot {
+    account: AccountId,
+    config: BotConfig,
+    settings: JournalSettings,
+    ingestor: Ingestor,
+    driver: IngestDriver,
+    feed_source: SourceId,
+    chain_source: SourceId,
+    cursor: EventCursor,
+    writer: Arc<Mutex<JournalWriter>>,
+    store: SnapshotStore,
+    events_since_checkpoint: usize,
+    checkpoints_taken: usize,
+    recovery: Option<RecoveryStats>,
+}
+
+fn journal_config(settings: &JournalSettings) -> JournalConfig {
+    JournalConfig {
+        segment_max_bytes: settings.segment_max_bytes,
+        sync_on_commit: true,
+    }
+}
+
+impl IngestBot {
+    /// Starts an ingest-fronted bot on a live chain. The journal
+    /// directory must be fresh: ingest offsets count the *multiplexed*
+    /// stream (feed moves included), so adopting a chain-only journal
+    /// would silently misalign every snapshot. The initial feed and the
+    /// chain's full event history are journaled first — sorted feed
+    /// prices, then chain history — giving recovery a self-contained
+    /// genesis prefix.
+    ///
+    /// # Errors
+    ///
+    /// Forwards journal I/O failures ([`BotError::Journal`]) and graph /
+    /// engine construction failures; rejects a non-empty journal
+    /// directory.
+    pub fn attach(
+        chain: &mut Chain,
+        feed: &PriceTable,
+        config: BotConfig,
+        settings: JournalSettings,
+        ingest: IngestConfig,
+    ) -> Result<Self, BotError> {
+        let writer = JournalWriter::open(&settings.dir, journal_config(&settings))
+            .map_err(JournalError::from)?;
+        if writer.next_offset() != 0 {
+            return Err(BotError::Journal(JournalError::Corrupt(
+                "ingest attach requires a fresh journal directory (offsets count the \
+                 multiplexed stream) — use IngestBot::recover to resume one"
+                    .to_string(),
+            )));
+        }
+        let writer = Arc::new(Mutex::new(writer));
+        let mut ingestor = Ingestor::new(ingest).with_journal(writer.clone());
+        let feed_source = ingestor.register_source("cex-feed");
+        let chain_source = ingestor.register_source("dexsim");
+
+        // Journal the genesis prefix: the full feed (sorted, so attach is
+        // deterministic), then the chain's event history.
+        let mut initial_prices: Vec<(TokenId, f64)> = feed.iter().collect();
+        initial_prices.sort_unstable_by_key(|(token, _)| token.index());
+        ingestor.offer_feed_moves(feed_source, &initial_prices)?;
+        ingestor.offer(chain_source, chain.event_log().decode_from(0))?;
+        ingestor.seal_block()?;
+        // The runtime below is built from *current* chain state; the
+        // backfill block exists for recovery replay, not for application.
+        ingestor
+            .handle()
+            .try_pop()
+            .expect("the backfill block was just sealed");
+
+        let graph = scanner::graph_from_chain(chain)?;
+        let runtime =
+            arb_engine::ShardedRuntime::with_graph(pipeline_for(&config), graph, config.shards)?;
+        let driver = IngestDriver::new(runtime, feed.clone(), ingestor.handle());
+        let store = SnapshotStore::new(&settings.dir)?;
+        let cursor = chain.subscribe();
+        Ok(IngestBot {
+            account: chain.create_account(),
+            config,
+            settings,
+            ingestor,
+            driver,
+            feed_source,
+            chain_source,
+            cursor,
+            writer,
+            store,
+            events_since_checkpoint: 0,
+            checkpoints_taken: 0,
+            recovery: None,
+        })
+    }
+
+    /// Rebuilds an ingest-fronted bot after a crash **from disk alone**:
+    /// no live price feed is passed — the journal's inline `FeedPrice`
+    /// stream and the snapshot's embedded price table reconstruct it.
+    /// Chain events the chain emitted while the bot was down are
+    /// ingested (journaled, sealed, applied) before this returns.
+    ///
+    /// # Errors
+    ///
+    /// See [`IngestBot::attach`]; additionally fails when recovery
+    /// cannot bootstrap (no snapshot and no genesis prefix).
+    pub fn recover(
+        chain: &mut Chain,
+        config: BotConfig,
+        settings: JournalSettings,
+        ingest: IngestConfig,
+    ) -> Result<Self, BotError> {
+        Self::recover_impl(chain, config, settings, ingest, None)
+    }
+
+    /// [`IngestBot::recover`], resuming the pre-crash bot's `account`
+    /// instead of registering a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// See [`IngestBot::recover`].
+    pub fn recover_as(
+        chain: &mut Chain,
+        config: BotConfig,
+        settings: JournalSettings,
+        ingest: IngestConfig,
+        account: AccountId,
+    ) -> Result<Self, BotError> {
+        Self::recover_impl(chain, config, settings, ingest, Some(account))
+    }
+
+    fn recover_impl(
+        chain: &mut Chain,
+        config: BotConfig,
+        settings: JournalSettings,
+        ingest: IngestConfig,
+        account: Option<AccountId>,
+    ) -> Result<Self, BotError> {
+        let writer = JournalWriter::open(&settings.dir, journal_config(&settings))
+            .map_err(JournalError::from)?;
+        let writer = Arc::new(Mutex::new(writer));
+
+        let recovered = Recovery::new(&settings.dir, pipeline_for(&config), config.shards)
+            .recover_journaled()?;
+
+        // Reconstruct per-source positions: the snapshot's recorded
+        // counts (zeros on the genesis path) plus everything the replay
+        // consumed on each source.
+        let snapshot_positions = &recovered.source_positions;
+        let feed_position = snapshot_positions.first().copied().unwrap_or(0)
+            + recovered.feed_events_replayed as u64;
+        let chain_position = snapshot_positions.get(1).copied().unwrap_or(0)
+            + (recovered.genesis_bootstrap_events + recovered.chain_events_replayed) as u64;
+
+        let mut ingestor = Ingestor::new(ingest).with_journal(writer.clone());
+        let feed_source = ingestor.register_source("cex-feed");
+        let chain_source = ingestor.register_source("dexsim");
+        ingestor.restore_positions(&[feed_position, chain_position])?;
+        let driver = IngestDriver::new(recovered.runtime, recovered.feed, ingestor.handle());
+
+        let cursor = EventCursor::at(chain_position as usize);
+        let store = SnapshotStore::new(&settings.dir)?;
+        let mut bot = IngestBot {
+            account: account.unwrap_or_else(|| chain.create_account()),
+            config,
+            settings,
+            ingestor,
+            driver,
+            feed_source,
+            chain_source,
+            cursor,
+            writer,
+            store,
+            events_since_checkpoint: 0,
+            checkpoints_taken: 0,
+            recovery: Some(recovered.stats),
+        };
+        // Catch up on blocks mined while the bot was down: journal and
+        // apply them now so the first step sees a current fleet.
+        let missed = chain.drain_events(&mut bot.cursor);
+        if !missed.is_empty() {
+            bot.ingestor.offer(bot.chain_source, missed)?;
+            bot.ingestor.seal_block()?;
+            bot.driver.drain()?;
+        }
+        Ok(bot)
+    }
+
+    /// The bot's account.
+    pub fn account(&self) -> AccountId {
+        self.account
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BotConfig {
+        &self.config
+    }
+
+    /// The journal directory.
+    pub fn journal_dir(&self) -> &Path {
+        &self.settings.dir
+    }
+
+    /// The recovered price table / current feed view.
+    pub fn feed(&self) -> &PriceTable {
+        self.driver.feed()
+    }
+
+    /// Front-end counters (coalescing, queue depth, stalls).
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingestor.stats()
+    }
+
+    /// How the last [`IngestBot::recover`] went (`None` after
+    /// [`IngestBot::attach`]).
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// Checkpoints written since this process started.
+    pub fn checkpoints_taken(&self) -> usize {
+        self.checkpoints_taken
+    }
+
+    /// One decision step: stage this block's feed moves and chain
+    /// events, seal them into one journaled block, apply it through the
+    /// driver, checkpoint if due, and submit a flash bundle for the best
+    /// executable opportunity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on journal write errors, engine failures, or bundle
+    /// construction failures — not on unprofitable markets
+    /// ([`BotAction::Idle`]).
+    pub fn step(
+        &mut self,
+        chain: &mut Chain,
+        feed_moves: &[(TokenId, f64)],
+    ) -> Result<BotAction, BotError> {
+        self.ingestor
+            .offer_feed_moves(self.feed_source, feed_moves)?;
+        let events = chain.drain_events(&mut self.cursor);
+        let staged = feed_moves.len() + events.len();
+        self.ingestor.offer(self.chain_source, events)?;
+        self.ingestor.seal_block()?;
+        let report = self.driver.drain()?;
+
+        self.events_since_checkpoint += staged;
+        if self.events_since_checkpoint >= self.settings.checkpoint_every_events {
+            self.checkpoint()?;
+        }
+
+        let Some(report) = report else {
+            return Ok(BotAction::Idle);
+        };
+        for opportunity in &report.opportunities {
+            let steps = execution::opportunity_bundle(chain, opportunity)?;
+            if steps.len() < opportunity.cycle.len() {
+                // Rounding collapsed a hop; try the next-ranked loop.
+                continue;
+            }
+            let expected = opportunity.gross_profit;
+            let hops = steps.len();
+            chain.submit(Transaction::FlashBundle {
+                account: self.account,
+                steps,
+            });
+            return Ok(BotAction::Submitted { expected, hops });
+        }
+        Ok(BotAction::Idle)
+    }
+
+    /// Writes a snapshot of the fleet — including the price table and
+    /// per-source positions — at the journal's durable tail, prunes old
+    /// snapshots, and compacts segments below the oldest retained one.
+    /// Called automatically by [`IngestBot::step`]; public for shutdown
+    /// hooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BotError::Journal`] on snapshot or compaction failures.
+    pub fn checkpoint(&mut self) -> Result<(), BotError> {
+        let offset = self
+            .writer
+            .lock()
+            .expect("journal writer poisoned")
+            .durable_offset();
+        let mut checkpoint = self.driver.checkpoint();
+        checkpoint.source_positions = self.ingestor.source_positions();
+        self.store.write(offset, &checkpoint)?;
+        self.store.prune(self.settings.keep_snapshots)?;
+        if let Some(oldest_retained) = self.store.list()?.first().map(|(offset, _)| *offset) {
+            self.writer
+                .lock()
+                .expect("journal writer poisoned")
+                .compact_below(oldest_retained)
+                .map_err(JournalError::from)?;
+        }
+        self.checkpoints_taken += 1;
+        self.events_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::PoolId;
+    use arb_dexsim::units::to_raw;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("arbloops-ibot-{}-{name}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn paper_chain() -> Chain {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        chain
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+            .unwrap();
+        chain
+    }
+
+    fn paper_feed() -> PriceTable {
+        [(t(0), 2.0), (t(1), 10.2), (t(2), 20.0)]
+            .into_iter()
+            .collect()
+    }
+
+    fn settings(scratch: &Scratch, checkpoint_every: usize) -> JournalSettings {
+        JournalSettings {
+            checkpoint_every_events: checkpoint_every,
+            ..JournalSettings::new(&scratch.0)
+        }
+    }
+
+    /// Per-block feed drift, a pure function of the global block index so
+    /// a split run sees exactly what a continuous one did.
+    fn moves_for(block: usize) -> Vec<(TokenId, f64)> {
+        vec![(t(1), 10.2 + 0.05 * block as f64)]
+    }
+
+    /// Drives whale-perturbed blocks through a stepper, mining the bot's
+    /// submissions, and returns the decision trace.
+    fn drive<S: FnMut(&mut Chain, &[(TokenId, f64)]) -> BotAction>(
+        chain: &mut Chain,
+        whale: AccountId,
+        blocks: std::ops::Range<usize>,
+        mut stepper: S,
+    ) -> Vec<Option<(u64, usize)>> {
+        blocks
+            .map(|i| {
+                chain.submit(Transaction::Swap {
+                    account: whale,
+                    pool: PoolId::new(0),
+                    token_in: t(0),
+                    amount_in: to_raw(2.0 + i as f64),
+                    min_out: 0,
+                });
+                chain.mine_block();
+                let action = stepper(chain, &moves_for(i));
+                chain.mine_block();
+                match action {
+                    BotAction::Idle => None,
+                    BotAction::Submitted { expected, hops } => {
+                        Some((expected.value().to_bits(), hops))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_bot_recovers_without_a_live_feed_and_decides_identically() {
+        let scratch = Scratch::new("crash");
+
+        // The never-crashed oracle: one bot across all 8 blocks.
+        let mut oracle_chain = paper_chain();
+        let whale = oracle_chain.create_account();
+        oracle_chain.mint(whale, t(0), to_raw(1_000.0));
+        let oracle_scratch = Scratch::new("crash-oracle");
+        let mut oracle = IngestBot::attach(
+            &mut oracle_chain,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&oracle_scratch, 4),
+            IngestConfig::default(),
+        )
+        .unwrap();
+        let oracle_actions = drive(&mut oracle_chain, whale, 0..8, |chain, moves| {
+            oracle.step(chain, moves).unwrap()
+        });
+
+        // The crashing run: same chain history, bot dies after block 4.
+        let mut chain = paper_chain();
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(1_000.0));
+        let mut bot = IngestBot::attach(
+            &mut chain,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&scratch, 4),
+            IngestConfig::default(),
+        )
+        .unwrap();
+        assert!(bot.recovery_stats().is_none());
+        let mut first_half = drive(&mut chain, whale, 0..4, |chain, moves| {
+            bot.step(chain, moves).unwrap()
+        });
+        assert!(bot.checkpoints_taken() > 0, "checkpoints were due");
+        let pre_crash_account = bot.account();
+        drop(bot); // 💥 no sink on the chain: events pile up un-journaled
+
+        // NO feed is passed here — the whole point of the ingest stream.
+        let mut bot = IngestBot::recover_as(
+            &mut chain,
+            BotConfig::default(),
+            settings(&scratch, 4),
+            IngestConfig::default(),
+            pre_crash_account,
+        )
+        .unwrap();
+        assert_eq!(bot.account(), pre_crash_account);
+        let stats = *bot.recovery_stats().expect("recovered");
+        assert!(stats.snapshot_offset.is_some(), "{stats}");
+
+        // The feed was reconstructed from disk: last pre-crash drift
+        // applied at block 3.
+        let recovered_price = bot
+            .feed()
+            .iter()
+            .find(|(token, _)| *token == t(1))
+            .map(|(_, price)| price)
+            .expect("t1 priced");
+        assert_eq!(
+            recovered_price.to_bits(),
+            (10.2f64 + 0.05 * 3.0).to_bits(),
+            "recovery must replay FeedPrice events to the journal tail"
+        );
+
+        let second_half = drive(&mut chain, whale, 4..8, |chain, moves| {
+            bot.step(chain, moves).unwrap()
+        });
+        first_half.extend(second_half);
+        assert_eq!(
+            first_half, oracle_actions,
+            "crash + feed-free recovery must not change a single decision"
+        );
+        assert!(
+            first_half.iter().any(Option::is_some),
+            "perturbations should open executable opportunities"
+        );
+        assert_eq!(chain.state().digest(), oracle_chain.state().digest());
+    }
+
+    #[test]
+    fn recovery_bootstraps_from_the_journaled_genesis_prefix() {
+        let scratch = Scratch::new("genesis");
+        let mut chain = paper_chain();
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(1_000.0));
+        // Huge checkpoint interval: the bot dies before any snapshot.
+        let mut bot = IngestBot::attach(
+            &mut chain,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&scratch, 10_000),
+            IngestConfig::default(),
+        )
+        .unwrap();
+        drive(&mut chain, whale, 0..3, |chain, moves| {
+            bot.step(chain, moves).unwrap()
+        });
+        assert_eq!(bot.checkpoints_taken(), 0);
+        drop(bot);
+
+        let bot = IngestBot::recover(
+            &mut chain,
+            BotConfig::default(),
+            settings(&scratch, 10_000),
+            IngestConfig::default(),
+        )
+        .unwrap();
+        let stats = *bot.recovery_stats().expect("recovered");
+        assert!(stats.snapshot_offset.is_none(), "genesis path: {stats}");
+        // The genesis prefix carried the initial feed; the suffix carried
+        // the drift. Both land in the reconstructed table.
+        assert_eq!(bot.feed().len(), 3);
+        let drifted = bot
+            .feed()
+            .iter()
+            .find(|(token, _)| *token == t(1))
+            .map(|(_, price)| price)
+            .unwrap();
+        assert_eq!(drifted.to_bits(), (10.2f64 + 0.05 * 2.0).to_bits());
+    }
+
+    #[test]
+    fn attach_rejects_a_used_journal_directory() {
+        let scratch = Scratch::new("fresh");
+        let mut chain = paper_chain();
+        let bot = IngestBot::attach(
+            &mut chain,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&scratch, 100),
+            IngestConfig::default(),
+        )
+        .unwrap();
+        drop(bot);
+        let mut second = paper_chain();
+        let err = IngestBot::attach(
+            &mut second,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&scratch, 100),
+            IngestConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BotError::Journal(_)), "{err:?}");
+        assert!(err.to_string().contains("fresh journal"), "{err}");
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`bot`] — the per-block policy over ranked engine opportunities;
 //! * [`journal`] — the durable mode: chain events journaled to disk,
 //!   periodic fleet checkpoints, crash recovery via `arb-journal`;
+//! * [`ingest_bot`] — the ingest-fronted mode: chain events *and* CEX
+//!   price moves multiplexed, journaled, and coalesced via `arb-ingest`,
+//!   with feed-free crash recovery;
 //! * [`pnl`] — balance accounting and monetized PnL series;
 //! * [`sim`] — a deterministic market harness (noise traders + LPs + CEX
 //!   price drift + the bot) used by examples, tests, and benches.
@@ -42,6 +45,7 @@ pub mod bot;
 pub mod config;
 pub mod error;
 pub mod execution;
+pub mod ingest_bot;
 pub mod journal;
 pub mod pnl;
 pub mod scanner;
@@ -50,4 +54,5 @@ pub mod sim;
 pub use bot::{pipeline_for, ArbBot, ServeTelemetry};
 pub use config::{BotConfig, ScanMode, StrategyChoice};
 pub use error::BotError;
+pub use ingest_bot::IngestBot;
 pub use journal::{JournalSettings, JournaledBot};

@@ -70,6 +70,18 @@ pub enum Event {
         /// The pool's swap fee.
         fee: FeeRate,
     },
+    /// A CEX feed price update, as carried on the multiplexed ingest
+    /// stream (`arb-ingest`). The chain itself never emits this event;
+    /// it exists so one journaled stream is self-contained — recovery
+    /// can rebuild the price table from the journal alone instead of
+    /// needing a live feed. The price travels as raw `f64` bits so the
+    /// event stays `Eq` and the value round-trips bit-exactly.
+    FeedPrice {
+        /// The priced token.
+        token: TokenId,
+        /// USD price, as [`f64::to_bits`].
+        price_bits: u64,
+    },
 }
 
 const TAG_SYNC: u8 = 1;
@@ -77,6 +89,7 @@ const TAG_SWAP: u8 = 2;
 const TAG_MINT: u8 = 3;
 const TAG_BURN: u8 = 4;
 const TAG_POOL_CREATED: u8 = 5;
+const TAG_FEED_PRICE: u8 = 6;
 
 impl Event {
     /// Appends the binary encoding of this event to `buf`.
@@ -140,6 +153,28 @@ impl Event {
                 buf.put_u128_le(reserve_b);
                 buf.put_u32_le(fee.ppm());
             }
+            Event::FeedPrice { token, price_bits } => {
+                buf.put_u8(TAG_FEED_PRICE);
+                buf.put_u32_le(token.index() as u32);
+                buf.put_u64_le(price_bits);
+            }
+        }
+    }
+
+    /// A [`Event::FeedPrice`] for `token` at `price` USD.
+    pub fn feed_price(token: TokenId, price: f64) -> Event {
+        Event::FeedPrice {
+            token,
+            price_bits: price.to_bits(),
+        }
+    }
+
+    /// The `(token, price)` of a [`Event::FeedPrice`], decoded back to
+    /// `f64`; `None` for every other variant.
+    pub fn as_feed_price(&self) -> Option<(TokenId, f64)> {
+        match *self {
+            Event::FeedPrice { token, price_bits } => Some((token, f64::from_bits(price_bits))),
+            _ => None,
         }
     }
 
@@ -192,6 +227,15 @@ impl Event {
                     reserve_a,
                     reserve_b,
                     fee,
+                })
+            }
+            TAG_FEED_PRICE => {
+                if buf.remaining() < 4 + 8 {
+                    return None;
+                }
+                Some(Event::FeedPrice {
+                    token: TokenId::new(buf.get_u32_le()),
+                    price_bits: buf.get_u64_le(),
                 })
             }
             TAG_MINT | TAG_BURN => {
@@ -336,7 +380,27 @@ mod tests {
                 reserve_b: 1,
                 fee: FeeRate::UNISWAP_V2,
             },
+            Event::feed_price(TokenId::new(2), 1234.5),
         ]
+    }
+
+    #[test]
+    fn feed_price_round_trips_bit_exactly() {
+        // Non-finite and negative prices are representable on the wire
+        // (the consumer's PriceTable::set is what rejects them); the
+        // codec must carry the exact bits either way.
+        for price in [0.0, -1.5, f64::NAN, f64::INFINITY, 1e-308, 20.25] {
+            let event = Event::feed_price(TokenId::new(7), price);
+            let mut buf = BytesMut::new();
+            event.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            let decoded = Event::decode(&mut bytes).expect("decodes");
+            assert_eq!(decoded, event);
+            let (token, got) = decoded.as_feed_price().expect("is a feed price");
+            assert_eq!(token, TokenId::new(7));
+            assert_eq!(got.to_bits(), price.to_bits(), "bit-exact, NaN included");
+        }
+        assert_eq!(sample_events()[0].as_feed_price(), None);
     }
 
     #[test]
@@ -438,7 +502,7 @@ mod tests {
                 account: account_from_index(idx),
                 shares: b,
             },
-            _ => Event::PoolCreated {
+            4 => Event::PoolCreated {
                 pool,
                 token_a: TokenId::new(idx),
                 token_b: TokenId::new(idx ^ 1),
@@ -446,13 +510,17 @@ mod tests {
                 reserve_b: b,
                 fee: FeeRate::from_ppm(idx % arb_amm::fee::PPM).unwrap(),
             },
+            _ => Event::FeedPrice {
+                token: TokenId::new(idx),
+                price_bits: a as u64,
+            },
         }
     }
 
     proptest! {
         #[test]
         fn codec_round_trips_every_variant(
-            tag in 0u8..5,
+            tag in 0u8..6,
             pool in 0u32..u32::MAX,
             idx in 0u32..u32::MAX,
             a in 0u128..u128::MAX,
@@ -477,7 +545,7 @@ mod tests {
 
         #[test]
         fn log_round_trips_random_sequences(
-            tags in proptest::collection::vec(0u8..5, 0..32),
+            tags in proptest::collection::vec(0u8..6, 0..32),
             seed in 0u128..u128::MAX,
         ) {
             let events: Vec<Event> = tags

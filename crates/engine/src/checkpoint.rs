@@ -138,4 +138,16 @@ pub struct RuntimeCheckpoint {
     pub owners: Vec<u32>,
     /// Per-shard engine checkpoints, indexed by shard.
     pub shards: Vec<EngineCheckpoint>,
+    /// The price feed at checkpoint time as `(token index, f64 bits)`
+    /// entries sorted by token — filled by the ingestion front-end
+    /// (`arb-ingest`), whose journaled stream carries feed updates
+    /// inline, so recovery reproduces rankings without a live feed.
+    /// Empty when the checkpoint was taken by a consumer that sources
+    /// prices externally; [`crate::ShardedRuntime::restore`] ignores it.
+    pub feed: Vec<(u32, u64)>,
+    /// Per-ingest-source consumed-event counts at checkpoint time,
+    /// in source registration order. Opaque to the engine (restore
+    /// ignores it); the ingestion front-end uses it to resume each
+    /// source's cursor after recovery. Empty outside ingest mode.
+    pub source_positions: Vec<u64>,
 }

@@ -788,6 +788,8 @@ impl ShardedRuntime {
                 })
                 .collect(),
             shards: self.shards.iter().map(|s| s.engine.checkpoint()).collect(),
+            feed: Vec::new(),
+            source_positions: Vec::new(),
         }
     }
 

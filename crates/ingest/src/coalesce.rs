@@ -1,0 +1,162 @@
+//! Last-write-wins event coalescing.
+//!
+//! Within one sealed block, only the *final* `Sync` per pool (and the
+//! final `FeedPrice` per token) can influence the post-block ranking:
+//!
+//! * `TokenGraph::apply_sync` replaces reserves with the **absolute**
+//!   values carried by the event, so any earlier `Sync` of the same
+//!   pool is fully overwritten by a later one — including the
+//!   retire/revive transitions, which are themselves a function of the
+//!   last applied reserves only. Live slots therefore end bit-identical
+//!   whether the intermediate `Sync`s were applied or skipped. (The one
+//!   observable difference is the *last valid* reserves remembered by a
+//!   slot retired mid-block — state that is unreadable until a reviving
+//!   `Sync`, which overwrites it absolutely. The crate's proptests pin
+//!   both halves of this argument.)
+//! * `PriceTable::set` is an absolute overwrite per token, and the
+//!   consumer refreshes rankings once per batch under the final table.
+//!
+//! `PoolCreated` is a **barrier**: it allocates the next pool slot, so
+//! no event may move across it — a `Sync` before the creation refers to
+//! a different (smaller) id space than one after it. Coalescing
+//! restarts on the far side of every barrier. `Swap`/`Mint`/`Burn`
+//! carry no reserve state (engines use them only to mark pools dirty)
+//! and pass through untouched, in order.
+//!
+//! A coalesced event keeps the queue position of the **first** write it
+//! subsumes while carrying the payload of the **last** — positions only
+//! ever move earlier, so an event can never migrate past a barrier that
+//! followed it.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use arb_dexsim::events::Event;
+
+/// Collapses `events` last-write-wins per pool (`Sync`) and per token
+/// (`FeedPrice`), treating `PoolCreated` as a barrier. All other events
+/// pass through in order. The result applied to a `TokenGraph` +
+/// `PriceTable` yields the same live state as applying `events`
+/// unabridged — see the module docs for why, and the crate proptests
+/// for the harness that checks it against random interleavings.
+pub fn coalesce(events: &[Event]) -> Vec<Event> {
+    let mut out: Vec<Event> = Vec::with_capacity(events.len());
+    // Position in `out` of the latest coalescible write per pool/token.
+    let mut sync_at: HashMap<u32, usize> = HashMap::new();
+    let mut feed_at: HashMap<u32, usize> = HashMap::new();
+    for &event in events {
+        match event {
+            Event::Sync { pool, .. } => match sync_at.entry(pool.index() as u32) {
+                Entry::Occupied(slot) => out[*slot.get()] = event,
+                Entry::Vacant(slot) => {
+                    slot.insert(out.len());
+                    out.push(event);
+                }
+            },
+            Event::FeedPrice { token, .. } => match feed_at.entry(token.index() as u32) {
+                Entry::Occupied(slot) => out[*slot.get()] = event,
+                Entry::Vacant(slot) => {
+                    slot.insert(out.len());
+                    out.push(event);
+                }
+            },
+            Event::PoolCreated { .. } => {
+                // Barrier: syncs on either side see different slot
+                // universes; restart coalescing. Feed prices commute
+                // with structure (prices are only read at refresh time,
+                // after the whole batch), so `feed_at` survives.
+                sync_at.clear();
+                out.push(event);
+            }
+            _ => out.push(event),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::PoolId;
+    use arb_amm::token::TokenId;
+
+    fn sync(pool: u32, reserve: u128) -> Event {
+        Event::Sync {
+            pool: PoolId::new(pool),
+            reserve_a: reserve,
+            reserve_b: reserve + 1,
+        }
+    }
+
+    fn created(pool: u32) -> Event {
+        Event::PoolCreated {
+            pool: PoolId::new(pool),
+            token_a: TokenId::new(0),
+            token_b: TokenId::new(1),
+            reserve_a: 10,
+            reserve_b: 10,
+            fee: FeeRate::UNISWAP_V2,
+        }
+    }
+
+    #[test]
+    fn last_sync_per_pool_wins_at_the_first_position() {
+        let stream = [sync(0, 1), sync(1, 1), sync(0, 2), sync(0, 3)];
+        assert_eq!(coalesce(&stream), vec![sync(0, 3), sync(1, 1)]);
+    }
+
+    #[test]
+    fn pool_created_is_a_barrier() {
+        let stream = [sync(0, 1), created(3), sync(0, 2)];
+        assert_eq!(coalesce(&stream), stream.to_vec());
+        // …and coalescing resumes independently on each side.
+        let stream = [sync(0, 1), sync(0, 2), created(3), sync(0, 4), sync(0, 5)];
+        assert_eq!(coalesce(&stream), vec![sync(0, 2), created(3), sync(0, 5)]);
+    }
+
+    #[test]
+    fn feed_prices_coalesce_per_token_across_barriers() {
+        let t = TokenId::new;
+        let stream = [
+            Event::feed_price(t(0), 1.0),
+            Event::feed_price(t(1), 5.0),
+            created(3),
+            Event::feed_price(t(0), 2.0),
+        ];
+        assert_eq!(
+            coalesce(&stream),
+            vec![
+                Event::feed_price(t(0), 2.0),
+                Event::feed_price(t(1), 5.0),
+                created(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_reserve_events_pass_through_in_order() {
+        let swap = Event::Swap {
+            pool: PoolId::new(0),
+            token_in: TokenId::new(0),
+            amount_in: 5,
+            amount_out: 4,
+        };
+        let stream = [sync(0, 1), swap, sync(0, 2)];
+        assert_eq!(coalesce(&stream), vec![sync(0, 2), swap]);
+    }
+
+    #[test]
+    fn retire_then_revive_collapses_to_the_final_state() {
+        // A drain (zero reserves) followed by a refill coalesces to just
+        // the refill: the intermediate retirement is unobservable.
+        let stream = [sync(0, 100), sync(0, 0), sync(0, 250)];
+        assert_eq!(coalesce(&stream), vec![sync(0, 250)]);
+    }
+
+    #[test]
+    fn empty_and_singleton_streams_are_untouched() {
+        assert_eq!(coalesce(&[]), Vec::<Event>::new());
+        assert_eq!(coalesce(&[sync(2, 7)]), vec![sync(2, 7)]);
+    }
+}

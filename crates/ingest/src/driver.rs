@@ -1,0 +1,173 @@
+//! The consumer half: drains sealed batches into a [`ShardedRuntime`].
+
+use arb_amm::token::TokenId;
+use arb_cex::feed::PriceTable;
+use arb_dexsim::events::Event;
+use arb_engine::{OpportunityPipeline, RuntimeCheckpoint, RuntimeReport, ShardedRuntime};
+
+use crate::error::IngestError;
+use crate::queue::IngestBatch;
+use crate::source::IngestHandle;
+
+/// Consumes [`IngestBatch`]es from an [`IngestHandle`] and applies them
+/// to a [`ShardedRuntime`], splitting inline [`Event::FeedPrice`]
+/// updates into the owned [`PriceTable`] so the batch's chain events are
+/// evaluated under the batch's final prices — the same "feed first,
+/// then events" order a directly-fed runtime sees each tick.
+#[derive(Debug)]
+pub struct IngestDriver {
+    runtime: ShardedRuntime,
+    feed: PriceTable,
+    handle: IngestHandle,
+    scratch: Vec<Event>,
+    chain_events_applied: u64,
+    feed_updates_applied: u64,
+    raw_events_applied: u64,
+    last_latency_nanos: u64,
+}
+
+impl IngestDriver {
+    /// Wraps an already-current runtime and feed around `handle`.
+    pub fn new(runtime: ShardedRuntime, feed: PriceTable, handle: IngestHandle) -> Self {
+        IngestDriver {
+            runtime,
+            feed,
+            handle,
+            scratch: Vec::new(),
+            chain_events_applied: 0,
+            feed_updates_applied: 0,
+            raw_events_applied: 0,
+            last_latency_nanos: 0,
+        }
+    }
+
+    /// Applies the next queued batch if one is ready. `Ok(None)` means
+    /// the queue was empty (closed or not — check
+    /// [`IngestHandle::is_closed`] to tell the cases apart).
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Engine`] when the runtime rejects the batch.
+    pub fn try_step(&mut self) -> Result<Option<RuntimeReport>, IngestError> {
+        match self.handle.try_pop() {
+            Some(batch) => self.apply(batch).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks for the next batch and applies it; `Ok(None)` once the
+    /// stream is closed and fully drained.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestDriver::try_step`].
+    pub fn step_blocking(&mut self) -> Result<Option<RuntimeReport>, IngestError> {
+        match self.handle.pop_blocking() {
+            Some(batch) => self.apply(batch).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Drains every currently queued batch and returns the report from
+    /// the last one applied (`None` when nothing was queued).
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestDriver::try_step`].
+    pub fn drain(&mut self) -> Result<Option<RuntimeReport>, IngestError> {
+        let mut last = None;
+        while let Some(batch) = self.handle.try_pop() {
+            last = Some(self.apply(batch)?);
+        }
+        Ok(last)
+    }
+
+    fn apply(&mut self, batch: IngestBatch) -> Result<RuntimeReport, IngestError> {
+        self.scratch.clear();
+        for event in &batch.events {
+            if let Some((token, price)) = event.as_feed_price() {
+                self.feed.set(token, price);
+                self.feed_updates_applied += 1;
+            } else {
+                self.scratch.push(*event);
+            }
+        }
+        self.chain_events_applied += self.scratch.len() as u64;
+        self.raw_events_applied += batch.raw_events as u64;
+        let report = self.runtime.apply_events(&self.scratch, &self.feed)?;
+        self.last_latency_nanos = batch.sealed_at.elapsed().as_nanos() as u64;
+        Ok(report)
+    }
+
+    /// Captures runtime state *plus* the current price table (sorted by
+    /// token id, so the snapshot bytes are deterministic), making the
+    /// checkpoint self-contained: recovery needs no live feed. The
+    /// caller owns [`RuntimeCheckpoint::source_positions`].
+    pub fn checkpoint(&self) -> RuntimeCheckpoint {
+        let mut checkpoint = self.runtime.checkpoint();
+        let mut feed: Vec<(u32, u64)> = self
+            .feed
+            .iter()
+            .map(|(token, price)| (token.index() as u32, price.to_bits()))
+            .collect();
+        feed.sort_unstable_by_key(|&(token, _)| token);
+        checkpoint.feed = feed;
+        checkpoint
+    }
+
+    /// Rebuilds a driver from a checkpoint: the runtime restores
+    /// exactly and the price table is reloaded from the checkpoint's
+    /// feed section.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Engine`] when the runtime checkpoint fails
+    /// validation.
+    pub fn restore(
+        pipeline: OpportunityPipeline,
+        checkpoint: &RuntimeCheckpoint,
+        handle: IngestHandle,
+    ) -> Result<Self, IngestError> {
+        let runtime = ShardedRuntime::restore(pipeline, checkpoint)?;
+        let mut feed = PriceTable::new();
+        for &(token, bits) in &checkpoint.feed {
+            feed.set(TokenId::new(token), f64::from_bits(bits));
+        }
+        Ok(IngestDriver::new(runtime, feed, handle))
+    }
+
+    /// The wrapped runtime.
+    pub fn runtime(&self) -> &ShardedRuntime {
+        &self.runtime
+    }
+
+    /// The owned price table (current as of the last applied batch).
+    pub fn feed(&self) -> &PriceTable {
+        &self.feed
+    }
+
+    /// The consumer handle this driver drains.
+    pub fn handle(&self) -> &IngestHandle {
+        &self.handle
+    }
+
+    /// Chain (non-feed) events handed to the runtime so far.
+    pub fn chain_events_applied(&self) -> u64 {
+        self.chain_events_applied
+    }
+
+    /// Inline feed updates absorbed into the price table so far.
+    pub fn feed_updates_applied(&self) -> u64 {
+        self.feed_updates_applied
+    }
+
+    /// Raw (pre-coalesce) events the applied batches subsumed.
+    pub fn raw_events_applied(&self) -> u64 {
+        self.raw_events_applied
+    }
+
+    /// Seal-to-ranking latency of the most recent batch, in nanoseconds.
+    pub fn last_latency_nanos(&self) -> u64 {
+        self.last_latency_nanos
+    }
+}

@@ -1,0 +1,66 @@
+//! The staged ingestion front-end between event sources and engines.
+//!
+//! The engines in `arb-engine` used to be fed directly from
+//! `Chain::drain_events` — one source, no batching discipline, no
+//! bound on how far behind a slow consumer could fall, and the CEX
+//! price feed living entirely outside the journaled stream. The
+//! paper's profit races are races against staleness (Milionis et al.,
+//! arXiv:2305.14604) and against *ordering* between venues
+//! (arXiv:2410.11552), so this crate makes the ingestion boundary a
+//! first-class, measured subsystem:
+//!
+//! ```text
+//!  chain A ──offer──▶ ┌──────────┐   seal_block()
+//!  chain B ──offer──▶ │ Ingestor │ ── multiplex ──▶ journal (raw)
+//!  CEX feed ─offer──▶ └──────────┘         │
+//!                                      coalesce (LWW per pool/token,
+//!                                       PoolCreated = barrier)
+//!                                          │
+//!                               bounded queue (lag policy:
+//!                               block source / coalesce harder)
+//!                                          │
+//!  IngestHandle ──pop──▶ IngestDriver ──▶ ShardedRuntime + PriceTable
+//!                                          │
+//!                                   ranked opportunities
+//! ```
+//!
+//! * **Multiplexing** ([`Ingestor`]) — several sources (dexsim chains,
+//!   the CEX feed) merge into one deterministically ordered stream:
+//!   within a sealed block, events are ordered by source registration
+//!   priority, then by per-source arrival order. The merged *raw*
+//!   stream is journaled (feed updates travel inline as
+//!   [`arb_dexsim::events::Event::FeedPrice`]), so one journal replays
+//!   the whole market without a live feed.
+//! * **Coalescing** ([`mod@coalesce`]) — bursty per-pool `Sync`s collapse
+//!   last-write-wins before the engine sees them; `PoolCreated` is a
+//!   barrier. Sound because the graph's `apply_sync` is itself
+//!   last-write-wins over absolute reserves (see the module docs of
+//!   [`mod@crate::coalesce`] for the commutation argument, and the
+//!   crate's proptests for the proof harness).
+//! * **Backpressure** ([`IngestConfig`]) — the producer/consumer
+//!   boundary is a bounded queue with an explicit [`LagPolicy`]: block
+//!   the source, or degrade by merging new blocks into the queue tail
+//!   and coalescing across them. Either way nothing is dropped and
+//!   per-source order is preserved. [`IngestStats`] surfaces events
+//!   in/out, the coalesce ratio, queue depth high-water, and producer
+//!   stall time.
+//!
+//! [`IngestDriver`] is the consumer half: it pops sealed batches,
+//! routes feed updates into its [`arb_cex::feed::PriceTable`], applies
+//! chain events to a [`arb_engine::ShardedRuntime`], and stamps
+//! end-to-end (seal → ranking updated) latency. Its checkpoints carry
+//! the feed, so restore needs no price source either.
+
+pub mod coalesce;
+pub mod driver;
+pub mod error;
+mod queue;
+pub mod source;
+pub mod stats;
+
+pub use coalesce::coalesce;
+pub use driver::IngestDriver;
+pub use error::IngestError;
+pub use queue::IngestBatch;
+pub use source::{IngestConfig, IngestHandle, Ingestor, LagPolicy, SourceId};
+pub use stats::IngestStats;

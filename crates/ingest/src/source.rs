@@ -1,0 +1,346 @@
+//! The producer half: source registration, multiplexing, sealing.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use arb_amm::token::TokenId;
+use arb_dexsim::events::Event;
+use arb_journal::{JournalError, JournalWriter};
+
+use crate::coalesce::coalesce;
+use crate::error::IngestError;
+use crate::queue::{IngestBatch, Shared};
+use crate::stats::IngestStats;
+
+/// A registered event source. Registration order **is** priority:
+/// within a sealed block, all of source 0's events precede all of
+/// source 1's, and each source's own arrival order is preserved — the
+/// deterministic total order the journal records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceId(u16);
+
+impl SourceId {
+    /// The source's registration index (= its priority, 0 highest).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What the producer does when the consumer lags and the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LagPolicy {
+    /// Block [`Ingestor::seal_block`] until the consumer frees a slot;
+    /// the stall time is surfaced in [`IngestStats::stall_nanos`]. The
+    /// source sees backpressure, the engine sees every block.
+    #[default]
+    BlockSource,
+    /// Degraded mode: merge the new block into the newest queued batch
+    /// and coalesce across them, so the queue depth stays bounded while
+    /// the per-batch coalescing works harder. The source never blocks;
+    /// the engine sees fewer, denser batches.
+    CoalesceHarder,
+}
+
+/// Front-end tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Queue bound, in sealed batches (minimum 1).
+    pub queue_capacity: usize,
+    /// Full-queue behavior.
+    pub lag_policy: LagPolicy,
+    /// Per-block last-write-wins coalescing ([`coalesce`]). Disable to
+    /// deliver the raw multiplexed stream (the journal always records
+    /// raw either way).
+    pub coalesce: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_capacity: 8,
+            lag_policy: LagPolicy::BlockSource,
+            coalesce: true,
+        }
+    }
+}
+
+struct Source {
+    name: String,
+    staged: Vec<Event>,
+    /// Cumulative events offered (the source's stream position).
+    position: u64,
+}
+
+impl std::fmt::Debug for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Source")
+            .field("name", &self.name)
+            .field("staged", &self.staged.len())
+            .field("position", &self.position)
+            .finish()
+    }
+}
+
+/// The producer: stages per-source events, seals them into one
+/// deterministically ordered block, journals the raw stream, coalesces,
+/// and enqueues for the consumer under the configured lag policy.
+#[derive(Debug)]
+pub struct Ingestor {
+    config: IngestConfig,
+    shared: Arc<Shared>,
+    sources: Vec<Source>,
+    journal: Option<Arc<Mutex<JournalWriter>>>,
+    /// Offset of the next raw event on the multiplexed stream (the
+    /// journal coordinate space when a journal is attached).
+    next_offset: u64,
+}
+
+impl Ingestor {
+    /// A front-end with no journal attached.
+    pub fn new(config: IngestConfig) -> Self {
+        Ingestor {
+            config,
+            shared: Arc::new(Shared::new(config.queue_capacity)),
+            sources: Vec::new(),
+            journal: None,
+            next_offset: 0,
+        }
+    }
+
+    /// Attaches a journal: every sealed block's **raw** multiplexed
+    /// events are appended and committed before the batch is queued, so
+    /// the durable stream is a full-fidelity record (coalescing is a
+    /// delivery optimization, not a storage one). Adopts the writer's
+    /// tail as the stream offset.
+    #[must_use]
+    pub fn with_journal(mut self, writer: Arc<Mutex<JournalWriter>>) -> Self {
+        self.next_offset = writer
+            .lock()
+            .expect("journal writer poisoned")
+            .next_offset();
+        self.journal = Some(writer);
+        self
+    }
+
+    /// Registers a source. Registration order is merge priority — put
+    /// the price feed before the chains to mirror the "feed updates
+    /// apply before the block's events" convention used everywhere else
+    /// in the workspace.
+    pub fn register_source(&mut self, name: &str) -> SourceId {
+        let id = SourceId(u16::try_from(self.sources.len()).expect("too many ingest sources"));
+        self.sources.push(Source {
+            name: name.to_string(),
+            staged: Vec::new(),
+            position: 0,
+        });
+        id
+    }
+
+    /// The registered source names, in priority order.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.sources.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Per-source cumulative offered-event counts, in priority order.
+    /// After a full drain these are the consumed positions a checkpoint
+    /// should record (`RuntimeCheckpoint::source_positions`).
+    pub fn source_positions(&self) -> Vec<u64> {
+        self.sources.iter().map(|s| s.position).collect()
+    }
+
+    /// Restores per-source positions after a recovery, so positions
+    /// keep counting from where the checkpointed process left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::UnknownSource`] when `positions` names
+    /// more sources than are registered.
+    pub fn restore_positions(&mut self, positions: &[u64]) -> Result<(), IngestError> {
+        if positions.len() > self.sources.len() {
+            return Err(IngestError::UnknownSource(positions.len() - 1));
+        }
+        for (source, &position) in self.sources.iter_mut().zip(positions) {
+            source.position = position;
+        }
+        Ok(())
+    }
+
+    /// The consumer handle. Clone freely; handles stay valid after the
+    /// ingestor closes (they drain the queue, then see end-of-stream).
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The stream offset the next sealed event will occupy.
+    pub fn next_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// A stats snapshot.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.lock().stats
+    }
+
+    /// Stages events from `source` for the next seal. Order within a
+    /// source is preserved verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::UnknownSource`] for an id this ingestor
+    /// did not issue.
+    pub fn offer(
+        &mut self,
+        source: SourceId,
+        events: impl IntoIterator<Item = Event>,
+    ) -> Result<usize, IngestError> {
+        let slot = self
+            .sources
+            .get_mut(source.index())
+            .ok_or(IngestError::UnknownSource(source.index()))?;
+        let before = slot.staged.len();
+        slot.staged.extend(events);
+        let added = slot.staged.len() - before;
+        slot.position += added as u64;
+        Ok(added)
+    }
+
+    /// Stages CEX feed moves as inline [`Event::FeedPrice`] events —
+    /// the bridge that puts the price stream into the same journaled
+    /// coordinate space as chain events.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ingestor::offer`].
+    pub fn offer_feed_moves(
+        &mut self,
+        source: SourceId,
+        moves: &[(TokenId, f64)],
+    ) -> Result<usize, IngestError> {
+        self.offer(
+            source,
+            moves
+                .iter()
+                .map(|&(token, price)| Event::feed_price(token, price)),
+        )
+    }
+
+    /// Seals the current block: multiplexes staged events in source
+    /// priority order, journals the raw stream, coalesces, and enqueues
+    /// one batch (always exactly one — an empty block still marks a
+    /// tick boundary). Returns the stream offset after the seal.
+    ///
+    /// # Errors
+    ///
+    /// * [`IngestError::Closed`] — [`Ingestor::close`] was called.
+    /// * [`IngestError::Journal`] — the attached journal failed.
+    pub fn seal_block(&mut self) -> Result<u64, IngestError> {
+        let mut raw: Vec<Event> = Vec::new();
+        for source in &mut self.sources {
+            raw.append(&mut source.staged);
+        }
+        let first_offset = self.next_offset;
+        self.next_offset += raw.len() as u64;
+
+        if let Some(journal) = &self.journal {
+            let mut writer = journal.lock().expect("journal writer poisoned");
+            writer.append_batch(&raw);
+            writer.commit().map_err(JournalError::from)?;
+        }
+
+        let events = if self.config.coalesce {
+            coalesce(&raw)
+        } else {
+            raw.clone()
+        };
+        let batch = IngestBatch {
+            first_offset,
+            raw_events: raw.len(),
+            sealed_at: Instant::now(),
+            events,
+        };
+
+        let mut guard = self.shared.lock();
+        guard.stats.events_in += raw.len() as u64;
+        guard.stats.coalesced_away += (raw.len() - batch.events.len()) as u64;
+        guard.stats.batches_sealed += 1;
+        if guard.closed {
+            return Err(IngestError::Closed);
+        }
+        if guard.queue.len() >= guard.capacity {
+            match self.config.lag_policy {
+                LagPolicy::BlockSource => {
+                    let stalled = Instant::now();
+                    let (mut open_guard, open) = self.shared.wait_not_full(guard);
+                    open_guard.stats.stall_nanos += stalled.elapsed().as_nanos() as u64;
+                    if !open {
+                        return Err(IngestError::Closed);
+                    }
+                    self.shared.push(&mut open_guard, batch);
+                    return Ok(self.next_offset);
+                }
+                LagPolicy::CoalesceHarder => {
+                    let tail = guard.queue.back_mut().expect("full queue has a tail batch");
+                    let before = tail.events.len() + batch.events.len();
+                    let mut merged = Vec::with_capacity(before);
+                    merged.extend_from_slice(&tail.events);
+                    merged.extend_from_slice(&batch.events);
+                    tail.events = if self.config.coalesce {
+                        coalesce(&merged)
+                    } else {
+                        merged
+                    };
+                    tail.raw_events += batch.raw_events;
+                    let squeezed = (before - tail.events.len()) as u64;
+                    guard.stats.coalesced_away += squeezed;
+                    guard.stats.degraded_merges += 1;
+                    return Ok(self.next_offset);
+                }
+            }
+        }
+        self.shared.push(&mut guard, batch);
+        Ok(self.next_offset)
+    }
+
+    /// Closes the stream: queued batches stay drainable, further seals
+    /// and pops past the drain report end-of-stream.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+}
+
+/// The consumer handle over the bounded queue.
+#[derive(Debug, Clone)]
+pub struct IngestHandle {
+    shared: Arc<Shared>,
+}
+
+impl IngestHandle {
+    /// Pops the oldest sealed batch, or `None` when the queue is empty.
+    pub fn try_pop(&self) -> Option<IngestBatch> {
+        self.shared.try_pop()
+    }
+
+    /// Blocks for the next batch; `None` once the stream is closed and
+    /// fully drained.
+    pub fn pop_blocking(&self) -> Option<IngestBatch> {
+        self.shared.pop_blocking()
+    }
+
+    /// Batches currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the producer closed the stream (queued batches may still
+    /// remain).
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().closed
+    }
+
+    /// A stats snapshot.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.lock().stats
+    }
+}

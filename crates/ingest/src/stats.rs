@@ -1,0 +1,90 @@
+//! Ingestion counters: what the front-end absorbed, dropped via
+//! coalescing, and how hard the boundary pushed back.
+
+use std::fmt;
+
+/// Cumulative front-end counters, snapshot via
+/// [`crate::Ingestor::stats`] / [`crate::IngestHandle::stats`].
+///
+/// The flow invariant on a fully drained stream is
+/// `events_in == events_out + coalesced_away`: every multiplexed event
+/// is either delivered to the consumer or provably subsumed by a later
+/// one (last-write-wins per pool / per token).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Raw events accepted across all sources (pre-coalescing).
+    pub events_in: u64,
+    /// Events actually delivered to the consumer (post-coalescing).
+    pub events_out: u64,
+    /// Events discharged by coalescing (within a block, plus across
+    /// blocks under the degraded merge policy).
+    pub coalesced_away: u64,
+    /// Blocks sealed by the producer.
+    pub batches_sealed: u64,
+    /// Batches popped by the consumer.
+    pub batches_delivered: u64,
+    /// Blocks merged into an already-queued batch because the queue was
+    /// full under [`crate::LagPolicy::CoalesceHarder`].
+    pub degraded_merges: u64,
+    /// Highest queue depth (in batches) ever observed.
+    pub depth_high_water: usize,
+    /// Total time the producer spent blocked on a full queue under
+    /// [`crate::LagPolicy::BlockSource`], in nanoseconds.
+    pub stall_nanos: u64,
+}
+
+impl IngestStats {
+    /// Raw-to-delivered compression: `events_in / events_out`. `1.0`
+    /// means coalescing discharged nothing; `2.0` means the engine saw
+    /// half the raw traffic. Counts only delivered events, so read it
+    /// after draining. Returns 1.0 before anything was delivered.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.events_out == 0 {
+            1.0
+        } else {
+            self.events_in as f64 / self.events_out as f64
+        }
+    }
+}
+
+impl fmt::Display for IngestStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in / {} out ({:.2}x coalesce), {} sealed / {} delivered \
+             ({} degraded merges), depth hw {}, {:.3}ms stalled",
+            self.events_in,
+            self.events_out,
+            self.coalesce_ratio(),
+            self.batches_sealed,
+            self.batches_delivered,
+            self.degraded_merges,
+            self.depth_high_water,
+            self.stall_nanos as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_the_empty_stream() {
+        assert_eq!(IngestStats::default().coalesce_ratio(), 1.0);
+        let stats = IngestStats {
+            events_in: 10,
+            events_out: 4,
+            coalesced_away: 6,
+            ..IngestStats::default()
+        };
+        assert!((stats.coalesce_ratio() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_a_one_liner() {
+        let line = IngestStats::default().to_string();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.contains("coalesce"), "{line}");
+    }
+}

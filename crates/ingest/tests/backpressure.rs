@@ -1,0 +1,150 @@
+//! Backpressure contract: a stalled consumer never causes drops or
+//! reordering under `LagPolicy::BlockSource`, and never unbounded queue
+//! growth under `LagPolicy::CoalesceHarder`.
+
+use std::thread;
+use std::time::Duration;
+
+use arb_amm::pool::PoolId;
+use arb_dexsim::events::Event;
+use arb_ingest::{IngestConfig, Ingestor, LagPolicy};
+
+fn sync(pool: u32, reserve: u128) -> Event {
+    Event::Sync {
+        pool: PoolId::new(pool),
+        reserve_a: reserve,
+        reserve_b: reserve + 1,
+    }
+}
+
+#[test]
+fn stalled_consumer_never_drops_or_reorders_events() {
+    const BLOCKS: u64 = 50;
+    const PER_BLOCK: u64 = 4;
+
+    let mut ingestor = Ingestor::new(IngestConfig {
+        queue_capacity: 2,
+        lag_policy: LagPolicy::BlockSource,
+        // Raw delivery: every event must come out exactly as it went in.
+        coalesce: false,
+    });
+    let chain = ingestor.register_source("chain");
+    let handle = ingestor.handle();
+
+    let sent: Vec<Event> = (0..BLOCKS * PER_BLOCK)
+        // All targeting pool 0: maximally coalescible, so only the
+        // `coalesce: false` config (and no silent drop) can preserve them.
+        .map(|i| sync(0, u128::from(i)))
+        .collect();
+
+    let producer = {
+        let sent = sent.clone();
+        thread::spawn(move || {
+            for block in sent.chunks(PER_BLOCK as usize) {
+                ingestor
+                    .offer(chain, block.iter().copied())
+                    .expect("chain source is registered");
+                ingestor.seal_block().expect("seal while open");
+            }
+            let stats = ingestor.stats();
+            ingestor.close();
+            stats
+        })
+    };
+
+    // Let the producer slam into the full queue before draining.
+    thread::sleep(Duration::from_millis(60));
+    let mut received: Vec<Event> = Vec::new();
+    let mut offsets: Vec<u64> = Vec::new();
+    while let Some(batch) = handle.pop_blocking() {
+        offsets.push(batch.first_offset);
+        received.extend(batch.events);
+    }
+    let producer_stats = producer.join().expect("producer thread panics");
+
+    assert_eq!(received, sent, "no drops, no reorders, no coalescing");
+    let mut sorted = offsets.clone();
+    sorted.sort_unstable();
+    assert_eq!(offsets, sorted, "batches arrive in stream order");
+    assert!(
+        producer_stats.stall_nanos > 0,
+        "the producer must have blocked on the full queue: {producer_stats}"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.events_in, BLOCKS * PER_BLOCK);
+    assert_eq!(stats.events_out + stats.coalesced_away, stats.events_in);
+    assert_eq!(stats.coalesced_away, 0);
+    assert_eq!(stats.depth_high_water, 2, "bounded at capacity");
+    assert_eq!(stats.batches_delivered, BLOCKS);
+}
+
+#[test]
+fn coalesce_harder_bounds_depth_without_losing_final_state() {
+    let mut ingestor = Ingestor::new(IngestConfig {
+        queue_capacity: 1,
+        lag_policy: LagPolicy::CoalesceHarder,
+        coalesce: true,
+    });
+    let chain = ingestor.register_source("chain");
+    let handle = ingestor.handle();
+
+    // Nobody consumes: 32 sealed blocks of 3 pools each pile into one
+    // merged batch instead of growing the queue.
+    for round in 0..32u128 {
+        for pool in 0..3u32 {
+            ingestor
+                .offer(chain, [sync(pool, 1000 * round + u128::from(pool))])
+                .expect("registered");
+        }
+        ingestor.seal_block().expect("seal while open");
+    }
+    ingestor.close();
+
+    assert_eq!(handle.depth(), 1, "degraded mode keeps the queue bounded");
+    let batch = handle.pop_blocking().expect("one merged batch");
+    assert!(handle.pop_blocking().is_none(), "closed after the drain");
+    assert_eq!(batch.first_offset, 0, "merged batch keeps earliest offset");
+    assert_eq!(batch.raw_events, 32 * 3);
+    // Last write wins per pool across every merged block.
+    assert_eq!(
+        batch.events,
+        vec![sync(0, 31_000), sync(1, 31_001), sync(2, 31_002)]
+    );
+
+    let stats = handle.stats();
+    assert_eq!(stats.events_in, 32 * 3);
+    assert_eq!(stats.events_out, 3);
+    assert_eq!(stats.events_out + stats.coalesced_away, stats.events_in);
+    assert_eq!(stats.degraded_merges, 31);
+    assert_eq!(stats.depth_high_water, 1);
+    assert!(stats.coalesce_ratio() >= 30.0, "{stats}");
+}
+
+#[test]
+fn freeing_a_slot_unblocks_a_stalled_producer() {
+    let mut ingestor = Ingestor::new(IngestConfig {
+        queue_capacity: 1,
+        lag_policy: LagPolicy::BlockSource,
+        coalesce: true,
+    });
+    let chain = ingestor.register_source("chain");
+    let handle = ingestor.handle();
+
+    ingestor.offer(chain, [sync(0, 1)]).expect("registered");
+    ingestor.seal_block().expect("first seal fits");
+    let producer = thread::spawn(move || {
+        ingestor.offer(chain, [sync(0, 2)]).expect("registered");
+        // Queue is full and nobody pops: this blocks until close().
+        ingestor.seal_block()
+    });
+
+    thread::sleep(Duration::from_millis(30));
+    let first = handle.pop_blocking().expect("first sealed batch");
+    assert_eq!(first.events, vec![sync(0, 1)]);
+    let sealed = producer.join().expect("producer thread panics");
+    assert!(sealed.is_ok(), "freed slot lets the stalled seal finish");
+    assert_eq!(
+        handle.pop_blocking().expect("second batch").events,
+        vec![sync(0, 2)]
+    );
+}

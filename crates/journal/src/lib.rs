@@ -98,6 +98,6 @@ pub mod writer;
 
 pub use error::JournalError;
 pub use reader::{JournalCursor, JournalReader};
-pub use recovery::{Recovered, Recovery, RecoveryStats};
+pub use recovery::{Recovered, RecoveredStream, Recovery, RecoveryStats};
 pub use snapshot::SnapshotStore;
 pub use writer::{JournalConfig, JournalWriter};

@@ -5,7 +5,8 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use arb_amm::pool::Pool;
-use arb_cex::feed::PriceFeed;
+use arb_amm::token::TokenId;
+use arb_cex::feed::{PriceFeed, PriceTable};
 use arb_dexsim::events::Event;
 use arb_dexsim::units::to_display;
 use arb_engine::{OpportunityPipeline, ShardedRuntime};
@@ -80,12 +81,41 @@ pub struct Recovered {
 /// caller's feed, so the recovered standing ranking is bit-identical to
 /// an uninterrupted engine at the same (state, feed) point — evaluation
 /// is a pure function of reserves and prices.
+/// The result of a [`Recovery::recover_journaled`] run over a journal
+/// whose stream carries [`Event::FeedPrice`] updates inline (the
+/// `arb-ingest` multiplexed stream): the fleet **and** the price table,
+/// both reconstructed from disk alone — no live feed required.
+#[derive(Debug)]
+pub struct RecoveredStream {
+    /// The restored fleet, refreshed under the recovered feed.
+    pub runtime: ShardedRuntime,
+    /// The price table at the journal's durable tail: the snapshot's
+    /// feed section (over any genesis feed) overlaid with every
+    /// `FeedPrice` replayed from the suffix.
+    pub feed: PriceTable,
+    /// The snapshot's recorded per-source consumed counts (empty when
+    /// recovery bootstrapped from genesis or the snapshot predates the
+    /// ingest front-end). The replay counts below are *not* folded in.
+    pub source_positions: Vec<u64>,
+    /// `FeedPrice` events replayed from the journal suffix.
+    pub feed_events_replayed: usize,
+    /// Chain events replayed from the journal suffix (post-bootstrap).
+    pub chain_events_replayed: usize,
+    /// Chain events consumed to *build* the genesis universe (the
+    /// leading `PoolCreated` prefix; zero on the snapshot path). Callers
+    /// tracking per-source stream positions must count these too.
+    pub genesis_bootstrap_events: usize,
+    /// What the recovery did.
+    pub stats: RecoveryStats,
+}
+
 #[derive(Debug, Clone)]
 pub struct Recovery {
     dir: PathBuf,
     pipeline: OpportunityPipeline,
     max_shards: usize,
     genesis_pools: Vec<Pool>,
+    genesis_feed: PriceTable,
 }
 
 impl Recovery {
@@ -98,6 +128,7 @@ impl Recovery {
             pipeline,
             max_shards,
             genesis_pools: Vec::new(),
+            genesis_feed: PriceTable::new(),
         }
     }
 
@@ -108,6 +139,16 @@ impl Recovery {
     #[must_use]
     pub fn with_genesis_pools(mut self, pools: Vec<Pool>) -> Self {
         self.genesis_pools = pools;
+        self
+    }
+
+    /// Sets the price-table base for [`Recovery::recover_journaled`] —
+    /// the prices that were known before the journal's first event. A
+    /// journal whose stream carries the full initial feed as a leading
+    /// `FeedPrice` prefix (the `arb-ingest` attach path) needs none.
+    #[must_use]
+    pub fn with_genesis_feed(mut self, feed: PriceTable) -> Self {
+        self.genesis_feed = feed;
         self
     }
 
@@ -158,6 +199,100 @@ impl Recovery {
             stats: RecoveryStats {
                 snapshot_offset,
                 events_replayed,
+                journal_tail: tail,
+                wall: start.elapsed(),
+            },
+        })
+    }
+
+    /// Runs a **self-contained** recovery over a journal whose stream
+    /// carries [`Event::FeedPrice`] updates inline (the `arb-ingest`
+    /// multiplexed stream): restore the newest valid snapshot (including
+    /// its feed section), replay the suffix with feed updates routed to
+    /// the price table and chain events to the fleet, and refresh under
+    /// the reconstructed table. No live feed is needed — the journal and
+    /// snapshots alone reproduce the decisions, closing the gap where
+    /// [`Recovery::recover`] required the caller to supply prices.
+    ///
+    /// Applying all replayed feed updates before the single batch
+    /// refresh is sound for the same reason suffix batching is: the
+    /// standing ranking is a pure function of final reserves and the
+    /// final price per token (feed application is last-write-wins).
+    ///
+    /// # Errors
+    ///
+    /// As [`Recovery::recover`]; the genesis fallback additionally
+    /// accepts `FeedPrice` events interleaved with the leading
+    /// `PoolCreated` prefix (the ingest attach path journals the
+    /// initial feed first).
+    pub fn recover_journaled(&self) -> Result<RecoveredStream, JournalError> {
+        let start = Instant::now();
+        let reader = JournalReader::open(&self.dir)?;
+        let tail = reader.tail_offset();
+        let store = SnapshotStore::new(&self.dir)?;
+
+        let mut feed = self.genesis_feed.clone();
+        let (restored, snapshot_offset, source_positions, raw_events) =
+            match store.newest_valid(reader.base_offset(), tail)? {
+                Some((offset, checkpoint)) => {
+                    for &(token, price_bits) in &checkpoint.feed {
+                        feed.set(TokenId::new(token), f64::from_bits(price_bits));
+                    }
+                    let runtime = ShardedRuntime::restore(self.pipeline.clone(), &checkpoint)?;
+                    (
+                        Some(runtime),
+                        Some(offset),
+                        checkpoint.source_positions,
+                        reader.read_from(offset)?,
+                    )
+                }
+                None => {
+                    if reader.base_offset() > 0 {
+                        return Err(JournalError::NoBootstrap(
+                            "no usable snapshot and the journal's genesis prefix \
+                             was compacted away",
+                        ));
+                    }
+                    (None, None, Vec::new(), reader.read_from(0)?)
+                }
+            };
+
+        // Route the suffix: feed updates into the table (last-write-wins,
+        // so order relative to chain events is immaterial before the one
+        // final refresh), everything else to the fleet.
+        let mut chain_events = Vec::with_capacity(raw_events.len());
+        let mut feed_events_replayed = 0usize;
+        for event in raw_events {
+            match event.as_feed_price() {
+                Some((token, price)) => {
+                    feed.set(token, price);
+                    feed_events_replayed += 1;
+                }
+                None => chain_events.push(event),
+            }
+        }
+        let before_bootstrap = chain_events.len();
+        let mut runtime = match restored {
+            Some(runtime) => runtime,
+            None => {
+                let (runtime, rest) = self.bootstrap_genesis(chain_events)?;
+                chain_events = rest;
+                runtime
+            }
+        };
+        let genesis_bootstrap_events = before_bootstrap - chain_events.len();
+        let chain_events_replayed = chain_events.len();
+        runtime.apply_events(&chain_events, &feed)?;
+        Ok(RecoveredStream {
+            runtime,
+            feed,
+            source_positions,
+            feed_events_replayed,
+            chain_events_replayed,
+            genesis_bootstrap_events,
+            stats: RecoveryStats {
+                snapshot_offset,
+                events_replayed: feed_events_replayed + chain_events_replayed,
                 journal_tail: tail,
                 wall: start.elapsed(),
             },

@@ -21,7 +21,10 @@ use crate::crc::crc32;
 use crate::error::JournalError;
 
 const MAGIC: &[u8; 8] = b"ARBSNAP1";
-const VERSION: u32 = 1;
+// Version 2 appended the feed and ingest-source-position sections, so a
+// snapshot taken through the ingestion front-end is self-contained:
+// restoring it needs no live price feed.
+const VERSION: u32 = 2;
 const PREFIX: &str = "snapshot-";
 const SUFFIX: &str = ".ckpt";
 
@@ -91,6 +94,15 @@ pub fn encode_checkpoint(offset: u64, checkpoint: &RuntimeCheckpoint) -> Vec<u8>
     put_u64(&mut out, checkpoint.shards.len() as u64);
     for shard in &checkpoint.shards {
         encode_engine(&mut out, shard);
+    }
+    put_u64(&mut out, checkpoint.feed.len() as u64);
+    for &(token, price_bits) in &checkpoint.feed {
+        put_u32(&mut out, token);
+        put_u64(&mut out, price_bits);
+    }
+    put_u64(&mut out, checkpoint.source_positions.len() as u64);
+    for &position in &checkpoint.source_positions {
+        put_u64(&mut out, position);
     }
     let crc = crc32(&out[MAGIC.len()..]);
     put_u32(&mut out, crc);
@@ -238,6 +250,18 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<(u64, RuntimeCheckpoint), Journa
     for _ in 0..shard_count {
         shards.push(decode_engine(&mut d)?);
     }
+    let feed_len = d.len()?;
+    let mut feed = Vec::with_capacity(feed_len);
+    for _ in 0..feed_len {
+        let token = d.u32()?;
+        let price_bits = d.u64()?;
+        feed.push((token, price_bits));
+    }
+    let position_count = d.len()?;
+    let mut source_positions = Vec::with_capacity(position_count);
+    for _ in 0..position_count {
+        source_positions.push(d.u64()?);
+    }
     if d.at != d.data.len() {
         return Err(JournalError::Corrupt(
             "snapshot has trailing bytes".to_string(),
@@ -249,6 +273,8 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<(u64, RuntimeCheckpoint), Journa
             max_shards,
             owners,
             shards,
+            feed,
+            source_positions,
         },
     ))
 }

@@ -1,6 +1,7 @@
 //! Offline stand-in for the subset of the `bytes` crate this workspace
-//! uses: little-endian put/get of `u8`/`u32`/`u128`, `BytesMut::freeze`,
-//! and cursor-style consumption via the [`Buf`] trait.
+//! uses: little-endian put/get of `u8`/`u32`/`u64`/`u128`,
+//! `BytesMut::freeze`, and cursor-style consumption via the [`Buf`]
+//! trait.
 
 /// Read-side cursor operations.
 pub trait Buf {
@@ -12,6 +13,9 @@ pub trait Buf {
 
     /// Consumes a little-endian `u32`. Panics on underrun.
     fn get_u32_le(&mut self) -> u32;
+
+    /// Consumes a little-endian `u64`. Panics on underrun.
+    fn get_u64_le(&mut self) -> u64;
 
     /// Consumes a little-endian `u128`. Panics on underrun.
     fn get_u128_le(&mut self) -> u128;
@@ -29,6 +33,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
 
@@ -142,6 +151,10 @@ impl Buf for Bytes {
         u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
     }
 
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
     fn get_u128_le(&mut self) -> u128 {
         u128::from_le_bytes(self.take(16).try_into().expect("16 bytes"))
     }
@@ -156,11 +169,13 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(7);
         buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
         buf.put_u128_le(u128::MAX - 3);
-        assert_eq!(buf.len(), 1 + 4 + 16);
+        assert_eq!(buf.len(), 1 + 4 + 8 + 16);
         let mut bytes = buf.freeze();
         assert_eq!(bytes.get_u8(), 7);
         assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(bytes.get_u128_le(), u128::MAX - 3);
         assert!(bytes.is_empty());
     }

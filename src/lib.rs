@@ -20,6 +20,7 @@
 //! | [`strategies`] | `arb-core` | Traditional, MaxPrice, MaxMax, ConvexOpt |
 //! | [`engine`] | `arb-engine` | discovery → evaluation → ranking pipeline, streaming + sharded runtimes |
 //! | [`journal`] | `arb-journal` | durable event journal, engine snapshots, crash recovery |
+//! | [`ingest`] | `arb-ingest` | staged ingestion front-end: coalescing, multiplexing, backpressure |
 //! | [`workloads`] | `arb-workloads` | seeded deterministic scenario catalog (workload generator) |
 //! | [`serve`] | `arb-serve` | lock-free ranked-snapshot serving: wait-free queries, delta streams, admission control |
 //! | [`bot`] | `arb-bot` | engine-driven flash-execute bot + market sim |
@@ -58,6 +59,7 @@ pub use arb_core as strategies;
 pub use arb_dexsim as dexsim;
 pub use arb_engine as engine;
 pub use arb_graph as graph;
+pub use arb_ingest as ingest;
 pub use arb_journal as journal;
 pub use arb_numerics as numerics;
 pub use arb_serve as serve;
@@ -72,7 +74,7 @@ pub mod prelude {
     };
     pub use arb_bot::{
         sim::{MarketSim, MarketSimConfig},
-        ArbBot, BotConfig, JournalSettings, JournaledBot, ScanMode, StrategyChoice,
+        ArbBot, BotConfig, IngestBot, JournalSettings, JournaledBot, ScanMode, StrategyChoice,
     };
     pub use arb_cex::feed::{PriceFeed, PriceTable};
     pub use arb_convex::{Formulation, LoopPlan, LoopProblem, SolverOptions};
@@ -98,9 +100,13 @@ pub mod prelude {
         StreamingEngine,
     };
     pub use arb_graph::{Cycle, CycleId, CycleIndex, Partition, SyncOutcome, TokenGraph};
+    pub use arb_ingest::{
+        coalesce, IngestBatch, IngestConfig, IngestDriver, IngestError, IngestHandle, IngestStats,
+        Ingestor, LagPolicy, SourceId,
+    };
     pub use arb_journal::{
         JournalConfig, JournalCursor, JournalError, JournalReader, JournalWriter, Recovered,
-        Recovery, RecoveryStats, SnapshotStore,
+        RecoveredStream, Recovery, RecoveryStats, SnapshotStore,
     };
     pub use arb_serve::{
         ClientClass, GovernorConfig, Publisher, RankedSnapshot, RankingDelta, ServeError,

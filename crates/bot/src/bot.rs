@@ -19,6 +19,7 @@ use arb_serve::{
 use crate::config::{BotConfig, ScanMode, StrategyChoice};
 use crate::error::BotError;
 use crate::execution;
+use crate::obs::{BotObs, ExportSink, ObsConfig};
 use crate::scanner;
 
 /// Builds the engine pipeline a bot configuration describes: one sizing
@@ -86,14 +87,15 @@ pub struct ArbBot {
     stream: Option<StreamState>,
     sharded: Option<ShardedState>,
     serving: Option<Publisher>,
+    obs: Option<BotObs>,
 }
 
 impl Clone for ArbBot {
     fn clone(&self) -> Self {
         // The pipeline is a pure function of the config; rebuild it. The
         // streaming view re-synchronizes lazily on the clone's first
-        // step. The serving side-car is not cloned — readers attach to
-        // one publisher, and a clone must opt back in.
+        // step. The serving side-car and observability are not cloned —
+        // readers attach to one publisher, and a clone must opt back in.
         ArbBot {
             account: self.account,
             config: self.config,
@@ -101,6 +103,7 @@ impl Clone for ArbBot {
             stream: None,
             sharded: None,
             serving: None,
+            obs: None,
         }
     }
 }
@@ -140,6 +143,7 @@ impl ArbBot {
             stream: None,
             sharded: None,
             serving: None,
+            obs: None,
         }
     }
 
@@ -149,7 +153,55 @@ impl ArbBot {
     /// Idempotent; a second call keeps existing readers attached.
     pub fn enable_serving(&mut self, governor: GovernorConfig) {
         if self.serving.is_none() {
-            self.serving = Some(Publisher::new(governor));
+            let mut publisher = Publisher::new(governor);
+            if let Some(obs) = &self.obs {
+                publisher.set_obs(obs.obs());
+            }
+            self.serving = Some(publisher);
+        }
+    }
+
+    /// Turns on observability: one registry + flight recorder shared by
+    /// every layer the bot owns. The live market view (streaming engine
+    /// or sharded runtime) and the serving publisher are wired
+    /// immediately if present, and lazily as they are (re)built; each
+    /// step records `bot.step_ns` and the step counters. Idempotent.
+    pub fn enable_observability(&mut self, config: ObsConfig) {
+        if self.obs.is_some() {
+            return;
+        }
+        let bot_obs = BotObs::new(&config);
+        if let Some(state) = &mut self.stream {
+            state.engine.set_obs(bot_obs.obs());
+        }
+        if let Some(state) = &mut self.sharded {
+            state.runtime.set_obs(bot_obs.obs());
+        }
+        if let Some(publisher) = &mut self.serving {
+            publisher.set_obs(bot_obs.obs());
+        }
+        self.obs = Some(bot_obs);
+    }
+
+    /// The shared observability handle (`None` until
+    /// [`ArbBot::enable_observability`]).
+    pub fn obs(&self) -> Option<&arb_obs::Obs> {
+        self.obs.as_ref().map(BotObs::obs)
+    }
+
+    /// The current registry in Prometheus text format — the body a
+    /// `/metrics` pull endpoint would serve. `None` until observability
+    /// is enabled.
+    pub fn metrics(&self) -> Option<String> {
+        self.obs.as_ref().map(|o| o.obs().prometheus_text())
+    }
+
+    /// Routes the periodic JSON-lines export (every
+    /// [`ObsConfig::export_every_steps`] steps) into `sink`. No-op
+    /// until observability is enabled.
+    pub fn set_obs_export(&mut self, sink: ExportSink) {
+        if let Some(obs) = &mut self.obs {
+            obs.set_sink(sink);
         }
     }
 
@@ -239,13 +291,30 @@ impl ArbBot {
         chain: &mut Chain,
         feed: &F,
     ) -> Result<BotAction, BotError> {
+        let step_timer = self.obs.as_ref().map(BotObs::step_timer);
+        let step_span = step_timer.as_ref().map(arb_obs::SpanTimer::start);
         let opportunities = match self.config.mode {
             ScanMode::Batch => scanner::discover(chain, &self.pipeline, feed)?.opportunities,
             ScanMode::Streaming => self.streaming_opportunities(chain, feed)?,
             ScanMode::Sharded => self.sharded_opportunities(chain, feed)?,
         };
         self.publish(&opportunities);
-        for opportunity in &opportunities {
+        let action = self.execute_best(chain, &opportunities)?;
+        drop(step_span);
+        if let Some(obs) = &mut self.obs {
+            obs.after_step(matches!(action, BotAction::Submitted { .. }));
+        }
+        Ok(action)
+    }
+
+    /// Submits a flash bundle for the best executable opportunity in the
+    /// ranking, skipping loops that rounding collapsed.
+    fn execute_best(
+        &self,
+        chain: &mut Chain,
+        opportunities: &[ArbitrageOpportunity],
+    ) -> Result<BotAction, BotError> {
+        for opportunity in opportunities {
             let steps = execution::opportunity_bundle(chain, opportunity)?;
             if steps.len() < opportunity.cycle.len() {
                 // Rounding collapsed a hop; try the next-ranked loop
@@ -298,7 +367,11 @@ impl ArbBot {
         feed: &F,
     ) -> Result<Vec<ArbitrageOpportunity>, BotError> {
         if self.stream.is_none() {
-            self.stream = Some(self.build_stream(chain)?);
+            let mut state = self.build_stream(chain)?;
+            if let Some(obs) = &self.obs {
+                state.engine.set_obs(obs.obs());
+            }
+            self.stream = Some(state);
         }
         let state = self.stream.as_mut().expect("initialized above");
         let events = chain.drain_events(&mut state.cursor);
@@ -337,7 +410,11 @@ impl ArbBot {
         feed: &F,
     ) -> Result<Vec<ArbitrageOpportunity>, BotError> {
         if self.sharded.is_none() {
-            self.sharded = Some(self.build_sharded(chain)?);
+            let mut state = self.build_sharded(chain)?;
+            if let Some(obs) = &self.obs {
+                state.runtime.set_obs(obs.obs());
+            }
+            self.sharded = Some(state);
         }
         let state = self.sharded.as_mut().expect("initialized above");
         let events = chain.drain_events(&mut state.cursor);

@@ -33,6 +33,7 @@ use crate::config::BotConfig;
 use crate::error::BotError;
 use crate::execution;
 use crate::journal::JournalSettings;
+use crate::obs::{BotObs, ExportSink, ObsConfig};
 use crate::scanner;
 
 /// An arbitrage bot fed through the `arb-ingest` front-end. See the
@@ -52,6 +53,7 @@ pub struct IngestBot {
     events_since_checkpoint: usize,
     checkpoints_taken: usize,
     recovery: Option<RecoveryStats>,
+    obs: Option<BotObs>,
 }
 
 fn journal_config(settings: &JournalSettings) -> JournalConfig {
@@ -130,6 +132,7 @@ impl IngestBot {
             events_since_checkpoint: 0,
             checkpoints_taken: 0,
             recovery: None,
+            obs: None,
         })
     }
 
@@ -213,6 +216,7 @@ impl IngestBot {
             events_since_checkpoint: 0,
             checkpoints_taken: 0,
             recovery: Some(recovered.stats),
+            obs: None,
         };
         // Catch up on blocks mined while the bot was down: journal and
         // apply them now so the first step sees a current fleet.
@@ -223,6 +227,54 @@ impl IngestBot {
             bot.driver.drain()?;
         }
         Ok(bot)
+    }
+
+    /// Turns on observability: one registry + flight recorder wired
+    /// through the whole pipeline this bot owns — ingest sealing
+    /// (`ingest.seal_ns` → `queue_ns` spans), the apply side
+    /// (`ingest.apply_ns`, `ingest.e2e_ns`, per-batch `ingest.tick`
+    /// flight marks), the sharded runtime (`runtime.*`, `engine.*`),
+    /// and the bot's own step counters. Unless the config names another
+    /// directory, a panic hook is installed that dumps the flight
+    /// recorder to the journal directory on crash, next to the journal
+    /// the post-mortem will replay. A recovery that built this bot is
+    /// reported under `journal.*`. Idempotent.
+    pub fn enable_observability(&mut self, mut config: ObsConfig) {
+        if self.obs.is_some() {
+            return;
+        }
+        if config.panic_dump_dir.is_none() {
+            config.panic_dump_dir = Some(self.settings.dir.clone());
+        }
+        let bot_obs = BotObs::new(&config);
+        self.ingestor.set_obs(bot_obs.obs());
+        self.driver.set_obs(bot_obs.obs());
+        if let Some(recovery) = &self.recovery {
+            recovery.record(bot_obs.obs());
+        }
+        self.obs = Some(bot_obs);
+    }
+
+    /// The shared observability handle (`None` until
+    /// [`IngestBot::enable_observability`]).
+    pub fn obs(&self) -> Option<&arb_obs::Obs> {
+        self.obs.as_ref().map(BotObs::obs)
+    }
+
+    /// The current registry in Prometheus text format — the body a
+    /// `/metrics` pull endpoint would serve. `None` until observability
+    /// is enabled.
+    pub fn metrics(&self) -> Option<String> {
+        self.obs.as_ref().map(|o| o.obs().prometheus_text())
+    }
+
+    /// Routes the periodic JSON-lines export (every
+    /// [`ObsConfig::export_every_steps`] steps) into `sink`. No-op
+    /// until observability is enabled.
+    pub fn set_obs_export(&mut self, sink: ExportSink) {
+        if let Some(obs) = &mut self.obs {
+            obs.set_sink(sink);
+        }
     }
 
     /// The bot's account.
@@ -250,6 +302,11 @@ impl IngestBot {
         self.ingestor.stats()
     }
 
+    /// The apply-side driver (batch counters, seal-to-rank latency).
+    pub fn driver(&self) -> &IngestDriver {
+        &self.driver
+    }
+
     /// How the last [`IngestBot::recover`] went (`None` after
     /// [`IngestBot::attach`]).
     pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
@@ -272,6 +329,21 @@ impl IngestBot {
     /// construction failures — not on unprofitable markets
     /// ([`BotAction::Idle`]).
     pub fn step(
+        &mut self,
+        chain: &mut Chain,
+        feed_moves: &[(TokenId, f64)],
+    ) -> Result<BotAction, BotError> {
+        let step_timer = self.obs.as_ref().map(BotObs::step_timer);
+        let step_span = step_timer.as_ref().map(arb_obs::SpanTimer::start);
+        let action = self.step_inner(chain, feed_moves)?;
+        drop(step_span);
+        if let Some(obs) = &mut self.obs {
+            obs.after_step(matches!(action, BotAction::Submitted { .. }));
+        }
+        Ok(action)
+    }
+
+    fn step_inner(
         &mut self,
         chain: &mut Chain,
         feed_moves: &[(TokenId, f64)],

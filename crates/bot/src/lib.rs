@@ -47,12 +47,14 @@ pub mod error;
 pub mod execution;
 pub mod ingest_bot;
 pub mod journal;
+pub mod obs;
 pub mod pnl;
 pub mod scanner;
 pub mod sim;
 
-pub use bot::{pipeline_for, ArbBot, ServeTelemetry};
+pub use bot::{pipeline_for, ArbBot, BotAction, ServeTelemetry};
 pub use config::{BotConfig, ScanMode, StrategyChoice};
 pub use error::BotError;
 pub use ingest_bot::IngestBot;
 pub use journal::{JournalSettings, JournaledBot};
+pub use obs::{ExportSink, ObsConfig};

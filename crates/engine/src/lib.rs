@@ -76,6 +76,7 @@ pub use pipeline::{
 };
 pub use ranking::{RankByGrossProfit, RankByNetProfit, RankByProfitPerHop, RankingPolicy};
 pub use runtime::{
-    RebalanceConfig, RuntimeReport, RuntimeStats, ScreenTotals, ShardLoads, ShardedRuntime,
+    RebalanceConfig, RuntimeReport, RuntimeStats, RuntimeTelemetry, ScreenTotals, ShardLoads,
+    ShardedRuntime,
 };
 pub use streaming::{StreamReport, StreamStats, StreamingEngine};

@@ -47,6 +47,7 @@ use arb_cex::feed::PriceFeed;
 use arb_dexsim::events::Event;
 use arb_dexsim::units::to_display;
 use arb_graph::{Partition, TokenGraph};
+use arb_obs::{Counter, Gauge, Histogram, Obs};
 use rayon::prelude::*;
 
 use crate::checkpoint::RuntimeCheckpoint;
@@ -255,6 +256,93 @@ impl fmt::Display for ShardLoads {
     }
 }
 
+/// One tick's telemetry, captured atomically at the tick boundary.
+///
+/// [`ShardedRuntime::shard_loads`] and [`ShardedRuntime::screen_totals`]
+/// are separate reads: a caller (or a serving wrapper polling between
+/// ticks) interleaving them around an `apply_events` can pair a
+/// pre-tick load picture with a post-tick screen picture — torn across
+/// ticks. The runtime therefore captures both (plus the stats and
+/// revision they belong to) in one place at the end of every merge;
+/// [`ShardedRuntime::telemetry`] returns that last consistent capture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeTelemetry {
+    /// The tick this capture closed ([`RuntimeStats::ticks`] after the
+    /// merge; 0 means no tick has completed yet).
+    pub tick: usize,
+    /// The merged standing revision at the capture.
+    pub revision: u64,
+    /// Cumulative runtime counters at the capture.
+    pub stats: RuntimeStats,
+    /// Fleet-wide screen totals at the capture.
+    pub screen: ScreenTotals,
+    /// Per-shard load picture at the capture.
+    pub loads: ShardLoads,
+}
+
+/// Pre-resolved registry instruments for the runtime, plus the `Obs`
+/// handle kept to re-wire shard engines after rebuilds/rebalances.
+#[derive(Debug)]
+struct RuntimeObs {
+    handle: Obs,
+    tick_ns: Histogram,
+    merge_ns: Histogram,
+    ticks: Counter,
+    events_routed: Counter,
+    broadcasts: Counter,
+    rebuilds: Counter,
+    rebalances: Counter,
+    shard_refreshes: Counter,
+    merge_cache_hits: Counter,
+    merged_opportunities: Gauge,
+    shard_count: Gauge,
+    mirrored: RuntimeStats,
+}
+
+impl RuntimeObs {
+    fn new(obs: &Obs) -> Self {
+        let registry = obs.registry();
+        RuntimeObs {
+            handle: obs.clone(),
+            tick_ns: registry.histogram("runtime.tick_ns"),
+            merge_ns: registry.histogram("runtime.merge_ns"),
+            ticks: registry.counter("runtime.ticks"),
+            events_routed: registry.counter("runtime.events_routed"),
+            broadcasts: registry.counter("runtime.broadcasts"),
+            rebuilds: registry.counter("runtime.rebuilds"),
+            rebalances: registry.counter("runtime.rebalances"),
+            shard_refreshes: registry.counter("runtime.shard_refreshes"),
+            merge_cache_hits: registry.counter("runtime.merge_cache_hits"),
+            merged_opportunities: registry.gauge("runtime.merged_opportunities"),
+            shard_count: registry.gauge("runtime.shard_count"),
+            mirrored: RuntimeStats::default(),
+        }
+    }
+
+    /// Pushes the delta since the last sync (monotone fields) and the
+    /// current levels (gauges); the nanosecond fields feed the
+    /// histograms directly in `merge`.
+    fn sync(&mut self, current: &RuntimeStats, shards: usize) {
+        let m = &self.mirrored;
+        self.ticks.add((current.ticks - m.ticks) as u64);
+        self.events_routed
+            .add((current.events_routed - m.events_routed) as u64);
+        self.broadcasts
+            .add((current.broadcasts - m.broadcasts) as u64);
+        self.rebuilds.add((current.rebuilds - m.rebuilds) as u64);
+        self.rebalances
+            .add((current.rebalances - m.rebalances) as u64);
+        self.shard_refreshes
+            .add((current.shard_refreshes - m.shard_refreshes) as u64);
+        self.merge_cache_hits
+            .add((current.merge_cache_hits - m.merge_cache_hits) as u64);
+        self.merged_opportunities
+            .set(current.merged_opportunities as f64);
+        self.shard_count.set(shards as f64);
+        self.mirrored = *current;
+    }
+}
+
 /// The merged, globally ranked output of one runtime tick.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -335,6 +423,12 @@ pub struct ShardedRuntime {
     /// set moved (see [`ShardedRuntime::standing_revision`]).
     revision: u64,
     stats: RuntimeStats,
+    /// Registry instruments, when observability is attached
+    /// ([`ShardedRuntime::set_obs`]).
+    obs: Option<RuntimeObs>,
+    /// Last tick-boundary telemetry capture
+    /// ([`ShardedRuntime::telemetry`]).
+    telemetry: RuntimeTelemetry,
 }
 
 impl ShardedRuntime {
@@ -387,6 +481,8 @@ impl ShardedRuntime {
             revision: 0,
             shards,
             stats: RuntimeStats::default(),
+            obs: None,
+            telemetry: RuntimeTelemetry::default(),
         })
     }
 
@@ -425,6 +521,40 @@ impl ShardedRuntime {
                 })
             })
             .collect()
+    }
+
+    /// Attaches observability: `runtime.*` counters/gauges mirror
+    /// [`RuntimeStats`], `runtime.tick_ns`/`runtime.merge_ns` histograms
+    /// record every tick, and each shard engine reports its
+    /// [`StreamStats`] and refresh/rank spans under `engine.*` (shard
+    /// deltas are additive, so the registry shows fleet totals). The
+    /// handle survives rebuilds and rebalances — replacement fleets are
+    /// re-wired automatically.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let mut runtime_obs = RuntimeObs::new(obs);
+        runtime_obs.sync(&self.stats, self.shards.len());
+        self.obs = Some(runtime_obs);
+        self.wire_shards();
+    }
+
+    /// Points every current shard engine at the attached registry (on
+    /// attach, and again after each rebuild/rebalance replaces the
+    /// fleet).
+    fn wire_shards(&mut self) {
+        if let Some(obs) = &self.obs {
+            let handle = obs.handle.clone();
+            for shard in &mut self.shards {
+                shard.engine.set_obs(&handle);
+            }
+        }
+    }
+
+    /// The last tick-boundary telemetry capture: stats, screen totals,
+    /// shard loads, and the standing revision, all snapshotted together
+    /// at the end of the same merge (see [`RuntimeTelemetry`]). Default
+    /// (tick 0) until the first tick completes.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.telemetry
     }
 
     /// Number of shards in use.
@@ -652,6 +782,7 @@ impl ShardedRuntime {
         self.bank_shard_counters();
         self.partition = Partition::new(&graph, self.max_shards);
         self.shards = Self::build_shards(&self.pipeline, &graph, &self.partition)?;
+        self.wire_shards();
         self.pool_slots = graph.pool_count();
         self.reset_window();
         Ok(())
@@ -748,6 +879,7 @@ impl ShardedRuntime {
         self.bank_shard_counters();
         self.partition = candidate;
         self.shards = Self::build_shards(&self.pipeline, &graph, &self.partition)?;
+        self.wire_shards();
         self.stats.rebalances += 1;
         // Cold-refresh the new fleet: queues are empty, so this is pure
         // re-evaluation of standing cycles against current reserves.
@@ -862,6 +994,8 @@ impl ShardedRuntime {
             revision: 0,
             shards,
             stats: RuntimeStats::default(),
+            obs: None,
+            telemetry: RuntimeTelemetry::default(),
         })
     }
 
@@ -922,6 +1056,24 @@ impl ShardedRuntime {
         let tick_nanos = tick_start.elapsed().as_nanos() as u64;
         self.stats.last_tick_nanos = tick_nanos;
         self.stats.total_tick_nanos += tick_nanos;
+
+        let stats = self.stats;
+        let shard_count = self.shards.len();
+        if let Some(obs) = &mut self.obs {
+            obs.tick_ns.record(tick_nanos);
+            obs.merge_ns.record(merge_nanos);
+            obs.sync(&stats, shard_count);
+        }
+        // Captured here — after the merge, before returning — so the
+        // stats, screen totals, and load picture all describe the same
+        // tick boundary.
+        self.telemetry = RuntimeTelemetry {
+            tick: self.stats.ticks,
+            revision: self.revision,
+            stats: self.stats,
+            screen: self.screen_totals(),
+            loads: self.shard_loads(),
+        };
 
         RuntimeReport {
             opportunities: merged,
@@ -1126,6 +1278,80 @@ mod tests {
 
     fn report_rebuilds(runtime: &ShardedRuntime) -> usize {
         runtime.stats().rebuilds
+    }
+
+    #[test]
+    fn telemetry_snapshots_the_tick_boundary() {
+        let feed = island_feed();
+        let mut runtime =
+            ShardedRuntime::new(OpportunityPipeline::default(), island_pools(), 3).unwrap();
+        assert_eq!(runtime.telemetry().tick, 0, "fresh runtime, no capture");
+
+        runtime.refresh(&feed).unwrap();
+        let after_refresh = runtime.telemetry().clone();
+        assert_eq!(after_refresh.tick, 1);
+        assert_eq!(after_refresh.stats, *runtime.stats());
+        assert_eq!(after_refresh.screen, runtime.screen_totals());
+        assert_eq!(after_refresh.loads, runtime.shard_loads());
+        assert_eq!(after_refresh.revision, runtime.standing_revision());
+
+        let report = runtime
+            .apply_events(&[sync(0, 101.0, 199.0)], &feed)
+            .unwrap();
+        let after_tick = runtime.telemetry();
+        assert_eq!(after_tick.tick, 2);
+        assert_eq!(after_tick.stats, report.stats);
+        assert_eq!(after_tick.screen, runtime.screen_totals());
+        assert!(
+            after_tick.screen.strategy_evaluations >= after_refresh.screen.strategy_evaluations
+        );
+    }
+
+    #[test]
+    fn set_obs_survives_rebuilds_and_mirrors_stats() {
+        let feed = island_feed();
+        let obs = arb_obs::Obs::default();
+        let mut runtime =
+            ShardedRuntime::new(OpportunityPipeline::default(), island_pools(), 3).unwrap();
+        runtime.set_obs(&obs);
+        runtime.refresh(&feed).unwrap();
+
+        // Bridge pool forces a rebuild that replaces every shard engine;
+        // the replacement fleet must keep reporting.
+        let bridge = Event::PoolCreated {
+            pool: p(7),
+            token_a: t(2),
+            token_b: t(4),
+            reserve_a: to_raw(100.0),
+            reserve_b: to_raw(2_000.0),
+            fee: FeeRate::UNISWAP_V2,
+        };
+        runtime.apply_events(&[bridge], &feed).unwrap();
+        runtime
+            .apply_events(&[sync(7, 110.0, 1_900.0)], &feed)
+            .unwrap();
+
+        let snapshot = obs.snapshot();
+        assert_eq!(
+            snapshot.counter("runtime.ticks"),
+            Some(runtime.stats().ticks as u64)
+        );
+        assert_eq!(snapshot.counter("runtime.rebuilds"), Some(1));
+        assert_eq!(
+            snapshot.counter("runtime.events_routed"),
+            Some(runtime.stats().events_routed as u64)
+        );
+        // Screen counters flow from the shard engines, cumulatively
+        // across the rebuild (the banked totals stay in the registry).
+        let screen = runtime.screen_totals();
+        assert_eq!(
+            snapshot.counter("engine.strategy_evaluations"),
+            Some(screen.strategy_evaluations as u64)
+        );
+        let ticks = snapshot
+            .histogram("runtime.tick_ns")
+            .expect("tick histogram registered");
+        assert_eq!(ticks.count, runtime.stats().ticks as u64);
     }
 
     #[test]

@@ -4,10 +4,27 @@ use arb_amm::token::TokenId;
 use arb_cex::feed::PriceTable;
 use arb_dexsim::events::Event;
 use arb_engine::{OpportunityPipeline, RuntimeCheckpoint, RuntimeReport, ShardedRuntime};
+use arb_obs::{Counter, Histogram, Marker, Obs, SpanTimer};
 
 use crate::error::IngestError;
 use crate::queue::IngestBatch;
 use crate::source::IngestHandle;
+
+/// Pre-resolved apply-side instruments (see [`IngestDriver::set_obs`]).
+#[derive(Debug, Clone)]
+struct DriverObs {
+    /// Wraps feed routing + `apply_events` for one batch.
+    apply: SpanTimer,
+    /// Seal → ranking-updated latency per batch.
+    e2e_ns: Histogram,
+    /// Flight-recorder tick mark; the value is the zero-based index of
+    /// the batch just applied, so a post-mortem dump shows exactly
+    /// which tick the process died on.
+    tick: Marker,
+    chain_events_applied: Counter,
+    feed_updates_applied: Counter,
+    raw_events_applied: Counter,
+}
 
 /// Consumes [`IngestBatch`]es from an [`IngestHandle`] and applies them
 /// to a [`ShardedRuntime`], splitting inline [`Event::FeedPrice`]
@@ -24,6 +41,8 @@ pub struct IngestDriver {
     feed_updates_applied: u64,
     raw_events_applied: u64,
     last_latency_nanos: u64,
+    batches_applied: u64,
+    obs: Option<DriverObs>,
 }
 
 impl IngestDriver {
@@ -38,7 +57,27 @@ impl IngestDriver {
             feed_updates_applied: 0,
             raw_events_applied: 0,
             last_latency_nanos: 0,
+            batches_applied: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches observability to the apply side — an `ingest.apply_ns`
+    /// span per batch, the `ingest.e2e_ns` seal-to-ranking latency
+    /// histogram, an `ingest.tick` flight mark per batch — and forwards
+    /// the handle to the wrapped runtime so engine refresh/merge spans
+    /// land in the same registry.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let registry = obs.registry();
+        self.obs = Some(DriverObs {
+            apply: obs.span("ingest.apply_ns"),
+            e2e_ns: registry.histogram("ingest.e2e_ns"),
+            tick: obs.marker("ingest.tick"),
+            chain_events_applied: registry.counter("ingest.chain_events_applied"),
+            feed_updates_applied: registry.counter("ingest.feed_updates_applied"),
+            raw_events_applied: registry.counter("ingest.raw_events_applied"),
+        });
+        self.runtime.set_obs(obs);
     }
 
     /// Applies the next queued batch if one is ready. `Ok(None)` means
@@ -83,6 +122,7 @@ impl IngestDriver {
     }
 
     fn apply(&mut self, batch: IngestBatch) -> Result<RuntimeReport, IngestError> {
+        let apply_span = self.obs.as_ref().map(|o| o.apply.start());
         self.scratch.clear();
         for event in &batch.events {
             if let Some((token, price)) = event.as_feed_price() {
@@ -96,6 +136,17 @@ impl IngestDriver {
         self.raw_events_applied += batch.raw_events as u64;
         let report = self.runtime.apply_events(&self.scratch, &self.feed)?;
         self.last_latency_nanos = batch.sealed_at.elapsed().as_nanos() as u64;
+        drop(apply_span);
+        if let Some(obs) = &self.obs {
+            obs.e2e_ns.record(self.last_latency_nanos);
+            obs.tick.mark(self.batches_applied);
+            obs.chain_events_applied
+                .set_at_least(self.chain_events_applied);
+            obs.feed_updates_applied
+                .set_at_least(self.feed_updates_applied);
+            obs.raw_events_applied.set_at_least(self.raw_events_applied);
+        }
+        self.batches_applied += 1;
         Ok(report)
     }
 
@@ -164,6 +215,13 @@ impl IngestDriver {
     /// Raw (pre-coalesce) events the applied batches subsumed.
     pub fn raw_events_applied(&self) -> u64 {
         self.raw_events_applied
+    }
+
+    /// Sealed batches applied to the runtime so far. The `ingest.tick`
+    /// flight-recorder mark carries the zero-based index, so after `n`
+    /// applied batches the newest mark reads `n - 1`.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
     }
 
     /// Seal-to-ranking latency of the most recent batch, in nanoseconds.

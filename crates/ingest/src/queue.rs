@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use arb_dexsim::events::Event;
 
-use crate::stats::IngestStats;
+use crate::stats::{IngestStats, StatsMirror};
 
 /// One sealed block of the multiplexed stream, as delivered to the
 /// consumer: coalesced events plus the bookkeeping needed for journal
@@ -41,6 +41,38 @@ pub(crate) struct QueueState {
     pub capacity: usize,
     pub closed: bool,
     pub stats: IngestStats,
+    /// Registry instruments mirroring `stats`, when observability is
+    /// attached (see `Ingestor::set_obs`).
+    pub obs: Option<StatsMirror>,
+}
+
+impl QueueState {
+    /// Post-coalesce events currently queued — the in-flight leg of the
+    /// flow ledger.
+    pub fn queued_events(&self) -> u64 {
+        self.queue.iter().map(|b| b.events.len() as u64).sum()
+    }
+
+    /// Debug invariant: the flow ledger balances at every enqueue/pop
+    /// boundary (`events_in == events_out + coalesced_away + queued`).
+    /// Stats crediting happens under the same lock as the queue
+    /// mutation, so any drift here is a real accounting bug, not a
+    /// race.
+    pub fn debug_check_ledger(&self) {
+        debug_assert!(
+            self.stats.ledger_balanced(self.queued_events()),
+            "ingest flow ledger drifted: {:?} with {} queued",
+            self.stats,
+            self.queued_events(),
+        );
+    }
+
+    /// Pushes the updated stats into the registry mirror, if attached.
+    pub fn sync_obs(&self) {
+        if let Some(mirror) = &self.obs {
+            mirror.sync(&self.stats);
+        }
+    }
 }
 
 impl Shared {
@@ -51,6 +83,7 @@ impl Shared {
                 capacity: capacity.max(1),
                 closed: false,
                 stats: IngestStats::default(),
+                obs: None,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
@@ -82,6 +115,8 @@ impl Shared {
         if depth > guard.stats.depth_high_water {
             guard.stats.depth_high_water = depth;
         }
+        guard.debug_check_ledger();
+        guard.sync_obs();
         self.not_empty.notify_one();
     }
 
@@ -92,6 +127,8 @@ impl Shared {
         let batch = guard.queue.pop_front()?;
         guard.stats.events_out += batch.events.len() as u64;
         guard.stats.batches_delivered += 1;
+        guard.debug_check_ledger();
+        guard.sync_obs();
         self.not_full.notify_one();
         Some(batch)
     }
@@ -104,6 +141,8 @@ impl Shared {
             if let Some(batch) = guard.queue.pop_front() {
                 guard.stats.events_out += batch.events.len() as u64;
                 guard.stats.batches_delivered += 1;
+                guard.debug_check_ledger();
+                guard.sync_obs();
                 self.not_full.notify_one();
                 return Some(batch);
             }

@@ -6,11 +6,22 @@ use std::time::Instant;
 use arb_amm::token::TokenId;
 use arb_dexsim::events::Event;
 use arb_journal::{JournalError, JournalWriter};
+use arb_obs::{Obs, SpanTimer};
 
 use crate::coalesce::coalesce;
 use crate::error::IngestError;
 use crate::queue::{IngestBatch, Shared};
-use crate::stats::IngestStats;
+use crate::stats::{IngestStats, StatsMirror};
+
+/// Pre-resolved span timers over the sealing pipeline, one per stage
+/// (`ingest.seal_ns` wraps the other three).
+#[derive(Debug, Clone)]
+struct SealSpans {
+    seal: SpanTimer,
+    journal: SpanTimer,
+    coalesce: SpanTimer,
+    queue: SpanTimer,
+}
 
 /// A registered event source. Registration order **is** priority:
 /// within a sealed block, all of source 0's events precede all of
@@ -93,6 +104,8 @@ pub struct Ingestor {
     /// Offset of the next raw event on the multiplexed stream (the
     /// journal coordinate space when a journal is attached).
     next_offset: u64,
+    /// Sealing-stage span timers, when observability is attached.
+    obs: Option<SealSpans>,
 }
 
 impl Ingestor {
@@ -104,7 +117,33 @@ impl Ingestor {
             sources: Vec::new(),
             journal: None,
             next_offset: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches observability: span timers over every sealing stage
+    /// (`ingest.seal_ns` → `journal_ns`/`coalesce_ns`/`queue_ns`) and a
+    /// registry mirror of [`IngestStats`] under `ingest.*`, updated
+    /// under the queue lock so the registry and the legacy struct can
+    /// never disagree.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = Some(SealSpans {
+            seal: obs.span("ingest.seal_ns"),
+            journal: obs.span("ingest.journal_ns"),
+            coalesce: obs.span("ingest.coalesce_ns"),
+            queue: obs.span("ingest.queue_ns"),
+        });
+        let mut guard = self.shared.lock();
+        let mirror = StatsMirror::new(obs.registry());
+        mirror.sync(&guard.stats);
+        guard.obs = Some(mirror);
+    }
+
+    /// Builder form of [`Ingestor::set_obs`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
     }
 
     /// Attaches a journal: every sealed block's **raw** multiplexed
@@ -236,6 +275,7 @@ impl Ingestor {
     /// * [`IngestError::Closed`] — [`Ingestor::close`] was called.
     /// * [`IngestError::Journal`] — the attached journal failed.
     pub fn seal_block(&mut self) -> Result<u64, IngestError> {
+        let _seal = self.obs.as_ref().map(|o| o.seal.start());
         let mut raw: Vec<Event> = Vec::new();
         for source in &mut self.sources {
             raw.append(&mut source.staged);
@@ -244,12 +284,14 @@ impl Ingestor {
         self.next_offset += raw.len() as u64;
 
         if let Some(journal) = &self.journal {
+            let _journal = self.obs.as_ref().map(|o| o.journal.start());
             let mut writer = journal.lock().expect("journal writer poisoned");
             writer.append_batch(&raw);
             writer.commit().map_err(JournalError::from)?;
         }
 
         let events = if self.config.coalesce {
+            let _coalesce = self.obs.as_ref().map(|o| o.coalesce.start());
             coalesce(&raw)
         } else {
             raw.clone()
@@ -260,11 +302,17 @@ impl Ingestor {
             sealed_at: Instant::now(),
             events,
         };
+        // The block's own ledger contribution, credited only once the
+        // batch actually lands in the queue (same lock), so
+        // `events_in == events_out + coalesced_away + queued` holds at
+        // every enqueue/pop boundary — crediting before the enqueue
+        // (the old order) let a consumer racing a stalled producer
+        // observe a drifted ledger.
+        let sealed_raw = raw.len() as u64;
+        let block_coalesced = (raw.len() - batch.events.len()) as u64;
 
+        let _queue = self.obs.as_ref().map(|o| o.queue.start());
         let mut guard = self.shared.lock();
-        guard.stats.events_in += raw.len() as u64;
-        guard.stats.coalesced_away += (raw.len() - batch.events.len()) as u64;
-        guard.stats.batches_sealed += 1;
         if guard.closed {
             return Err(IngestError::Closed);
         }
@@ -275,8 +323,12 @@ impl Ingestor {
                     let (mut open_guard, open) = self.shared.wait_not_full(guard);
                     open_guard.stats.stall_nanos += stalled.elapsed().as_nanos() as u64;
                     if !open {
+                        open_guard.sync_obs();
                         return Err(IngestError::Closed);
                     }
+                    open_guard.stats.events_in += sealed_raw;
+                    open_guard.stats.coalesced_away += block_coalesced;
+                    open_guard.stats.batches_sealed += 1;
                     self.shared.push(&mut open_guard, batch);
                     return Ok(self.next_offset);
                 }
@@ -293,12 +345,19 @@ impl Ingestor {
                     };
                     tail.raw_events += batch.raw_events;
                     let squeezed = (before - tail.events.len()) as u64;
-                    guard.stats.coalesced_away += squeezed;
+                    guard.stats.events_in += sealed_raw;
+                    guard.stats.coalesced_away += block_coalesced + squeezed;
+                    guard.stats.batches_sealed += 1;
                     guard.stats.degraded_merges += 1;
+                    guard.debug_check_ledger();
+                    guard.sync_obs();
                     return Ok(self.next_offset);
                 }
             }
         }
+        guard.stats.events_in += sealed_raw;
+        guard.stats.coalesced_away += block_coalesced;
+        guard.stats.batches_sealed += 1;
         self.shared.push(&mut guard, batch);
         Ok(self.next_offset)
     }

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use arb_obs::{Counter, Gauge, Registry};
+
 /// Cumulative front-end counters, snapshot via
 /// [`crate::Ingestor::stats`] / [`crate::IngestHandle::stats`].
 ///
@@ -45,6 +47,61 @@ impl IngestStats {
             self.events_in as f64 / self.events_out as f64
         }
     }
+
+    /// The flow-ledger invariant: every absorbed event is delivered,
+    /// coalesced away, or still queued (`queued_events`). On a fully
+    /// drained stream `queued_events` is 0 and this reduces to
+    /// `events_in == events_out + coalesced_away`. The queue asserts
+    /// this (debug builds) every time a batch is enqueued or popped.
+    pub fn ledger_balanced(&self, queued_events: u64) -> bool {
+        self.events_in == self.events_out + self.coalesced_away + queued_events
+    }
+}
+
+/// Pre-resolved registry instruments mirroring [`IngestStats`] — the
+/// flow ledger exposed through `arb-obs` under `ingest.*`. `sync` is
+/// called with the stats already updated (under the queue lock), so
+/// the registry and the legacy struct can never drift apart.
+#[derive(Debug, Clone)]
+pub(crate) struct StatsMirror {
+    events_in: Counter,
+    events_out: Counter,
+    coalesced_away: Counter,
+    batches_sealed: Counter,
+    batches_delivered: Counter,
+    degraded_merges: Counter,
+    depth_high_water: Counter,
+    stall_ns: Counter,
+    coalesce_ratio: Gauge,
+}
+
+impl StatsMirror {
+    pub fn new(registry: &Registry) -> Self {
+        StatsMirror {
+            events_in: registry.counter("ingest.events_in"),
+            events_out: registry.counter("ingest.events_out"),
+            coalesced_away: registry.counter("ingest.coalesced_away"),
+            batches_sealed: registry.counter("ingest.batches_sealed"),
+            batches_delivered: registry.counter("ingest.batches_delivered"),
+            degraded_merges: registry.counter("ingest.degraded_merges"),
+            depth_high_water: registry.counter("ingest.depth_high_water"),
+            stall_ns: registry.counter("ingest.stall_ns"),
+            coalesce_ratio: registry.gauge("ingest.coalesce_ratio"),
+        }
+    }
+
+    pub fn sync(&self, stats: &IngestStats) {
+        self.events_in.set_at_least(stats.events_in);
+        self.events_out.set_at_least(stats.events_out);
+        self.coalesced_away.set_at_least(stats.coalesced_away);
+        self.batches_sealed.set_at_least(stats.batches_sealed);
+        self.batches_delivered.set_at_least(stats.batches_delivered);
+        self.degraded_merges.set_at_least(stats.degraded_merges);
+        self.depth_high_water
+            .set_at_least(stats.depth_high_water as u64);
+        self.stall_ns.set_at_least(stats.stall_nanos);
+        self.coalesce_ratio.set(stats.coalesce_ratio());
+    }
 }
 
 impl fmt::Display for IngestStats {
@@ -68,6 +125,54 @@ impl fmt::Display for IngestStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ledger_balances_on_a_drained_stream() {
+        // Drained: everything in was either delivered or coalesced.
+        let stats = IngestStats {
+            events_in: 10,
+            events_out: 6,
+            coalesced_away: 4,
+            ..IngestStats::default()
+        };
+        assert!(stats.ledger_balanced(0));
+        // Mid-stream: two events still queued.
+        let stats = IngestStats {
+            events_in: 10,
+            events_out: 4,
+            coalesced_away: 4,
+            ..IngestStats::default()
+        };
+        assert!(stats.ledger_balanced(2));
+        assert!(!stats.ledger_balanced(0));
+    }
+
+    #[test]
+    fn mirror_tracks_stats_and_ratio() {
+        let registry = Registry::new();
+        let mirror = StatsMirror::new(&registry);
+        let stats = IngestStats {
+            events_in: 10,
+            events_out: 4,
+            coalesced_away: 6,
+            batches_sealed: 3,
+            batches_delivered: 2,
+            degraded_merges: 1,
+            depth_high_water: 5,
+            stall_nanos: 77,
+        };
+        mirror.sync(&stats);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ingest.events_in"), Some(10));
+        assert_eq!(snap.counter("ingest.events_out"), Some(4));
+        assert_eq!(snap.counter("ingest.coalesced_away"), Some(6));
+        assert_eq!(snap.counter("ingest.batches_sealed"), Some(3));
+        assert_eq!(snap.counter("ingest.batches_delivered"), Some(2));
+        assert_eq!(snap.counter("ingest.degraded_merges"), Some(1));
+        assert_eq!(snap.counter("ingest.depth_high_water"), Some(5));
+        assert_eq!(snap.counter("ingest.stall_ns"), Some(77));
+        assert_eq!(snap.gauge("ingest.coalesce_ratio"), Some(2.5));
+    }
 
     #[test]
     fn ratio_handles_the_empty_stream() {

@@ -32,6 +32,34 @@ pub struct RecoveryStats {
     pub wall: Duration,
 }
 
+impl RecoveryStats {
+    /// Reports this recovery into an observability registry under
+    /// `journal.*`: bumps the recovery counter, accumulates replayed
+    /// events, records the wall time in the `journal.recovery.wall_ns`
+    /// histogram, and sets the tail/snapshot gauges. Call once per
+    /// recovery; repeated recoveries in one process accumulate.
+    pub fn record(&self, obs: &arb_obs::Obs) {
+        let registry = obs.registry();
+        registry.counter("journal.recoveries").inc();
+        registry
+            .counter("journal.recovery.events_replayed")
+            .add(self.events_replayed as u64);
+        registry
+            .histogram("journal.recovery.wall_ns")
+            .record(self.wall.as_nanos() as u64);
+        registry
+            .gauge("journal.recovery.journal_tail")
+            .set(self.journal_tail as f64);
+        registry
+            .gauge("journal.recovery.from_snapshot")
+            .set(if self.snapshot_offset.is_some() {
+                1.0
+            } else {
+                0.0
+            });
+    }
+}
+
 impl fmt::Display for RecoveryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.snapshot_offset {
@@ -346,5 +374,35 @@ impl Recovery {
         };
         let runtime = ShardedRuntime::new(self.pipeline.clone(), pools, self.max_shards)?;
         Ok((runtime, events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_stats_report_into_the_registry() {
+        let obs = arb_obs::Obs::default();
+        let stats = RecoveryStats {
+            snapshot_offset: Some(128),
+            events_replayed: 42,
+            journal_tail: 200,
+            wall: Duration::from_micros(750),
+        };
+        stats.record(&obs);
+        stats.record(&obs);
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.counter("journal.recoveries"), Some(2));
+        assert_eq!(
+            snapshot.counter("journal.recovery.events_replayed"),
+            Some(84)
+        );
+        assert_eq!(snapshot.gauge("journal.recovery.journal_tail"), Some(200.0));
+        assert_eq!(snapshot.gauge("journal.recovery.from_snapshot"), Some(1.0));
+        let wall = snapshot
+            .histogram("journal.recovery.wall_ns")
+            .expect("wall histogram registered");
+        assert_eq!(wall.count, 2);
     }
 }

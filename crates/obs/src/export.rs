@@ -1,0 +1,139 @@
+//! Registry snapshot encoders: Prometheus text and JSON-lines.
+
+use crate::registry::{MetricValue, RegistrySnapshot};
+
+/// Maps a dotted registry name onto the Prometheus charset
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Encodes a snapshot in the Prometheus text exposition format:
+/// counters and gauges verbatim, histograms as summaries
+/// (`{quantile="0.5|0.9|0.99"}` plus `_sum`, `_count`, and `_max`).
+///
+/// ```
+/// let reg = arb_obs::Registry::new();
+/// reg.counter("ingest.events_in").add(12);
+/// let text = arb_obs::export::prometheus_text(&reg.snapshot());
+/// assert!(text.contains("# TYPE ingest_events_in counter"));
+/// assert!(text.contains("ingest_events_in 12"));
+/// ```
+#[must_use]
+pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.entries {
+        let flat = prometheus_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {flat} counter\n{flat} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {flat} gauge\n{flat} {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {flat} summary\n"));
+                for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                    out.push_str(&format!("{flat}{{quantile=\"{q}\"}} {v}\n"));
+                }
+                out.push_str(&format!("{flat}_sum {}\n", h.sum));
+                out.push_str(&format!("{flat}_count {}\n", h.count));
+                out.push_str(&format!("{flat}_max {}\n", h.max));
+            }
+        }
+    }
+    out
+}
+
+/// Encodes a snapshot as JSON-lines, one metric per line.
+///
+/// ```
+/// let reg = arb_obs::Registry::new();
+/// reg.histogram("engine.refresh.eval_ns").record(250);
+/// let jsonl = arb_obs::export::json_lines(&reg.snapshot());
+/// let line = jsonl.lines().next().unwrap();
+/// assert!(line.contains("\"metric\":\"engine.refresh.eval_ns\""));
+/// assert!(line.contains("\"type\":\"histogram\""));
+/// assert!(line.contains("\"count\":1"));
+/// ```
+#[must_use]
+pub fn json_lines(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.entries {
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{{\"metric\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}\n"
+                ));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{{\"metric\":\"{name}\",\"type\":\"gauge\",\"value\":{v}}}\n"
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{{\"metric\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.p50(),
+                    h.p90(),
+                    h.p99()
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_round_trip() {
+        let reg = Registry::new();
+        reg.counter("a.count").add(3);
+        reg.gauge("a.ratio").set(0.5);
+        reg.histogram("a.lat_ns").record(100);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE a_count counter\na_count 3\n"));
+        assert!(text.contains("# TYPE a_ratio gauge\na_ratio 0.5\n"));
+        assert!(text.contains("# TYPE a_lat_ns summary\n"));
+        assert!(text.contains("a_lat_ns_count 1\n"));
+        assert!(text.contains("a_lat_ns{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn json_lines_one_object_per_metric() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        reg.gauge("y").set(2.0);
+        reg.histogram("z").record(7);
+        let jsonl = json_lines(&reg.snapshot());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(jsonl.contains("\"metric\":\"x\",\"type\":\"counter\",\"value\":1"));
+    }
+
+    #[test]
+    fn digit_leading_names_are_prefixed() {
+        assert_eq!(prometheus_name("9lives.cat"), "_9lives_cat");
+    }
+}

@@ -1,0 +1,281 @@
+//! The flight recorder: a fixed-size lock-free ring of recent span and
+//! mark events for post-mortem dumps.
+//!
+//! Writers claim a slot with one `fetch_add` and publish it with a
+//! seqlock-style stamp; readers ([`FlightRecorder::snapshot`]) validate
+//! the stamp before and after copying a slot, so a snapshot taken while
+//! writers are active simply skips the (at most handful of) slots being
+//! overwritten — it never blocks them and never observes torn events.
+//!
+//! Dumps are JSON-lines, one event per line (names resolved through the
+//! registry that interned them):
+//!
+//! ```text
+//! {"seq":41,"t_ns":10531,"thread":0,"depth":1,"kind":"span","name":"engine.refresh","dur_ns":83211}
+//! {"seq":42,"t_ns":10604,"thread":0,"depth":0,"kind":"mark","name":"ingest.tick","value":7}
+//! ```
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::{NameId, Registry};
+
+/// What a flight-recorder event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: `value` is its duration in nanoseconds.
+    Span,
+    /// A point event: `value` is caller-defined (e.g. a tick number).
+    Mark,
+}
+
+/// One decoded ring event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (monotone across the whole run).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub t_ns: u64,
+    /// Recording thread (small dense ids, assigned on first record).
+    pub thread: u32,
+    /// Span-stack depth on the recording thread at record time.
+    pub depth: u16,
+    /// Span completion or point mark.
+    pub kind: EventKind,
+    /// Interned name (resolve via [`Registry::name_of`]).
+    pub name: NameId,
+    /// Duration (spans) or caller-defined value (marks).
+    pub value: u64,
+}
+
+/// Stamp value meaning "slot is being written".
+const WRITING: u64 = 0;
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// `seq + 1` of the event stored here, or [`WRITING`].
+    stamp: AtomicU64,
+    t_ns: AtomicU64,
+    /// `thread << 32 | depth << 16 | kind`.
+    meta: AtomicU64,
+    name: AtomicU64,
+    value: AtomicU64,
+}
+
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static THREAD_ID: u32 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+fn thread_id() -> u32 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// The shared ring. Clones are handles to the same ring.
+///
+/// ```
+/// use arb_obs::{EventKind, FlightRecorder, Registry};
+///
+/// let reg = Registry::new();
+/// let ring = FlightRecorder::new(64);
+/// ring.mark(reg.intern("ingest.tick"), 3);
+/// let events = ring.snapshot();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].kind, EventKind::Mark);
+/// assert_eq!(events[0].value, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    epoch: Instant,
+    slots: Vec<Slot>,
+    /// Next sequence number to claim.
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring holding the most recent `capacity` events (rounded up to
+    /// a power of two, minimum 16).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(16).next_power_of_two();
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, Slot::default);
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                epoch: Instant::now(),
+                slots,
+                head: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Ring capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Events recorded over the recorder's lifetime (≥ what a snapshot
+    /// can return once the ring has wrapped).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.inner.head.load(Ordering::SeqCst)
+    }
+
+    /// Records a completed span of `dur_ns` at `depth`.
+    pub fn span(&self, name: NameId, depth: u16, dur_ns: u64) {
+        self.record(EventKind::Span, name, depth, dur_ns);
+    }
+
+    /// Records a point event carrying `value`.
+    pub fn mark(&self, name: NameId, value: u64) {
+        self.record(EventKind::Mark, name, 0, value);
+    }
+
+    fn record(&self, kind: EventKind, name: NameId, depth: u16, value: u64) {
+        let inner = &*self.inner;
+        let seq = inner.head.fetch_add(1, Ordering::SeqCst);
+        let slot = &inner.slots[(seq as usize) & (inner.slots.len() - 1)];
+        let kind_bits = match kind {
+            EventKind::Span => 0u64,
+            EventKind::Mark => 1u64,
+        };
+        let meta = (u64::from(thread_id()) << 32) | (u64::from(depth) << 16) | kind_bits;
+        slot.stamp.store(WRITING, Ordering::SeqCst);
+        slot.t_ns
+            .store(inner.epoch.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        slot.meta.store(meta, Ordering::SeqCst);
+        slot.name.store(u64::from(name.0), Ordering::SeqCst);
+        slot.value.store(value, Ordering::SeqCst);
+        slot.stamp.store(seq + 1, Ordering::SeqCst);
+    }
+
+    /// The most recent events still in the ring, oldest first. Slots
+    /// mid-write are skipped rather than waited on.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::SeqCst);
+        let start = head.saturating_sub(inner.slots.len() as u64);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = &inner.slots[(seq as usize) & (inner.slots.len() - 1)];
+            if slot.stamp.load(Ordering::SeqCst) != seq + 1 {
+                continue;
+            }
+            let t_ns = slot.t_ns.load(Ordering::SeqCst);
+            let meta = slot.meta.load(Ordering::SeqCst);
+            let name = slot.name.load(Ordering::SeqCst);
+            let value = slot.value.load(Ordering::SeqCst);
+            if slot.stamp.load(Ordering::SeqCst) != seq + 1 {
+                continue;
+            }
+            events.push(FlightEvent {
+                seq,
+                t_ns,
+                thread: (meta >> 32) as u32,
+                depth: ((meta >> 16) & 0xffff) as u16,
+                kind: if meta & 1 == 0 {
+                    EventKind::Span
+                } else {
+                    EventKind::Mark
+                },
+                name: NameId(name as u32),
+                value,
+            });
+        }
+        events
+    }
+
+    /// Encodes a snapshot as JSON-lines, resolving names through
+    /// `registry` (events whose name was interned elsewhere render as
+    /// `"?<id>"`).
+    #[must_use]
+    pub fn dump_jsonl(&self, registry: &Registry) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            let name = registry
+                .name_of(event.name)
+                .unwrap_or_else(|| format!("?{}", event.name.0));
+            let (kind, value_key) = match event.kind {
+                EventKind::Span => ("span", "dur_ns"),
+                EventKind::Mark => ("mark", "value"),
+            };
+            out.push_str(&format!(
+                "{{\"seq\":{},\"t_ns\":{},\"thread\":{},\"depth\":{},\"kind\":\"{}\",\"name\":\"{}\",\"{}\":{}}}\n",
+                event.seq, event.t_ns, event.thread, event.depth, kind, name, value_key, event.value
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let reg = Registry::new();
+        let ring = FlightRecorder::new(16);
+        let name = reg.intern("t");
+        for i in 0..40u64 {
+            ring.mark(name, i);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 16);
+        assert_eq!(events.first().unwrap().value, 24);
+        assert_eq!(events.last().unwrap().value, 39);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(ring.recorded(), 40);
+    }
+
+    #[test]
+    fn dump_is_json_lines() {
+        let reg = Registry::new();
+        let ring = FlightRecorder::new(16);
+        ring.span(reg.intern("engine.refresh"), 1, 500);
+        ring.mark(reg.intern("ingest.tick"), 7);
+        let dump = ring.dump_jsonl(&reg);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"span\""));
+        assert!(lines[0].contains("\"name\":\"engine.refresh\""));
+        assert!(lines[0].contains("\"dur_ns\":500"));
+        assert!(lines[1].contains("\"kind\":\"mark\""));
+        assert!(lines[1].contains("\"value\":7"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn concurrent_marks_are_not_torn() {
+        let reg = Registry::new();
+        let ring = FlightRecorder::new(256);
+        let name = reg.intern("m");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = ring.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        ring.mark(name, t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 4000);
+        for event in ring.snapshot() {
+            let t = event.value / 10_000;
+            let i = event.value % 10_000;
+            assert!(t < 4 && i < 1000, "torn event value {}", event.value);
+        }
+    }
+}

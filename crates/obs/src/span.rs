@@ -1,0 +1,135 @@
+//! Tick-scoped tracing spans.
+//!
+//! A [`SpanTimer`] is resolved once (histogram + interned name); each
+//! [`SpanTimer::start`] returns a [`Span`] guard that, on drop, records
+//! the elapsed nanoseconds into the histogram and appends a span event
+//! to the flight recorder. A per-thread span stack tracks nesting depth
+//! so a flight-recorder dump can reconstruct the span tree of a tick:
+//! an event at depth `d` is a child of the most recent later-closing
+//! event at depth `d - 1` on the same thread.
+//!
+//! ```
+//! let obs = arb_obs::Obs::default();
+//! let tick = obs.span("runtime.tick");
+//! let refresh = obs.span("engine.refresh");
+//! {
+//!     let _tick = tick.start();
+//!     let _refresh = refresh.start(); // depth 1, nested under the tick
+//! }
+//! assert_eq!(obs.registry().histogram("runtime.tick").snapshot().count, 1);
+//! let events = obs.flight().snapshot();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[0].depth, 1); // inner span closes first
+//! assert_eq!(events[1].depth, 0);
+//! ```
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::flight::FlightRecorder;
+use crate::registry::{Histogram, NameId};
+
+thread_local! {
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// A resolved span instrument: start it to time a scope. Cheap to
+/// clone; resolve once per call site and reuse.
+#[derive(Debug, Clone)]
+pub struct SpanTimer {
+    name: NameId,
+    histogram: Histogram,
+    flight: Option<FlightRecorder>,
+}
+
+impl SpanTimer {
+    /// A timer feeding `histogram`, tagged `name` in flight events.
+    #[must_use]
+    pub fn new(name: NameId, histogram: Histogram, flight: Option<FlightRecorder>) -> Self {
+        SpanTimer {
+            name,
+            histogram,
+            flight,
+        }
+    }
+
+    /// Opens a span; the returned guard records on drop.
+    #[must_use]
+    pub fn start(&self) -> Span<'_> {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth.saturating_add(1));
+            depth
+        });
+        Span {
+            timer: self,
+            start: Instant::now(),
+            depth,
+        }
+    }
+}
+
+/// An open span. Dropping it records the elapsed time.
+#[derive(Debug)]
+pub struct Span<'a> {
+    timer: &'a SpanTimer,
+    start: Instant,
+    depth: u16,
+}
+
+impl Span<'_> {
+    /// Nesting depth this span opened at (0 = top of the stack).
+    #[must_use]
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        DEPTH.with(|d| d.set(self.depth));
+        self.timer.histogram.record(dur_ns);
+        if let Some(flight) = &self.timer.flight {
+            flight.span(self.timer.name, self.depth, dur_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn span_records_histogram_and_flight() {
+        let reg = Registry::new();
+        let ring = FlightRecorder::new(16);
+        let timer = SpanTimer::new(reg.intern("a"), reg.histogram("a"), Some(ring.clone()));
+        {
+            let span = timer.start();
+            assert_eq!(span.depth(), 0);
+        }
+        assert_eq!(reg.histogram("a").snapshot().count, 1);
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn nesting_depth_tracks_the_stack() {
+        let reg = Registry::new();
+        let timer = SpanTimer::new(reg.intern("n"), reg.histogram("n"), None);
+        let outer = timer.start();
+        assert_eq!(outer.depth(), 0);
+        {
+            let inner = timer.start();
+            assert_eq!(inner.depth(), 1);
+        }
+        let sibling = timer.start();
+        assert_eq!(sibling.depth(), 1);
+        drop(sibling);
+        drop(outer);
+        let fresh = timer.start();
+        assert_eq!(fresh.depth(), 0);
+    }
+}

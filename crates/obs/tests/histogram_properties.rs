@@ -1,0 +1,92 @@
+//! Property tests for the log-linear histogram (ISSUE 9 satellite):
+//!
+//! 1. **Quantile accuracy** — over randomized samples, every reported
+//!    quantile is within one bucket width of the exact order-statistic
+//!    quantile (the bound [`arb_obs::bucket_width`] advertises).
+//! 2. **Lossless concurrency** — N threads recording in parallel lose
+//!    no counts: the snapshot's `count` and `sum` equal the totals fed
+//!    in, because each record is a single `fetch_add` into exactly one
+//!    bucket.
+
+use arb_obs::{bucket_width, Registry};
+use proptest::prelude::*;
+
+/// Exact quantile over a sorted sample using the same nearest-rank
+/// convention the histogram snapshot uses (`ceil(q * n)`, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_within_one_bucket_width(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("prop.lat_ns");
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, *samples.iter().max().unwrap());
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = snap.quantile(q);
+            let width = bucket_width(exact);
+            let error = estimate.abs_diff(exact);
+            prop_assert!(
+                error <= width,
+                "q={} exact={} estimate={} width={}",
+                q, exact, estimate, width
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_estimate_never_exceeds_observed_max(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("prop.range");
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for q in [0.5, 0.99, 1.0] {
+            prop_assert!(snap.quantile(q) <= snap.max);
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let reg = Registry::new();
+    let h = reg.histogram("prop.concurrent");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                // Distinct deterministic values per thread, spanning
+                // several octaves so many buckets contend.
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.count, n, "lost or duplicated counts");
+    assert_eq!(snap.sum, n * (n - 1) / 2, "lost or duplicated sum");
+    assert_eq!(snap.max, n - 1);
+}

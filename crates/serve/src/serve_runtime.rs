@@ -39,6 +39,15 @@ impl ServeRuntime {
         Self { runtime, publisher }
     }
 
+    /// Attaches observability to both halves: the wrapped runtime
+    /// ([`ShardedRuntime::set_obs`] — `runtime.*` and `engine.*`) and
+    /// the publisher ([`Publisher::set_obs`] — `serve.*`), all into one
+    /// registry.
+    pub fn set_obs(&mut self, obs: &arb_obs::Obs) {
+        self.runtime.set_obs(obs);
+        self.publisher.set_obs(obs);
+    }
+
     /// Applies one event batch and publishes the ranking if it moved.
     ///
     /// # Errors

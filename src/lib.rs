@@ -62,6 +62,7 @@ pub use arb_graph as graph;
 pub use arb_ingest as ingest;
 pub use arb_journal as journal;
 pub use arb_numerics as numerics;
+pub use arb_obs as obs;
 pub use arb_serve as serve;
 pub use arb_snapshot as snapshot;
 pub use arb_workloads as workloads;
@@ -74,7 +75,8 @@ pub mod prelude {
     };
     pub use arb_bot::{
         sim::{MarketSim, MarketSimConfig},
-        ArbBot, BotConfig, IngestBot, JournalSettings, JournaledBot, ScanMode, StrategyChoice,
+        ArbBot, BotConfig, IngestBot, JournalSettings, JournaledBot, ObsConfig, ScanMode,
+        StrategyChoice,
     };
     pub use arb_cex::feed::{PriceFeed, PriceTable};
     pub use arb_convex::{Formulation, LoopPlan, LoopProblem, SolverOptions};
@@ -96,8 +98,8 @@ pub mod prelude {
     pub use arb_engine::{
         ArbitrageOpportunity, EngineCheckpoint, EngineError, OpportunityPipeline, PipelineConfig,
         PipelineReport, RankingPolicy, RebalanceConfig, RuntimeCheckpoint, RuntimeReport,
-        RuntimeStats, ScreenTotals, ShardLoads, ShardedRuntime, StreamReport, StreamStats,
-        StreamingEngine,
+        RuntimeStats, RuntimeTelemetry, ScreenTotals, ShardLoads, ShardedRuntime, StreamReport,
+        StreamStats, StreamingEngine,
     };
     pub use arb_graph::{Cycle, CycleId, CycleIndex, Partition, SyncOutcome, TokenGraph};
     pub use arb_ingest::{
@@ -108,6 +110,7 @@ pub mod prelude {
         JournalConfig, JournalCursor, JournalError, JournalReader, JournalWriter, Recovered,
         RecoveredStream, Recovery, RecoveryStats, SnapshotStore,
     };
+    pub use arb_obs::{FlightRecorder, Obs, ObsOptions, Registry, RegistrySnapshot};
     pub use arb_serve::{
         ClientClass, GovernorConfig, Publisher, RankedSnapshot, RankingDelta, ServeError,
         ServeHandle, ServeRuntime, Subscription, SubscriptionUpdate,

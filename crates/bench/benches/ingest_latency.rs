@@ -206,6 +206,7 @@ fn run_lagged(scenario: &Scenario) -> LaggedLeg {
         queue_capacity: 1,
         lag_policy: LagPolicy::CoalesceHarder,
         coalesce: true,
+        ..IngestConfig::default()
     });
     let feed_source = ingestor.register_source("cex-feed");
     let chain_source = ingestor.register_source("dexsim");

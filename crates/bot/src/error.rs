@@ -23,6 +23,12 @@ pub enum BotError {
     Journal(arb_journal::JournalError),
     /// The ingestion front-end failed (ingest mode only).
     Ingest(arb_ingest::IngestError),
+    /// A supervised bot panicked more times than its recovery budget
+    /// allows (supervised mode only).
+    RecoveryExhausted {
+        /// Recoveries performed before giving up.
+        recoveries: u32,
+    },
 }
 
 impl fmt::Display for BotError {
@@ -36,6 +42,10 @@ impl fmt::Display for BotError {
             BotError::Engine(e) => write!(f, "engine error: {e}"),
             BotError::Journal(e) => write!(f, "journal error: {e}"),
             BotError::Ingest(e) => write!(f, "ingest error: {e}"),
+            BotError::RecoveryExhausted { recoveries } => write!(
+                f,
+                "recovery budget exhausted after {recoveries} supervised recoveries"
+            ),
         }
     }
 }
@@ -50,7 +60,7 @@ impl Error for BotError {
             BotError::Engine(e) => Some(e),
             BotError::Journal(e) => Some(e),
             BotError::Ingest(e) => Some(e),
-            BotError::MissingPrice => None,
+            BotError::MissingPrice | BotError::RecoveryExhausted { .. } => None,
         }
     }
 }

@@ -16,7 +16,7 @@
 //!   best executable opportunity per block, flash-bundle submission.
 
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use arb_amm::token::TokenId;
 use arb_cex::feed::PriceTable;
@@ -387,15 +387,28 @@ impl IngestBot {
     /// Called automatically by [`IngestBot::step`]; public for shutdown
     /// hooks.
     ///
+    /// When the journal is running behind (events appended but not yet
+    /// durably committed, e.g. while the writer is in degraded mode),
+    /// the checkpoint is **deferred**: a snapshot taken now would claim
+    /// the fleet's state is durable at an offset the disk has not
+    /// reached. The due-counter is left alone so the next step retries.
+    ///
+    /// The writer locks tolerate poisoning: a panicked tick can never
+    /// corrupt the writer mid-operation (every mutation completes or
+    /// returns an error before control leaves the journal crate), so a
+    /// supervised recovery is free to checkpoint afterwards.
+    ///
     /// # Errors
     ///
     /// Returns [`BotError::Journal`] on snapshot or compaction failures.
     pub fn checkpoint(&mut self) -> Result<(), BotError> {
-        let offset = self
-            .writer
-            .lock()
-            .expect("journal writer poisoned")
-            .durable_offset();
+        let (offset, pending) = {
+            let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            (writer.durable_offset(), writer.pending_events())
+        };
+        if pending > 0 {
+            return Ok(());
+        }
         let mut checkpoint = self.driver.checkpoint();
         checkpoint.source_positions = self.ingestor.source_positions();
         self.store.write(offset, &checkpoint)?;
@@ -403,13 +416,22 @@ impl IngestBot {
         if let Some(oldest_retained) = self.store.list()?.first().map(|(offset, _)| *offset) {
             self.writer
                 .lock()
-                .expect("journal writer poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .compact_below(oldest_retained)
                 .map_err(JournalError::from)?;
         }
         self.checkpoints_taken += 1;
         self.events_since_checkpoint = 0;
         Ok(())
+    }
+
+    /// Installs an [`arb_engine::TickHook`] on the underlying sharded
+    /// runtime — the seam chaos tests use to inject slow ticks and
+    /// mid-tick panics into a live bot. Hooks do not survive recovery
+    /// (the runtime is rebuilt from disk); [`crate::SupervisedBot`]
+    /// re-installs its hook after every supervised restart.
+    pub fn set_tick_hook(&mut self, hook: Arc<dyn arb_engine::TickHook>) {
+        self.driver.runtime_mut().set_tick_hook(hook);
     }
 }
 

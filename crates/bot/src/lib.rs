@@ -20,6 +20,9 @@
 //! * [`ingest_bot`] — the ingest-fronted mode: chain events *and* CEX
 //!   price moves multiplexed, journaled, and coalesced via `arb-ingest`,
 //!   with feed-free crash recovery;
+//! * [`supervisor`] — panic supervision over the ingest-fronted mode:
+//!   catch a mid-tick panic, dump the flight recorder, rebuild from the
+//!   journal, retry, bounded by a recovery budget;
 //! * [`pnl`] — balance accounting and monetized PnL series;
 //! * [`sim`] — a deterministic market harness (noise traders + LPs + CEX
 //!   price drift + the bot) used by examples, tests, and benches.
@@ -51,6 +54,7 @@ pub mod obs;
 pub mod pnl;
 pub mod scanner;
 pub mod sim;
+pub mod supervisor;
 
 pub use bot::{pipeline_for, ArbBot, BotAction, ServeTelemetry};
 pub use config::{BotConfig, ScanMode, StrategyChoice};
@@ -58,3 +62,4 @@ pub use error::BotError;
 pub use ingest_bot::IngestBot;
 pub use journal::{JournalSettings, JournaledBot};
 pub use obs::{ExportSink, ObsConfig};
+pub use supervisor::SupervisedBot;

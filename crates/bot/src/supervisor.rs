@@ -1,0 +1,451 @@
+//! Panic supervision for the ingest-fronted bot: catch a mid-tick
+//! panic, dump the flight recorder, rebuild from the journal, and
+//! retry the same step — bounded by a recovery budget.
+//!
+//! [`SupervisedBot`] is the last layer of the graceful-degradation
+//! story. The layers below it already turn *partial* failures into
+//! degraded-but-correct operation (source health quarantine, journal
+//! write retry with append-side buffering, checkpoint deferral); what
+//! remains is the failure that kills the tick itself — a panic inside a
+//! shard worker. The supervisor turns that into a bounded outage:
+//!
+//! 1. the panic is caught at the step boundary ([`std::panic::catch_unwind`]);
+//! 2. the flight recorder (when observability is on) is dumped next to
+//!    the journal, so the post-mortem trail survives even though the
+//!    process does not die;
+//! 3. the bot is rebuilt via [`IngestBot::recover_as`] — same account,
+//!    same journal directory — which replays the durable stream into a
+//!    fresh fleet;
+//! 4. the step that panicked is retried. Retrying is safe: the step's
+//!    events were sealed and journaled *before* application, so the
+//!    rebuilt runtime already contains them; the retry re-offers only
+//!    the caller's feed moves, which are absolute prices (idempotent),
+//!    and drains no new chain events (the recovered cursor sits at the
+//!    journal tail).
+//!
+//! Budget exhaustion surfaces as [`BotError::RecoveryExhausted`]: a
+//! fault that reproduces on every retry is a genuine bug, not weather,
+//! and retrying forever would hide it.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use arb_amm::token::TokenId;
+use arb_cex::feed::PriceTable;
+use arb_dexsim::chain::Chain;
+use arb_dexsim::state::AccountId;
+use arb_engine::TickHook;
+use arb_ingest::{IngestConfig, IngestStats};
+
+use crate::bot::BotAction;
+use crate::config::BotConfig;
+use crate::error::BotError;
+use crate::ingest_bot::IngestBot;
+use crate::journal::JournalSettings;
+use crate::obs::ObsConfig;
+
+/// An [`IngestBot`] wrapped in a panic supervisor. See the module docs
+/// for the recovery protocol.
+#[derive(Debug)]
+pub struct SupervisedBot {
+    bot: IngestBot,
+    config: BotConfig,
+    settings: JournalSettings,
+    ingest: IngestConfig,
+    obs_config: Option<ObsConfig>,
+    tick_hook: Option<Arc<dyn TickHook>>,
+    max_recoveries: u32,
+    recoveries: u32,
+}
+
+impl SupervisedBot {
+    /// Starts a supervised ingest-fronted bot on a live chain (see
+    /// [`IngestBot::attach`] for the journal-directory contract). Up to
+    /// `max_recoveries` panicked steps will be recovered over the bot's
+    /// lifetime; the next one past the budget returns
+    /// [`BotError::RecoveryExhausted`].
+    ///
+    /// # Errors
+    ///
+    /// See [`IngestBot::attach`].
+    pub fn attach(
+        chain: &mut Chain,
+        feed: &PriceTable,
+        config: BotConfig,
+        settings: JournalSettings,
+        ingest: IngestConfig,
+        max_recoveries: u32,
+    ) -> Result<Self, BotError> {
+        let bot = IngestBot::attach(chain, feed, config, settings.clone(), ingest)?;
+        Ok(SupervisedBot {
+            bot,
+            config,
+            settings,
+            ingest,
+            obs_config: None,
+            tick_hook: None,
+            max_recoveries,
+            recoveries: 0,
+        })
+    }
+
+    /// Resumes a supervised bot from an existing journal directory —
+    /// [`IngestBot::recover`] under the same supervision contract as
+    /// [`SupervisedBot::attach`].
+    ///
+    /// # Errors
+    ///
+    /// See [`IngestBot::recover`].
+    pub fn recover(
+        chain: &mut Chain,
+        config: BotConfig,
+        settings: JournalSettings,
+        ingest: IngestConfig,
+        max_recoveries: u32,
+    ) -> Result<Self, BotError> {
+        let bot = IngestBot::recover(chain, config, settings.clone(), ingest)?;
+        Ok(SupervisedBot {
+            bot,
+            config,
+            settings,
+            ingest,
+            obs_config: None,
+            tick_hook: None,
+            max_recoveries,
+            recoveries: 0,
+        })
+    }
+
+    /// One supervised decision step. Delegates to [`IngestBot::step`];
+    /// a panic anywhere inside it triggers the recovery protocol and a
+    /// retry of this same step.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`IngestBot::step`] returns, plus
+    /// [`BotError::RecoveryExhausted`] when a panic lands after the
+    /// recovery budget is spent, and recovery's own errors when the
+    /// rebuild itself fails.
+    pub fn step(
+        &mut self,
+        chain: &mut Chain,
+        feed_moves: &[(TokenId, f64)],
+    ) -> Result<BotAction, BotError> {
+        loop {
+            let attempt =
+                panic::catch_unwind(AssertUnwindSafe(|| self.bot.step(chain, feed_moves)));
+            match attempt {
+                Ok(result) => return result,
+                Err(_) => {
+                    if self.recoveries >= self.max_recoveries {
+                        return Err(BotError::RecoveryExhausted {
+                            recoveries: self.recoveries,
+                        });
+                    }
+                    self.recoveries += 1;
+                    self.restart(chain)?;
+                }
+            }
+        }
+    }
+
+    /// The recovery protocol: dump the flight trail, rebuild the bot
+    /// from the journal under the pre-crash account, re-wire
+    /// observability and the tick hook (neither survives the rebuild).
+    fn restart(&mut self, chain: &mut Chain) -> Result<(), BotError> {
+        // The obs panic hook (when installed) already dumped at panic
+        // time; dump again explicitly so the trail exists even when the
+        // global hook was replaced by the embedding application.
+        if let Some(obs) = self.bot.obs() {
+            let _ = obs.dump_flight_to(&self.settings.dir.join(arb_obs::FLIGHT_DUMP_FILE));
+        }
+        let account = self.bot.account();
+        self.bot = IngestBot::recover_as(
+            chain,
+            self.config,
+            self.settings.clone(),
+            self.ingest,
+            account,
+        )?;
+        if let Some(obs_config) = &self.obs_config {
+            self.bot.enable_observability(obs_config.clone());
+        }
+        if let Some(obs) = self.bot.obs() {
+            obs.registry().counter("bot.recoveries").inc();
+            obs.registry()
+                .gauge("bot.recoveries.total")
+                .set(f64::from(self.recoveries));
+        }
+        if let Some(hook) = &self.tick_hook {
+            self.bot.set_tick_hook(Arc::clone(hook));
+        }
+        Ok(())
+    }
+
+    /// Turns on observability (see [`IngestBot::enable_observability`])
+    /// and remembers the config so every post-recovery rebuild is
+    /// re-instrumented. After a recovery the registry is fresh; the
+    /// cumulative recovery count is republished as the
+    /// `bot.recoveries.total` gauge.
+    pub fn enable_observability(&mut self, config: ObsConfig) {
+        self.obs_config = Some(config.clone());
+        self.bot.enable_observability(config);
+    }
+
+    /// Installs a tick hook on the underlying runtime and re-installs
+    /// it after every supervised recovery — the seam chaos tests use to
+    /// inject shard-level faults into a live, supervised bot.
+    pub fn set_tick_hook(&mut self, hook: Arc<dyn TickHook>) {
+        self.tick_hook = Some(Arc::clone(&hook));
+        self.bot.set_tick_hook(hook);
+    }
+
+    /// Supervised recoveries performed so far.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+
+    /// The recovery budget.
+    pub fn max_recoveries(&self) -> u32 {
+        self.max_recoveries
+    }
+
+    /// The bot's account (stable across recoveries).
+    pub fn account(&self) -> AccountId {
+        self.bot.account()
+    }
+
+    /// Front-end counters of the current underlying bot.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.bot.ingest_stats()
+    }
+
+    /// The supervised bot, for read-side queries (feed view, metrics,
+    /// recovery stats).
+    pub fn bot(&self) -> &IngestBot {
+        &self.bot
+    }
+
+    /// Forces a checkpoint on the underlying bot (see
+    /// [`IngestBot::checkpoint`] — deferred while the journal has an
+    /// undurable backlog).
+    ///
+    /// # Errors
+    ///
+    /// See [`IngestBot::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<(), BotError> {
+        self.bot.checkpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_amm::fee::FeeRate;
+    use arb_amm::pool::PoolId;
+    use arb_chaos::{ChaosInjector, ChaosTickHook, FaultKind, FaultPlan};
+    use arb_dexsim::tx::Transaction;
+    use arb_dexsim::units::to_raw;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn t(i: u32) -> TokenId {
+        TokenId::new(i)
+    }
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("arbloops-sup-{}-{name}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn paper_chain() -> Chain {
+        let mut chain = Chain::new();
+        let fee = FeeRate::UNISWAP_V2;
+        chain
+            .add_pool(t(0), t(1), to_raw(100.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(1), t(2), to_raw(300.0), to_raw(200.0), fee)
+            .unwrap();
+        chain
+            .add_pool(t(2), t(0), to_raw(200.0), to_raw(400.0), fee)
+            .unwrap();
+        chain
+    }
+
+    fn paper_feed() -> PriceTable {
+        [(t(0), 2.0), (t(1), 10.2), (t(2), 20.0)]
+            .into_iter()
+            .collect()
+    }
+
+    fn settings(scratch: &Scratch) -> JournalSettings {
+        JournalSettings {
+            checkpoint_every_events: 4,
+            ..JournalSettings::new(&scratch.0)
+        }
+    }
+
+    /// A plan with one mid-tick panic per shard-0 window tick; the tick
+    /// axis here is the runtime's batch counter (one per sealed block).
+    fn panic_plan(ticks: std::ops::Range<u64>) -> FaultPlan {
+        FaultPlan::new(42).with_window(
+            arb_chaos::site::shard(0),
+            ticks,
+            FaultKind::PanicTick,
+            1_000_000,
+        )
+    }
+
+    fn moves_for(block: usize) -> Vec<(TokenId, f64)> {
+        vec![(t(1), 10.2 + 0.05 * block as f64)]
+    }
+
+    /// Drives whale-perturbed blocks through a stepper, mining the
+    /// bot's submissions, and returns the decision trace.
+    fn drive<S: FnMut(&mut Chain, &[(TokenId, f64)]) -> BotAction>(
+        chain: &mut Chain,
+        whale: AccountId,
+        blocks: std::ops::Range<usize>,
+        mut stepper: S,
+    ) -> Vec<Option<(u64, usize)>> {
+        blocks
+            .map(|i| {
+                chain.submit(Transaction::Swap {
+                    account: whale,
+                    pool: PoolId::new(0),
+                    token_in: t(0),
+                    amount_in: to_raw(2.0 + i as f64),
+                    min_out: 0,
+                });
+                chain.mine_block();
+                let action = stepper(chain, &moves_for(i));
+                chain.mine_block();
+                match action {
+                    BotAction::Idle => None,
+                    BotAction::Submitted { expected, hops } => {
+                        Some((expected.value().to_bits(), hops))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn supervised_bot_survives_injected_panics_and_decides_identically() {
+        // Oracle: a plain bot over the same blocks, never faulted.
+        let mut oracle_chain = paper_chain();
+        let whale = oracle_chain.create_account();
+        oracle_chain.mint(whale, t(0), to_raw(1_000.0));
+        let oracle_scratch = Scratch::new("panic-oracle");
+        let mut oracle = IngestBot::attach(
+            &mut oracle_chain,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&oracle_scratch),
+            IngestConfig::default(),
+        )
+        .unwrap();
+        let oracle_actions = drive(&mut oracle_chain, whale, 0..8, |chain, moves| {
+            oracle.step(chain, moves).unwrap()
+        });
+
+        // Supervised run: identical market, one injected mid-tick panic.
+        let scratch = Scratch::new("panic");
+        let mut chain = paper_chain();
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(1_000.0));
+        let mut bot = SupervisedBot::attach(
+            &mut chain,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&scratch),
+            IngestConfig::default(),
+            4,
+        )
+        .unwrap();
+        bot.enable_observability(ObsConfig::default());
+        let injector = Arc::new(ChaosInjector::new(panic_plan(2..3)));
+        bot.set_tick_hook(Arc::new(ChaosTickHook::new(Arc::clone(&injector))));
+
+        let actions = drive(&mut chain, whale, 0..8, |chain, moves| {
+            bot.step(chain, moves).unwrap()
+        });
+
+        assert!(
+            bot.recoveries() >= 1,
+            "the panic window must force a supervised recovery"
+        );
+        assert_eq!(injector.injected(), bot.recoveries() as usize);
+        assert_eq!(
+            actions, oracle_actions,
+            "a supervised panic + journal rebuild must not change a single decision"
+        );
+        assert!(
+            actions.iter().any(Option::is_some),
+            "perturbations should open executable opportunities"
+        );
+        assert_eq!(chain.state().digest(), oracle_chain.state().digest());
+        assert!(
+            scratch.0.join(arb_obs::FLIGHT_DUMP_FILE).is_file(),
+            "recovery leaves the flight-recorder dump next to the journal"
+        );
+        let snapshot = bot.bot().obs().expect("obs re-enabled").snapshot();
+        assert_eq!(snapshot.counter("bot.recoveries"), Some(1));
+    }
+
+    #[test]
+    fn recovery_budget_exhaustion_surfaces_as_a_typed_error() {
+        let scratch = Scratch::new("budget");
+        let mut chain = paper_chain();
+        let whale = chain.create_account();
+        chain.mint(whale, t(0), to_raw(1_000.0));
+        let mut bot = SupervisedBot::attach(
+            &mut chain,
+            &paper_feed(),
+            BotConfig::default(),
+            settings(&scratch),
+            IngestConfig::default(),
+            0, // no budget: the first panic must surface
+        )
+        .unwrap();
+        let injector = Arc::new(ChaosInjector::new(panic_plan(0..64)));
+        bot.set_tick_hook(Arc::new(ChaosTickHook::new(injector)));
+
+        let mut saw_exhaustion = false;
+        for i in 0..4 {
+            chain.submit(Transaction::Swap {
+                account: whale,
+                pool: PoolId::new(0),
+                token_in: t(0),
+                amount_in: to_raw(2.0),
+                min_out: 0,
+            });
+            chain.mine_block();
+            match bot.step(&mut chain, &moves_for(i)) {
+                Ok(_) => {}
+                Err(BotError::RecoveryExhausted { recoveries }) => {
+                    assert_eq!(recoveries, 0);
+                    saw_exhaustion = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            chain.mine_block();
+        }
+        assert!(saw_exhaustion, "the panic window must hit within 4 steps");
+        assert_eq!(bot.recoveries(), 0, "no recovery was budgeted");
+    }
+}

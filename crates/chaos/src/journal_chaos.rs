@@ -1,0 +1,132 @@
+//! Journal I/O faults through the [`arb_journal::IoShim`] seam.
+//!
+//! The shim's tick coordinate is the **commit index**: each
+//! `before_write` call advances it by one, so a plan window like
+//! `journal.io @ 12..15` means "the 12th through 14th commit attempts
+//! fail". That keeps the schedule deterministic without a wall clock —
+//! and because the ingestor's seal loop retries the same backlog on
+//! later seals, one failed commit never loses data, it only delays
+//! durability.
+
+use std::io;
+use std::sync::Arc;
+
+use arb_journal::{IoShim, WriteVerdict};
+
+use crate::injector::ChaosInjector;
+use crate::plan::FaultKind;
+use crate::site;
+
+/// A chaos [`IoShim`] for [`arb_journal::JournalWriter::set_io_shim`].
+#[derive(Debug)]
+pub struct ChaosIo {
+    injector: Arc<ChaosInjector>,
+    /// Commit-attempt index — the `journal.io` tick coordinate.
+    commits: u64,
+    /// Armed by a `FsyncError` fault: the write lands, the sync fails.
+    fail_sync_next: bool,
+}
+
+impl ChaosIo {
+    /// A shim consulting `injector` at [`site::JOURNAL_IO`].
+    #[must_use]
+    pub fn new(injector: Arc<ChaosInjector>) -> Self {
+        ChaosIo {
+            injector,
+            commits: 0,
+            fail_sync_next: false,
+        }
+    }
+
+    /// Commit attempts seen so far.
+    #[must_use]
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+}
+
+impl IoShim for ChaosIo {
+    fn before_write(&mut self, bytes: usize) -> WriteVerdict {
+        let tick = self.commits;
+        self.commits += 1;
+        match self.injector.decide(site::JOURNAL_IO, tick) {
+            Some(FaultKind::WriteError) => {
+                WriteVerdict::Fail(io::Error::other("chaos: injected write error"))
+            }
+            Some(FaultKind::DiskFull) => WriteVerdict::Fail(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "chaos: injected disk-full",
+            )),
+            Some(FaultKind::TornWrite) => WriteVerdict::Torn {
+                keep: self.injector.aux(site::JOURNAL_IO, tick, 1) as usize % bytes.max(1),
+            },
+            Some(FaultKind::FsyncError) => {
+                self.fail_sync_next = true;
+                WriteVerdict::Proceed
+            }
+            _ => WriteVerdict::Proceed,
+        }
+    }
+
+    fn before_sync(&mut self) -> Option<io::Error> {
+        std::mem::take(&mut self.fail_sync_next)
+            .then(|| io::Error::other("chaos: injected fsync failure"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    #[test]
+    fn commit_index_is_the_tick_coordinate() {
+        let injector = Arc::new(ChaosInjector::new(FaultPlan::new(3).with_window(
+            site::JOURNAL_IO,
+            1..2,
+            FaultKind::WriteError,
+            1_000_000,
+        )));
+        let mut shim = ChaosIo::new(injector);
+        assert!(matches!(shim.before_write(64), WriteVerdict::Proceed));
+        assert!(matches!(shim.before_write(64), WriteVerdict::Fail(_)));
+        assert!(matches!(shim.before_write(64), WriteVerdict::Proceed));
+        assert_eq!(shim.commits(), 3);
+    }
+
+    #[test]
+    fn torn_writes_keep_a_deterministic_proper_prefix() {
+        let injector = Arc::new(ChaosInjector::new(FaultPlan::new(3).with_window(
+            site::JOURNAL_IO,
+            0..1,
+            FaultKind::TornWrite,
+            1_000_000,
+        )));
+        let keep_a = match ChaosIo::new(Arc::clone(&injector)).before_write(100) {
+            WriteVerdict::Torn { keep } => keep,
+            other => panic!("expected a torn verdict, got {other:?}"),
+        };
+        assert!(keep_a < 100, "a torn write keeps a proper prefix");
+        // Same plan, fresh injector: same cut point.
+        let fresh = Arc::new(ChaosInjector::new(injector.plan().clone()));
+        let keep_b = match ChaosIo::new(fresh).before_write(100) {
+            WriteVerdict::Torn { keep } => keep,
+            other => panic!("expected a torn verdict, got {other:?}"),
+        };
+        assert_eq!(keep_a, keep_b);
+    }
+
+    #[test]
+    fn fsync_faults_land_the_write_then_fail_the_sync() {
+        let injector = Arc::new(ChaosInjector::new(FaultPlan::new(3).with_window(
+            site::JOURNAL_IO,
+            0..1,
+            FaultKind::FsyncError,
+            1_000_000,
+        )));
+        let mut shim = ChaosIo::new(injector);
+        assert!(matches!(shim.before_write(64), WriteVerdict::Proceed));
+        assert!(shim.before_sync().is_some(), "armed by the write fault");
+        assert!(shim.before_sync().is_none(), "one-shot");
+    }
+}

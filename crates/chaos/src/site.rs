@@ -1,0 +1,46 @@
+//! Fault-site naming: the dotted coordinates a [`crate::FaultPlan`]
+//! aims at.
+//!
+//! A *site* is a place in the pipeline where faults can be injected,
+//! named with the same dotted scheme the metrics registry uses
+//! (`layer.component`), so a plan window, the `chaos.<site>` flight
+//! marks, and the `health.<site>.state` gauges all speak one
+//! vocabulary:
+//!
+//! | site                    | faults it accepts                      |
+//! |-------------------------|----------------------------------------|
+//! | `ingest.source.<name>`  | delay / stall / duplicate / drop /     |
+//! |                         | garbage-price                          |
+//! | `ingest.consumer`       | (health only — driven by backpressure) |
+//! | `journal.io`            | write-error / fsync-error / torn-write |
+//! |                         | / disk-full                            |
+//! | `engine.shard.<i>`      | slow-tick / panic-tick                 |
+
+/// The journal commit path ([`arb_journal::IoShim`] seam).
+pub const JOURNAL_IO: &str = "journal.io";
+
+/// The downstream consumer of the ingest queue (health-tracked via
+/// backpressure; not directly injectable).
+pub const CONSUMER: &str = "ingest.consumer";
+
+/// The site name of a registered ingest source.
+#[must_use]
+pub fn source(name: &str) -> String {
+    format!("ingest.source.{name}")
+}
+
+/// The site name of one engine shard's tick path.
+#[must_use]
+pub fn shard(index: usize) -> String {
+    format!("engine.shard.{index}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sites_follow_the_dotted_scheme() {
+        assert_eq!(super::source("feed"), "ingest.source.feed");
+        assert_eq!(super::shard(3), "engine.shard.3");
+        assert_eq!(super::JOURNAL_IO, "journal.io");
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-source event-stream faults, with the repair bookkeeping that
+//! makes them *recoverable* rather than silently lossy.
+//!
+//! The transformations lean on the same algebra the coalescer proves
+//! sound: `Sync` and `FeedPrice` are **absolute** (idempotent,
+//! last-write-wins per pool / per token), so
+//!
+//! * *duplicates* of them are no-ops,
+//! * a *dropped* one is fully repaired by re-emitting the lost value
+//!   later — unless a later genuine event for the same key already
+//!   superseded it, in which case nothing was lost at all,
+//! * *delay/stall* just moves events later while preserving per-source
+//!   FIFO order, which is all the final state depends on.
+//!
+//! Non-idempotent events (`PoolCreated` barriers, `Swap`s) are never
+//! dropped, duplicated, or garbled — only delayed — so slot-order
+//! invariants hold under any plan.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use arb_dexsim::events::Event;
+
+use crate::injector::ChaosInjector;
+use crate::plan::FaultKind;
+
+/// The last-write-wins key of a repairable (absolute) event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RepairKey {
+    Pool(u32),
+    Token(u32),
+}
+
+fn repair_key(event: &Event) -> Option<RepairKey> {
+    match event {
+        Event::Sync { pool, .. } => Some(RepairKey::Pool(pool.index() as u32)),
+        Event::FeedPrice { token, .. } => Some(RepairKey::Token(token.index() as u32)),
+        _ => None,
+    }
+}
+
+/// A fault lens over one source's event stream: feed each tick's
+/// events through [`SourceChaos::transform`] before offering them to
+/// the ingestor.
+#[derive(Debug)]
+pub struct SourceChaos {
+    injector: Arc<ChaosInjector>,
+    site: String,
+    /// Events held back by delay/stall faults, in arrival order.
+    held: Vec<Event>,
+    /// Last genuine value per key that a drop/garbage fault swallowed,
+    /// pending re-emission once the window clears. A later genuine
+    /// event for the key cancels the repair (it superseded the loss).
+    repairs: BTreeMap<RepairKey, Event>,
+}
+
+impl SourceChaos {
+    /// A lens for `site` (use [`crate::site::source`]).
+    #[must_use]
+    pub fn new(injector: Arc<ChaosInjector>, site: impl Into<String>) -> Self {
+        SourceChaos {
+            injector,
+            site: site.into(),
+            held: Vec::new(),
+            repairs: BTreeMap::new(),
+        }
+    }
+
+    /// The site this lens injects at.
+    #[must_use]
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// Events currently held back (delay/stall backlog).
+    #[must_use]
+    pub fn held(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Pending drop/garbage repairs.
+    #[must_use]
+    pub fn pending_repairs(&self) -> usize {
+        self.repairs.len()
+    }
+
+    /// Applies the tick's planned fault (if any) to `events`, returning
+    /// what the source actually delivers this tick. Deterministic:
+    /// decided entirely by the plan at `(site, tick)`.
+    pub fn transform(&mut self, tick: u64, events: Vec<Event>) -> Vec<Event> {
+        let fault = self.injector.decide(&self.site, tick);
+        if matches!(fault, Some(FaultKind::DelayEvents | FaultKind::StallSource)) {
+            self.held.extend(events);
+            return Vec::new();
+        }
+
+        let mut out = Vec::new();
+        // Oldest first: repairs carry values dropped before anything in
+        // `held`, and both precede the current tick, so last-write-wins
+        // resolves every key to the newest genuine value.
+        if !self.injector.window_active(&self.site, tick) && !self.repairs.is_empty() {
+            out.extend(std::mem::take(&mut self.repairs).into_values());
+        }
+        out.append(&mut self.held);
+        for event in events {
+            match (fault, repair_key(&event)) {
+                (Some(FaultKind::DropEvents), Some(key)) => {
+                    self.repairs.insert(key, event);
+                    continue;
+                }
+                (Some(FaultKind::GarbagePrice), Some(key)) => {
+                    if let Some((token, _)) = event.as_feed_price() {
+                        self.repairs.insert(key, event);
+                        // The table rejects NaN, so the garbage is
+                        // harmless downstream — but the genuine price it
+                        // displaced must be repaired like a drop.
+                        out.push(Event::feed_price(token, f64::NAN));
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            if let Some(key) = repair_key(&event) {
+                // A genuine pass for this key supersedes any earlier
+                // swallowed value.
+                self.repairs.remove(&key);
+            }
+            let duplicate =
+                matches!(fault, Some(FaultKind::DuplicateEvents)) && repair_key(&event).is_some();
+            out.push(event);
+            if duplicate {
+                // Immediately after the original, so nothing can
+                // interleave between copy and original and per-key
+                // last-write-wins is untouched.
+                out.push(event);
+            }
+        }
+        out
+    }
+
+    /// Releases everything still buffered (end-of-run): repairs first
+    /// (oldest), then the held backlog in order.
+    pub fn flush(&mut self) -> Vec<Event> {
+        let mut out: Vec<Event> = std::mem::take(&mut self.repairs).into_values().collect();
+        out.append(&mut self.held);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use arb_amm::pool::PoolId;
+    use arb_amm::token::TokenId;
+
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn sync(pool: u32, r: u128) -> Event {
+        Event::Sync {
+            pool: PoolId::new(pool),
+            reserve_a: r,
+            reserve_b: r + 1,
+        }
+    }
+
+    fn lens(plan: FaultPlan) -> SourceChaos {
+        SourceChaos::new(Arc::new(ChaosInjector::new(plan)), "ingest.source.chain")
+    }
+
+    #[test]
+    fn stall_holds_and_releases_in_order() {
+        let mut lens = lens(FaultPlan::new(1).with_window(
+            "ingest.source.chain",
+            0..2,
+            FaultKind::StallSource,
+            1_000_000,
+        ));
+        assert!(lens.transform(0, vec![sync(0, 1), sync(1, 1)]).is_empty());
+        assert!(lens.transform(1, vec![sync(0, 2)]).is_empty());
+        assert_eq!(lens.held(), 3);
+        let released = lens.transform(2, vec![sync(2, 9)]);
+        assert_eq!(
+            released,
+            vec![sync(0, 1), sync(1, 1), sync(0, 2), sync(2, 9)]
+        );
+        assert_eq!(lens.held(), 0);
+    }
+
+    #[test]
+    fn drops_are_repaired_unless_superseded() {
+        let mut lens = lens(FaultPlan::new(1).with_window(
+            "ingest.source.chain",
+            0..2,
+            FaultKind::DropEvents,
+            1_000_000,
+        ));
+        // Tick 0: both pools' syncs swallowed.
+        assert!(lens.transform(0, vec![sync(0, 1), sync(1, 1)]).is_empty());
+        assert_eq!(lens.pending_repairs(), 2);
+        // Tick 1: pool 0 gets a *newer* value, also swallowed — the
+        // repair map keeps the newest loss per key.
+        assert!(lens.transform(1, vec![sync(0, 5)]).is_empty());
+        assert_eq!(lens.pending_repairs(), 2);
+        // Tick 2 (window over): a genuine pool-1 event supersedes its
+        // repair; pool 0's lost value is re-emitted first.
+        let out = lens.transform(2, vec![sync(1, 7)]);
+        assert_eq!(out, vec![sync(0, 5), sync(1, 1), sync(1, 7)]);
+        assert_eq!(lens.pending_repairs(), 0);
+    }
+
+    #[test]
+    fn duplicates_sit_right_after_their_original() {
+        let mut lens = lens(FaultPlan::new(1).with_window(
+            "ingest.source.chain",
+            0..1,
+            FaultKind::DuplicateEvents,
+            1_000_000,
+        ));
+        let out = lens.transform(0, vec![sync(0, 1), sync(1, 2)]);
+        assert_eq!(out, vec![sync(0, 1), sync(0, 1), sync(1, 2), sync(1, 2)]);
+    }
+
+    #[test]
+    fn garbage_prices_are_nan_and_repaired() {
+        let mut lens = SourceChaos::new(
+            Arc::new(ChaosInjector::new(FaultPlan::new(1).with_window(
+                "ingest.source.feed",
+                0..1,
+                FaultKind::GarbagePrice,
+                1_000_000,
+            ))),
+            "ingest.source.feed",
+        );
+        let genuine = Event::feed_price(TokenId::new(3), 42.5);
+        let out = lens.transform(0, vec![genuine]);
+        assert_eq!(out.len(), 1);
+        let (token, price) = out[0].as_feed_price().expect("still a feed event");
+        assert_eq!(token, TokenId::new(3));
+        assert!(price.is_nan(), "garbage in place of the real price");
+        let repaired = lens.transform(1, Vec::new());
+        assert_eq!(repaired, vec![genuine]);
+    }
+
+    #[test]
+    fn barriers_pass_untouched_through_drop_windows() {
+        let mut lens = lens(FaultPlan::new(1).with_window(
+            "ingest.source.chain",
+            0..1,
+            FaultKind::DropEvents,
+            1_000_000,
+        ));
+        let created = Event::PoolCreated {
+            pool: PoolId::new(9),
+            token_a: TokenId::new(0),
+            token_b: TokenId::new(1),
+            reserve_a: 100,
+            reserve_b: 100,
+            fee: arb_amm::fee::FeeRate::UNISWAP_V2,
+        };
+        let out = lens.transform(0, vec![created, sync(9, 1)]);
+        assert_eq!(out, vec![created], "barrier passes, sync is repairable");
+        assert_eq!(lens.pending_repairs(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic bounded exponential backoff with an injectable clock.
+//!
+//! Failure-handling layers (the ingest health machine, the journal's
+//! degraded write mode, chaos-recovery supervisors) all need the same
+//! primitive: *after N consecutive failures, wait `min(base·2^(N−1),
+//! max)` before trying again* — with no jitter and no hidden wall-clock
+//! reads, so a replay of the same failure sequence produces the same
+//! retry schedule bit for bit.
+//!
+//! Time is supplied by the caller through the [`Clock`] trait (the same
+//! injection pattern as `arb-serve`'s admission governor, whose clock
+//! types are re-exported from here). The unit is whatever the caller's
+//! clock measures: wall nanoseconds under [`MonotonicClock`], hand
+//! cranked under [`ManualClock`], or a plain tick/seal counter when the
+//! caller wants a purely logical schedule.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic time source. Injectable so tests and deterministic
+/// harnesses drive time explicitly instead of reading the wall clock.
+pub trait Clock: Send + Sync {
+    /// Clock reading in the clock's own units (nanoseconds for
+    /// [`MonotonicClock`]) since an arbitrary fixed origin.
+    fn now_nanos(&self) -> u64;
+}
+
+impl fmt::Debug for dyn Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Clock")
+    }
+}
+
+/// Wall-clock time from [`Instant`], anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests and harnesses.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances time by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+/// Sizing for a [`Backoff`]: the first-failure delay and the ceiling it
+/// doubles up to. Units are whatever the caller's clock measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay after the first failure.
+    pub base: u64,
+    /// Upper bound on the delay, however many failures accumulate.
+    pub max: u64,
+}
+
+impl BackoffConfig {
+    /// A config with `base` doubling up to `max` (swapped if reversed).
+    #[must_use]
+    pub fn new(base: u64, max: u64) -> Self {
+        Self {
+            base: base.min(max),
+            max: base.max(max),
+        }
+    }
+}
+
+/// Deterministic bounded exponential backoff.
+///
+/// Pure state machine: `record_failure(now)` schedules the next attempt
+/// at `now + min(base·2^(failures−1), max)`, `record_success` resets,
+/// and `is_ready(now)` gates retries. No randomness, no internal clock
+/// reads — the same sequence of calls always yields the same schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backoff {
+    config: BackoffConfig,
+    failures: u32,
+    ready_at: u64,
+}
+
+impl Backoff {
+    #[must_use]
+    pub fn new(config: BackoffConfig) -> Self {
+        Self {
+            config,
+            failures: 0,
+            ready_at: 0,
+        }
+    }
+
+    /// The delay the *current* failure count imposes: `0` when clean,
+    /// otherwise `min(base·2^(failures−1), max)` with saturating
+    /// doubling.
+    #[must_use]
+    pub fn delay(&self) -> u64 {
+        if self.failures == 0 {
+            return 0;
+        }
+        let exp = u32::min(self.failures - 1, 63);
+        self.config
+            .base
+            .checked_mul(1u64 << exp)
+            .map_or(self.config.max, |d| d.min(self.config.max))
+    }
+
+    /// Records a failure observed at `now`, deepening the delay and
+    /// pushing the next allowed attempt to `now + delay()`.
+    pub fn record_failure(&mut self, now: u64) {
+        self.failures = self.failures.saturating_add(1);
+        self.ready_at = now.saturating_add(self.delay());
+    }
+
+    /// Records a success: the schedule resets and attempts are
+    /// immediately allowed again.
+    pub fn record_success(&mut self) {
+        self.failures = 0;
+        self.ready_at = 0;
+    }
+
+    /// Whether an attempt is allowed at `now`.
+    #[must_use]
+    pub fn is_ready(&self, now: u64) -> bool {
+        now >= self.ready_at
+    }
+
+    /// Consecutive failures recorded since the last success.
+    #[must_use]
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Clock reading at which the next attempt becomes allowed.
+    #[must_use]
+    pub fn ready_at(&self) -> u64 {
+        self.ready_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn delays_double_and_saturate_at_max() {
+        let mut backoff = Backoff::new(BackoffConfig::new(10, 80));
+        assert_eq!(backoff.delay(), 0);
+        let mut delays = Vec::new();
+        for _ in 0..6 {
+            backoff.record_failure(0);
+            delays.push(backoff.delay());
+        }
+        assert_eq!(delays, vec![10, 20, 40, 80, 80, 80]);
+    }
+
+    #[test]
+    fn extreme_failure_counts_do_not_overflow() {
+        let mut backoff = Backoff::new(BackoffConfig::new(u64::MAX / 2, u64::MAX));
+        for _ in 0..200 {
+            backoff.record_failure(u64::MAX - 1);
+        }
+        assert_eq!(backoff.delay(), u64::MAX);
+        assert!(!backoff.is_ready(u64::MAX - 2));
+    }
+
+    #[test]
+    fn success_resets_the_schedule() {
+        let mut backoff = Backoff::new(BackoffConfig::new(5, 40));
+        backoff.record_failure(100);
+        backoff.record_failure(105);
+        assert_eq!(backoff.failures(), 2);
+        assert!(!backoff.is_ready(105));
+        backoff.record_success();
+        assert_eq!(backoff.failures(), 0);
+        assert!(backoff.is_ready(0));
+    }
+
+    #[test]
+    fn manual_clock_drives_readiness() {
+        let clock = ManualClock::new();
+        let mut backoff = Backoff::new(BackoffConfig::new(100, 1_000));
+        backoff.record_failure(clock.now_nanos());
+        assert!(!backoff.is_ready(clock.now_nanos()));
+        clock.advance(99);
+        assert!(!backoff.is_ready(clock.now_nanos()));
+        clock.advance(1);
+        assert!(backoff.is_ready(clock.now_nanos()));
+        // A second failure at t=100 doubles the delay: ready at 300.
+        backoff.record_failure(clock.now_nanos());
+        clock.advance(199);
+        assert!(!backoff.is_ready(clock.now_nanos()));
+        clock.advance(1);
+        assert!(backoff.is_ready(clock.now_nanos()));
+    }
+
+    #[test]
+    fn identical_histories_yield_identical_schedules() {
+        let run = || {
+            let mut backoff = Backoff::new(BackoffConfig::new(3, 24));
+            let mut schedule = Vec::new();
+            for now in [0u64, 5, 9, 40, 41] {
+                backoff.record_failure(now);
+                schedule.push((backoff.delay(), backoff.ready_at()));
+            }
+            schedule
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clock_trait_objects_work() {
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(format!("{:?}", &*clock), "Clock");
+        let wall: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let first = wall.now_nanos();
+        assert!(wall.now_nanos() >= first);
+    }
+
+    #[test]
+    fn reversed_config_bounds_are_repaired() {
+        let config = BackoffConfig::new(500, 5);
+        assert_eq!(config, BackoffConfig::new(5, 500));
+    }
+}

@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+pub mod backoff;
 pub mod batch;
 pub mod convexopt;
 pub mod error;
@@ -58,6 +59,7 @@ pub mod report;
 pub mod strategy;
 pub mod traditional;
 
+pub use backoff::{Backoff, BackoffConfig, Clock, ManualClock, MonotonicClock};
 pub use error::StrategyError;
 pub use loop_def::ArbLoop;
 pub use monetize::Usd;

@@ -77,6 +77,6 @@ pub use pipeline::{
 pub use ranking::{RankByGrossProfit, RankByNetProfit, RankByProfitPerHop, RankingPolicy};
 pub use runtime::{
     RebalanceConfig, RuntimeReport, RuntimeStats, RuntimeTelemetry, ScreenTotals, ShardLoads,
-    ShardedRuntime,
+    ShardedRuntime, TickHook,
 };
 pub use streaming::{StreamReport, StreamStats, StreamingEngine};

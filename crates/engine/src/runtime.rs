@@ -40,6 +40,7 @@
 //! approximation.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use arb_amm::pool::{Pool, PoolId};
@@ -55,6 +56,23 @@ use crate::error::EngineError;
 use crate::opportunity::ArbitrageOpportunity;
 use crate::pipeline::OpportunityPipeline;
 use crate::streaming::{StreamStats, StreamingEngine};
+
+/// A hook invoked just before each shard's queue is flushed on a tick —
+/// the seam fault-injection harnesses use to make a specific shard slow
+/// or panic mid-tick at a chosen `(shard, tick)` coordinate, without the
+/// runtime knowing anything about chaos plans.
+///
+/// Invoked serially (outside the worker pool) so a panicking hook
+/// unwinds on the caller's thread exactly like a panicking shard worker
+/// would (the worker-pool shim re-raises worker panics on the caller).
+/// Hooks are **not** part of checkpoints: a recovered runtime starts
+/// with no hook, and supervisors re-install theirs after rebuild.
+pub trait TickHook: Send + Sync + fmt::Debug {
+    /// Called once per shard per flush, with the runtime's tick counter
+    /// (completed [`ShardedRuntime::apply_events`] calls, so the first
+    /// tick is 0).
+    fn before_shard_tick(&self, shard: usize, tick: u64);
+}
 
 /// Cumulative counters for one sharded runtime's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -429,6 +447,8 @@ pub struct ShardedRuntime {
     /// Last tick-boundary telemetry capture
     /// ([`ShardedRuntime::telemetry`]).
     telemetry: RuntimeTelemetry,
+    /// Per-shard pre-tick hook ([`ShardedRuntime::set_tick_hook`]).
+    tick_hook: Option<Arc<dyn TickHook>>,
 }
 
 impl ShardedRuntime {
@@ -483,6 +503,7 @@ impl ShardedRuntime {
             stats: RuntimeStats::default(),
             obs: None,
             telemetry: RuntimeTelemetry::default(),
+            tick_hook: None,
         })
     }
 
@@ -492,6 +513,18 @@ impl ShardedRuntime {
     pub fn with_rebalance(mut self, config: RebalanceConfig) -> Self {
         self.rebalance = config;
         self
+    }
+
+    /// Installs (or replaces) the per-shard pre-tick [`TickHook`]. Pass
+    /// hooks survive repartitions but not checkpoints — see the trait
+    /// docs.
+    pub fn set_tick_hook(&mut self, hook: Arc<dyn TickHook>) {
+        self.tick_hook = Some(hook);
+    }
+
+    /// Removes the installed [`TickHook`].
+    pub fn clear_tick_hook(&mut self) {
+        self.tick_hook = None;
     }
 
     fn build_shards(
@@ -721,6 +754,14 @@ impl ShardedRuntime {
     /// retires run *between* application and evaluation so no shard ever
     /// evaluates cycles through a mirrored slot it is about to discard.
     fn flush<F: PriceFeed + Sync>(&mut self, feed: &F) -> Result<(), EngineError> {
+        if let Some(hook) = &self.tick_hook {
+            // Serial and on the caller's thread: a panicking hook
+            // unwinds exactly where a panicking shard worker would.
+            let tick = self.stats.ticks as u64;
+            for shard in 0..self.shards.len() {
+                hook.before_shard_tick(shard, tick);
+            }
+        }
         let ingested: Vec<Result<(), EngineError>> = self
             .shards
             .par_iter_mut()
@@ -996,6 +1037,7 @@ impl ShardedRuntime {
             stats: RuntimeStats::default(),
             obs: None,
             telemetry: RuntimeTelemetry::default(),
+            tick_hook: None,
         })
     }
 

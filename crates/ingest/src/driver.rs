@@ -192,6 +192,14 @@ impl IngestDriver {
         &self.runtime
     }
 
+    /// Mutable access to the driven runtime — for installing hooks
+    /// ([`arb_engine::TickHook`]) or observability on an already-wired
+    /// driver. Structural mutation (rebuilds, checkpoint restores) stays
+    /// the driver's job; callers should limit themselves to attachments.
+    pub fn runtime_mut(&mut self) -> &mut ShardedRuntime {
+        &mut self.runtime
+    }
+
     /// The owned price table (current as of the last applied batch).
     pub fn feed(&self) -> &PriceTable {
         &self.feed

@@ -51,9 +51,20 @@
 //! end-to-end (seal → ranking updated) latency. Its checkpoints carry
 //! the feed, so restore needs no price source either.
 
+//!
+//! **Degradation** ([`mod@health`]) — every site (each source, the
+//! journal, the consumer) carries a deterministic [`HealthMonitor`]
+//! (Healthy → Lagging → Quarantined → Recovered). A journal commit
+//! failure no longer aborts the seal: the batch stays pending, serving
+//! continues journal-degraded, and later seals retry under bounded
+//! backoff. [`IngestConfig::max_stall`] bounds the
+//! [`LagPolicy::BlockSource`] stall with a watchdog that degrades into
+//! tail-merging instead of parking forever.
+
 pub mod coalesce;
 pub mod driver;
 pub mod error;
+pub mod health;
 mod queue;
 pub mod source;
 pub mod stats;
@@ -61,6 +72,7 @@ pub mod stats;
 pub use coalesce::coalesce;
 pub use driver::IngestDriver;
 pub use error::IngestError;
+pub use health::{HealthConfig, HealthMonitor, HealthState};
 pub use queue::IngestBatch;
 pub use source::{IngestConfig, IngestHandle, Ingestor, LagPolicy, SourceId};
 pub use stats::IngestStats;

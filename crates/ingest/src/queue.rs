@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use arb_dexsim::events::Event;
 
@@ -24,6 +24,17 @@ pub struct IngestBatch {
     /// When the earliest block folded into this batch was sealed — the
     /// "events in" end of the events-in → ranking-updated latency.
     pub sealed_at: Instant,
+}
+
+/// How a deadline-bounded producer wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitOutcome {
+    /// Room opened up; the stream is still open.
+    Open,
+    /// The stream closed while waiting.
+    Closed,
+    /// The watchdog fired before the consumer freed space.
+    TimedOut,
 }
 
 /// The shared half of the boundary: a bounded batch queue plus the
@@ -105,6 +116,36 @@ impl Shared {
         }
         let open = !guard.closed;
         (guard, open)
+    }
+
+    /// [`Shared::wait_not_full`] with a watchdog: gives up after
+    /// `max_stall` of cumulative waiting instead of parking forever on
+    /// a wedged consumer.
+    pub fn wait_not_full_deadline<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, QueueState>,
+        max_stall: Duration,
+    ) -> (MutexGuard<'a, QueueState>, WaitOutcome) {
+        let deadline = Instant::now() + max_stall;
+        while guard.queue.len() >= guard.capacity && !guard.closed {
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return (guard, WaitOutcome::TimedOut);
+            };
+            let (next, _timeout) = self
+                .not_full
+                .wait_timeout(guard, remaining)
+                .expect("ingest queue poisoned");
+            guard = next;
+        }
+        let outcome = if guard.closed {
+            WaitOutcome::Closed
+        } else {
+            WaitOutcome::Open
+        };
+        (guard, outcome)
     }
 
     /// Pushes a sealed batch (caller must hold room) and wakes a

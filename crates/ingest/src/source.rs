@@ -1,7 +1,7 @@
 //! The producer half: source registration, multiplexing, sealing.
 
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use arb_amm::token::TokenId;
 use arb_dexsim::events::Event;
@@ -10,7 +10,8 @@ use arb_obs::{Obs, SpanTimer};
 
 use crate::coalesce::coalesce;
 use crate::error::IngestError;
-use crate::queue::{IngestBatch, Shared};
+use crate::health::{HealthConfig, HealthMonitor, HealthState};
+use crate::queue::{IngestBatch, QueueState, Shared, WaitOutcome};
 use crate::stats::{IngestStats, StatsMirror};
 
 /// Pre-resolved span timers over the sealing pipeline, one per stage
@@ -63,6 +64,16 @@ pub struct IngestConfig {
     /// deliver the raw multiplexed stream (the journal always records
     /// raw either way).
     pub coalesce: bool,
+    /// Watchdog for [`LagPolicy::BlockSource`]: give up after this much
+    /// blocked waiting, merge the sealed block into the queue tail
+    /// (degraded coalescing, no data loss), and surface
+    /// [`IngestError::StallTimeout`] plus a consumer health transition.
+    /// `None` (the default) preserves the original block-forever
+    /// behavior.
+    pub max_stall: Option<Duration>,
+    /// Thresholds for the per-site [`HealthMonitor`]s (sources, the
+    /// journal, the consumer).
+    pub health: HealthConfig,
 }
 
 impl Default for IngestConfig {
@@ -71,6 +82,8 @@ impl Default for IngestConfig {
             queue_capacity: 8,
             lag_policy: LagPolicy::BlockSource,
             coalesce: true,
+            max_stall: None,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -104,8 +117,27 @@ pub struct Ingestor {
     /// Offset of the next raw event on the multiplexed stream (the
     /// journal coordinate space when a journal is attached).
     next_offset: u64,
+    /// Seals performed so far — the deterministic clock driving the
+    /// health state machines (no wall time, so reruns reproduce the
+    /// exact transition sequence).
+    seals: u64,
+    /// Per-source health, parallel to `sources` (site
+    /// `ingest.source.<name>`).
+    source_health: Vec<HealthMonitor>,
+    /// Journal commit health (site `journal.io`), driving the
+    /// retry-with-backoff degraded mode.
+    journal_health: HealthMonitor,
+    /// Downstream consumer health (site `ingest.consumer`), driven by
+    /// queue pressure and the `max_stall` watchdog.
+    consumer_health: HealthMonitor,
+    /// The most recent journal commit failure, held while the journal
+    /// runs degraded (cleared by the recommit that drains the backlog).
+    last_journal_error: Option<JournalError>,
     /// Sealing-stage span timers, when observability is attached.
     obs: Option<SealSpans>,
+    /// The attached observability bundle, for wiring monitors created
+    /// after `set_obs`.
+    obs_handle: Option<Obs>,
 }
 
 impl Ingestor {
@@ -117,7 +149,13 @@ impl Ingestor {
             sources: Vec::new(),
             journal: None,
             next_offset: 0,
+            seals: 0,
+            source_health: Vec::new(),
+            journal_health: HealthMonitor::new("journal.io", config.health),
+            consumer_health: HealthMonitor::new("ingest.consumer", config.health),
+            last_journal_error: None,
             obs: None,
+            obs_handle: None,
         }
     }
 
@@ -137,6 +175,13 @@ impl Ingestor {
         let mirror = StatsMirror::new(obs.registry());
         mirror.sync(&guard.stats);
         guard.obs = Some(mirror);
+        drop(guard);
+        for monitor in &mut self.source_health {
+            monitor.set_obs(obs);
+        }
+        self.journal_health.set_obs(obs);
+        self.consumer_health.set_obs(obs);
+        self.obs_handle = Some(obs.clone());
     }
 
     /// Builder form of [`Ingestor::set_obs`].
@@ -155,7 +200,7 @@ impl Ingestor {
     pub fn with_journal(mut self, writer: Arc<Mutex<JournalWriter>>) -> Self {
         self.next_offset = writer
             .lock()
-            .expect("journal writer poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .next_offset();
         self.journal = Some(writer);
         self
@@ -172,6 +217,11 @@ impl Ingestor {
             staged: Vec::new(),
             position: 0,
         });
+        let mut monitor = HealthMonitor::new(format!("ingest.source.{name}"), self.config.health);
+        if let Some(obs) = &self.obs_handle {
+            monitor.set_obs(obs);
+        }
+        self.source_health.push(monitor);
         id
     }
 
@@ -222,6 +272,47 @@ impl Ingestor {
         self.shared.lock().stats
     }
 
+    /// Seals performed so far — the tick coordinate the health state
+    /// machines run on.
+    pub fn seals(&self) -> u64 {
+        self.seals
+    }
+
+    /// Health of one registered source (site `ingest.source.<name>`).
+    pub fn source_health(&self, source: SourceId) -> Option<&HealthMonitor> {
+        self.source_health.get(source.index())
+    }
+
+    /// Health of the attached journal's commit path (site
+    /// `journal.io`). Stays Healthy when no journal is attached.
+    pub fn journal_health(&self) -> &HealthMonitor {
+        &self.journal_health
+    }
+
+    /// Health of the downstream consumer (site `ingest.consumer`),
+    /// driven by backpressure and the `max_stall` watchdog.
+    pub fn consumer_health(&self) -> &HealthMonitor {
+        &self.consumer_health
+    }
+
+    /// Whether the stream is running journal-degraded: a commit failed
+    /// and its batch is still pending retry, so the durable journal
+    /// lags the applied stream. Serving continues; checkpoints should
+    /// be deferred until this clears.
+    pub fn journal_degraded(&self) -> bool {
+        self.last_journal_error.is_some()
+            || matches!(
+                self.journal_health.state(),
+                HealthState::Lagging | HealthState::Quarantined
+            )
+    }
+
+    /// The journal failure currently holding the stream in degraded
+    /// mode, if any (cleared by the recommit that drains the backlog).
+    pub fn last_journal_error(&self) -> Option<&JournalError> {
+        self.last_journal_error.as_ref()
+    }
+
     /// Stages events from `source` for the next seal. Order within a
     /// source is preserved verbatim.
     ///
@@ -270,24 +361,65 @@ impl Ingestor {
     /// one batch (always exactly one — an empty block still marks a
     /// tick boundary). Returns the stream offset after the seal.
     ///
+    /// A journal commit failure does **not** abort the seal: the batch
+    /// stays pending inside the writer, the block is still delivered,
+    /// and later seals retry the commit under the journal health
+    /// machine's bounded backoff ([`Ingestor::journal_degraded`] is
+    /// true until the backlog drains). Serving keeps running on an
+    /// unwritable disk; only durability lags.
+    ///
     /// # Errors
     ///
     /// * [`IngestError::Closed`] — [`Ingestor::close`] was called.
-    /// * [`IngestError::Journal`] — the attached journal failed.
+    /// * [`IngestError::StallTimeout`] — the [`IngestConfig::max_stall`]
+    ///   watchdog fired under [`LagPolicy::BlockSource`]; the block was
+    ///   merged into the queue tail (no data loss).
     pub fn seal_block(&mut self) -> Result<u64, IngestError> {
         let _seal = self.obs.as_ref().map(|o| o.seal.start());
+        let seal_tick = self.seals;
+        self.seals += 1;
         let mut raw: Vec<Event> = Vec::new();
+        let mut progressed = Vec::with_capacity(self.sources.len());
         for source in &mut self.sources {
+            progressed.push(!source.staged.is_empty());
             raw.append(&mut source.staged);
+        }
+        // Silence only counts against a source when some peer moved
+        // this seal; an all-quiet market penalizes nobody.
+        if progressed.contains(&true) {
+            for (monitor, moved) in self.source_health.iter_mut().zip(&progressed) {
+                if *moved {
+                    monitor.record_progress(seal_tick);
+                } else {
+                    monitor.record_idle(seal_tick);
+                }
+            }
         }
         let first_offset = self.next_offset;
         self.next_offset += raw.len() as u64;
 
+        let mut journal_failed = false;
+        let mut journal_recommitted = false;
         if let Some(journal) = &self.journal {
             let _journal = self.obs.as_ref().map(|o| o.journal.start());
-            let mut writer = journal.lock().expect("journal writer poisoned");
+            let mut writer = journal.lock().unwrap_or_else(PoisonError::into_inner);
             writer.append_batch(&raw);
-            writer.commit().map_err(JournalError::from)?;
+            // Commit only when there is something at stake and (while
+            // quarantined) the backoff window has elapsed — quiet seals
+            // retry the failed backlog for free.
+            if writer.pending_events() > 0 && self.journal_health.should_attempt(seal_tick) {
+                match writer.commit() {
+                    Ok(_) => {
+                        journal_recommitted = self.last_journal_error.take().is_some();
+                        self.journal_health.record_progress(seal_tick);
+                    }
+                    Err(error) => {
+                        journal_failed = true;
+                        self.last_journal_error = Some(JournalError::from(error));
+                        self.journal_health.record_failure(seal_tick);
+                    }
+                }
+            }
         }
 
         let events = if self.config.coalesce {
@@ -316,10 +448,57 @@ impl Ingestor {
         if guard.closed {
             return Err(IngestError::Closed);
         }
+        // Journal counters ride the same lock as the flow-ledger
+        // credits so the registry mirror sees one consistent snapshot.
+        guard.stats.journal_write_failures += u64::from(journal_failed);
+        guard.stats.journal_recommits += u64::from(journal_recommitted);
         if guard.queue.len() >= guard.capacity {
             match self.config.lag_policy {
                 LagPolicy::BlockSource => {
                     let stalled = Instant::now();
+                    if let Some(max_stall) = self.config.max_stall {
+                        let (mut guard, outcome) =
+                            self.shared.wait_not_full_deadline(guard, max_stall);
+                        let waited = stalled.elapsed().as_nanos() as u64;
+                        guard.stats.stall_nanos += waited;
+                        match outcome {
+                            WaitOutcome::Closed => {
+                                guard.sync_obs();
+                                return Err(IngestError::Closed);
+                            }
+                            WaitOutcome::TimedOut => {
+                                // The watchdog fired: degrade exactly
+                                // like CoalesceHarder (merge into the
+                                // tail, nothing dropped) and surface a
+                                // typed error instead of blocking the
+                                // producer forever on a wedged
+                                // consumer.
+                                let squeezed =
+                                    merge_into_tail(&mut guard, batch, self.config.coalesce);
+                                guard.stats.events_in += sealed_raw;
+                                guard.stats.coalesced_away += block_coalesced + squeezed;
+                                guard.stats.batches_sealed += 1;
+                                guard.stats.degraded_merges += 1;
+                                guard.stats.stall_timeouts += 1;
+                                guard.debug_check_ledger();
+                                guard.sync_obs();
+                                drop(guard);
+                                self.consumer_health.record_failure(seal_tick);
+                                return Err(IngestError::StallTimeout {
+                                    waited_nanos: waited,
+                                });
+                            }
+                            WaitOutcome::Open => {
+                                guard.stats.events_in += sealed_raw;
+                                guard.stats.coalesced_away += block_coalesced;
+                                guard.stats.batches_sealed += 1;
+                                self.shared.push(&mut guard, batch);
+                                drop(guard);
+                                self.consumer_health.record_progress(seal_tick);
+                                return Ok(self.next_offset);
+                            }
+                        }
+                    }
                     let (mut open_guard, open) = self.shared.wait_not_full(guard);
                     open_guard.stats.stall_nanos += stalled.elapsed().as_nanos() as u64;
                     if !open {
@@ -330,27 +509,20 @@ impl Ingestor {
                     open_guard.stats.coalesced_away += block_coalesced;
                     open_guard.stats.batches_sealed += 1;
                     self.shared.push(&mut open_guard, batch);
+                    drop(open_guard);
+                    self.consumer_health.record_progress(seal_tick);
                     return Ok(self.next_offset);
                 }
                 LagPolicy::CoalesceHarder => {
-                    let tail = guard.queue.back_mut().expect("full queue has a tail batch");
-                    let before = tail.events.len() + batch.events.len();
-                    let mut merged = Vec::with_capacity(before);
-                    merged.extend_from_slice(&tail.events);
-                    merged.extend_from_slice(&batch.events);
-                    tail.events = if self.config.coalesce {
-                        coalesce(&merged)
-                    } else {
-                        merged
-                    };
-                    tail.raw_events += batch.raw_events;
-                    let squeezed = (before - tail.events.len()) as u64;
+                    let squeezed = merge_into_tail(&mut guard, batch, self.config.coalesce);
                     guard.stats.events_in += sealed_raw;
                     guard.stats.coalesced_away += block_coalesced + squeezed;
                     guard.stats.batches_sealed += 1;
                     guard.stats.degraded_merges += 1;
                     guard.debug_check_ledger();
                     guard.sync_obs();
+                    drop(guard);
+                    self.consumer_health.record_idle(seal_tick);
                     return Ok(self.next_offset);
                 }
             }
@@ -359,6 +531,8 @@ impl Ingestor {
         guard.stats.coalesced_away += block_coalesced;
         guard.stats.batches_sealed += 1;
         self.shared.push(&mut guard, batch);
+        drop(guard);
+        self.consumer_health.record_progress(seal_tick);
         Ok(self.next_offset)
     }
 
@@ -367,6 +541,24 @@ impl Ingestor {
     pub fn close(&self) {
         self.shared.close();
     }
+}
+
+/// Merges `batch` into the newest queued batch (degraded coalescing:
+/// queue depth stays bounded, per-batch coalescing works harder).
+/// Returns how many events the cross-batch coalesce squeezed out.
+fn merge_into_tail(state: &mut QueueState, batch: IngestBatch, coalesce_on: bool) -> u64 {
+    let tail = state.queue.back_mut().expect("full queue has a tail batch");
+    let before = tail.events.len() + batch.events.len();
+    let mut merged = Vec::with_capacity(before);
+    merged.extend_from_slice(&tail.events);
+    merged.extend_from_slice(&batch.events);
+    tail.events = if coalesce_on {
+        coalesce(&merged)
+    } else {
+        merged
+    };
+    tail.raw_events += batch.raw_events;
+    (before - tail.events.len()) as u64
 }
 
 /// The consumer handle over the bounded queue.

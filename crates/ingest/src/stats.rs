@@ -33,6 +33,17 @@ pub struct IngestStats {
     /// Total time the producer spent blocked on a full queue under
     /// [`crate::LagPolicy::BlockSource`], in nanoseconds.
     pub stall_nanos: u64,
+    /// Times the `max_stall` watchdog fired under
+    /// [`crate::LagPolicy::BlockSource`]: the producer gave up waiting,
+    /// merged the sealed block into the queue tail, and surfaced
+    /// [`crate::IngestError::StallTimeout`].
+    pub stall_timeouts: u64,
+    /// Journal commits that failed and were left pending for retry
+    /// (the stream kept flowing in degraded, journal-lagging mode).
+    pub journal_write_failures: u64,
+    /// Journal commits that succeeded after at least one failure —
+    /// each one drains the pending backlog and ends a degraded window.
+    pub journal_recommits: u64,
 }
 
 impl IngestStats {
@@ -72,6 +83,9 @@ pub(crate) struct StatsMirror {
     degraded_merges: Counter,
     depth_high_water: Counter,
     stall_ns: Counter,
+    stall_timeouts: Counter,
+    journal_write_failures: Counter,
+    journal_recommits: Counter,
     coalesce_ratio: Gauge,
 }
 
@@ -86,6 +100,9 @@ impl StatsMirror {
             degraded_merges: registry.counter("ingest.degraded_merges"),
             depth_high_water: registry.counter("ingest.depth_high_water"),
             stall_ns: registry.counter("ingest.stall_ns"),
+            stall_timeouts: registry.counter("ingest.stall_timeouts"),
+            journal_write_failures: registry.counter("ingest.journal_write_failures"),
+            journal_recommits: registry.counter("ingest.journal_recommits"),
             coalesce_ratio: registry.gauge("ingest.coalesce_ratio"),
         }
     }
@@ -100,6 +117,10 @@ impl StatsMirror {
         self.depth_high_water
             .set_at_least(stats.depth_high_water as u64);
         self.stall_ns.set_at_least(stats.stall_nanos);
+        self.stall_timeouts.set_at_least(stats.stall_timeouts);
+        self.journal_write_failures
+            .set_at_least(stats.journal_write_failures);
+        self.journal_recommits.set_at_least(stats.journal_recommits);
         self.coalesce_ratio.set(stats.coalesce_ratio());
     }
 }
@@ -109,7 +130,8 @@ impl fmt::Display for IngestStats {
         write!(
             f,
             "{} in / {} out ({:.2}x coalesce), {} sealed / {} delivered \
-             ({} degraded merges), depth hw {}, {:.3}ms stalled",
+             ({} degraded merges), depth hw {}, {:.3}ms stalled \
+             ({} timeouts), journal {} failed / {} recommitted",
             self.events_in,
             self.events_out,
             self.coalesce_ratio(),
@@ -118,6 +140,9 @@ impl fmt::Display for IngestStats {
             self.degraded_merges,
             self.depth_high_water,
             self.stall_nanos as f64 / 1e6,
+            self.stall_timeouts,
+            self.journal_write_failures,
+            self.journal_recommits,
         )
     }
 }
@@ -160,6 +185,9 @@ mod tests {
             degraded_merges: 1,
             depth_high_water: 5,
             stall_nanos: 77,
+            stall_timeouts: 2,
+            journal_write_failures: 4,
+            journal_recommits: 3,
         };
         mirror.sync(&stats);
         let snap = registry.snapshot();
@@ -171,6 +199,9 @@ mod tests {
         assert_eq!(snap.counter("ingest.degraded_merges"), Some(1));
         assert_eq!(snap.counter("ingest.depth_high_water"), Some(5));
         assert_eq!(snap.counter("ingest.stall_ns"), Some(77));
+        assert_eq!(snap.counter("ingest.stall_timeouts"), Some(2));
+        assert_eq!(snap.counter("ingest.journal_write_failures"), Some(4));
+        assert_eq!(snap.counter("ingest.journal_recommits"), Some(3));
         assert_eq!(snap.gauge("ingest.coalesce_ratio"), Some(2.5));
     }
 

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use arb_amm::pool::PoolId;
 use arb_dexsim::events::Event;
-use arb_ingest::{IngestConfig, Ingestor, LagPolicy};
+use arb_ingest::{HealthState, IngestConfig, IngestError, Ingestor, LagPolicy};
 
 fn sync(pool: u32, reserve: u128) -> Event {
     Event::Sync {
@@ -27,6 +27,7 @@ fn stalled_consumer_never_drops_or_reorders_events() {
         lag_policy: LagPolicy::BlockSource,
         // Raw delivery: every event must come out exactly as it went in.
         coalesce: false,
+        ..IngestConfig::default()
     });
     let chain = ingestor.register_source("chain");
     let handle = ingestor.handle();
@@ -84,6 +85,7 @@ fn coalesce_harder_bounds_depth_without_losing_final_state() {
         queue_capacity: 1,
         lag_policy: LagPolicy::CoalesceHarder,
         coalesce: true,
+        ..IngestConfig::default()
     });
     let chain = ingestor.register_source("chain");
     let handle = ingestor.handle();
@@ -126,6 +128,7 @@ fn freeing_a_slot_unblocks_a_stalled_producer() {
         queue_capacity: 1,
         lag_policy: LagPolicy::BlockSource,
         coalesce: true,
+        ..IngestConfig::default()
     });
     let chain = ingestor.register_source("chain");
     let handle = ingestor.handle();
@@ -147,4 +150,125 @@ fn freeing_a_slot_unblocks_a_stalled_producer() {
         handle.pop_blocking().expect("second batch").events,
         vec![sync(0, 2)]
     );
+}
+
+#[test]
+fn max_stall_watchdog_degrades_instead_of_blocking_forever() {
+    let mut ingestor = Ingestor::new(IngestConfig {
+        queue_capacity: 1,
+        lag_policy: LagPolicy::BlockSource,
+        coalesce: true,
+        max_stall: Some(Duration::from_millis(20)),
+        ..IngestConfig::default()
+    });
+    let chain = ingestor.register_source("chain");
+    let handle = ingestor.handle();
+
+    ingestor.offer(chain, [sync(0, 1)]).expect("registered");
+    ingestor.seal_block().expect("first seal fits");
+    ingestor.offer(chain, [sync(0, 2)]).expect("registered");
+    // Queue full, nobody popping: the watchdog must fire instead of
+    // parking this thread forever.
+    let err = ingestor.seal_block().expect_err("watchdog fires");
+    assert!(
+        matches!(err, IngestError::StallTimeout { waited_nanos } if waited_nanos > 0),
+        "unexpected error: {err}"
+    );
+    assert_eq!(
+        ingestor.consumer_health().state(),
+        HealthState::Lagging,
+        "a watchdog timeout demotes the consumer site"
+    );
+
+    // Backpressure, not data loss: the sealed block was merged into the
+    // queue tail, last-write-wins.
+    let batch = handle.pop_blocking().expect("merged batch");
+    assert_eq!(batch.events, vec![sync(0, 2)]);
+    assert_eq!(batch.raw_events, 2);
+    let stats = handle.stats();
+    assert_eq!(stats.stall_timeouts, 1);
+    assert_eq!(stats.degraded_merges, 1);
+    assert!(stats.ledger_balanced(0), "{stats}");
+
+    // Once the consumer drains, the producer recovers on its next seal.
+    ingestor.offer(chain, [sync(0, 3)]).expect("registered");
+    ingestor.seal_block().expect("room again");
+    assert_eq!(ingestor.consumer_health().state(), HealthState::Recovered);
+}
+
+/// An `IoShim` that fails the next `n` commits outright.
+#[derive(Debug)]
+struct FailNext(u32);
+
+impl arb_journal::IoShim for FailNext {
+    fn before_write(&mut self, _bytes: usize) -> arb_journal::WriteVerdict {
+        if self.0 > 0 {
+            self.0 -= 1;
+            arb_journal::WriteVerdict::Fail(std::io::Error::other("injected write failure"))
+        } else {
+            arb_journal::WriteVerdict::Proceed
+        }
+    }
+}
+
+#[test]
+fn journal_failures_degrade_serving_instead_of_aborting_it() {
+    use std::sync::{Arc, Mutex};
+
+    use arb_journal::{JournalConfig, JournalReader, JournalWriter};
+
+    let dir = std::env::temp_dir().join(format!("arbloops-ingest-degraded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = JournalWriter::open(&dir, JournalConfig::default()).expect("open journal");
+    writer.set_io_shim(Box::new(FailNext(2)));
+    let writer = Arc::new(Mutex::new(writer));
+
+    let mut ingestor = Ingestor::new(IngestConfig {
+        queue_capacity: 8,
+        ..IngestConfig::default()
+    })
+    .with_journal(Arc::clone(&writer));
+    let chain = ingestor.register_source("chain");
+    let handle = ingestor.handle();
+
+    // Two seals hit the broken disk: both still deliver their batches.
+    for round in 0..2u128 {
+        ingestor.offer(chain, [sync(0, round)]).expect("registered");
+        ingestor
+            .seal_block()
+            .expect("journal failure must not abort the seal");
+    }
+    assert!(ingestor.journal_degraded(), "backlog pending retry");
+    assert!(ingestor.last_journal_error().is_some());
+    assert_eq!(ingestor.journal_health().state(), HealthState::Lagging);
+    assert_eq!(handle.stats().journal_write_failures, 2);
+    assert_eq!(
+        writer.lock().unwrap().durable_offset(),
+        0,
+        "nothing durable while degraded"
+    );
+
+    // The disk heals: the next seal recommits the whole backlog.
+    ingestor.offer(chain, [sync(0, 2)]).expect("registered");
+    ingestor.seal_block().expect("seal after heal");
+    assert!(!ingestor.journal_degraded(), "backlog drained");
+    assert!(ingestor.last_journal_error().is_none());
+    assert_eq!(handle.stats().journal_recommits, 1);
+    assert_eq!(writer.lock().unwrap().durable_offset(), 3);
+
+    // Delivery never paused, and the journal caught up to the full raw
+    // stream.
+    ingestor.close();
+    let mut delivered = Vec::new();
+    while let Some(batch) = handle.pop_blocking() {
+        delivered.extend(batch.events);
+    }
+    assert_eq!(delivered, vec![sync(0, 0), sync(0, 1), sync(0, 2)]);
+    drop(writer);
+    let replayed = JournalReader::open(&dir)
+        .expect("reopen journal")
+        .read_from(0)
+        .expect("read journal");
+    assert_eq!(replayed, delivered, "journal holds the raw stream");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }

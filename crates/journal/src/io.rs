@@ -1,0 +1,47 @@
+//! A pluggable I/O fault layer for the writer's commit path.
+//!
+//! Production writers have no shim and pay a single `Option` check per
+//! commit. Test and chaos harnesses install one to make the journal
+//! misbehave *deterministically*: write errors, fsync failures, torn
+//! (short) writes, and disk-full conditions, at schedules a fault plan
+//! controls — the failure modes a real log hits under disk pressure,
+//! injected without touching the filesystem.
+
+use std::fmt;
+use std::io;
+
+/// What the shim tells the writer to do with one commit's bytes.
+#[derive(Debug)]
+pub enum WriteVerdict {
+    /// Write normally.
+    Proceed,
+    /// Fail before any byte reaches the file (EIO, ENOSPC, ...).
+    Fail(io::Error),
+    /// Write only the first `keep` bytes of the batch, then fail — a
+    /// torn write. The writer rolls the segment back to its last
+    /// committed boundary, exactly as it does for any short write; a
+    /// harness that wants the torn bytes *left on disk* (a mid-write
+    /// crash) drops the writer on the resulting error instead of
+    /// retrying, then reopens to exercise tail healing.
+    Torn {
+        /// Bytes of the batch to let through before failing.
+        keep: usize,
+    },
+}
+
+/// The fault hook [`crate::JournalWriter`] consults on every commit.
+///
+/// Both methods take `&mut self` so shims can keep deterministic
+/// counters (commit index, fired faults) without interior mutability.
+pub trait IoShim: Send + fmt::Debug {
+    /// Called once per non-empty commit, just before the batch is
+    /// written, with the batch size in bytes.
+    fn before_write(&mut self, bytes: usize) -> WriteVerdict;
+
+    /// Called just before each durability `sync_data`; returning
+    /// `Some(err)` fails the sync (the bytes were written but are not
+    /// durable — the writer rolls them back like any commit failure).
+    fn before_sync(&mut self) -> Option<io::Error> {
+        None
+    }
+}

@@ -89,6 +89,7 @@
 
 pub mod crc;
 pub mod error;
+pub mod io;
 mod names;
 pub mod reader;
 pub mod recovery;
@@ -97,6 +98,7 @@ pub mod snapshot;
 pub mod writer;
 
 pub use error::JournalError;
+pub use io::{IoShim, WriteVerdict};
 pub use reader::{JournalCursor, JournalReader};
 pub use recovery::{Recovered, RecoveredStream, Recovery, RecoveryStats};
 pub use snapshot::SnapshotStore;

@@ -364,7 +364,12 @@ impl Recovery {
                         fee,
                     )
                     .map_err(|e| JournalError::Corrupt(format!("genesis pool invalid: {e}"))),
-                    _ => unreachable!("prefix holds only PoolCreated events"),
+                    // The prefix was selected by `take_while(PoolCreated)`,
+                    // so this arm is unreachable today — but recovery code
+                    // propagates instead of panicking on principle.
+                    _ => Err(JournalError::Corrupt(
+                        "genesis prefix held a non-PoolCreated event".to_string(),
+                    )),
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             events.drain(..prefix);

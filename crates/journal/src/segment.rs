@@ -79,11 +79,11 @@ pub(crate) struct SegmentScan {
 /// fails its checksum, or does not decode to exactly one event.
 fn decode_record(data: &[u8], at: usize) -> Option<(Event, usize)> {
     let header = data.get(at..at + RECORD_HEADER)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let len = le_u32(header.get(0..4)?)? as usize;
     if len as u32 > MAX_PAYLOAD {
         return None;
     }
-    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let crc = le_u32(header.get(4..8)?)?;
     let payload = data.get(at + RECORD_HEADER..at + RECORD_HEADER + len)?;
     if crc32(payload) != crc {
         return None;
@@ -94,6 +94,13 @@ fn decode_record(data: &[u8], at: usize) -> Option<(Event, usize)> {
         return None;
     }
     Some((event, RECORD_HEADER + len))
+}
+
+/// Reads a little-endian `u32` without panicking on short input — a
+/// short slice is a truncated record, which scanning treats as the end
+/// of the valid prefix rather than a crash.
+fn le_u32(bytes: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
 }
 
 /// Scans `data` (one segment's contents) for its valid record prefix.

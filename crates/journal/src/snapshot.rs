@@ -132,11 +132,19 @@ impl<'a> Decoder<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, JournalError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let bytes = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| JournalError::Corrupt("snapshot u32 field truncated".to_string()))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, JournalError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let bytes = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| JournalError::Corrupt("snapshot u64 field truncated".to_string()))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// A length prefix, sanity-bounded so corrupt lengths cannot trigger
@@ -225,7 +233,11 @@ pub fn decode_checkpoint(data: &[u8]) -> Result<(u64, RuntimeCheckpoint), Journa
         return Err(JournalError::Corrupt("bad snapshot magic".to_string()));
     }
     let body = &data[MAGIC.len()..data.len() - 4];
-    let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4"));
+    let stored = u32::from_le_bytes(
+        data[data.len() - 4..]
+            .try_into()
+            .map_err(|_| JournalError::Corrupt("snapshot checksum truncated".to_string()))?,
+    );
     if crc32(body) != stored {
         return Err(JournalError::Corrupt(
             "snapshot checksum mismatch".to_string(),

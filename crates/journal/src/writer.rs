@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use arb_dexsim::chain::EventSink;
 use arb_dexsim::events::Event;
 
+use crate::io::{IoShim, WriteVerdict};
 use crate::segment::{self, segment_file_name};
 
 /// Writer tuning.
@@ -62,6 +63,8 @@ pub struct JournalWriter {
     /// First commit failure, re-surfaced by the next `commit` call (the
     /// [`EventSink`] path cannot propagate errors inline).
     deferred: Option<io::Error>,
+    /// Optional fault layer consulted on the commit path (chaos tests).
+    shim: Option<Box<dyn IoShim>>,
 }
 
 impl JournalWriter {
@@ -127,7 +130,21 @@ impl JournalWriter {
             pending_events: 0,
             committed,
             deferred: None,
+            shim: None,
         })
+    }
+
+    /// Installs an [`IoShim`] consulted on every subsequent commit
+    /// (replacing any previous one). Fault injection only — a writer
+    /// without a shim performs plain writes.
+    pub fn set_io_shim(&mut self, shim: Box<dyn IoShim>) {
+        self.shim = Some(shim);
+    }
+
+    /// Removes the installed [`IoShim`], returning the writer to plain
+    /// writes.
+    pub fn clear_io_shim(&mut self) {
+        self.shim = None;
     }
 
     /// The journal directory.
@@ -144,6 +161,14 @@ impl JournalWriter {
     /// The durable tail: everything below this offset survives a crash.
     pub fn durable_offset(&self) -> u64 {
         self.committed
+    }
+
+    /// Appended-but-not-yet-durable events. Non-zero after a failed
+    /// commit: the batch is retained for retry, and callers deciding
+    /// whether state is snapshot-safe must treat the journal as lagging
+    /// behind applied state until this drains back to zero.
+    pub fn pending_events(&self) -> u64 {
+        self.pending_events
     }
 
     /// Frames `event` into the pending batch and returns its assigned
@@ -181,13 +206,7 @@ impl JournalWriter {
         if self.segment_bytes >= self.config.segment_max_bytes && self.segment_bytes > 0 {
             self.roll_segment()?;
         }
-        let written = self.file.write_all(&self.pending).and_then(|()| {
-            if self.config.sync_on_commit {
-                self.file.sync_data()
-            } else {
-                Ok(())
-            }
-        });
+        let written = self.shimmed_write();
         if let Err(error) = written {
             // A failed write may have landed part of a record; cut the
             // segment back to its last durable boundary so a retried
@@ -238,6 +257,34 @@ impl JournalWriter {
             sync_dir(&self.dir)?;
         }
         Ok(removed)
+    }
+
+    /// One commit's worth of write + sync, routed through the installed
+    /// [`IoShim`] (if any) so fault harnesses can fail, tear, or
+    /// un-sync the batch deterministically.
+    fn shimmed_write(&mut self) -> io::Result<()> {
+        match self.shim.as_mut().map_or(WriteVerdict::Proceed, |shim| {
+            shim.before_write(self.pending.len())
+        }) {
+            WriteVerdict::Proceed => {}
+            WriteVerdict::Fail(error) => return Err(error),
+            WriteVerdict::Torn { keep } => {
+                let keep = keep.min(self.pending.len());
+                self.file.write_all(&self.pending[..keep])?;
+                return Err(io::Error::other(format!(
+                    "injected torn write: {keep} of {} batch bytes landed",
+                    self.pending.len()
+                )));
+            }
+        }
+        self.file.write_all(&self.pending)?;
+        if self.config.sync_on_commit {
+            if let Some(error) = self.shim.as_mut().and_then(|shim| shim.before_sync()) {
+                return Err(error);
+            }
+            self.file.sync_data()?;
+        }
+        Ok(())
     }
 
     /// Finishes the current segment and starts a fresh one whose first

@@ -221,3 +221,102 @@ fn snapshot_store_lists_prunes_and_round_trips() {
     let listed: Vec<u64> = store.list().unwrap().into_iter().map(|(o, _)| o).collect();
     assert_eq!(listed, vec![7, 11]);
 }
+
+// --- I/O fault shim ------------------------------------------------------
+
+/// A scripted [`arb_journal::IoShim`]: plays back one verdict per commit
+/// (in order), then proceeds normally.
+#[derive(Debug, Default)]
+struct ScriptedShim {
+    write_script: Vec<Option<ScriptedFault>>,
+    commits: usize,
+    fail_next_sync: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ScriptedFault {
+    Fail,
+    Torn(usize),
+    FsyncError,
+}
+
+impl arb_journal::IoShim for ScriptedShim {
+    fn before_write(&mut self, bytes: usize) -> arb_journal::WriteVerdict {
+        let fault = self.write_script.get(self.commits).copied().flatten();
+        self.commits += 1;
+        match fault {
+            None => arb_journal::WriteVerdict::Proceed,
+            Some(ScriptedFault::Fail) => {
+                arb_journal::WriteVerdict::Fail(std::io::Error::other("scripted write error"))
+            }
+            Some(ScriptedFault::Torn(keep)) => arb_journal::WriteVerdict::Torn {
+                keep: keep.min(bytes),
+            },
+            Some(ScriptedFault::FsyncError) => {
+                self.fail_next_sync = true;
+                arb_journal::WriteVerdict::Proceed
+            }
+        }
+    }
+
+    fn before_sync(&mut self) -> Option<std::io::Error> {
+        self.fail_next_sync
+            .then(|| std::io::Error::other("scripted fsync error"))
+            .inspect(|_| self.fail_next_sync = false)
+    }
+}
+
+#[test]
+fn shimmed_write_error_keeps_pending_and_retries_cleanly() {
+    let scratch = Scratch::new("shim-write-error");
+    let mut writer = JournalWriter::open(scratch.path(), JournalConfig::default()).unwrap();
+    writer.set_io_shim(Box::new(ScriptedShim {
+        write_script: vec![Some(ScriptedFault::Fail)],
+        ..ScriptedShim::default()
+    }));
+
+    writer.append_batch(&events(4));
+    let err = writer.commit().unwrap_err();
+    assert!(err.to_string().contains("scripted write error"));
+    // The batch is retained for retry; nothing is durable yet.
+    assert_eq!(writer.pending_events(), 4);
+    assert_eq!(writer.durable_offset(), 0);
+    // The next commit (script exhausted) lands the same batch.
+    assert_eq!(writer.commit().unwrap(), 4);
+    assert_eq!(writer.pending_events(), 0);
+
+    drop(writer);
+    let reader = JournalReader::open(scratch.path()).unwrap();
+    assert_eq!(reader.read_from(0).unwrap(), events(4));
+}
+
+#[test]
+fn torn_and_fsync_faults_roll_back_to_the_durable_boundary() {
+    let scratch = Scratch::new("shim-torn");
+    let mut writer = JournalWriter::open(scratch.path(), JournalConfig::default()).unwrap();
+    writer.append_batch(&events(3));
+    writer.commit().unwrap();
+
+    writer.set_io_shim(Box::new(ScriptedShim {
+        write_script: vec![
+            Some(ScriptedFault::Torn(5)),
+            Some(ScriptedFault::FsyncError),
+        ],
+        ..ScriptedShim::default()
+    }));
+    writer.append_batch(&events(2));
+    assert!(writer.commit().unwrap_err().to_string().contains("torn"));
+    // Rollback cut the segment back: a reopen (simulated crash) sees
+    // exactly the previously durable prefix, no torn bytes.
+    let reader = JournalReader::open(scratch.path()).unwrap();
+    assert_eq!(reader.tail_offset(), 3);
+
+    // Fsync failure behaves the same: written bytes are rolled back.
+    assert!(writer.commit().unwrap_err().to_string().contains("fsync"));
+    assert_eq!(writer.durable_offset(), 3);
+    // Third try has no scripted fault left and lands everything.
+    assert_eq!(writer.commit().unwrap(), 5);
+    drop(writer);
+    let reader = JournalReader::open(scratch.path()).unwrap();
+    assert_eq!(reader.tail_offset(), 5);
+}

@@ -17,7 +17,6 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use crate::error::ServeError;
 
@@ -25,63 +24,11 @@ use crate::error::ServeError;
 /// fractional per-nanosecond refill never rounds to zero.
 const MICRO: i64 = 1_000_000;
 
-/// A monotonic nanosecond source the buckets refill from. Injectable so
-/// tests drive time deterministically.
-pub trait Clock: Send + Sync {
-    /// Nanoseconds since an arbitrary fixed origin.
-    fn now_nanos(&self) -> u64;
-}
-
-/// Wall-clock time from [`Instant`], anchored at construction.
-#[derive(Debug)]
-pub struct MonotonicClock {
-    origin: Instant,
-}
-
-impl MonotonicClock {
-    #[must_use]
-    pub fn new() -> Self {
-        Self {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Default for MonotonicClock {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Clock for MonotonicClock {
-    fn now_nanos(&self) -> u64 {
-        self.origin.elapsed().as_nanos() as u64
-    }
-}
-
-/// A hand-cranked clock for deterministic governor tests.
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    nanos: AtomicU64,
-}
-
-impl ManualClock {
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Advances time by `nanos`.
-    pub fn advance(&self, nanos: u64) {
-        self.nanos.fetch_add(nanos, Ordering::SeqCst);
-    }
-}
-
-impl Clock for ManualClock {
-    fn now_nanos(&self) -> u64 {
-        self.nanos.load(Ordering::SeqCst)
-    }
-}
+/// The monotonic nanosecond source the buckets refill from — the shared
+/// injectable-clock types from `arb-core` (the same ones the
+/// deterministic [`arb_core::backoff::Backoff`] schedules run on),
+/// re-exported so the governor's public API is unchanged.
+pub use arb_core::backoff::{Clock, ManualClock, MonotonicClock};
 
 /// Reader classes with independent rate envelopes, priority-ordered:
 /// interactive dashboards, analytical scans, bulk exports.
@@ -288,12 +235,6 @@ pub struct Governor {
     admitted: [AtomicU64; 3],
     denied_rate: [AtomicU64; 3],
     denied_saturated: AtomicU64,
-}
-
-impl std::fmt::Debug for dyn Clock {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("Clock")
-    }
 }
 
 impl Governor {

@@ -148,6 +148,21 @@ impl Scenario {
         self.ticks.iter().map(|t| t.events.len()).sum()
     }
 
+    /// Appends `ticks` empty tick batches — a quiet tail during which
+    /// degraded subsystems (delayed sources, a backed-off journal)
+    /// drain their backlogs so a faulted run can reconverge with an
+    /// unfaulted oracle before final state is compared.
+    #[must_use]
+    pub fn with_quiet_tail(mut self, ticks: usize) -> Self {
+        for _ in 0..ticks {
+            self.ticks.push(TickBatch {
+                feed_moves: Vec::new(),
+                events: Vec::new(),
+            });
+        }
+        self
+    }
+
     /// Pool slots that exist after every tick is applied (initial pools
     /// plus `PoolCreated` events).
     pub fn final_pool_slots(&self) -> usize {

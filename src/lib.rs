@@ -23,6 +23,7 @@
 //! | [`ingest`] | `arb-ingest` | staged ingestion front-end: coalescing, multiplexing, backpressure |
 //! | [`workloads`] | `arb-workloads` | seeded deterministic scenario catalog (workload generator) |
 //! | [`serve`] | `arb-serve` | lock-free ranked-snapshot serving: wait-free queries, delta streams, admission control |
+//! | [`chaos`] | `arb-chaos` | deterministic fault injection + chaos-soak reconvergence harness |
 //! | [`bot`] | `arb-bot` | engine-driven flash-execute bot + market sim |
 //!
 //! # The paper's §V example, in six lines
@@ -54,6 +55,7 @@
 pub use arb_amm as amm;
 pub use arb_bot as bot;
 pub use arb_cex as cex;
+pub use arb_chaos as chaos;
 pub use arb_convex as convex;
 pub use arb_core as strategies;
 pub use arb_dexsim as dexsim;
@@ -76,11 +78,16 @@ pub mod prelude {
     pub use arb_bot::{
         sim::{MarketSim, MarketSimConfig},
         ArbBot, BotConfig, IngestBot, JournalSettings, JournaledBot, ObsConfig, ScanMode,
-        StrategyChoice,
+        StrategyChoice, SupervisedBot,
     };
     pub use arb_cex::feed::{PriceFeed, PriceTable};
+    pub use arb_chaos::{
+        run_soak, standard_plan, ChaosError, ChaosInjector, ChaosIo, ChaosTickHook, FaultKind,
+        FaultPlan, FaultWindow, InjectedFault, SoakConfig, SoakOutcome, SourceChaos,
+    };
     pub use arb_convex::{Formulation, LoopPlan, LoopProblem, SolverOptions};
     pub use arb_core::{
+        backoff::{Backoff, BackoffConfig},
         convexopt,
         loop_def::ArbLoop,
         maxmax, maxprice,
@@ -99,16 +106,16 @@ pub mod prelude {
         ArbitrageOpportunity, EngineCheckpoint, EngineError, OpportunityPipeline, PipelineConfig,
         PipelineReport, RankingPolicy, RebalanceConfig, RuntimeCheckpoint, RuntimeReport,
         RuntimeStats, RuntimeTelemetry, ScreenTotals, ShardLoads, ShardedRuntime, StreamReport,
-        StreamStats, StreamingEngine,
+        StreamStats, StreamingEngine, TickHook,
     };
     pub use arb_graph::{Cycle, CycleId, CycleIndex, Partition, SyncOutcome, TokenGraph};
     pub use arb_ingest::{
-        coalesce, IngestBatch, IngestConfig, IngestDriver, IngestError, IngestHandle, IngestStats,
-        Ingestor, LagPolicy, SourceId,
+        coalesce, HealthConfig, HealthMonitor, HealthState, IngestBatch, IngestConfig,
+        IngestDriver, IngestError, IngestHandle, IngestStats, Ingestor, LagPolicy, SourceId,
     };
     pub use arb_journal::{
-        JournalConfig, JournalCursor, JournalError, JournalReader, JournalWriter, Recovered,
-        RecoveredStream, Recovery, RecoveryStats, SnapshotStore,
+        IoShim, JournalConfig, JournalCursor, JournalError, JournalReader, JournalWriter,
+        Recovered, RecoveredStream, Recovery, RecoveryStats, SnapshotStore, WriteVerdict,
     };
     pub use arb_obs::{FlightRecorder, Obs, ObsOptions, Registry, RegistrySnapshot};
     pub use arb_serve::{

@@ -249,6 +249,7 @@ fn lagged_consumer_in_degraded_mode_converges_to_direct_final_state() {
         queue_capacity: 1,
         lag_policy: LagPolicy::CoalesceHarder,
         coalesce: true,
+        ..IngestConfig::default()
     });
     let feed_source = ingestor.register_source("cex-feed");
     let chain_source = ingestor.register_source("dexsim");
